@@ -1,0 +1,145 @@
+// Command groverbench regenerates the paper's evaluation: every table and
+// figure of "Grover: Looking for Performance Improvement by Disabling
+// Local Memory Usage in OpenCL Kernels" (ICPP 2014).
+//
+// Usage:
+//
+//	groverbench -experiment fig2            # Fig. 2 (MT/MM on 6 platforms)
+//	groverbench -experiment fig10           # Fig. 10 (11 apps on 3 CPUs)
+//	groverbench -experiment table1          # benchmark inventory
+//	groverbench -experiment table2          # platform inventory
+//	groverbench -experiment table3          # symbolic GL/LS/LL/nGL indices
+//	groverbench -experiment table4          # gain/loss distribution
+//	groverbench -experiment all             # everything
+//	groverbench -experiment case -app NVD-MT -device SNB
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"grover/internal/apps"
+	"grover/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | all")
+		app        = flag.String("app", "", "benchmark id for -experiment case (e.g. NVD-MT)")
+		device     = flag.String("device", "SNB", "device for -experiment case")
+		scale      = flag.Int("scale", 1, "dataset scale factor")
+		runs       = flag.Int("runs", 1, "simulated executions to average per version")
+		validate   = flag.Bool("validate", false, "also validate both kernel versions against host references")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	var logW io.Writer = os.Stderr
+	if *quiet {
+		logW = nil
+	}
+	cfg := harness.Config{Scale: *scale, Runs: *runs, Validate: *validate, Log: logW}
+
+	if err := run(*experiment, *app, *device, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "groverbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment, appID, deviceName string, cfg harness.Config) error {
+	switch experiment {
+	case "fig2":
+		return runFig2(cfg)
+	case "fig10":
+		return runFig10(cfg)
+	case "figgpu":
+		ms, err := harness.FigGPU(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.RenderFigure(
+			"GPU sweep (paper future work) — all benchmarks on the GPU platforms", ms))
+		fmt.Println(harness.MakeTable4(ms))
+		return nil
+	case "table1":
+		fmt.Println("Table I — benchmarks and datasets")
+		fmt.Println(harness.Table1())
+		return nil
+	case "table2":
+		fmt.Println("Table II — simulated platforms")
+		fmt.Println(harness.Table2())
+		return nil
+	case "table3":
+		s, err := harness.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table III — data index of nGL per benchmark")
+		fmt.Println(s)
+		return nil
+	case "table4":
+		ms, err := harness.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table IV — performance gain/loss distribution (5% threshold)")
+		fmt.Println(harness.MakeTable4(ms))
+		return nil
+	case "case":
+		if appID == "" {
+			return fmt.Errorf("-experiment case requires -app")
+		}
+		a, err := apps.ByID(appID)
+		if err != nil {
+			return err
+		}
+		m, err := harness.RunCase(a, deviceName, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s on %s: with LM %.4f ms, without LM %.4f ms, np=%.2f [%s]\n",
+			m.App, m.Device, m.WithLM, m.WithoutLM, m.NP, m.Classify())
+		fmt.Println(m.Report)
+		return nil
+	case "all":
+		fmt.Println("Table I — benchmarks and datasets")
+		fmt.Println(harness.Table1())
+		fmt.Println("Table II — simulated platforms")
+		fmt.Println(harness.Table2())
+		s, err := harness.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table III — data index of nGL per benchmark")
+		fmt.Println(s)
+		if err := runFig2(cfg); err != nil {
+			return err
+		}
+		return runFig10(cfg)
+	}
+	return fmt.Errorf("unknown experiment %q", experiment)
+}
+
+func runFig2(cfg harness.Config) error {
+	ms, err := harness.Fig2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderFigure(
+		"Figure 2 — removing local memory: MT and MM on six platforms", ms))
+	return nil
+}
+
+func runFig10(cfg harness.Config) error {
+	ms, err := harness.Fig10(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(harness.RenderFigure(
+		"Figure 10 — all benchmarks on the cache-only platforms", ms))
+	fmt.Println("Table IV — performance gain/loss distribution (5% threshold)")
+	fmt.Println(harness.MakeTable4(ms))
+	return nil
+}

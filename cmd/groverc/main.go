@@ -1,0 +1,110 @@
+// Command groverc is the Grover compiler driver: it reads an OpenCL C
+// kernel file, runs the local-memory-disabling pass, and prints the
+// analysis report (the symbolic GL/LS/LL/nGL indices and the solved
+// correspondence) plus, on request, the IR of both versions.
+//
+// Usage:
+//
+//	groverc [-kernel name] [-candidates a,b] [-ir] [-keep-barriers] file.cl
+//	groverc -D TILE=16 -D N=1024 kernel.cl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	igrover "grover/internal/grover"
+	"grover/opencl"
+)
+
+type defineFlags map[string]string
+
+func (d defineFlags) String() string { return "" }
+func (d defineFlags) Set(v string) error {
+	name, val, found := strings.Cut(v, "=")
+	if !found {
+		val = "1"
+	}
+	d[name] = val
+	return nil
+}
+
+func main() {
+	defines := defineFlags{}
+	var (
+		kernel       = flag.String("kernel", "", "kernel to transform (default: every kernel in the file)")
+		candidates   = flag.String("candidates", "", "comma-separated __local variables to disable (default: all)")
+		dumpIR       = flag.Bool("ir", false, "print the IR of the original and transformed kernels")
+		keepBarriers = flag.Bool("keep-barriers", false, "do not remove barriers after disabling local memory")
+		cloneAll     = flag.Bool("clone-all", false, "duplicate the whole GL tree per load (disable subexpression reuse)")
+		strict       = flag.Bool("strict", false, "fail when any candidate is not reversible")
+	)
+	flag.Var(defines, "D", "preprocessor define NAME[=VALUE] (repeatable)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: groverc [flags] kernel.cl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+
+	plat := opencl.NewPlatform()
+	dev, err := plat.DeviceByName("SNB")
+	if err != nil {
+		fatal(err)
+	}
+	ctx := opencl.NewContext(dev)
+	prog, err := ctx.CompileProgram(file, string(src), defines)
+	if err != nil {
+		fatal(err)
+	}
+
+	kernels := prog.KernelNames()
+	if *kernel != "" {
+		kernels = []string{*kernel}
+	}
+	if len(kernels) == 0 {
+		fatal(fmt.Errorf("%s contains no kernels", file))
+	}
+
+	opts := igrover.Options{
+		KeepBarriers: *keepBarriers,
+		CloneAll:     *cloneAll,
+		Strict:       *strict,
+	}
+	if *candidates != "" {
+		opts.Candidates = strings.Split(*candidates, ",")
+	}
+
+	exit := 0
+	for _, k := range kernels {
+		noLM, rep, err := prog.WithLocalMemoryDisabled(k, opts)
+		if err == igrover.ErrNoCandidates {
+			fmt.Printf("kernel %s: no local memory usage\n", k)
+			continue
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "groverc: kernel %s: %v\n", k, err)
+			exit = 1
+			continue
+		}
+		fmt.Print(rep)
+		if *dumpIR {
+			fmt.Printf("\n--- original IR (%s) ---\n%s", k, prog.IR())
+			fmt.Printf("\n--- transformed IR (%s) ---\n%s", k, noLM.IR())
+		}
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "groverc:", err)
+	os.Exit(1)
+}

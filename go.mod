@@ -1,0 +1,3 @@
+module grover
+
+go 1.22

@@ -1,0 +1,148 @@
+// Package grover reproduces "Grover: Looking for Performance Improvement
+// by Disabling Local Memory Usage in OpenCL Kernels" (Fang, Sips,
+// Jääskeläinen, Varbanescu — ICPP 2014).
+//
+// Grover is a compiler pass that *removes* local-memory (scratch-pad)
+// staging from OpenCL kernels: it detects the software-cache pattern —
+// global load (GL) → local store (LS) → barrier → local loads (LL) —
+// derives the correspondence between the local and global index spaces by
+// solving an exact linear system, rewrites every LL into an equivalent new
+// global load (nGL), and removes the dead stores, allocations and
+// barriers. Running both kernel versions and keeping the faster one per
+// platform is the paper's auto-tuning use case, provided here as AutoTune.
+//
+// The package is a facade over the repository's from-scratch stack: an
+// OpenCL C front-end, an LLVM-like IR, the transformation pass, an
+// executing VM with work-group semantics, and trace-driven device models
+// for the paper's six platforms. See the opencl package for the host API.
+//
+//	plat := opencl.NewPlatform()
+//	dev, _ := plat.DeviceByName("SNB")
+//	ctx := opencl.NewContext(dev)
+//	prog, _ := ctx.CompileProgram("mt.cl", source, nil)
+//	noLM, report, _ := grover.Disable(prog, "transpose", grover.Options{})
+//	fmt.Print(report)
+package grover
+
+import (
+	"fmt"
+
+	igrover "grover/internal/grover"
+	"grover/opencl"
+)
+
+// Options control the pass (candidate selection, barrier handling,
+// ablation switches).
+type Options = igrover.Options
+
+// Report is the per-kernel analysis and transformation report (the
+// paper's Table III rows: GL, LS, LL and nGL symbolic indices plus the
+// solved correspondence).
+type Report = igrover.Report
+
+// CandidateReport is one candidate's row in a Report.
+type CandidateReport = igrover.CandidateReport
+
+// ErrNotReversible is the error type reported when a candidate's
+// correspondence cannot be derived (singular system, non-integral
+// solution, temporal-storage pattern).
+type ErrNotReversible = igrover.ErrNotReversible
+
+// ErrNoCandidates is returned when the kernel uses no local memory.
+var ErrNoCandidates = igrover.ErrNoCandidates
+
+// Disable runs the Grover pass on a copy of prog, removing local-memory
+// usage from the named kernel. The original program is unchanged; both
+// versions stay runnable for side-by-side comparison.
+func Disable(prog *opencl.Program, kernel string, opts Options) (*opencl.Program, *Report, error) {
+	return prog.WithLocalMemoryDisabled(kernel, opts)
+}
+
+// TuneResult reports an AutoTune decision.
+type TuneResult struct {
+	// UseTransformed is true when the version without local memory won.
+	UseTransformed bool
+	// Kernel is the winning kernel.
+	Kernel *opencl.Kernel
+	// OriginalMS and TransformedMS are the average simulated times.
+	OriginalMS    float64
+	TransformedMS float64
+	// Speedup is original/transformed (>1 means disabling local memory
+	// helped — the paper's "normalized performance").
+	Speedup float64
+	// Report is the transformation report.
+	Report *Report
+}
+
+// String renders the decision.
+func (r TuneResult) String() string {
+	verdict := "keep local memory"
+	if r.UseTransformed {
+		verdict = "disable local memory"
+	}
+	return fmt.Sprintf("%s: with LM %.4f ms, without LM %.4f ms (np=%.2f)",
+		verdict, r.OriginalMS, r.TransformedMS, r.Speedup)
+}
+
+// AutoTune implements the paper's auto-tuning step: transform the kernel,
+// run both versions `runs` times through the device cost model via the
+// caller's launch function, and pick the faster version for this device.
+// The launch function receives the kernel to time and must enqueue it on a
+// profiling queue, returning the event.
+func AutoTune(prog *opencl.Program, kernel string, opts Options, runs int,
+	launch func(k *opencl.Kernel) (*opencl.Event, error)) (*TuneResult, error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	transformed, rep, err := Disable(prog, kernel, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Transformed() {
+		k, kerr := prog.Kernel(kernel)
+		if kerr != nil {
+			return nil, kerr
+		}
+		return &TuneResult{Kernel: k, Report: rep, Speedup: 1}, nil
+	}
+	orig, err := prog.Kernel(kernel)
+	if err != nil {
+		return nil, err
+	}
+	noLM, err := transformed.Kernel(kernel)
+	if err != nil {
+		return nil, err
+	}
+	avg := func(k *opencl.Kernel) (float64, error) {
+		var total float64
+		for i := 0; i < runs; i++ {
+			evt, err := launch(k)
+			if err != nil {
+				return 0, err
+			}
+			total += evt.Duration()
+		}
+		return total / float64(runs), nil
+	}
+	origMS, err := avg(orig)
+	if err != nil {
+		return nil, fmt.Errorf("grover: timing original: %w", err)
+	}
+	noLMMS, err := avg(noLM)
+	if err != nil {
+		return nil, fmt.Errorf("grover: timing transformed: %w", err)
+	}
+	res := &TuneResult{
+		OriginalMS:    origMS,
+		TransformedMS: noLMMS,
+		Report:        rep,
+		Speedup:       origMS / noLMMS,
+	}
+	if noLMMS < origMS {
+		res.UseTransformed = true
+		res.Kernel = noLM
+	} else {
+		res.Kernel = orig
+	}
+	return res, nil
+}

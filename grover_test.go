@@ -1,0 +1,170 @@
+package grover_test
+
+import (
+	"strings"
+	"testing"
+
+	"grover"
+	"grover/opencl"
+)
+
+const transposeSrc = `
+#define TILE 16
+__kernel void transpose(__global float* odata, __global float* idata,
+                        int width, int height) {
+    __local float tile[TILE][TILE+1];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    tile[ly][lx] = idata[(wy*TILE + ly)*width + wx*TILE + lx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    odata[(wx*TILE + ly)*height + wy*TILE + lx] = tile[lx][ly];
+}
+`
+
+func setup(t *testing.T, deviceName string) (*opencl.Context, *opencl.Program) {
+	t.Helper()
+	plat := opencl.NewPlatform()
+	dev, err := plat.DeviceByName(deviceName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := opencl.NewContext(dev)
+	prog, err := ctx.CompileProgram("mt.cl", transposeSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, prog
+}
+
+func TestDisable(t *testing.T) {
+	_, prog := setup(t, "SNB")
+	noLM, rep, err := grover.Disable(prog, "transpose", grover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Transformed() {
+		t.Fatal("not transformed")
+	}
+	if noLM == nil {
+		t.Fatal("nil transformed program")
+	}
+	// The report carries the paper's Table III content.
+	s := rep.String()
+	for _, frag := range []string{"GL", "LS", "LL", "nGL", "lx := ly"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestAutoTunePrefersNoLMOnCPU(t *testing.T) {
+	ctx, prog := setup(t, "SNB")
+	const n = 64
+	in := ctx.NewBuffer(n * n * 4)
+	out := ctx.NewBuffer(n * n * 4)
+	q, err := ctx.NewProfilingQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := opencl.NDRange{Global: [3]int{n, n, 1}, Local: [3]int{16, 16, 1}}
+	res, err := grover.AutoTune(prog, "transpose", grover.Options{}, 2,
+		func(k *opencl.Kernel) (*opencl.Event, error) {
+			return q.EnqueueNDRange(k, nd, out, in, int32(n), int32(n))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.UseTransformed {
+		t.Errorf("on SNB the transpose should win without local memory: %s", res)
+	}
+	if res.Speedup <= 1 {
+		t.Errorf("speedup = %.2f, want > 1", res.Speedup)
+	}
+	if res.Kernel == nil {
+		t.Fatal("no winning kernel")
+	}
+}
+
+func TestAutoTunePrefersLMOnGPU(t *testing.T) {
+	ctx, prog := setup(t, "Kepler")
+	const n = 64
+	in := ctx.NewBuffer(n * n * 4)
+	out := ctx.NewBuffer(n * n * 4)
+	q, err := ctx.NewProfilingQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := opencl.NDRange{Global: [3]int{n, n, 1}, Local: [3]int{16, 16, 1}}
+	res, err := grover.AutoTune(prog, "transpose", grover.Options{}, 1,
+		func(k *opencl.Kernel) (*opencl.Event, error) {
+			return q.EnqueueNDRange(k, nd, out, in, int32(n), int32(n))
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UseTransformed {
+		t.Errorf("on Kepler the transpose should keep local memory: %s", res)
+	}
+}
+
+func TestAutoTuneNoCandidates(t *testing.T) {
+	plat := opencl.NewPlatform()
+	dev, _ := plat.DeviceByName("SNB")
+	ctx := opencl.NewContext(dev)
+	prog, err := ctx.CompileProgram("k.cl",
+		`__kernel void k(__global float* a) { a[get_global_id(0)] = 1.0f; }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grover.AutoTune(prog, "k", grover.Options{}, 1, nil); err != grover.ErrNoCandidates {
+		t.Errorf("err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestDisableSelectedCandidate(t *testing.T) {
+	src := `
+#define S 8
+__kernel void mm(__global float* C, __global float* A, __global float* B, int N) {
+    __local float As[S][S];
+    __local float Bs[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    float acc = 0.0f;
+    for (int t = 0; t < N/S; t++) {
+        As[ly][lx] = A[gy*N + t*S + lx];
+        Bs[ly][lx] = B[(t*S+ly)*N + gx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < S; k++) acc += As[ly][k] * Bs[k][lx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    C[gy*N + gx] = acc;
+}
+`
+	plat := opencl.NewPlatform()
+	dev, _ := plat.DeviceByName("SNB")
+	ctx := opencl.NewContext(dev)
+	prog, err := ctx.CompileProgram("mm.cl", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := grover.Disable(prog, "mm", grover.Options{Candidates: []string{"Bs"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var as, bs bool
+	for _, c := range rep.Candidates {
+		switch c.Name {
+		case "As":
+			as = c.Transformed
+		case "Bs":
+			bs = c.Transformed
+		}
+	}
+	if as || !bs {
+		t.Errorf("candidate selection wrong: As=%v Bs=%v", as, bs)
+	}
+}

@@ -1,0 +1,103 @@
+package apps
+
+import (
+	"fmt"
+
+	"grover/opencl"
+)
+
+// ssSource is the AMD SDK StringSearch pattern: the search pattern is
+// staged into local memory once per work-group and shared by every
+// work-item — the case where the work-group index of the reconstructed
+// global load is zero (paper Table III, AMD-SS).
+const ssSource = `
+#define PLEN 16
+#define COARSE 4
+__kernel void stringSearch(__global uchar* text, __global uchar* pat,
+                           __global int* hits, int textLen) {
+    __local uchar lpat[PLEN];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    if (lx < PLEN) {
+        lpat[lx] = pat[lx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    /* Thread coarsening as in the SDK sample: each work-item checks
+       COARSE consecutive candidate positions. */
+    for (int c = 0; c < COARSE; c++) {
+        int p = gx * COARSE + c;
+        int match = 0;
+        if (p + PLEN <= textLen) {
+            match = 1;
+            for (int j = 0; j < PLEN; j++) {
+                if (text[p + j] != lpat[j]) {
+                    match = 0;
+                    break;
+                }
+            }
+        }
+        hits[p] = match;
+    }
+}
+`
+
+// AMDSS is the AMD SDK string search.
+func AMDSS() *App {
+	return &App{
+		ID:          "AMD-SS",
+		Origin:      "AMD SDK",
+		Description: "string search; pattern staged once and shared by the whole group",
+		Kernel:      "stringSearch",
+		Source:      ssSource,
+		Setup: func(ctx *opencl.Context, scale int) (*Instance, error) {
+			if scale <= 0 {
+				scale = 1
+			}
+			n := 32768 * scale // candidate positions; each WI checks 4
+			const plen = 16
+			text := make([]byte, n)
+			s := uint32(99)
+			for i := range text {
+				s = s*1664525 + 1013904223
+				text[i] = byte('a' + s%4)
+			}
+			pat := []byte("abcabcabcabcabca")[:plen]
+			// Plant a few guaranteed matches.
+			copy(text[100:], pat)
+			copy(text[n/2:], pat)
+			textBuf := ctx.NewBuffer(n)
+			patBuf := ctx.NewBuffer(plen)
+			hitsBuf := ctx.NewBuffer(n * 4)
+			textBuf.WriteBytes(text)
+			patBuf.WriteBytes(pat)
+			check := func() error {
+				got := hitsBuf.ReadInt32(n)
+				for i := 0; i < n; i++ {
+					want := int32(0)
+					if i+plen <= n {
+						want = 1
+						for j := 0; j < plen; j++ {
+							if text[i+j] != pat[j] {
+								want = 0
+								break
+							}
+						}
+					}
+					if got[i] != want {
+						return fmt.Errorf("string search: hits[%d] = %d, want %d", i, got[i], want)
+					}
+				}
+				return nil
+			}
+			return &Instance{
+				ND: opencl.NDRange{
+					Global: [3]int{n / 4, 1, 1},
+					Local:  [3]int{64, 1, 1},
+				},
+				Args:  []interface{}{textBuf, patBuf, hitsBuf, int32(n)},
+				Check: check,
+				Bytes: n + plen + n*4,
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,123 @@
+package clc
+
+import "fmt"
+
+// FoldConstInt evaluates an integer constant expression AST (before
+// semantic analysis): literals, unary +/-/~/!, the integer binary
+// operators, the conditional operator, and sizeof. Identifiers and calls
+// are rejected — macros must already be expanded.
+func FoldConstInt(e Expr) (int64, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ex.Value, nil
+	case *SizeofExpr:
+		return int64(ex.Of.Size()), nil
+	case *Unary:
+		x, err := FoldConstInt(ex.X)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case "+":
+			return x, nil
+		case "-":
+			return -x, nil
+		case "~":
+			return ^x, nil
+		case "!":
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("operator %q is not constant", ex.Op)
+	case *Binary:
+		l, err := FoldConstInt(ex.L)
+		if err != nil {
+			return 0, err
+		}
+		r, err := FoldConstInt(ex.R)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in constant expression")
+			}
+			return l / r, nil
+		case "%":
+			if r == 0 {
+				return 0, fmt.Errorf("remainder by zero in constant expression")
+			}
+			return l % r, nil
+		case "<<":
+			return l << uint(r&63), nil
+		case ">>":
+			return l >> uint(r&63), nil
+		case "&":
+			return l & r, nil
+		case "|":
+			return l | r, nil
+		case "^":
+			return l ^ r, nil
+		case "&&":
+			if l != 0 && r != 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case "||":
+			if l != 0 || r != 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case "==":
+			return b2i(l == r), nil
+		case "!=":
+			return b2i(l != r), nil
+		case "<":
+			return b2i(l < r), nil
+		case "<=":
+			return b2i(l <= r), nil
+		case ">":
+			return b2i(l > r), nil
+		case ">=":
+			return b2i(l >= r), nil
+		}
+		return 0, fmt.Errorf("operator %q is not constant", ex.Op)
+	case *Cond:
+		c, err := FoldConstInt(ex.C)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return FoldConstInt(ex.T)
+		}
+		return FoldConstInt(ex.F)
+	case *Cast:
+		x, err := FoldConstInt(ex.X)
+		if err != nil {
+			return 0, err
+		}
+		if s, ok := ex.To.(*ScalarType); ok && s.Kind.IsInteger() {
+			return x, nil
+		}
+		return 0, fmt.Errorf("non-integer cast in constant expression")
+	case *Ident:
+		return 0, fmt.Errorf("identifier %q is not a compile-time constant (missing #define?)", ex.Name)
+	}
+	return 0, fmt.Errorf("expression is not a compile-time constant")
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,605 @@
+package clc
+
+import (
+	"fmt"
+)
+
+// Analyze resolves names and types over the whole file, rewriting the AST
+// in place. It must be called exactly once (Parse does this).
+func Analyze(f *File) error {
+	funcs := map[string]*FuncDecl{}
+	for _, fn := range f.Funcs {
+		if _, dup := funcs[fn.Name]; dup {
+			return errf(fn.Pos, "duplicate function %s", fn.Name)
+		}
+		funcs[fn.Name] = fn
+	}
+	for _, fn := range f.Funcs {
+		a := &analyzer{file: f, funcs: funcs, fn: fn}
+		a.pushScope()
+		for i, prm := range fn.Params {
+			if prm.Name == "" {
+				continue
+			}
+			sym := &Symbol{Name: prm.Name, Type: prm.Type, Space: prm.Space, Param: true, Index: i, Pos: prm.Pos}
+			if err := a.declare(sym); err != nil {
+				return err
+			}
+		}
+		if err := a.stmt(fn.Body); err != nil {
+			return err
+		}
+		a.popScope()
+	}
+	return nil
+}
+
+type analyzer struct {
+	file   *File
+	funcs  map[string]*FuncDecl
+	fn     *FuncDecl
+	scopes []map[string]*Symbol
+}
+
+func (a *analyzer) pushScope() { a.scopes = append(a.scopes, map[string]*Symbol{}) }
+func (a *analyzer) popScope()  { a.scopes = a.scopes[:len(a.scopes)-1] }
+
+func (a *analyzer) declare(sym *Symbol) error {
+	top := a.scopes[len(a.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		return errf(sym.Pos, "redeclaration of %s", sym.Name)
+	}
+	top[sym.Name] = sym
+	return nil
+}
+
+func (a *analyzer) lookup(name string) *Symbol {
+	for i := len(a.scopes) - 1; i >= 0; i-- {
+		if s, ok := a.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- stmts
+
+func (a *analyzer) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		a.pushScope()
+		defer a.popScope()
+		for _, sub := range st.Stmts {
+			if err := a.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *DeclStmt:
+		if st.Space == ASLocal {
+			if _, isArr := st.Type.(*ArrayType); !isArr {
+				// __local scalars are legal OpenCL; supported but rare.
+				if _, isScalar := st.Type.(*ScalarType); !isScalar {
+					if _, isVec := st.Type.(*VectorType); !isVec {
+						return errf(st.Pos, "__local variable %s must be an array, scalar or vector", st.Name)
+					}
+				}
+			}
+			if st.Init != nil {
+				return errf(st.Pos, "__local variable %s cannot have an initializer", st.Name)
+			}
+		}
+		if st.Init != nil {
+			if err := a.expr(st.Init); err != nil {
+				return err
+			}
+			if err := a.checkAssignable(st.Pos, st.Type, st.Init.ExprType()); err != nil {
+				return err
+			}
+		}
+		sym := &Symbol{Name: st.Name, Type: st.Type, Space: st.Space, Pos: st.Pos}
+		st.Sym = sym
+		return a.declare(sym)
+
+	case *ExprStmt:
+		return a.expr(st.X)
+
+	case *IfStmt:
+		if err := a.expr(st.Cond); err != nil {
+			return err
+		}
+		if err := a.requireScalarCond(st.Cond); err != nil {
+			return err
+		}
+		if err := a.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return a.stmt(st.Else)
+		}
+		return nil
+
+	case *ForStmt:
+		a.pushScope()
+		defer a.popScope()
+		if st.Init != nil {
+			if err := a.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := a.expr(st.Cond); err != nil {
+				return err
+			}
+			if err := a.requireScalarCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := a.expr(st.Post); err != nil {
+				return err
+			}
+		}
+		return a.stmt(st.Body)
+
+	case *WhileStmt:
+		if err := a.expr(st.Cond); err != nil {
+			return err
+		}
+		if err := a.requireScalarCond(st.Cond); err != nil {
+			return err
+		}
+		return a.stmt(st.Body)
+
+	case *ReturnStmt:
+		if st.X != nil {
+			if err := a.expr(st.X); err != nil {
+				return err
+			}
+			if TypesEqual(a.fn.Ret, TypeVoid) {
+				return errf(st.Pos, "returning a value from void function %s", a.fn.Name)
+			}
+			return a.checkAssignable(st.Pos, a.fn.Ret, st.X.ExprType())
+		}
+		if !TypesEqual(a.fn.Ret, TypeVoid) {
+			return errf(st.Pos, "missing return value in function %s", a.fn.Name)
+		}
+		return nil
+
+	case *BreakStmt, *ContinueStmt:
+		return nil
+	}
+	return fmt.Errorf("clc: unhandled statement %T", s)
+}
+
+func (a *analyzer) requireScalarCond(e Expr) error {
+	switch t := e.ExprType().(type) {
+	case *ScalarType:
+		if t.Kind == KVoid {
+			return errf(e.NodePos(), "void value used as condition")
+		}
+		return nil
+	case *PointerType:
+		return nil
+	}
+	return errf(e.NodePos(), "condition must be scalar, found %s", e.ExprType())
+}
+
+// checkAssignable validates an implicit conversion from 'from' to 'to'.
+func (a *analyzer) checkAssignable(pos Pos, to, from Type) error {
+	if to == nil || from == nil {
+		return errf(pos, "internal: untyped operand")
+	}
+	if TypesEqual(to, from) {
+		return nil
+	}
+	switch tt := to.(type) {
+	case *ScalarType:
+		if _, ok := from.(*ScalarType); ok {
+			return nil // scalar conversions are implicit in C
+		}
+	case *VectorType:
+		if fs, ok := from.(*ScalarType); ok && fs.Kind != KVoid {
+			return nil // scalar widens to vector
+		}
+		if fv, ok := from.(*VectorType); ok && fv.Len == tt.Len {
+			return nil
+		}
+	case *PointerType:
+		if fp, ok := from.(*PointerType); ok && fp.Space == tt.Space {
+			return nil // pointer conversions within one space allowed
+		}
+		if fa, ok := from.(*ArrayType); ok && TypesEqual(fa.Elem, tt.Elem) {
+			return nil // array decay
+		}
+	}
+	return errf(pos, "cannot assign %s to %s", from, to)
+}
+
+// ---------------------------------------------------------------- exprs
+
+func (a *analyzer) expr(e Expr) error {
+	switch ex := e.(type) {
+	case *IntLit:
+		if ex.Typ == nil {
+			ex.Typ = TypeInt
+		}
+		return nil
+	case *FloatLit:
+		ex.Typ = TypeFloat
+		return nil
+	case *StringLit:
+		ex.Typ = &PointerType{Elem: TypeChar, Space: ASConstant}
+		return nil
+
+	case *Ident:
+		sym := a.lookup(ex.Name)
+		if sym == nil {
+			return errf(ex.Pos, "undeclared identifier %q", ex.Name)
+		}
+		ex.Sym = sym
+		ex.Typ = sym.Type
+		return nil
+
+	case *Unary:
+		if err := a.expr(ex.X); err != nil {
+			return err
+		}
+		xt := ex.X.ExprType()
+		switch ex.Op {
+		case "+", "-":
+			ex.Typ = xt
+		case "~":
+			ex.Typ = xt
+		case "!":
+			ex.Typ = TypeInt
+		case "*":
+			switch pt := xt.(type) {
+			case *PointerType:
+				ex.Typ = pt.Elem
+			case *ArrayType:
+				ex.Typ = pt.Elem
+			default:
+				return errf(ex.Pos, "cannot dereference non-pointer %s", xt)
+			}
+		case "&":
+			space := ASPrivate
+			if id, ok := ex.X.(*Ident); ok && id.Sym != nil {
+				space = id.Sym.Space
+			}
+			if ix, ok := ex.X.(*Index); ok {
+				space = spaceOf(ix.X)
+			}
+			ex.Typ = &PointerType{Elem: xt, Space: space}
+		case "++", "--":
+			if err := a.requireLValue(ex.X); err != nil {
+				return err
+			}
+			ex.Typ = xt
+		default:
+			return errf(ex.Pos, "unsupported unary operator %q", ex.Op)
+		}
+		return nil
+
+	case *Postfix:
+		if err := a.expr(ex.X); err != nil {
+			return err
+		}
+		if err := a.requireLValue(ex.X); err != nil {
+			return err
+		}
+		ex.Typ = ex.X.ExprType()
+		return nil
+
+	case *Binary:
+		if err := a.expr(ex.L); err != nil {
+			return err
+		}
+		if err := a.expr(ex.R); err != nil {
+			return err
+		}
+		lt, rt := ex.L.ExprType(), ex.R.ExprType()
+		switch ex.Op {
+		case "&&", "||", "==", "!=", "<", ">", "<=", ">=":
+			ex.Typ = TypeInt
+		case "+", "-":
+			// pointer arithmetic
+			if pt, ok := lt.(*PointerType); ok {
+				ex.Typ = pt
+				return nil
+			}
+			if at, ok := lt.(*ArrayType); ok {
+				ex.Typ = &PointerType{Elem: at.Elem, Space: spaceOf(ex.L)}
+				return nil
+			}
+			ex.Typ = Promote(lt, rt)
+		case "%", "&", "|", "^", "<<", ">>":
+			ex.Typ = Promote(lt, rt)
+			if s, ok := ex.Typ.(*ScalarType); ok && !s.Kind.IsInteger() {
+				return errf(ex.Pos, "operator %q requires integer operands", ex.Op)
+			}
+		default:
+			ex.Typ = Promote(lt, rt)
+		}
+		return nil
+
+	case *Assign:
+		if err := a.expr(ex.L); err != nil {
+			return err
+		}
+		if err := a.expr(ex.R); err != nil {
+			return err
+		}
+		if err := a.requireLValue(ex.L); err != nil {
+			return err
+		}
+		if ex.Op == "=" {
+			if err := a.checkAssignable(ex.Pos, ex.L.ExprType(), ex.R.ExprType()); err != nil {
+				return err
+			}
+		}
+		ex.Typ = ex.L.ExprType()
+		return nil
+
+	case *Cond:
+		if err := a.expr(ex.C); err != nil {
+			return err
+		}
+		if err := a.expr(ex.T); err != nil {
+			return err
+		}
+		if err := a.expr(ex.F); err != nil {
+			return err
+		}
+		ex.Typ = Promote(ex.T.ExprType(), ex.F.ExprType())
+		return nil
+
+	case *Index:
+		if err := a.expr(ex.X); err != nil {
+			return err
+		}
+		if err := a.expr(ex.I); err != nil {
+			return err
+		}
+		switch xt := ex.X.ExprType().(type) {
+		case *PointerType:
+			ex.Typ = xt.Elem
+		case *ArrayType:
+			ex.Typ = xt.Elem
+		default:
+			return errf(ex.Pos, "cannot index non-pointer %s", ex.X.ExprType())
+		}
+		if it, ok := ex.I.ExprType().(*ScalarType); !ok || !it.Kind.IsInteger() {
+			return errf(ex.Pos, "array index must be an integer, found %s", ex.I.ExprType())
+		}
+		return nil
+
+	case *Member:
+		if err := a.expr(ex.X); err != nil {
+			return err
+		}
+		vt, ok := ex.X.ExprType().(*VectorType)
+		if !ok {
+			return errf(ex.Pos, "member access on non-vector type %s", ex.X.ExprType())
+		}
+		comps, err := parseSwizzle(ex.Pos, ex.Name, vt.Len)
+		if err != nil {
+			return err
+		}
+		ex.Comps = comps
+		if len(comps) == 1 {
+			ex.Typ = vt.Elem
+		} else {
+			ex.Typ = &VectorType{Elem: vt.Elem, Len: len(comps)}
+		}
+		return nil
+
+	case *Call:
+		for _, arg := range ex.Args {
+			if err := a.expr(arg); err != nil {
+				return err
+			}
+		}
+		if b := LookupBuiltin(ex.FuncName); b != nil {
+			t, err := b.Check(ex.Pos, ex.Args)
+			if err != nil {
+				return err
+			}
+			ex.Builtin = b
+			ex.Typ = t
+			return nil
+		}
+		callee := a.funcs[ex.FuncName]
+		if callee == nil {
+			return errf(ex.Pos, "call to undefined function %q", ex.FuncName)
+		}
+		if callee.IsKernel {
+			return errf(ex.Pos, "calling kernel %q from device code is not supported", ex.FuncName)
+		}
+		if len(ex.Args) != len(callee.Params) {
+			return errf(ex.Pos, "%s expects %d arguments, got %d", ex.FuncName, len(callee.Params), len(ex.Args))
+		}
+		for i, arg := range ex.Args {
+			if err := a.checkAssignable(arg.NodePos(), callee.Params[i].Type, arg.ExprType()); err != nil {
+				return err
+			}
+		}
+		ex.Callee = callee
+		ex.Typ = callee.Ret
+		return nil
+
+	case *Cast:
+		if err := a.expr(ex.X); err != nil {
+			return err
+		}
+		ex.Typ = ex.To
+		return nil
+
+	case *VecLit:
+		n := 0
+		for _, el := range ex.Elems {
+			if err := a.expr(el); err != nil {
+				return err
+			}
+			if vt, ok := el.ExprType().(*VectorType); ok {
+				n += vt.Len
+			} else {
+				n++
+			}
+		}
+		if n != ex.To.Len && len(ex.Elems) != 1 {
+			return errf(ex.Pos, "vector literal for %s has %d components", ex.To, n)
+		}
+		ex.Typ = ex.To
+		return nil
+
+	case *SizeofExpr:
+		ex.Typ = TypeULong
+		return nil
+	}
+	return fmt.Errorf("clc: unhandled expression %T", e)
+}
+
+// requireLValue checks that e can be assigned to.
+func (a *analyzer) requireLValue(e Expr) error {
+	switch ex := e.(type) {
+	case *Ident:
+		if ex.Sym != nil {
+			if _, isArr := ex.Sym.Type.(*ArrayType); isArr {
+				return errf(ex.Pos, "cannot assign to array %s", ex.Name)
+			}
+		}
+		return nil
+	case *Index:
+		return nil
+	case *Member:
+		return a.requireLValue(ex.X)
+	case *Unary:
+		if ex.Op == "*" {
+			return nil
+		}
+	}
+	return errf(e.NodePos(), "expression is not assignable")
+}
+
+// spaceOf determines the address space an expression's storage lives in.
+func spaceOf(e Expr) AddrSpace {
+	switch ex := e.(type) {
+	case *Ident:
+		if ex.Sym != nil {
+			if pt, ok := ex.Sym.Type.(*PointerType); ok {
+				return pt.Space
+			}
+			return ex.Sym.Space
+		}
+	case *Index:
+		return spaceOf(ex.X)
+	case *Binary:
+		if ex.Op == "+" || ex.Op == "-" {
+			return spaceOf(ex.L)
+		}
+	case *Cast:
+		if pt, ok := ex.To.(*PointerType); ok {
+			return pt.Space
+		}
+	case *Unary:
+		if ex.Op == "&" || ex.Op == "*" {
+			return spaceOf(ex.X)
+		}
+	}
+	return ASPrivate
+}
+
+// parseSwizzle resolves a vector component selector name into component
+// indices. Supports xyzw, s0..sF, lo, hi, even, odd.
+func parseSwizzle(pos Pos, name string, vecLen int) ([]int, error) {
+	switch name {
+	case "lo":
+		half := vecLen / 2
+		out := make([]int, half)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	case "hi":
+		half := vecLen / 2
+		out := make([]int, half)
+		for i := range out {
+			out[i] = vecLen - half + i
+		}
+		return out, nil
+	case "even":
+		var out []int
+		for i := 0; i < vecLen; i += 2 {
+			out = append(out, i)
+		}
+		return out, nil
+	case "odd":
+		var out []int
+		for i := 1; i < vecLen; i += 2 {
+			out = append(out, i)
+		}
+		return out, nil
+	}
+	if len(name) >= 2 && (name[0] == 's' || name[0] == 'S') && isSwizzleHex(name[1:]) {
+		var out []int
+		for _, c := range name[1:] {
+			out = append(out, hexVal(byte(c)))
+		}
+		for _, c := range out {
+			if c >= vecLen {
+				return nil, errf(pos, "component s%x out of range for %d-vector", c, vecLen)
+			}
+		}
+		return out, nil
+	}
+	var out []int
+	for i := 0; i < len(name); i++ {
+		var c int
+		switch name[i] {
+		case 'x':
+			c = 0
+		case 'y':
+			c = 1
+		case 'z':
+			c = 2
+		case 'w':
+			c = 3
+		default:
+			return nil, errf(pos, "bad vector component %q", name)
+		}
+		if c >= vecLen {
+			return nil, errf(pos, "component %c out of range for %d-vector", name[i], vecLen)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 || len(out) > 16 {
+		return nil, errf(pos, "bad vector swizzle %q", name)
+	}
+	return out, nil
+}
+
+func isSwizzleHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isHexDigit(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return 0
+}

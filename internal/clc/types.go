@@ -1,0 +1,311 @@
+package clc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AddrSpace identifies an OpenCL address space.
+type AddrSpace int
+
+// Address spaces. Private is the default for automatic variables.
+const (
+	ASPrivate AddrSpace = iota
+	ASGlobal
+	ASLocal
+	ASConstant
+)
+
+func (a AddrSpace) String() string {
+	switch a {
+	case ASPrivate:
+		return "__private"
+	case ASGlobal:
+		return "__global"
+	case ASLocal:
+		return "__local"
+	case ASConstant:
+		return "__constant"
+	}
+	return "?"
+}
+
+// ScalarKind enumerates the scalar base types.
+type ScalarKind int
+
+// Scalar kinds, ordered roughly by conversion rank.
+const (
+	KVoid ScalarKind = iota
+	KBool
+	KChar
+	KUChar
+	KShort
+	KUShort
+	KInt
+	KUInt
+	KLong
+	KULong
+	KFloat
+	KDouble
+)
+
+func (k ScalarKind) String() string {
+	switch k {
+	case KVoid:
+		return "void"
+	case KBool:
+		return "bool"
+	case KChar:
+		return "char"
+	case KUChar:
+		return "uchar"
+	case KShort:
+		return "short"
+	case KUShort:
+		return "ushort"
+	case KInt:
+		return "int"
+	case KUInt:
+		return "uint"
+	case KLong:
+		return "long"
+	case KULong:
+		return "ulong"
+	case KFloat:
+		return "float"
+	case KDouble:
+		return "double"
+	}
+	return "?"
+}
+
+// IsInteger reports whether the scalar kind is an integer type.
+func (k ScalarKind) IsInteger() bool { return k >= KBool && k <= KULong }
+
+// IsFloat reports whether the scalar kind is a floating-point type.
+func (k ScalarKind) IsFloat() bool { return k == KFloat || k == KDouble }
+
+// IsUnsigned reports whether the scalar kind is unsigned.
+func (k ScalarKind) IsUnsigned() bool {
+	switch k {
+	case KBool, KUChar, KUShort, KUInt, KULong:
+		return true
+	}
+	return false
+}
+
+// Size returns the size in bytes of the scalar kind.
+func (k ScalarKind) Size() int {
+	switch k {
+	case KVoid:
+		return 0
+	case KBool, KChar, KUChar:
+		return 1
+	case KShort, KUShort:
+		return 2
+	case KInt, KUInt, KFloat:
+		return 4
+	case KLong, KULong, KDouble:
+		return 8
+	}
+	return 0
+}
+
+// Type is the interface implemented by all OpenCL C types in this front-end.
+type Type interface {
+	String() string
+	// Size is the storage size in bytes (0 for void / incomplete types).
+	Size() int
+	equal(Type) bool
+}
+
+// ScalarType is a scalar arithmetic type or void.
+type ScalarType struct{ Kind ScalarKind }
+
+func (t *ScalarType) String() string { return t.Kind.String() }
+
+// Size returns the scalar's storage size in bytes.
+func (t *ScalarType) Size() int { return t.Kind.Size() }
+func (t *ScalarType) equal(o Type) bool {
+	s, ok := o.(*ScalarType)
+	return ok && s.Kind == t.Kind
+}
+
+// VectorType is an OpenCL vector type such as float4.
+type VectorType struct {
+	Elem *ScalarType
+	Len  int // 2, 3, 4, 8, 16
+}
+
+func (t *VectorType) String() string { return fmt.Sprintf("%s%d", t.Elem, t.Len) }
+
+// Size returns the vector's storage size (3-element vectors occupy 4 slots,
+// per the OpenCL specification).
+func (t *VectorType) Size() int {
+	n := t.Len
+	if n == 3 {
+		n = 4
+	}
+	return t.Elem.Size() * n
+}
+func (t *VectorType) equal(o Type) bool {
+	v, ok := o.(*VectorType)
+	return ok && v.Len == t.Len && v.Elem.equal(t.Elem)
+}
+
+// PointerType is a pointer with an address space.
+type PointerType struct {
+	Elem  Type
+	Space AddrSpace
+}
+
+func (t *PointerType) String() string {
+	return fmt.Sprintf("%s %s*", t.Space, t.Elem)
+}
+
+// Size returns the pointer representation size (8 bytes in this model).
+func (t *PointerType) Size() int { return 8 }
+func (t *PointerType) equal(o Type) bool {
+	p, ok := o.(*PointerType)
+	return ok && p.Space == t.Space && p.Elem.equal(t.Elem)
+}
+
+// ArrayType is a fixed-size array type.
+type ArrayType struct {
+	Elem Type
+	Len  int
+}
+
+func (t *ArrayType) String() string { return fmt.Sprintf("%s[%d]", t.Elem, t.Len) }
+
+// Size returns the total storage size of the array.
+func (t *ArrayType) Size() int { return t.Elem.Size() * t.Len }
+func (t *ArrayType) equal(o Type) bool {
+	a, ok := o.(*ArrayType)
+	return ok && a.Len == t.Len && a.Elem.equal(t.Elem)
+}
+
+// Singleton scalar types.
+var (
+	TypeVoid   = &ScalarType{KVoid}
+	TypeBool   = &ScalarType{KBool}
+	TypeChar   = &ScalarType{KChar}
+	TypeUChar  = &ScalarType{KUChar}
+	TypeShort  = &ScalarType{KShort}
+	TypeUShort = &ScalarType{KUShort}
+	TypeInt    = &ScalarType{KInt}
+	TypeUInt   = &ScalarType{KUInt}
+	TypeLong   = &ScalarType{KLong}
+	TypeULong  = &ScalarType{KULong}
+	TypeFloat  = &ScalarType{KFloat}
+	TypeDouble = &ScalarType{KDouble}
+)
+
+// TypesEqual reports whether two types are structurally identical.
+func TypesEqual(a, b Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.equal(b)
+}
+
+// namedTypes maps OpenCL type names to types. size_t and friends map to
+// 64-bit integers in this model.
+var namedTypes = map[string]Type{
+	"void": TypeVoid, "bool": TypeBool,
+	"char": TypeChar, "uchar": TypeUChar, "unsigned char": TypeUChar,
+	"short": TypeShort, "ushort": TypeUShort,
+	"int": TypeInt, "uint": TypeUInt, "unsigned": TypeUInt,
+	"long": TypeLong, "ulong": TypeULong,
+	"float": TypeFloat, "double": TypeDouble,
+	"size_t": TypeULong, "ptrdiff_t": TypeLong,
+	"intptr_t": TypeLong, "uintptr_t": TypeULong,
+	"half": TypeFloat, // stored as float in this model
+}
+
+// LookupNamedType resolves a type name (including vector names like
+// "float4") to a Type, or nil when the name is not a type.
+func LookupNamedType(name string) Type {
+	if t, ok := namedTypes[name]; ok {
+		return t
+	}
+	// Vector types: base name + length suffix.
+	for _, base := range []string{"char", "uchar", "short", "ushort", "int", "uint", "long", "ulong", "float", "double"} {
+		if strings.HasPrefix(name, base) {
+			suffix := name[len(base):]
+			switch suffix {
+			case "2", "3", "4", "8", "16":
+				n := 0
+				fmt.Sscanf(suffix, "%d", &n)
+				return &VectorType{Elem: namedTypes[base].(*ScalarType), Len: n}
+			}
+		}
+	}
+	return nil
+}
+
+// IsTypeName reports whether name names a supported type.
+func IsTypeName(name string) bool { return LookupNamedType(name) != nil }
+
+// Promote returns the usual-arithmetic-conversion result type of two scalar
+// or vector operands. Vector op scalar yields the vector type.
+func Promote(a, b Type) Type {
+	av, aIsVec := a.(*VectorType)
+	bv, bIsVec := b.(*VectorType)
+	switch {
+	case aIsVec && bIsVec:
+		if av.Len >= bv.Len {
+			return av
+		}
+		return bv
+	case aIsVec:
+		return av
+	case bIsVec:
+		return bv
+	}
+	as, aok := a.(*ScalarType)
+	bs, bok := b.(*ScalarType)
+	if !aok || !bok {
+		return a
+	}
+	ka, kb := as.Kind, bs.Kind
+	if ka == kb {
+		return as
+	}
+	if ka.IsFloat() || kb.IsFloat() {
+		if ka == KDouble || kb == KDouble {
+			return TypeDouble
+		}
+		return TypeFloat
+	}
+	// Integer promotion: anything below int becomes int; then higher rank
+	// wins, unsigned wins at equal rank.
+	rank := func(k ScalarKind) int {
+		switch k {
+		case KBool, KChar, KUChar, KShort, KUShort, KInt:
+			return 0
+		case KUInt:
+			return 1
+		case KLong:
+			return 2
+		case KULong:
+			return 3
+		}
+		return 0
+	}
+	ra, rb := rank(ka), rank(kb)
+	m := ra
+	if rb > m {
+		m = rb
+	}
+	switch m {
+	case 0:
+		return TypeInt
+	case 1:
+		return TypeUInt
+	case 2:
+		return TypeLong
+	default:
+		return TypeULong
+	}
+}

@@ -1,0 +1,317 @@
+package device
+
+import (
+	"fmt"
+
+	"grover/internal/clc"
+	"grover/internal/ir"
+	"grover/internal/memsim"
+	"grover/internal/vm"
+)
+
+// Simulator turns a VM execution trace into simulated device time for one
+// profile. It supplies one tracer per VM worker (one worker models one
+// core / compute unit); workers accumulate cycles independently and the
+// device time is the maximum across workers (they run in parallel).
+type Simulator struct {
+	Prof    *Profile
+	workers []*workerSim
+}
+
+// NewSimulator prepares per-core state for the profile.
+func NewSimulator(p *Profile) (*Simulator, error) {
+	s := &Simulator{Prof: p, workers: make([]*workerSim, p.Cores)}
+	for i := range s.workers {
+		h, err := memsim.NewHierarchy(p.Caches, p.DRAMLatency)
+		if err != nil {
+			return nil, fmt.Errorf("device %s: %w", p.Name, err)
+		}
+		s.workers[i] = &workerSim{prof: p, hier: h}
+	}
+	return s, nil
+}
+
+// Opts returns the launch options wiring this simulator into a VM launch.
+func (s *Simulator) Opts() *vm.LaunchOpts {
+	return &vm.LaunchOpts{
+		Workers:   s.Prof.Cores,
+		TracerFor: func(w int) vm.Tracer { return s.workers[w%len(s.workers)] },
+	}
+}
+
+// LevelStats is one cache level's aggregate activity across all workers.
+type LevelStats struct {
+	Name string
+	memsim.Stats
+}
+
+// Result summarizes one simulated launch.
+type Result struct {
+	// Cycles is the device makespan: the maximum worker cycle count.
+	Cycles int64
+	// TotalCycles sums all workers (device throughput work).
+	TotalCycles int64
+	// Instrs, Accesses, Transactions aggregate the whole launch.
+	Instrs       int64
+	Accesses     int64
+	Transactions int64
+	// TimeMS converts the makespan to milliseconds at the profile clock.
+	TimeMS float64
+	// Caches aggregates every cache level's counters across workers, and
+	// DRAMAccesses the backstop traffic — the evidence behind the
+	// conflict-miss explanations in EXPERIMENTS.md.
+	Caches       []LevelStats
+	DRAMAccesses int64
+}
+
+// Result collects the per-worker counters (counters keep accumulating
+// until Reset).
+func (s *Simulator) Result() Result {
+	var r Result
+	for wi, w := range s.workers {
+		if w.cycles > r.Cycles {
+			r.Cycles = w.cycles
+		}
+		r.TotalCycles += w.cycles
+		r.Instrs += w.instrs
+		r.Accesses += w.accesses
+		r.Transactions += w.transactions
+		for li, lvl := range w.hier.Levels {
+			if wi == 0 {
+				r.Caches = append(r.Caches, LevelStats{Name: lvl.Name()})
+			}
+			st := lvl.Stats()
+			agg := &r.Caches[li]
+			agg.Accesses += st.Accesses
+			agg.Hits += st.Hits
+			agg.Misses += st.Misses
+			agg.Writebacks += st.Writebacks
+		}
+		r.DRAMAccesses += w.hier.Mem.Accesses
+	}
+	r.TimeMS = float64(r.Cycles) / (s.Prof.FreqGHz * 1e6)
+	return r
+}
+
+// Reset clears all worker state (cycles and cache contents).
+func (s *Simulator) Reset() {
+	for _, w := range s.workers {
+		w.cycles, w.instrs, w.accesses, w.transactions = 0, 0, 0, 0
+		w.hier.Reset()
+		w.group = nil
+	}
+}
+
+// access is one buffered GPU access record.
+type access struct {
+	in    *ir.Instr
+	addr  uint64
+	size  int
+	store bool
+	space clc.AddrSpace
+}
+
+// workerSim is one simulated core / compute unit implementing vm.Tracer.
+type workerSim struct {
+	prof *Profile
+	hier *memsim.Hierarchy
+
+	cycles       int64
+	instrs       int64
+	accesses     int64
+	transactions int64
+
+	// group buffers per-work-item access streams (GPU mode only).
+	group    [][]access
+	wiInstrs []int64
+	groupN   int
+}
+
+// localBase maps the per-core local-memory arena into a distinct region of
+// the simulated physical address space. The arena is reused from group to
+// group on the same core, exactly like a CPU OpenCL runtime's per-thread
+// local buffer, so it stays cache-resident.
+const localBase = uint64(1) << 40
+
+// privBase maps private (stack) memory; CPU profiles charge a flat cost
+// instead, so this is only used for completeness.
+const privBase = uint64(1) << 41
+
+// GroupBegin implements vm.Tracer.
+func (w *workerSim) GroupBegin(group [3]int, linear int) {
+	if w.prof.Kind != GPUKind {
+		return
+	}
+	w.group = w.group[:0]
+	w.wiInstrs = w.wiInstrs[:0]
+	w.groupN = 0
+}
+
+// Access implements vm.Tracer.
+func (w *workerSim) Access(in *ir.Instr, wi int, addr uint64, size int, store bool) {
+	w.accesses++
+	space, off := vm.SplitAddr(addr)
+	if w.prof.Kind == CPUKind {
+		switch space {
+		case clc.ASPrivate:
+			w.cycles += w.prof.PrivCost
+		case clc.ASLocal:
+			// Local memory on a cache-only processor is ordinary memory.
+			w.cycles += w.hier.Access(localBase+off, size, store)
+		default:
+			w.cycles += w.hier.Access(off, size, store)
+		}
+		return
+	}
+	// GPU: buffer for warp-level processing at GroupEnd.
+	for wi >= len(w.group) {
+		w.group = append(w.group, nil)
+	}
+	w.group[wi] = append(w.group[wi], access{in: in, addr: addr, size: size, store: store, space: space})
+	if wi >= w.groupN {
+		w.groupN = wi + 1
+	}
+}
+
+// Barrier implements vm.Tracer.
+func (w *workerSim) Barrier(wiCount int) {
+	if w.prof.Kind == CPUKind {
+		w.cycles += int64(wiCount) * w.prof.BarrierCost
+		return
+	}
+	warps := (wiCount + w.prof.WarpWidth - 1) / w.prof.WarpWidth
+	w.cycles += int64(warps) * w.prof.BarrierCost
+}
+
+// Instrs implements vm.Tracer.
+func (w *workerSim) Instrs(wi int, n int64) {
+	w.instrs += n
+	if w.prof.Kind == CPUKind {
+		w.cycles += int64(float64(n) * w.prof.IssueCost)
+		return
+	}
+	for wi >= len(w.wiInstrs) {
+		w.wiInstrs = append(w.wiInstrs, 0)
+	}
+	w.wiInstrs[wi] += n
+	if wi >= w.groupN {
+		w.groupN = wi + 1
+	}
+}
+
+// GroupEnd implements vm.Tracer. For GPUs this is where warps are formed
+// and the coalescing/bank models run.
+func (w *workerSim) GroupEnd() {
+	if w.prof.Kind != GPUKind {
+		return
+	}
+	ww := w.prof.WarpWidth
+	for warpStart := 0; warpStart < w.groupN; warpStart += ww {
+		warpEnd := warpStart + ww
+		if warpEnd > w.groupN {
+			warpEnd = w.groupN
+		}
+		w.processWarp(warpStart, warpEnd)
+	}
+	w.group = w.group[:0]
+	w.wiInstrs = w.wiInstrs[:0]
+	w.groupN = 0
+}
+
+func (w *workerSim) processWarp(lo, hi int) {
+	// Instruction issue: lockstep execution costs the longest lane.
+	var maxInstr int64
+	for wi := lo; wi < hi && wi < len(w.wiInstrs); wi++ {
+		if w.wiInstrs[wi] > maxInstr {
+			maxInstr = w.wiInstrs[wi]
+		}
+	}
+	w.cycles += int64(float64(maxInstr) * w.prof.IssueCost)
+
+	// Memory: align lanes position-by-position. Uniform kernels produce
+	// identical access sequences per lane; on divergence (differing
+	// instructions at one position) each lane is charged separately.
+	maxLen := 0
+	for wi := lo; wi < hi && wi < len(w.group); wi++ {
+		if n := len(w.group[wi]); n > maxLen {
+			maxLen = n
+		}
+	}
+	addrs := make([]uint64, 0, hi-lo)
+	sizes := make([]int, 0, hi-lo)
+	for k := 0; k < maxLen; k++ {
+		addrs = addrs[:0]
+		sizes = sizes[:0]
+		var first *ir.Instr
+		uniform := true
+		var store bool
+		var space clc.AddrSpace
+		for wi := lo; wi < hi && wi < len(w.group); wi++ {
+			lane := w.group[wi]
+			if k >= len(lane) {
+				continue
+			}
+			a := lane[k]
+			if first == nil {
+				first = a.in
+				store = a.store
+				space = a.space
+			} else if a.in != first {
+				uniform = false
+			}
+			_, off := vm.SplitAddr(a.addr)
+			addrs = append(addrs, off)
+			sizes = append(sizes, a.size)
+		}
+		if len(addrs) == 0 {
+			continue
+		}
+		if !uniform {
+			// Divergent warp position: serialize each lane.
+			for i, a := range addrs {
+				w.chargeWarpAccess([]uint64{a}, sizes[i:i+1], space, store)
+			}
+			continue
+		}
+		w.chargeWarpAccess(addrs, sizes, space, store)
+	}
+}
+
+func (w *workerSim) chargeWarpAccess(addrs []uint64, sizes []int, space clc.AddrSpace, store bool) {
+	switch space {
+	case clc.ASPrivate:
+		w.cycles += w.prof.PrivCost
+	case clc.ASLocal:
+		deg := memsim.BankConflictDegree(addrsWithBase(addrs, localBase), w.prof.SPMBanks, w.prof.BankWidth)
+		w.cycles += int64(deg) * w.prof.SPMLat
+	default:
+		n := memsim.Coalesce(addrs, sizes, w.prof.Segment)
+		w.transactions += int64(n)
+		// Each transaction pays the issue cost plus the hierarchy cost of
+		// one segment.
+		seen := map[uint64]struct{}{}
+		for i, a := range addrs {
+			sz := 4
+			if i < len(sizes) {
+				sz = sizes[i]
+			}
+			firstSeg := a / uint64(w.prof.Segment)
+			lastSeg := (a + uint64(sz) - 1) / uint64(w.prof.Segment)
+			for s := firstSeg; s <= lastSeg; s++ {
+				if _, ok := seen[s]; ok {
+					continue
+				}
+				seen[s] = struct{}{}
+				w.cycles += w.prof.TransCost + w.hier.Access(s*uint64(w.prof.Segment), w.prof.Segment, store)
+			}
+		}
+	}
+}
+
+func addrsWithBase(addrs []uint64, base uint64) []uint64 {
+	out := make([]uint64, len(addrs))
+	for i, a := range addrs {
+		out[i] = base + a
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package exprtree
+
+import (
+	"fmt"
+	"strings"
+
+	"grover/internal/ir"
+)
+
+// Render prints the expression tree in infix form using friendly symbol
+// names (lx/ly/wx/... for work-item queries, source variable and parameter
+// names otherwise), for the Table III style analysis reports.
+func Render(n *Node) string {
+	switch v := n.Value.(type) {
+	case *ir.ConstInt:
+		return fmt.Sprintf("%d", v.Val)
+	case *ir.ConstFloat:
+		return fmt.Sprintf("%g", v.Val)
+	case *ir.Param:
+		return v.Name_
+	}
+	in := n.Instr()
+	if in == nil {
+		return "?"
+	}
+	switch in.Op {
+	case ir.OpWorkItem:
+		dim := 0
+		if len(in.Args) == 1 {
+			if c, ok := in.Args[0].(*ir.ConstInt); ok {
+				dim = int(c.Val)
+			}
+		}
+		if ns, ok := wiNames[in.Func]; ok && dim >= 0 && dim < 3 {
+			return ns[dim]
+		}
+		return fmt.Sprintf("%s(%d)", in.Func, dim)
+	case ir.OpLoad:
+		if src, ok := in.Args[0].(*ir.Instr); ok && src.Op == ir.OpAlloca && n.IsLeaf() {
+			if src.VarName != "" {
+				return src.VarName
+			}
+			return fmt.Sprintf("v%d", src.ID)
+		}
+		if len(n.Children) == 1 {
+			return fmt.Sprintf("load(%s)", Render(n.Children[0]))
+		}
+		return fmt.Sprintf("load%%%d", in.ID)
+	case ir.OpAlloca:
+		if in.VarName != "" {
+			return in.VarName
+		}
+		return fmt.Sprintf("v%d", in.ID)
+	case ir.OpIndex:
+		return fmt.Sprintf("%s[%s]", Render(n.Children[0]), Render(n.Children[1]))
+	case ir.OpAdd:
+		return fmt.Sprintf("(%s + %s)", Render(n.Children[0]), Render(n.Children[1]))
+	case ir.OpSub:
+		return fmt.Sprintf("(%s - %s)", Render(n.Children[0]), Render(n.Children[1]))
+	case ir.OpMul:
+		return fmt.Sprintf("%s*%s", Render(n.Children[0]), Render(n.Children[1]))
+	case ir.OpDiv:
+		return fmt.Sprintf("%s/%s", Render(n.Children[0]), Render(n.Children[1]))
+	case ir.OpRem:
+		return fmt.Sprintf("%s%%%s", Render(n.Children[0]), Render(n.Children[1]))
+	case ir.OpShl:
+		return fmt.Sprintf("(%s << %s)", Render(n.Children[0]), Render(n.Children[1]))
+	case ir.OpShr:
+		return fmt.Sprintf("(%s >> %s)", Render(n.Children[0]), Render(n.Children[1]))
+	case ir.OpNeg:
+		return fmt.Sprintf("-%s", Render(n.Children[0]))
+	case ir.OpConvert:
+		return Render(n.Children[0])
+	case ir.OpMath, ir.OpCall:
+		name := in.Func
+		if in.Callee != nil {
+			name = in.Callee.Name
+		}
+		return name + "(...)"
+	case ir.OpBuild:
+		parts := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			parts[i] = Render(c)
+		}
+		return fmt.Sprintf("(%s)(%s)", in.Typ, strings.Join(parts, ", "))
+	case ir.OpExtract:
+		lanes := [...]string{"x", "y", "z", "w"}
+		if in.Comps[0] < len(lanes) {
+			return fmt.Sprintf("%s.%s", Render(n.Children[0]), lanes[in.Comps[0]])
+		}
+		return fmt.Sprintf("%s.s%x", Render(n.Children[0]), in.Comps[0])
+	case ir.OpShuffle, ir.OpInsert:
+		return fmt.Sprintf("%s.swz%v", Render(n.Children[0]), in.Comps)
+	}
+	if len(n.Children) == 2 {
+		return fmt.Sprintf("(%s %s %s)", Render(n.Children[0]), in.Op, Render(n.Children[1]))
+	}
+	if len(n.Children) == 1 {
+		return fmt.Sprintf("%s(%s)", in.Op, Render(n.Children[0]))
+	}
+	return fmt.Sprintf("%%%d", in.ID)
+}
+
+// PatternKind classifies a data-index tree against the paper's Fig. 7
+// patterns.
+type PatternKind int
+
+// Pattern kinds (paper Fig. 7).
+const (
+	// PatternFlat is a one-dimensional index with no high/low split.
+	PatternFlat PatternKind = iota
+	// PatternHiLo is the basic "+ → *" split: high·S + low.
+	PatternHiLo
+	// PatternDerived is the "+ → + → *" derived pattern with a
+	// loop-dependent term hoisted to the second level.
+	PatternDerived
+)
+
+func (k PatternKind) String() string {
+	switch k {
+	case PatternFlat:
+		return "flat"
+	case PatternHiLo:
+		return "hi-lo (+→*)"
+	case PatternDerived:
+		return "derived (+→+→*)"
+	}
+	return "?"
+}
+
+// MatchPattern inspects a flattened index expression tree and classifies
+// it against the paper's patterns. This is the tree-shape detector of
+// §IV-C; the affine decomposition used by the transformation subsumes it,
+// so MatchPattern exists for reporting and for the ablation benches.
+func MatchPattern(n *Node) PatternKind {
+	// Strip conversions.
+	for n.Instr() != nil && n.Instr().Op == ir.OpConvert {
+		n = n.Children[0]
+	}
+	in := n.Instr()
+	if in == nil || in.Op != ir.OpAdd {
+		return PatternFlat
+	}
+	hasMulChild := func(m *Node) bool {
+		for m.Instr() != nil && m.Instr().Op == ir.OpConvert {
+			m = m.Children[0]
+		}
+		mi := m.Instr()
+		return mi != nil && (mi.Op == ir.OpMul || mi.Op == ir.OpShl)
+	}
+	for _, c := range n.Children {
+		if hasMulChild(c) {
+			return PatternHiLo
+		}
+	}
+	// Second-level search: + → + → *.
+	for _, c := range n.Children {
+		cc := c
+		for cc.Instr() != nil && cc.Instr().Op == ir.OpConvert {
+			cc = cc.Children[0]
+		}
+		if ci := cc.Instr(); ci != nil && ci.Op == ir.OpAdd {
+			for _, g := range cc.Children {
+				if hasMulChild(g) {
+					return PatternDerived
+				}
+			}
+		}
+	}
+	return PatternFlat
+}

@@ -1,0 +1,263 @@
+package grover
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+
+	"grover/internal/exprtree"
+	"grover/internal/linsolve"
+	"grover/internal/vm"
+)
+
+func aff(terms map[string]int64, c int64) *linsolve.Affine {
+	a := linsolve.NewAffine()
+	for k, v := range terms {
+		a.AddScaled(linsolve.TermAffine(k), big.NewRat(v, 1))
+	}
+	a.Const.SetInt64(c)
+	return a
+}
+
+func TestInferStrides(t *testing.T) {
+	lx := exprtree.LocalIDKey(0)
+	ly := exprtree.LocalIDKey(1)
+	cases := []struct {
+		name string
+		off  *linsolve.Affine
+		elem int64
+		want []int64
+	}{
+		{"flattened 2D", aff(map[string]int64{lx: 4, ly: 64}, 0), 4, []int64{64, 4}},
+		{"with constant", aff(map[string]int64{lx: 8, ly: 128}, 24), 8, []int64{128, 8}},
+		{"single id", aff(map[string]int64{lx: 4}, 0), 4, nil},
+		{"non-chain", aff(map[string]int64{lx: 12, ly: 64}, 0), 4, nil}, // 64 % 12 != 0
+		{"needs elem append", aff(map[string]int64{lx: 16, ly: 256}, 0), 4, []int64{256, 16, 4}},
+	}
+	for _, c := range cases {
+		got := inferStrides(c.off, c.elem)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: inferStrides = %v, want %v", c.name, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: inferStrides = %v, want %v", c.name, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSystemSquare(t *testing.T) {
+	lx := exprtree.LocalIDKey(0)
+	ly := exprtree.LocalIDKey(1)
+	// (ly, lx): two rows, two unknowns → square.
+	if !systemSquare([]*linsolve.Affine{aff(map[string]int64{ly: 1}, 0), aff(map[string]int64{lx: 1}, 0)}) {
+		t.Error("2 rows / 2 unknowns should be square")
+	}
+	// (lx+ly): one row, two unknowns → not square.
+	if systemSquare([]*linsolve.Affine{aff(map[string]int64{lx: 1, ly: 1}, 0)}) {
+		t.Error("1 row / 2 unknowns should not be square")
+	}
+	// Constant row + lx row: square (constant rows become constraints).
+	if !systemSquare([]*linsolve.Affine{aff(nil, 3), aff(map[string]int64{lx: 1}, 0)}) {
+		t.Error("constant rows should not count as equations")
+	}
+}
+
+func TestRequireIntegral(t *testing.T) {
+	ok := aff(map[string]int64{"x": 2}, 3)
+	if err := requireIntegral(ok); err != nil {
+		t.Errorf("integral affine rejected: %v", err)
+	}
+	bad := linsolve.NewAffine()
+	bad.AddScaled(linsolve.TermAffine("x"), big.NewRat(1, 2))
+	if err := requireIntegral(bad); err == nil {
+		t.Error("half coefficient accepted")
+	}
+	bad2 := linsolve.NewAffine()
+	bad2.Const.SetFrac64(1, 3)
+	if err := requireIntegral(bad2); err == nil {
+		t.Error("fractional constant accepted")
+	}
+}
+
+func TestTransform3DLocalArray(t *testing.T) {
+	src := `
+__kernel void k(__global float* out, __global float* in, int W) {
+    __local float lm[4][4][4];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int lz = get_local_id(2);
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gz = get_global_id(2);
+    lm[lz][ly][lx] = in[(gz*W + gy)*W + gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[(gz*W + gy)*W + gx] = lm[lx][lz][ly];
+}
+`
+	m := compileModule(t, src)
+	rep, err := TransformKernel(m, "k", Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Transformed() {
+		t.Fatal("3D candidate not transformed")
+	}
+	sol := rep.Candidates[0].Solution
+	// lm[lz][ly][lx]=f(l) read as lm[lx][lz][ly]: lz:=lx, ly:=lz, lx:=ly.
+	for _, frag := range []string{"lx := ly", "ly := lz", "lz := lx"} {
+		if !strings.Contains(sol, frag) {
+			t.Errorf("3D solution %q missing %q", sol, frag)
+		}
+	}
+}
+
+func TestPerLLStorePairing(t *testing.T) {
+	// Two staging stores at offsets 0 and 1; each LL must pair with the
+	// store whose system solves integrally for it (the AMD-MT shape).
+	src := `
+#define S 8
+__kernel void k(__global float* out, __global float* in) {
+    __local float lm[2*S];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    lm[2*lx + 0] = in[2*gx + 0];
+    lm[2*lx + 1] = in[2*gx + 1];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[2*gx + 0] = lm[2*lx + 1];
+    out[2*gx + 1] = lm[2*lx + 0];
+}
+`
+	m := compileModule(t, src)
+	fn := m.Kernel("k")
+	rep, err := TransformKernel(m, "k", Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Transformed() {
+		t.Fatalf("not transformed:\n%s", rep)
+	}
+	if usesLocalMemory(fn) {
+		t.Error("local memory should be fully removed")
+	}
+	if rep.Candidates[0].NumLS != 2 || rep.Candidates[0].NumLL != 2 {
+		t.Errorf("NumLS/NumLL = %d/%d, want 2/2",
+			rep.Candidates[0].NumLS, rep.Candidates[0].NumLL)
+	}
+}
+
+func TestNegativeCoefficientSolution(t *testing.T) {
+	// lm[S-1-lx] staging: solution lx := S-1-x_LL with a negative
+	// coefficient; the materializer must emit the negation correctly.
+	src := `
+#define S 16
+__kernel void k(__global float* out, __global float* in) {
+    __local float lm[S];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    lm[S - 1 - lx] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = lm[lx];
+}
+`
+	m := compileModule(t, src)
+	rep, err := TransformKernel(m, "k", Options{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Candidates[0].Solution, "lx := ") {
+		t.Fatalf("solution missing: %s", rep)
+	}
+	// Execute and compare: out[gx] must equal in at the mirrored lane.
+	transformAndCompare(t, src, runSpec{
+		kernel:     "k",
+		globalSize: [3]int{32, 1, 1},
+		localSize:  [3]int{16, 1, 1},
+		argOrder:   []vm.Arg{{Kind: vm.ArgBuffer}, {Kind: vm.ArgBuffer}},
+		bufs:       map[int][]float32{0: make([]float32, 32), 1: seq(32)},
+		outIdx:     0,
+		outLen:     32,
+	}, Options{})
+}
+
+func TestGLDependsOnUndeterminedLocalID(t *testing.T) {
+	// The staged value depends on ly but the store index only determines
+	// lx → not reversible.
+	src := `
+__kernel void k(__global float* out, __global float* in, int W) {
+    __local float lm[16];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    lm[lx] = in[ly*W + lx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[ly*W + lx] = lm[lx];
+}
+`
+	m := compileModule(t, src)
+	rep, err := TransformKernel(m, "k", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transformed() {
+		t.Fatal("undetermined ly in GL must block the transformation")
+	}
+	if !strings.Contains(rep.Candidates[0].Reason, "get_local_id(1)") {
+		t.Errorf("reason %q should name the undetermined dimension", rep.Candidates[0].Reason)
+	}
+}
+
+func TestScaledIndexIntegralSolution(t *testing.T) {
+	// lm[2*lx] staged, lm[2*j] loaded: lx := j — integral, must transform.
+	src := `
+__kernel void k(__global float* out, __global float* in) {
+    __local float lm[64];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    lm[2*lx] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+    for (int j = 0; j < 32; j++) {
+        acc += lm[2*j];
+    }
+    out[gx] = acc;
+}
+`
+	transformAndCompare(t, src, runSpec{
+		kernel:     "k",
+		globalSize: [3]int{32, 1, 1},
+		localSize:  [3]int{32, 1, 1},
+		argOrder:   []vm.Arg{{Kind: vm.ArgBuffer}, {Kind: vm.ArgBuffer}},
+		bufs:       map[int][]float32{0: make([]float32, 32), 1: seq(32)},
+		outIdx:     0,
+		outLen:     32,
+	}, Options{})
+}
+
+func TestScaledIndexNonIntegralRejected(t *testing.T) {
+	// lm[2*lx] staged but lm[j] loaded: lx := j/2 — non-integral.
+	src := `
+__kernel void k(__global float* out, __global float* in) {
+    __local float lm[64];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    lm[2*lx] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+    for (int j = 0; j < 64; j++) {
+        acc += lm[j];
+    }
+    out[gx] = acc;
+}
+`
+	m := compileModule(t, src)
+	rep, err := TransformKernel(m, "k", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transformed() {
+		t.Fatal("non-integral solution must not transform")
+	}
+}

@@ -1,0 +1,466 @@
+package grover
+
+import (
+	"strings"
+	"testing"
+
+	"grover/internal/clc"
+	"grover/internal/ir"
+	"grover/internal/lower"
+	"grover/internal/vm"
+)
+
+func compileModule(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, err := clc.Parse("test.cl", src, nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := lower.Module(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return m
+}
+
+// runKernel executes a kernel over float32 input/output buffers and
+// returns the output contents.
+type runSpec struct {
+	kernel     string
+	globalSize [3]int
+	localSize  [3]int
+	// buffers: name → initial float32 contents; outputs read back by name.
+	argOrder []vm.Arg
+	bufs     map[int][]float32 // arg index → initial data
+	outIdx   int
+	outLen   int
+}
+
+func runIt(t *testing.T, m *ir.Module, spec runSpec) []float32 {
+	t.Helper()
+	p, err := vm.Prepare(m)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	g := vm.NewGlobalMem(1 << 20)
+	args := make([]vm.Arg, len(spec.argOrder))
+	var outBuf *vm.Buffer
+	for i, a := range spec.argOrder {
+		if a.Kind == vm.ArgBuffer {
+			data := spec.bufs[i]
+			b := g.Alloc(len(data) * 4)
+			b.WriteFloat32s(data)
+			args[i] = vm.BufArg(b)
+			if i == spec.outIdx {
+				outBuf = b
+			}
+		} else {
+			args[i] = a
+		}
+	}
+	cfg := vm.Config{GlobalSize: spec.globalSize, LocalSize: spec.localSize, Args: args}
+	if err := p.Launch(spec.kernel, cfg, g, nil); err != nil {
+		t.Fatalf("launch %s: %v", spec.kernel, err)
+	}
+	return outBuf.ReadFloat32s(spec.outLen)
+}
+
+func seq(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(i%251) + 0.5
+	}
+	return out
+}
+
+// transformAndCompare transforms the kernel, runs both versions on the
+// same inputs, and requires identical outputs.
+func transformAndCompare(t *testing.T, src string, spec runSpec, opts Options) *Report {
+	t.Helper()
+	orig := compileModule(t, src)
+	transformed := ir.CloneModule(orig)
+	rep, err := TransformKernel(transformed, spec.kernel, opts)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	if !rep.Transformed() {
+		t.Fatalf("nothing transformed: %s", rep)
+	}
+	want := runIt(t, orig, spec)
+	got := runIt(t, transformed, spec)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("output[%d]: transformed %g != original %g\nreport:\n%s", i, got[i], want[i], rep)
+		}
+	}
+	return rep
+}
+
+const mtSrc = `
+#define S 8
+__kernel void transpose(__global float* out, __global float* in, int W, int H) {
+    __local float lm[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    lm[ly][lx] = in[(wy*S+ly)*W + (wx*S+lx)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float val = lm[lx][ly];
+    out[(wx*S+ly)*H + (wy*S+lx)] = val;
+}
+`
+
+func TestTransformTranspose(t *testing.T) {
+	const W, H = 32, 16
+	spec := runSpec{
+		kernel:     "transpose",
+		globalSize: [3]int{W, H, 1},
+		localSize:  [3]int{8, 8, 1},
+		argOrder:   []vm.Arg{{Kind: vm.ArgBuffer}, {Kind: vm.ArgBuffer}, vm.IntArg(W), vm.IntArg(H)},
+		bufs:       map[int][]float32{0: make([]float32, W*H), 1: seq(W * H)},
+		outIdx:     0,
+		outLen:     W * H,
+	}
+	rep := transformAndCompare(t, mtSrc, spec, Options{})
+	cr := rep.Candidates[0]
+	if cr.Name != "lm" {
+		t.Errorf("candidate name = %q", cr.Name)
+	}
+	// The solution must be the swap (lx := ly, ly := lx).
+	if cr.Solution != "lx := ly, ly := lx" {
+		t.Errorf("solution = %q", cr.Solution)
+	}
+	if rep.BarriersRemoved != 1 {
+		t.Errorf("barriers removed = %d, want 1", rep.BarriersRemoved)
+	}
+	// The local alloca must be gone.
+	fn := compileModule(t, mtSrc).Kernel("transpose")
+	_ = fn
+}
+
+func TestTransformedIRHasNoLocal(t *testing.T) {
+	m := compileModule(t, mtSrc)
+	if _, err := TransformKernel(m, "transpose", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if usesLocalMemory(m.Kernel("transpose")) {
+		t.Error("transformed kernel still uses local memory")
+	}
+}
+
+const mmSrc = `
+#define S 4
+__kernel void matmul(__global float* C, __global float* A, __global float* B,
+                     int N, int K) {
+    __local float As[S][S];
+    __local float Bs[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    float acc = 0.0f;
+    for (int i = 0; i < K/S; i++) {
+        As[ly][lx] = A[gy*K + i*S + lx];
+        Bs[ly][lx] = B[(i*S+ly)*N + gx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int k = 0; k < S; k++) {
+            acc += As[ly][k] * Bs[k][lx];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    C[gy*N + gx] = acc;
+}
+`
+
+func mmSpec(n, k int) runSpec {
+	return runSpec{
+		kernel:     "matmul",
+		globalSize: [3]int{n, n, 1},
+		localSize:  [3]int{4, 4, 1},
+		argOrder: []vm.Arg{{Kind: vm.ArgBuffer}, {Kind: vm.ArgBuffer}, {Kind: vm.ArgBuffer},
+			vm.IntArg(int64(n)), vm.IntArg(int64(k))},
+		bufs:   map[int][]float32{0: make([]float32, n*n), 1: seq(n * k), 2: seq(k * n)},
+		outIdx: 0,
+		outLen: n * n,
+	}
+}
+
+func TestTransformMatmulBoth(t *testing.T) {
+	rep := transformAndCompare(t, mmSrc, mmSpec(16, 16), Options{})
+	if len(rep.Candidates) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(rep.Candidates))
+	}
+	for _, c := range rep.Candidates {
+		if !c.Transformed {
+			t.Errorf("candidate %s not transformed: %s", c.Name, c.Reason)
+		}
+	}
+	if rep.BarriersRemoved == 0 {
+		t.Error("expected barrier removal when both tiles are disabled")
+	}
+}
+
+func TestTransformMatmulOnlyA(t *testing.T) {
+	rep := transformAndCompare(t, mmSrc, mmSpec(16, 16), Options{Candidates: []string{"As"}})
+	var as, bs *CandidateReport
+	for i := range rep.Candidates {
+		switch rep.Candidates[i].Name {
+		case "As":
+			as = &rep.Candidates[i]
+		case "Bs":
+			bs = &rep.Candidates[i]
+		}
+	}
+	if as == nil || !as.Transformed {
+		t.Fatal("As not transformed")
+	}
+	if bs == nil || bs.Transformed {
+		t.Fatal("Bs should not be transformed")
+	}
+	// Barriers must be preserved while Bs still uses local memory.
+	if rep.BarriersRemoved != 0 {
+		t.Errorf("barriers removed = %d, want 0 (Bs still staged)", rep.BarriersRemoved)
+	}
+}
+
+func TestTransformMatmulOnlyB(t *testing.T) {
+	transformAndCompare(t, mmSrc, mmSpec(16, 16), Options{Candidates: []string{"Bs"}})
+}
+
+// Shared-by-all-work-items staging (the AMD-SS / ROD-SC shape): group
+// index does not appear, every work-item loads the same region.
+const sharedSrc = `
+#define P 16
+__kernel void shared_pattern(__global float* out, __global float* pat, __global float* data, int n) {
+    __local float lp[P];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    if (lx < P) lp[lx] = pat[lx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float acc = 0.0f;
+    for (int j = 0; j < P; j++) {
+        acc += data[gx + j] * lp[j];
+    }
+    out[gx] = acc;
+}
+`
+
+func TestTransformSharedPattern(t *testing.T) {
+	const n = 64
+	spec := runSpec{
+		kernel:     "shared_pattern",
+		globalSize: [3]int{n, 1, 1},
+		localSize:  [3]int{16, 1, 1},
+		argOrder:   []vm.Arg{{Kind: vm.ArgBuffer}, {Kind: vm.ArgBuffer}, {Kind: vm.ArgBuffer}, vm.IntArg(n)},
+		bufs:       map[int][]float32{0: make([]float32, n), 1: seq(16), 2: seq(n + 16)},
+		outIdx:     0,
+		outLen:     n,
+	}
+	rep := transformAndCompare(t, sharedSrc, spec, Options{})
+	// Solution must map lx := j (the loop variable term).
+	if !strings.Contains(rep.Candidates[0].Solution, "lx := ") {
+		t.Errorf("solution = %q", rep.Candidates[0].Solution)
+	}
+}
+
+// Loop-dependent GL (NBody/AMD-MM shape): the staged region moves with an
+// outer loop variable; the cloned load must re-read the loop variable.
+const tiledSrc = `
+#define S 8
+__kernel void tiled(__global float* out, __global float* in, int n) {
+    __local float tile[S];
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    float acc = 0.0f;
+    for (int t = 0; t < n/S; t++) {
+        tile[lx] = in[t*S + lx];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int j = 0; j < S; j++) {
+            acc += tile[j] * 0.5f;
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[gx] = acc;
+}
+`
+
+func TestTransformLoopDependentGL(t *testing.T) {
+	const n = 64
+	spec := runSpec{
+		kernel:     "tiled",
+		globalSize: [3]int{n, 1, 1},
+		localSize:  [3]int{8, 1, 1},
+		argOrder:   []vm.Arg{{Kind: vm.ArgBuffer}, {Kind: vm.ArgBuffer}, vm.IntArg(n)},
+		bufs:       map[int][]float32{0: make([]float32, n), 1: seq(n)},
+		outIdx:     0,
+		outLen:     n,
+	}
+	transformAndCompare(t, tiledSrc, spec, Options{})
+}
+
+// 1D flattened 2D indexing (the paper's "+→*" pattern, Fig. 7a).
+const flatSrc = `
+#define S 8
+__kernel void flat(__global float* out, __global float* in, int W) {
+    __local float lm[S*S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    lm[ly*S + lx] = in[(wy*S+ly)*W + wx*S + lx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[(wy*S+ly)*W + wx*S + lx] = lm[lx*S + ly] + lm[ly*S + lx];
+}
+`
+
+func TestTransformFlattened2D(t *testing.T) {
+	const W, H = 16, 16
+	spec := runSpec{
+		kernel:     "flat",
+		globalSize: [3]int{W, H, 1},
+		localSize:  [3]int{8, 8, 1},
+		argOrder:   []vm.Arg{{Kind: vm.ArgBuffer}, {Kind: vm.ArgBuffer}, vm.IntArg(W)},
+		bufs:       map[int][]float32{0: make([]float32, W*H), 1: seq(W * H)},
+		outIdx:     0,
+		outLen:     W * H,
+	}
+	rep := transformAndCompare(t, flatSrc, spec, Options{})
+	if rep.Candidates[0].NumLL != 2 {
+		t.Errorf("NumLL = %d, want 2", rep.Candidates[0].NumLL)
+	}
+}
+
+func TestNotReversibleReduction(t *testing.T) {
+	// Local memory as read/write temporal storage (reduction): the staged
+	// value reads local memory; Grover must refuse (paper §VI-D).
+	src := `
+__kernel void reduce(__global float* in, __global float* out) {
+    __local float sm[64];
+    int lx = get_local_id(0);
+    sm[lx] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = 32; s > 0; s >>= 1) {
+        if (lx < s) sm[lx] += sm[lx + s];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lx == 0) out[get_group_id(0)] = sm[0];
+}
+`
+	m := compileModule(t, src)
+	rep, err := TransformKernel(m, "reduce", Options{})
+	if err != nil {
+		t.Fatalf("non-strict mode should not fail: %v", err)
+	}
+	if rep.Transformed() {
+		t.Fatal("reduction must not be transformed")
+	}
+	if rep.Candidates[0].Reason == "" {
+		t.Error("missing skip reason")
+	}
+	// Strict mode surfaces the error.
+	m2 := compileModule(t, src)
+	if _, err := TransformKernel(m2, "reduce", Options{Strict: true}); err == nil {
+		t.Fatal("strict mode should report ErrNotReversible")
+	}
+}
+
+func TestNotReversibleNonUniqueSystem(t *testing.T) {
+	// LS index lx+ly is a singular 1-equation system in two unknowns when
+	// the GL depends on both.
+	src := `
+__kernel void k(__global float* out, __global float* in) {
+    __local float lm[16];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    lm[lx + ly] = in[get_global_id(1)*8 + get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(1)*8 + get_global_id(0)] = lm[lx];
+}
+`
+	m := compileModule(t, src)
+	rep, err := TransformKernel(m, "k", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transformed() {
+		t.Fatal("singular system must not transform")
+	}
+}
+
+func TestNoCandidates(t *testing.T) {
+	src := `__kernel void k(__global float* a) { a[get_global_id(0)] = 1.0f; }`
+	m := compileModule(t, src)
+	if _, err := TransformKernel(m, "k", Options{}); err != ErrNoCandidates {
+		t.Fatalf("err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestKeepBarriersOption(t *testing.T) {
+	m := compileModule(t, mtSrc)
+	rep, err := TransformKernel(m, "transpose", Options{KeepBarriers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BarriersRemoved != 0 {
+		t.Error("KeepBarriers violated")
+	}
+}
+
+func TestCloneAllAblation(t *testing.T) {
+	m1 := compileModule(t, mtSrc)
+	rep1, err := TransformKernel(m1, "transpose", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := compileModule(t, mtSrc)
+	rep2, err := TransformKernel(m2, "transpose", Options{CloneAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Candidates[0].ClonedInstrs <= rep1.Candidates[0].ClonedInstrs {
+		t.Errorf("clone-all should duplicate more instructions: %d vs %d",
+			rep2.Candidates[0].ClonedInstrs, rep1.Candidates[0].ClonedInstrs)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	m := compileModule(t, mtSrc)
+	rep, err := TransformKernel(m, "transpose", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, frag := range []string{"kernel transpose", "__local lm", "GL", "LS", "LL", "nGL", "solution"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("report missing %q:\n%s", frag, s)
+		}
+	}
+	cr := rep.Candidates[0]
+	if cr.LS != "(ly, lx)" {
+		t.Errorf("LS = %q, want (ly, lx)", cr.LS)
+	}
+	if len(cr.LL) != 1 || cr.LL[0] != "(lx, ly)" {
+		t.Errorf("LL = %v, want [(lx, ly)]", cr.LL)
+	}
+}
+
+func TestFindCandidatesRejectsEscape(t *testing.T) {
+	src := `
+void helper(__local float* p) { p[0] = 1.0f; }
+__kernel void k(__global float* out) {
+    __local float lm[8];
+    helper(lm);
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = lm[0];
+}
+`
+	m := compileModule(t, src)
+	cands := FindCandidates(m.Kernel("k"))
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	if cands[0].Reject == "" {
+		t.Error("escaping local pointer must be rejected")
+	}
+}

@@ -1,0 +1,394 @@
+// Package harness reproduces the paper's evaluation: it runs each
+// benchmark with and without local memory on the simulated platforms and
+// renders the paper's tables and figures (Fig. 2, Fig. 10, Tables I–IV).
+//
+// The reported metric follows the paper: normalized performance np =
+// performance without local memory / performance with local memory =
+// t_withLM / t_withoutLM. np > 1 means disabling local memory helped.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"grover/internal/apps"
+	"grover/internal/device"
+	igrover "grover/internal/grover"
+	"grover/opencl"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Scale multiplies dataset sizes (1 = default).
+	Scale int
+	// Runs averages this many simulated executions per version (the
+	// simulator is deterministic, so 1 suffices; the paper used 20 on
+	// real hardware).
+	Runs int
+	// Validate additionally checks both kernel versions against the host
+	// reference before timing.
+	Validate bool
+	// Log receives progress lines (may be nil).
+	Log io.Writer
+}
+
+func (c Config) normalized() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Runs <= 0 {
+		c.Runs = 1
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...interface{}) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Measurement is one (benchmark, device) test case.
+type Measurement struct {
+	App    string
+	Device string
+	// WithLM and WithoutLM are simulated kernel times in milliseconds.
+	WithLM    float64
+	WithoutLM float64
+	// NP is the paper's normalized performance (WithLM / WithoutLM).
+	NP float64
+	// Report is the Grover transformation report.
+	Report *igrover.Report
+}
+
+// Verdict classifies a measurement at the paper's 5% threshold.
+type Verdict int
+
+// Verdicts (paper Table IV rows).
+const (
+	Similar Verdict = iota
+	Gain
+	Loss
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Gain:
+		return "gain"
+	case Loss:
+		return "loss"
+	}
+	return "similar"
+}
+
+// Classify applies the paper's ±5% similarity threshold.
+func (m *Measurement) Classify() Verdict {
+	switch {
+	case m.NP > 1.05:
+		return Gain
+	case m.NP < 0.95:
+		return Loss
+	default:
+		return Similar
+	}
+}
+
+// RunCase measures one benchmark on one device.
+func RunCase(app *apps.App, deviceName string, cfg Config) (*Measurement, error) {
+	cfg = cfg.normalized()
+	plat := opencl.NewPlatform()
+	dev, err := plat.DeviceByName(deviceName)
+	if err != nil {
+		return nil, err
+	}
+	ctx := opencl.NewContext(dev)
+	prog, err := ctx.CompileProgram(app.ID+".cl", app.Source, app.Defines)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", app.ID, err)
+	}
+	noLM, rep, err := prog.WithLocalMemoryDisabled(app.Kernel,
+		igrover.Options{Candidates: app.Candidates, Strict: true})
+	if err != nil {
+		return nil, fmt.Errorf("%s: transform: %w", app.ID, err)
+	}
+	kLM, err := prog.Kernel(app.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	kNo, err := noLM.Kernel(app.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := app.Setup(ctx, cfg.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("%s: setup: %w", app.ID, err)
+	}
+	if cfg.Validate {
+		q := ctx.NewQueue()
+		for _, k := range []*opencl.Kernel{kLM, kNo} {
+			if _, err := q.EnqueueNDRange(k, inst.ND, inst.Args...); err != nil {
+				return nil, fmt.Errorf("%s: validation launch: %w", app.ID, err)
+			}
+			if err := inst.Check(); err != nil {
+				return nil, fmt.Errorf("%s (%s): %w", app.ID, k.Program().KernelNames()[0], err)
+			}
+		}
+	}
+	pq, err := ctx.NewProfilingQueue()
+	if err != nil {
+		return nil, err
+	}
+	avg := func(k *opencl.Kernel) (float64, error) {
+		var total float64
+		for i := 0; i < cfg.Runs; i++ {
+			evt, err := pq.EnqueueNDRange(k, inst.ND, inst.Args...)
+			if err != nil {
+				return 0, err
+			}
+			total += evt.Duration()
+		}
+		return total / float64(cfg.Runs), nil
+	}
+	withLM, err := avg(kLM)
+	if err != nil {
+		return nil, fmt.Errorf("%s: timing with LM: %w", app.ID, err)
+	}
+	withoutLM, err := avg(kNo)
+	if err != nil {
+		return nil, fmt.Errorf("%s: timing without LM: %w", app.ID, err)
+	}
+	m := &Measurement{
+		App: app.ID, Device: deviceName,
+		WithLM: withLM, WithoutLM: withoutLM,
+		NP:     withLM / withoutLM,
+		Report: rep,
+	}
+	cfg.logf("  %-10s %-8s withLM=%.4fms withoutLM=%.4fms np=%.2f [%s]",
+		m.App, m.Device, m.WithLM, m.WithoutLM, m.NP, m.Classify())
+	return m, nil
+}
+
+// Fig2 reproduces Figure 2: the motivation experiment — MT and MM on all
+// six platforms. Per §II-C, MT is the NVIDIA transpose and MM removes
+// local memory for matrix A only.
+func Fig2(cfg Config) ([]*Measurement, error) {
+	cfg = cfg.normalized()
+	var out []*Measurement
+	ids := []string{"NVD-MT", "NVD-MM-A"}
+	for _, id := range ids {
+		app, err := apps.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		for _, prof := range device.All() {
+			cfg.logf("fig2: %s on %s", id, prof.Name)
+			m, err := RunCase(app, prof.Name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Fig10 reproduces Figure 10: all 11 benchmarks on the three cache-only
+// platforms (SNB, Nehalem, MIC).
+func Fig10(cfg Config) ([]*Measurement, error) {
+	cfg = cfg.normalized()
+	var out []*Measurement
+	for _, app := range apps.All() {
+		for _, prof := range device.CPUs() {
+			cfg.logf("fig10: %s on %s", app.ID, prof.Name)
+			m, err := RunCase(app, prof.Name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// FigGPU is the paper's stated future work ("investigate Grover's impact
+// on other types of devices (e.g., GPUs)"): the full benchmark suite on
+// the three GPU profiles.
+func FigGPU(cfg Config) ([]*Measurement, error) {
+	cfg = cfg.normalized()
+	var out []*Measurement
+	for _, app := range apps.All() {
+		for _, prof := range device.All() {
+			if prof.Kind != device.GPUKind {
+				continue
+			}
+			cfg.logf("figgpu: %s on %s", app.ID, prof.Name)
+			m, err := RunCase(app, prof.Name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Table4 derives the gain/loss/similar distribution (paper Table IV) from
+// Figure 10 measurements.
+type Table4 struct {
+	Devices []string
+	Gain    map[string]int
+	Loss    map[string]int
+	Similar map[string]int
+	Total   int
+}
+
+// MakeTable4 tallies measurements at the 5% threshold.
+func MakeTable4(ms []*Measurement) *Table4 {
+	t := &Table4{
+		Gain: map[string]int{}, Loss: map[string]int{}, Similar: map[string]int{},
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if !seen[m.Device] {
+			seen[m.Device] = true
+			t.Devices = append(t.Devices, m.Device)
+		}
+		switch m.Classify() {
+		case Gain:
+			t.Gain[m.Device]++
+		case Loss:
+			t.Loss[m.Device]++
+		default:
+			t.Similar[m.Device]++
+		}
+		t.Total++
+	}
+	return t
+}
+
+func (t *Table4) String() string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "\t%s\tTotal (%%)\n", strings.Join(t.Devices, "\t"))
+	rows := []struct {
+		name string
+		m    map[string]int
+	}{{"Gain", t.Gain}, {"Loss", t.Loss}, {"Similar", t.Similar}}
+	for _, r := range rows {
+		total := 0
+		var cells []string
+		for _, d := range t.Devices {
+			cells = append(cells, fmt.Sprintf("%d", r.m[d]))
+			total += r.m[d]
+		}
+		pct := 0.0
+		if t.Total > 0 {
+			pct = 100 * float64(total) / float64(t.Total)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d (%.0f%%)\n", r.name, strings.Join(cells, "\t"), total, pct)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// RenderFigure renders measurements as a text bar chart grouped by device,
+// mirroring the paper's normalized-performance figures.
+func RenderFigure(title string, ms []*Measurement) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "normalized performance np = t(with LM) / t(without LM); np>1 ⇒ disabling local memory wins\n\n")
+	byDevice := map[string][]*Measurement{}
+	var order []string
+	for _, m := range ms {
+		if len(byDevice[m.Device]) == 0 {
+			order = append(order, m.Device)
+		}
+		byDevice[m.Device] = append(byDevice[m.Device], m)
+	}
+	for _, d := range order {
+		fmt.Fprintf(&sb, "%s:\n", d)
+		for _, m := range byDevice[d] {
+			bar := npBar(m.NP)
+			fmt.Fprintf(&sb, "  %-10s %5.2f %s [%s]\n", m.App, m.NP, bar, m.Classify())
+		}
+	}
+	return sb.String()
+}
+
+// npBar draws a bar around the np=1.0 axis.
+func npBar(np float64) string {
+	const unit = 10.0 // characters per 1.0x
+	if np > 4 {
+		np = 4
+	}
+	n := int(np * unit)
+	axis := int(unit)
+	var sb strings.Builder
+	for i := 0; i < n || i <= axis; i++ {
+		switch {
+		case i == axis:
+			sb.WriteByte('|')
+		case i < n:
+			sb.WriteByte('#')
+		default:
+			sb.WriteByte(' ')
+		}
+	}
+	return sb.String()
+}
+
+// Table3 runs the analysis (no execution) for every benchmark and renders
+// the symbolic GL/LS/LL/nGL indices (paper Table III).
+func Table3() (string, error) {
+	var sb strings.Builder
+	plat := opencl.NewPlatform()
+	dev, err := plat.DeviceByName("SNB")
+	if err != nil {
+		return "", err
+	}
+	for _, app := range apps.All() {
+		ctx := opencl.NewContext(dev)
+		prog, err := ctx.CompileProgram(app.ID+".cl", app.Source, app.Defines)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", app.ID, err)
+		}
+		_, rep, err := prog.WithLocalMemoryDisabled(app.Kernel,
+			igrover.Options{Candidates: app.Candidates, Strict: true})
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", app.ID, err)
+		}
+		fmt.Fprintf(&sb, "%s (%s)\n%s\n", app.ID, app.Origin, rep)
+	}
+	return sb.String(), nil
+}
+
+// Table1 renders the benchmark inventory (paper Table I).
+func Table1() string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "ID\tOrigin\tKernel\tDescription")
+	for _, app := range apps.All() {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", app.ID, app.Origin, app.Kernel, app.Description)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// Table2 renders the platform inventory (paper §V-C).
+func Table2() string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Device\tKind\tCUs\tGHz\tCaches\tDRAM lat")
+	for _, p := range device.All() {
+		var caches []string
+		for _, c := range p.Caches {
+			caches = append(caches, fmt.Sprintf("%s %dKiB", c.Name, c.Sets*c.Ways*c.LineSize/1024))
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.2f\t%s\t%d\n",
+			p.Name, p.Kind, p.Cores, p.FreqGHz, strings.Join(caches, "+"), p.DRAMLatency)
+	}
+	w.Flush()
+	return sb.String()
+}

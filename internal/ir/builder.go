@@ -1,0 +1,207 @@
+package ir
+
+import (
+	"grover/internal/clc"
+)
+
+// Builder emits instructions at the end of a current block.
+type Builder struct {
+	Fn  *Function
+	Cur *Block
+}
+
+// NewBuilder returns a builder positioned at the function's entry block
+// (creating one when missing).
+func NewBuilder(f *Function) *Builder {
+	b := &Builder{Fn: f}
+	if len(f.Blocks) == 0 {
+		b.Cur = f.NewBlock("entry")
+	} else {
+		b.Cur = f.Blocks[0]
+	}
+	return b
+}
+
+// SetBlock repositions the builder at the end of blk.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+// emit appends in to the current block, assigning an ID when it produces a
+// value.
+func (b *Builder) emit(in *Instr) *Instr {
+	if in.Producing() {
+		in.ID = b.Fn.nextID
+		b.Fn.nextID++
+	} else {
+		in.ID = -1
+	}
+	in.Block = b.Cur
+	b.Cur.Instrs = append(b.Cur.Instrs, in)
+	return in
+}
+
+// Terminated reports whether the current block already ends in a
+// terminator; further emission would be dead and is skipped by callers.
+func (b *Builder) Terminated() bool { return b.Cur.Terminator() != nil }
+
+// Alloca allocates storage for typ in the given address space, returning a
+// pointer value.
+func (b *Builder) Alloca(typ clc.Type, space clc.AddrSpace, name string, pos clc.Pos) *Instr {
+	return b.emit(&Instr{
+		Op:      OpAlloca,
+		Typ:     &clc.PointerType{Elem: typ, Space: space},
+		Space:   space,
+		VarName: name,
+		Pos:     pos,
+	})
+}
+
+// Load loads a value through ptr.
+func (b *Builder) Load(ptr Value, pos clc.Pos) *Instr {
+	pt := ptr.Type().(*clc.PointerType)
+	return b.emit(&Instr{Op: OpLoad, Typ: pt.Elem, Args: []Value{ptr}, Pos: pos})
+}
+
+// Store writes val through ptr.
+func (b *Builder) Store(ptr, val Value, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: OpStore, Typ: clc.TypeVoid, Args: []Value{ptr, val}, Pos: pos})
+}
+
+// Index advances ptr by idx elements (a one-index GEP).
+func (b *Builder) Index(ptr, idx Value, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: OpIndex, Typ: IndexResultType(ptr.Type()), Args: []Value{ptr, idx}, Pos: pos})
+}
+
+// Bin emits a binary arithmetic instruction with the given result type.
+func (b *Builder) Bin(op Op, typ clc.Type, l, r Value, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: op, Typ: typ, Args: []Value{l, r}, Pos: pos})
+}
+
+// Un emits a unary instruction.
+func (b *Builder) Un(op Op, typ clc.Type, x Value, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: op, Typ: typ, Args: []Value{x}, Pos: pos})
+}
+
+// Cmp emits a comparison producing int 0/1.
+func (b *Builder) Cmp(op Op, l, r Value, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: op, Typ: clc.TypeInt, Args: []Value{l, r}, Pos: pos})
+}
+
+// Convert converts x to typ (no-op conversions are elided).
+func (b *Builder) Convert(x Value, typ clc.Type, pos clc.Pos) Value {
+	if clc.TypesEqual(x.Type(), typ) {
+		return x
+	}
+	return b.emit(&Instr{Op: OpConvert, Typ: typ, Args: []Value{x}, Pos: pos})
+}
+
+// Extract extracts lane comp from a vector.
+func (b *Builder) Extract(vec Value, comp int, pos clc.Pos) *Instr {
+	vt := vec.Type().(*clc.VectorType)
+	return b.emit(&Instr{Op: OpExtract, Typ: vt.Elem, Args: []Value{vec}, Comps: []int{comp}, Pos: pos})
+}
+
+// Insert replaces lane comp of a vector with a scalar, yielding the new
+// vector.
+func (b *Builder) Insert(vec, scalar Value, comp int, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: OpInsert, Typ: vec.Type(), Args: []Value{vec, scalar}, Comps: []int{comp}, Pos: pos})
+}
+
+// Shuffle selects lanes comps from a vector.
+func (b *Builder) Shuffle(vec Value, comps []int, typ clc.Type, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: OpShuffle, Typ: typ, Args: []Value{vec}, Comps: comps, Pos: pos})
+}
+
+// BuildVec constructs a vector from scalar lanes.
+func (b *Builder) BuildVec(typ *clc.VectorType, lanes []Value, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: OpBuild, Typ: typ, Args: lanes, Pos: pos})
+}
+
+// Call emits a user-function call.
+func (b *Builder) Call(callee *Function, args []Value, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: OpCall, Typ: callee.Ret, Callee: callee, Args: args, Pos: pos})
+}
+
+// WorkItem emits a work-item query builtin (get_local_id etc.).
+func (b *Builder) WorkItem(fn string, dim Value, pos clc.Pos) *Instr {
+	args := []Value{}
+	if dim != nil {
+		args = append(args, dim)
+	}
+	return b.emit(&Instr{Op: OpWorkItem, Typ: clc.TypeULong, Func: fn, Args: args, Pos: pos})
+}
+
+// Math emits a math builtin call.
+func (b *Builder) Math(fn string, typ clc.Type, args []Value, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: OpMath, Typ: typ, Func: fn, Args: args, Pos: pos})
+}
+
+// Barrier emits a work-group barrier.
+func (b *Builder) Barrier(flags Value, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: OpBarrier, Typ: clc.TypeVoid, Args: []Value{flags}, Pos: pos})
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(target *Block, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: OpBr, Typ: clc.TypeVoid, Targets: []*Block{target}, Pos: pos})
+}
+
+// CondBr branches to then/els on cond != 0.
+func (b *Builder) CondBr(cond Value, then, els *Block, pos clc.Pos) *Instr {
+	return b.emit(&Instr{Op: OpCondBr, Typ: clc.TypeVoid, Args: []Value{cond}, Targets: []*Block{then, els}, Pos: pos})
+}
+
+// Ret emits a return; val may be nil for void functions.
+func (b *Builder) Ret(val Value, pos clc.Pos) *Instr {
+	var args []Value
+	if val != nil {
+		args = []Value{val}
+	}
+	return b.emit(&Instr{Op: OpRet, Typ: clc.TypeVoid, Args: args, Pos: pos})
+}
+
+// InsertBefore inserts a new instruction before pos within pos's block,
+// assigning it a fresh ID. Used by the Grover pass when materializing the
+// new global load (nGL) chain in front of an LL instruction.
+func InsertBefore(pos *Instr, in *Instr) *Instr {
+	blk := pos.Block
+	fn := blk.Fn
+	if in.Producing() {
+		in.ID = fn.nextID
+		fn.nextID++
+	} else {
+		in.ID = -1
+	}
+	in.Block = blk
+	for i, cur := range blk.Instrs {
+		if cur == pos {
+			blk.Instrs = append(blk.Instrs[:i], append([]*Instr{in}, blk.Instrs[i:]...)...)
+			return in
+		}
+	}
+	panic("ir: InsertBefore position not found in its block")
+}
+
+// RemoveInstr deletes in from its block. The caller is responsible for
+// ensuring no remaining uses.
+func RemoveInstr(in *Instr) {
+	blk := in.Block
+	for i, cur := range blk.Instrs {
+		if cur == in {
+			blk.Instrs = append(blk.Instrs[:i], blk.Instrs[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReplaceUses rewrites every operand use of old with new across fn.
+func ReplaceUses(fn *Function, old, new Value) {
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if a == old {
+					in.Args[i] = new
+				}
+			}
+		}
+	}
+}

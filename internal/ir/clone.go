@@ -1,0 +1,70 @@
+package ir
+
+// CloneModule deep-copies a module. The Grover pass transforms a clone so
+// callers keep the original kernel for side-by-side comparison.
+func CloneModule(m *Module) *Module {
+	out := &Module{Name: m.Name}
+	fnMap := map[*Function]*Function{}
+	for _, f := range m.Funcs {
+		nf := &Function{Name: f.Name, IsKernel: f.IsKernel, Ret: f.Ret,
+			nextID: f.nextID, nextBlock: f.nextBlock}
+		for _, p := range f.Params {
+			np := *p
+			nf.Params = append(nf.Params, &np)
+		}
+		out.Funcs = append(out.Funcs, nf)
+		fnMap[f] = nf
+	}
+	for fi, f := range m.Funcs {
+		nf := out.Funcs[fi]
+		valMap := map[Value]Value{}
+		for i, p := range f.Params {
+			valMap[p] = nf.Params[i]
+		}
+		blkMap := map[*Block]*Block{}
+		for _, b := range f.Blocks {
+			nb := &Block{Name: b.Name, Fn: nf}
+			nf.Blocks = append(nf.Blocks, nb)
+			blkMap[b] = nb
+		}
+		// First pass: clone instructions (operands patched after, since
+		// the IR permits uses that lexically precede definitions across
+		// blocks).
+		for _, b := range f.Blocks {
+			nb := blkMap[b]
+			for _, in := range b.Instrs {
+				ni := &Instr{
+					ID: in.ID, Op: in.Op, Typ: in.Typ, Func: in.Func,
+					VarName: in.VarName, Space: in.Space, Pos: in.Pos,
+					Block: nb,
+				}
+				if in.Callee != nil {
+					ni.Callee = fnMap[in.Callee]
+				}
+				if len(in.Comps) > 0 {
+					ni.Comps = append([]int(nil), in.Comps...)
+				}
+				nb.Instrs = append(nb.Instrs, ni)
+				valMap[in] = ni
+			}
+		}
+		// Second pass: patch operands and branch targets.
+		for _, b := range f.Blocks {
+			nb := blkMap[b]
+			for ii, in := range b.Instrs {
+				ni := nb.Instrs[ii]
+				for _, a := range in.Args {
+					na, ok := valMap[a]
+					if !ok {
+						na = a // constants are immutable and shareable
+					}
+					ni.Args = append(ni.Args, na)
+				}
+				for _, t := range in.Targets {
+					ni.Targets = append(ni.Targets, blkMap[t])
+				}
+			}
+		}
+	}
+	return out
+}

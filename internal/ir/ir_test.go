@@ -1,0 +1,240 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"grover/internal/clc"
+)
+
+// buildTestFunc constructs: kernel with one loop summing a buffer.
+func buildTestFunc() (*Module, *Function) {
+	fn := &Function{Name: "k", IsKernel: true, Ret: clc.TypeVoid}
+	p := &Param{Name_: "buf", Typ: &clc.PointerType{Elem: clc.TypeFloat, Space: clc.ASGlobal}, Index: 0}
+	fn.Params = []*Param{p}
+	b := NewBuilder(fn)
+	acc := b.Alloca(clc.TypeFloat, clc.ASPrivate, "acc", clc.Pos{})
+	i := b.Alloca(clc.TypeInt, clc.ASPrivate, "i", clc.Pos{})
+	b.Store(acc, FloatConst(0), clc.Pos{})
+	b.Store(i, IntConst(0), clc.Pos{})
+	cond := fn.NewBlock("cond")
+	body := fn.NewBlock("body")
+	exit := fn.NewBlock("exit")
+	b.Br(cond, clc.Pos{})
+	b.SetBlock(cond)
+	iv := b.Load(i, clc.Pos{})
+	cmp := b.Cmp(OpLt, iv, IntConst(8), clc.Pos{})
+	b.CondBr(cmp, body, exit, clc.Pos{})
+	b.SetBlock(body)
+	iv2 := b.Load(i, clc.Pos{})
+	idxL := b.Convert(iv2, clc.TypeLong, clc.Pos{})
+	ptr := b.Index(p, idxL, clc.Pos{})
+	v := b.Load(ptr, clc.Pos{})
+	a := b.Load(acc, clc.Pos{})
+	sum := b.Bin(OpAdd, clc.TypeFloat, a, v, clc.Pos{})
+	b.Store(acc, sum, clc.Pos{})
+	next := b.Bin(OpAdd, clc.TypeInt, iv2, IntConst(1), clc.Pos{})
+	b.Store(i, next, clc.Pos{})
+	b.Br(cond, clc.Pos{})
+	b.SetBlock(exit)
+	b.Ret(nil, clc.Pos{})
+	m := &Module{Name: "t", Funcs: []*Function{fn}}
+	return m, fn
+}
+
+func TestVerifyValid(t *testing.T) {
+	m, _ := buildTestFunc()
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m, fn := buildTestFunc()
+	// Chop the terminator off the last block.
+	last := fn.Blocks[len(fn.Blocks)-1]
+	last.Instrs = last.Instrs[:0]
+	if err := Verify(m); err == nil {
+		t.Fatal("expected error for empty/unterminated block")
+	}
+}
+
+func TestVerifyCatchesBadOperand(t *testing.T) {
+	m, fn := buildTestFunc()
+	// Use a value from a different function.
+	foreign := &Instr{Op: OpWorkItem, Typ: clc.TypeULong, Func: "get_local_id", ID: 999}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpAdd {
+				in.Args[0] = foreign
+				if err := Verify(m); err == nil {
+					t.Fatal("expected undefined-operand error")
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestVerifyCatchesNonPointerLoad(t *testing.T) {
+	m, fn := buildTestFunc()
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpLoad {
+				in.Args[0] = IntConst(3)
+				if err := Verify(m); err == nil {
+					t.Fatal("expected non-pointer load error")
+				}
+				return
+			}
+		}
+	}
+}
+
+func TestCloneModuleIndependence(t *testing.T) {
+	m, fn := buildTestFunc()
+	clone := CloneModule(m)
+	if err := Verify(clone); err != nil {
+		t.Fatalf("clone verify: %v", err)
+	}
+	cfn := clone.Func("k")
+	if cfn == nil || cfn == fn {
+		t.Fatal("clone should contain a distinct function")
+	}
+	if len(cfn.Blocks) != len(fn.Blocks) {
+		t.Fatalf("clone has %d blocks, want %d", len(cfn.Blocks), len(fn.Blocks))
+	}
+	// Mutating the clone must not affect the original.
+	nInstr := func(f *Function) int {
+		total := 0
+		for _, b := range f.Blocks {
+			total += len(b.Instrs)
+		}
+		return total
+	}
+	before := nInstr(fn)
+	cfn.Blocks[0].Instrs = cfn.Blocks[0].Instrs[:1]
+	if nInstr(fn) != before {
+		t.Fatal("mutating clone affected original")
+	}
+	// Cloned instructions must not reference original blocks or values.
+	origInstrs := map[*Instr]bool{}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			origInstrs[in] = true
+		}
+	}
+	for _, b := range clone.Func("k").Blocks {
+		for _, in := range b.Instrs {
+			if origInstrs[in] {
+				t.Fatal("clone shares an instruction with the original")
+			}
+			for _, a := range in.Args {
+				if ai, ok := a.(*Instr); ok && origInstrs[ai] {
+					t.Fatal("clone references an original instruction")
+				}
+			}
+		}
+	}
+}
+
+func TestInsertRemoveReplace(t *testing.T) {
+	m, fn := buildTestFunc()
+	_ = m
+	var add *Instr
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpAdd && clc.TypesEqual(in.Typ, clc.TypeFloat) {
+				add = in
+			}
+		}
+	}
+	if add == nil {
+		t.Fatal("no add found")
+	}
+	neg := &Instr{Op: OpNeg, Typ: clc.TypeFloat, Args: []Value{add.Args[0]}}
+	InsertBefore(add, neg)
+	if neg.Block != add.Block {
+		t.Error("InsertBefore should set block link")
+	}
+	pos := -1
+	for i, in := range add.Block.Instrs {
+		if in == neg {
+			pos = i
+		}
+		if in == add && pos == -1 {
+			t.Error("neg not inserted before add")
+		}
+	}
+	ReplaceUses(fn, add.Args[0], neg)
+	if add.Args[0] != neg {
+		t.Error("ReplaceUses missed the add")
+	}
+	// Undo to keep the self-reference out, then remove.
+	RemoveInstr(neg)
+	for _, in := range add.Block.Instrs {
+		if in == neg {
+			t.Error("RemoveInstr left the instruction behind")
+		}
+	}
+}
+
+func TestAssignIDs(t *testing.T) {
+	_, fn := buildTestFunc()
+	fn.AssignIDs()
+	seen := map[int]bool{}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Producing() {
+				if in.ID < 0 || seen[in.ID] {
+					t.Fatalf("bad or duplicate ID %d", in.ID)
+				}
+				seen[in.ID] = true
+			} else if in.ID != -1 {
+				t.Fatalf("non-producing instruction has ID %d", in.ID)
+			}
+		}
+	}
+}
+
+func TestPrinting(t *testing.T) {
+	m, _ := buildTestFunc()
+	s := m.String()
+	for _, frag := range []string{"kernel void k", "alloca", "load", "store", "condbr", "ret", "index"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("printed IR missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestPointeeSize(t *testing.T) {
+	fptr := &clc.PointerType{Elem: clc.TypeFloat, Space: clc.ASGlobal}
+	if PointeeSize(fptr) != 4 {
+		t.Error("float* step should be 4")
+	}
+	arr := &clc.PointerType{Elem: &clc.ArrayType{Elem: clc.TypeFloat, Len: 16}, Space: clc.ASLocal}
+	if PointeeSize(arr) != 4 {
+		t.Error("(*[16]float) step should be elem size 4")
+	}
+	arr2 := &clc.PointerType{Elem: &clc.ArrayType{Elem: &clc.ArrayType{Elem: clc.TypeFloat, Len: 16}, Len: 8}, Space: clc.ASLocal}
+	if PointeeSize(arr2) != 64 {
+		t.Error("(*[8][16]float) step should be inner array size 64")
+	}
+	it := IndexResultType(arr2).(*clc.PointerType)
+	if _, ok := it.Elem.(*clc.ArrayType); !ok {
+		t.Error("indexing [8][16] should yield pointer to [16]")
+	}
+}
+
+func TestModuleLookups(t *testing.T) {
+	m, fn := buildTestFunc()
+	if m.Kernel("k") != fn {
+		t.Error("Kernel lookup failed")
+	}
+	if m.Kernel("absent") != nil {
+		t.Error("Kernel should return nil for unknown names")
+	}
+	if len(m.Kernels()) != 1 {
+		t.Error("Kernels() should list the kernel")
+	}
+}

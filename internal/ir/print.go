@@ -1,0 +1,86 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in a readable textual form.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for i, f := range m.Funcs {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(f.Format())
+	}
+	return sb.String()
+}
+
+// Format renders the function in a readable textual form.
+func (f *Function) Format() string {
+	var sb strings.Builder
+	kw := "func"
+	if f.IsKernel {
+		kw = "kernel"
+	}
+	var params []string
+	for _, p := range f.Params {
+		params = append(params, fmt.Sprintf("%s %%%s", p.Typ, p.Name_))
+	}
+	fmt.Fprintf(&sb, "%s %s %s(%s) {\n", kw, f.Ret, f.Name, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(in.Format())
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Format renders one instruction.
+func (in *Instr) Format() string {
+	var sb strings.Builder
+	if in.Producing() {
+		fmt.Fprintf(&sb, "%%%d = ", in.ID)
+	}
+	sb.WriteString(in.Op.String())
+	switch in.Op {
+	case OpAlloca:
+		fmt.Fprintf(&sb, " %s %s", in.Space, in.Typ.(interface{ String() string }))
+		if in.VarName != "" {
+			fmt.Fprintf(&sb, " ; %s", in.VarName)
+		}
+		return sb.String()
+	case OpWorkItem, OpMath:
+		fmt.Fprintf(&sb, " %s", in.Func)
+	case OpCall:
+		fmt.Fprintf(&sb, " %s", in.Callee.Name)
+	}
+	for i, a := range in.Args {
+		if i == 0 {
+			sb.WriteString(" ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	if len(in.Comps) > 0 {
+		fmt.Fprintf(&sb, " lanes%v", in.Comps)
+	}
+	for i, t := range in.Targets {
+		if i == 0 && len(in.Args) == 0 {
+			sb.WriteString(" ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.Name)
+	}
+	if in.Producing() {
+		fmt.Fprintf(&sb, " : %s", in.Typ)
+	}
+	return sb.String()
+}

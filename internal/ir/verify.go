@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"fmt"
+
+	"grover/internal/clc"
+)
+
+// Verify checks structural invariants of the module: every block ends in
+// exactly one terminator, operands are defined before use (within the
+// block ordering of a reverse-post-order walk this is approximated by
+// requiring operands to belong to the same function), branch targets belong
+// to the same function, and memory ops have pointer operands.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if err := VerifyFunc(f); err != nil {
+			return fmt.Errorf("function %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// VerifyFunc checks one function.
+func VerifyFunc(f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	blockSet := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+	}
+	defined := map[Value]bool{}
+	for _, p := range f.Params {
+		defined[p] = true
+	}
+	// First pass: collect all defined instruction values (the IR is not
+	// strictly SSA-ordered across blocks; dominance is not checked).
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Producing() {
+				defined[in] = true
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %s is empty", b.Name)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if in.Op.IsTerminator() {
+					return fmt.Errorf("block %s: terminator %s not at end", b.Name, in.Op)
+				}
+				return fmt.Errorf("block %s: missing terminator", b.Name)
+			}
+			if in.Block != b {
+				return fmt.Errorf("block %s: instruction %s has wrong block link", b.Name, in.Format())
+			}
+			for _, a := range in.Args {
+				switch a.(type) {
+				case *ConstInt, *ConstFloat:
+				default:
+					if !defined[a] {
+						return fmt.Errorf("block %s: %s uses undefined operand %s", b.Name, in.Format(), a)
+					}
+				}
+			}
+			for _, t := range in.Targets {
+				if !blockSet[t] {
+					return fmt.Errorf("block %s: branch to foreign block %s", b.Name, t.Name)
+				}
+			}
+			switch in.Op {
+			case OpLoad:
+				if len(in.Args) != 1 {
+					return fmt.Errorf("load needs 1 operand")
+				}
+				if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
+					return fmt.Errorf("load operand is not a pointer: %s", in.Args[0].Type())
+				}
+			case OpStore:
+				if len(in.Args) != 2 {
+					return fmt.Errorf("store needs 2 operands")
+				}
+				if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
+					return fmt.Errorf("store target is not a pointer: %s", in.Args[0].Type())
+				}
+			case OpIndex:
+				if len(in.Args) != 2 {
+					return fmt.Errorf("index needs 2 operands")
+				}
+				if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
+					return fmt.Errorf("index base is not a pointer: %s", in.Args[0].Type())
+				}
+			case OpCondBr:
+				if len(in.Targets) != 2 {
+					return fmt.Errorf("condbr needs 2 targets")
+				}
+			case OpBr:
+				if len(in.Targets) != 1 {
+					return fmt.Errorf("br needs 1 target")
+				}
+			case OpCall:
+				if in.Callee == nil {
+					return fmt.Errorf("call without callee")
+				}
+				if len(in.Args) != len(in.Callee.Params) {
+					return fmt.Errorf("call to %s: %d args, want %d", in.Callee.Name, len(in.Args), len(in.Callee.Params))
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+// Package linsolve provides exact rational linear algebra for Grover's
+// index-correspondence analysis (paper §III-B, Equation 3). Systems are
+// solved over affine forms: symbolic linear combinations of named terms
+// with *big.Rat coefficients, so "x = ly" and "y = lx + 16·i" are first
+// class right-hand sides and solutions.
+package linsolve
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Affine is a linear combination of symbolic terms plus a constant:
+// Σ Coeffs[k]·term_k + Const. Term keys are opaque strings chosen by the
+// caller (the exprtree package uses canonical value names).
+type Affine struct {
+	Coeffs map[string]*big.Rat
+	Const  *big.Rat
+}
+
+// NewAffine returns the zero affine form.
+func NewAffine() *Affine {
+	return &Affine{Coeffs: map[string]*big.Rat{}, Const: new(big.Rat)}
+}
+
+// ConstAffine returns an affine form holding only a constant.
+func ConstAffine(c *big.Rat) *Affine {
+	a := NewAffine()
+	a.Const.Set(c)
+	return a
+}
+
+// TermAffine returns an affine form equal to one term.
+func TermAffine(key string) *Affine {
+	a := NewAffine()
+	a.Coeffs[key] = big.NewRat(1, 1)
+	return a
+}
+
+// Clone deep-copies the affine form.
+func (a *Affine) Clone() *Affine {
+	out := NewAffine()
+	out.Const.Set(a.Const)
+	for k, v := range a.Coeffs {
+		out.Coeffs[k] = new(big.Rat).Set(v)
+	}
+	return out
+}
+
+// AddScaled adds s·b to a in place and returns a.
+func (a *Affine) AddScaled(b *Affine, s *big.Rat) *Affine {
+	a.Const.Add(a.Const, new(big.Rat).Mul(b.Const, s))
+	for k, v := range b.Coeffs {
+		cur, ok := a.Coeffs[k]
+		if !ok {
+			cur = new(big.Rat)
+			a.Coeffs[k] = cur
+		}
+		cur.Add(cur, new(big.Rat).Mul(v, s))
+		if cur.Sign() == 0 {
+			delete(a.Coeffs, k)
+		}
+	}
+	return a
+}
+
+// Add adds b to a in place and returns a.
+func (a *Affine) Add(b *Affine) *Affine { return a.AddScaled(b, big.NewRat(1, 1)) }
+
+// Sub subtracts b from a in place and returns a.
+func (a *Affine) Sub(b *Affine) *Affine { return a.AddScaled(b, big.NewRat(-1, 1)) }
+
+// Scale multiplies a by s in place and returns a.
+func (a *Affine) Scale(s *big.Rat) *Affine {
+	a.Const.Mul(a.Const, s)
+	for k, v := range a.Coeffs {
+		v.Mul(v, s)
+		if v.Sign() == 0 {
+			delete(a.Coeffs, k)
+		}
+	}
+	return a
+}
+
+// IsConst reports whether a has no symbolic terms.
+func (a *Affine) IsConst() bool { return len(a.Coeffs) == 0 }
+
+// IsZero reports whether a is identically zero.
+func (a *Affine) IsZero() bool { return a.IsConst() && a.Const.Sign() == 0 }
+
+// Coeff returns the coefficient of term key (zero when absent).
+func (a *Affine) Coeff(key string) *big.Rat {
+	if v, ok := a.Coeffs[key]; ok {
+		return v
+	}
+	return new(big.Rat)
+}
+
+// Terms returns the term keys in sorted order.
+func (a *Affine) Terms() []string {
+	out := make([]string, 0, len(a.Coeffs))
+	for k := range a.Coeffs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports structural equality of two affine forms.
+func (a *Affine) Equal(b *Affine) bool {
+	if a.Const.Cmp(b.Const) != 0 || len(a.Coeffs) != len(b.Coeffs) {
+		return false
+	}
+	for k, v := range a.Coeffs {
+		bv, ok := b.Coeffs[k]
+		if !ok || v.Cmp(bv) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the affine form as e.g. "ly + 16*i + 4".
+func (a *Affine) String() string {
+	var parts []string
+	for _, k := range a.Terms() {
+		c := a.Coeffs[k]
+		switch {
+		case c.Cmp(big.NewRat(1, 1)) == 0:
+			parts = append(parts, k)
+		case c.Cmp(big.NewRat(-1, 1)) == 0:
+			parts = append(parts, "-"+k)
+		default:
+			parts = append(parts, ratString(c)+"*"+k)
+		}
+	}
+	if a.Const.Sign() != 0 || len(parts) == 0 {
+		parts = append(parts, ratString(a.Const))
+	}
+	s := strings.Join(parts, " + ")
+	return strings.ReplaceAll(s, "+ -", "- ")
+}
+
+func ratString(r *big.Rat) string {
+	if r.IsInt() {
+		return r.Num().String()
+	}
+	return r.String()
+}
+
+// ErrSingular is returned when the linear system has no unique solution —
+// in Grover's terms, the local-to-global correspondence is not reversible.
+var ErrSingular = fmt.Errorf("linsolve: system has no unique solution")
+
+// Solve solves A·x = b by Gauss-Jordan elimination over exact rationals,
+// where b's entries (and hence the solutions) are affine forms. A must be
+// square with one row per equation. It returns the solution vector x, or
+// ErrSingular when A is singular.
+func Solve(a [][]*big.Rat, b []*Affine) ([]*Affine, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, fmt.Errorf("linsolve: empty system")
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linsolve: %d equations but %d right-hand sides", n, len(b))
+	}
+	// Working copies.
+	m := make([][]*big.Rat, n)
+	rhs := make([]*Affine, n)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linsolve: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		m[i] = make([]*big.Rat, n)
+		for j := range a[i] {
+			m[i][j] = new(big.Rat).Set(a[i][j])
+		}
+		rhs[i] = b[i].Clone()
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col].Sign() != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		// Normalize pivot row.
+		inv := new(big.Rat).Inv(m[col][col])
+		for j := col; j < n; j++ {
+			m[col][j].Mul(m[col][j], inv)
+		}
+		rhs[col].Scale(inv)
+		// Eliminate column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col].Sign() == 0 {
+				continue
+			}
+			factor := new(big.Rat).Neg(m[r][col])
+			for j := col; j < n; j++ {
+				m[r][j].Add(m[r][j], new(big.Rat).Mul(factor, m[col][j]))
+			}
+			rhs[r].AddScaled(rhs[col], factor)
+		}
+	}
+	return rhs, nil
+}
+
+// DecomposeByStrides splits a flattened affine offset into per-dimension
+// affine indices given the dimension strides (descending; the last stride
+// is the element size). It performs greedy Euclidean decomposition of every
+// coefficient: offset = Σ_d X_d·stride_d. An error is reported when a
+// coefficient does not decompose exactly (non-integral division).
+func DecomposeByStrides(offset *Affine, strides []int64) ([]*Affine, error) {
+	n := len(strides)
+	out := make([]*Affine, n)
+	for i := range out {
+		out[i] = NewAffine()
+	}
+	place := func(c *big.Rat, key string) error {
+		rem := new(big.Rat).Set(c)
+		for d := 0; d < n; d++ {
+			s := big.NewRat(strides[d], 1)
+			q := new(big.Rat).Quo(rem, s)
+			if d == n-1 {
+				if !q.IsInt() {
+					return fmt.Errorf("linsolve: coefficient %s of %q is not a multiple of the element stride %d", ratString(c), key, strides[d])
+				}
+				addTerm(out[d], key, q)
+				return nil
+			}
+			// Integer part of the quotient (toward zero).
+			iq := new(big.Int).Quo(q.Num(), q.Denom())
+			if iq.Sign() != 0 {
+				addTerm(out[d], key, new(big.Rat).SetInt(iq))
+				rem.Sub(rem, new(big.Rat).Mul(new(big.Rat).SetInt(iq), s))
+			}
+		}
+		return nil
+	}
+	for k, v := range offset.Coeffs {
+		if err := place(v, k); err != nil {
+			return nil, err
+		}
+	}
+	if err := place(offset.Const, ""); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func addTerm(a *Affine, key string, v *big.Rat) {
+	if key == "" {
+		a.Const.Add(a.Const, v)
+		return
+	}
+	cur, ok := a.Coeffs[key]
+	if !ok {
+		cur = new(big.Rat)
+		a.Coeffs[key] = cur
+	}
+	cur.Add(cur, v)
+	if cur.Sign() == 0 {
+		delete(a.Coeffs, key)
+	}
+}

@@ -1,0 +1,202 @@
+package linsolve
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func rat(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func TestAffineArithmetic(t *testing.T) {
+	a := TermAffine("lx")
+	a.AddScaled(TermAffine("ly"), rat(2, 1))
+	a.Const.SetInt64(3)
+	if a.String() != "lx + 2*ly + 3" {
+		t.Errorf("String = %q", a.String())
+	}
+	b := a.Clone()
+	b.Sub(TermAffine("lx"))
+	if b.Coeff("lx").Sign() != 0 {
+		t.Error("lx should cancel")
+	}
+	b.Scale(rat(2, 1))
+	if b.Coeff("ly").Cmp(rat(4, 1)) != 0 || b.Const.Cmp(rat(6, 1)) != 0 {
+		t.Errorf("scale wrong: %s", b)
+	}
+	if !a.Clone().Equal(a) {
+		t.Error("clone not equal")
+	}
+}
+
+func TestSolveTransposeSwap(t *testing.T) {
+	// Matrix Transpose (paper §III-C): LS index (x,y) = (ly, lx); LL index
+	// (x_LL, y_LL) = (lx, ly) as symbolic constants. System:
+	//   [0 1][lx]   [x_LL]          (x = ly)
+	//   [1 0][ly] = [y_LL]          (y = lx)
+	a := [][]*big.Rat{{rat(0, 1), rat(1, 1)}, {rat(1, 1), rat(0, 1)}}
+	b := []*Affine{TermAffine("x_LL"), TermAffine("y_LL")}
+	sol, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lx = y_LL, ly = x_LL.
+	if sol[0].String() != "y_LL" || sol[1].String() != "x_LL" {
+		t.Errorf("solution = (%s, %s)", sol[0], sol[1])
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	a := [][]*big.Rat{{rat(1, 1)}}
+	rhs := TermAffine("k")
+	rhs.Const.SetInt64(5)
+	sol, err := Solve(a, []*Affine{rhs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol[0].String() != "k + 5" {
+		t.Errorf("solution = %s", sol[0])
+	}
+}
+
+func TestSolveScaled(t *testing.T) {
+	// 2*lx = x_LL → lx = x_LL/2 (non-integral solutions are the caller's
+	// problem; the solver is exact).
+	a := [][]*big.Rat{{rat(2, 1)}}
+	sol, err := Solve(a, []*Affine{TermAffine("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol[0].Coeff("x").Cmp(rat(1, 2)) != 0 {
+		t.Errorf("solution = %s", sol[0])
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]*big.Rat{{rat(1, 1), rat(1, 1)}, {rat(2, 1), rat(2, 1)}}
+	_, err := Solve(a, []*Affine{TermAffine("x"), TermAffine("y")})
+	if err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolve3x3(t *testing.T) {
+	// x = lx + ly, y = ly + lz, z = lx + lz  →  solvable, det = 2.
+	a := [][]*big.Rat{
+		{rat(1, 1), rat(1, 1), rat(0, 1)},
+		{rat(0, 1), rat(1, 1), rat(1, 1)},
+		{rat(1, 1), rat(0, 1), rat(1, 1)},
+	}
+	b := []*Affine{TermAffine("x"), TermAffine("y"), TermAffine("z")}
+	sol, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lx = (x - y + z)/2
+	want := TermAffine("x")
+	want.Sub(TermAffine("y")).Add(TermAffine("z")).Scale(rat(1, 2))
+	if !sol[0].Equal(want) {
+		t.Errorf("lx = %s, want %s", sol[0], want)
+	}
+}
+
+func TestSolveRandomInvertible(t *testing.T) {
+	// Property: for random integer matrices with nonzero determinant,
+	// substituting the solution back satisfies A·x = b.
+	check := func(a11, a12, a21, a22 int8, c1, c2 int8) bool {
+		det := int64(a11)*int64(a22) - int64(a12)*int64(a21)
+		if det == 0 {
+			return true
+		}
+		a := [][]*big.Rat{
+			{rat(int64(a11), 1), rat(int64(a12), 1)},
+			{rat(int64(a21), 1), rat(int64(a22), 1)},
+		}
+		b1 := TermAffine("u")
+		b1.Const.SetInt64(int64(c1))
+		b2 := TermAffine("v")
+		b2.Const.SetInt64(int64(c2))
+		sol, err := Solve(a, []*Affine{b1, b2})
+		if err != nil {
+			return false
+		}
+		// Verify: a11*x0 + a12*x1 == b1 and a21*x0 + a22*x1 == b2.
+		r1 := sol[0].Clone().Scale(rat(int64(a11), 1)).AddScaled(sol[1], rat(int64(a12), 1))
+		r2 := sol[0].Clone().Scale(rat(int64(a21), 1)).AddScaled(sol[1], rat(int64(a22), 1))
+		return r1.Equal(b1) && r2.Equal(b2)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeByStrides(t *testing.T) {
+	// offset = ly*64 + lx*4 with strides [64, 4] (float lm[16][16]).
+	off := NewAffine()
+	off.AddScaled(TermAffine("ly"), rat(64, 1))
+	off.AddScaled(TermAffine("lx"), rat(4, 1))
+	dims, err := DecomposeByStrides(off, []int64{64, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0].String() != "ly" || dims[1].String() != "lx" {
+		t.Errorf("dims = (%s, %s)", dims[0], dims[1])
+	}
+}
+
+func TestDecomposeMixedCoefficient(t *testing.T) {
+	// offset = i*68 + 8 with strides [64, 4]:
+	// 68 = 1*64 + 1*4 → dim0 gets i, dim1 gets i; const 8 → dim1 gets 2.
+	off := NewAffine()
+	off.AddScaled(TermAffine("i"), rat(68, 1))
+	off.Const.SetInt64(8)
+	dims, err := DecomposeByStrides(off, []int64{64, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0].String() != "i" {
+		t.Errorf("dim0 = %s", dims[0])
+	}
+	if dims[1].String() != "i + 2" {
+		t.Errorf("dim1 = %s", dims[1])
+	}
+}
+
+func TestDecompose1D(t *testing.T) {
+	off := NewAffine()
+	off.AddScaled(TermAffine("lx"), rat(4, 1))
+	dims, err := DecomposeByStrides(off, []int64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims[0].String() != "lx" {
+		t.Errorf("dim0 = %s", dims[0])
+	}
+}
+
+func TestDecomposeNonIntegral(t *testing.T) {
+	off := NewAffine()
+	off.AddScaled(TermAffine("lx"), rat(3, 1)) // not a multiple of 4
+	if _, err := DecomposeByStrides(off, []int64{4}); err == nil {
+		t.Fatal("expected non-integral decomposition error")
+	}
+}
+
+func TestDecomposeProperty(t *testing.T) {
+	// Property: recomposing Σ dims[d]*stride[d] recovers the original.
+	check := func(c0, c1, k int16) bool {
+		off := NewAffine()
+		off.AddScaled(TermAffine("a"), rat(int64(c0)*4, 1))
+		off.AddScaled(TermAffine("b"), rat(int64(c1)*4, 1))
+		off.Const.SetInt64(int64(k) * 4)
+		dims, err := DecomposeByStrides(off, []int64{256, 4})
+		if err != nil {
+			return false
+		}
+		recomposed := dims[0].Clone().Scale(rat(256, 1)).AddScaled(dims[1], rat(4, 1))
+		return recomposed.Equal(off)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+package lower
+
+import (
+	"testing"
+
+	"grover/internal/clc"
+	"grover/internal/ir"
+)
+
+func lowerSrc(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	f, err := clc.Parse("t.cl", src, nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := Module(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return m
+}
+
+func count(fn *ir.Function, op ir.Op) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestLoweredIRVerifies(t *testing.T) {
+	m := lowerSrc(t, `
+float helper(float a) { return a * 2.0f; }
+__kernel void k(__global float* out, __global float4* v, int n) {
+    int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int j = 0; j < n; j++) {
+        if (j % 2 == 0) acc += helper((float)j);
+        else acc -= 0.5f;
+    }
+    float4 x = v[i];
+    out[i] = acc + x.x + x.w + dot(x, x);
+}
+`)
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalIDExpansion(t *testing.T) {
+	// get_global_id must lower to group*size+lid so Grover's analysis sees
+	// the local-id dependence.
+	m := lowerSrc(t, `
+__kernel void k(__global float* out) { out[get_global_id(0)] = 1.0f; }
+`)
+	fn := m.Kernel("k")
+	var funcs []string
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpWorkItem {
+				funcs = append(funcs, in.Func)
+			}
+		}
+	}
+	want := map[string]bool{"get_group_id": false, "get_local_size": false, "get_local_id": false}
+	for _, f := range funcs {
+		if _, ok := want[f]; ok {
+			want[f] = true
+		}
+		if f == "get_global_id" {
+			t.Error("get_global_id should be expanded away")
+		}
+	}
+	for f, seen := range want {
+		if !seen {
+			t.Errorf("expansion missing %s", f)
+		}
+	}
+}
+
+func TestAllocasHoistedToEntry(t *testing.T) {
+	m := lowerSrc(t, `
+__kernel void k(__global int* out, int n) {
+    for (int i = 0; i < n; i++) {
+        int tmp = i * 2;
+        out[i] = tmp;
+    }
+}
+`)
+	fn := m.Kernel("k")
+	entry := fn.Entry()
+	total := count(fn, ir.OpAlloca)
+	inEntry := 0
+	for _, in := range entry.Instrs {
+		if in.Op == ir.OpAlloca {
+			inEntry++
+		}
+	}
+	if total != inEntry {
+		t.Errorf("%d allocas total but only %d in the entry block", total, inEntry)
+	}
+}
+
+func TestImmutableParamsUsedDirectly(t *testing.T) {
+	m := lowerSrc(t, `
+__kernel void k(__global float* a, int n) {
+    a[get_global_id(0)] = (float)n;
+}
+`)
+	fn := m.Kernel("k")
+	// n is never assigned → no alloca for it (only buffers indexed).
+	if got := count(fn, ir.OpAlloca); got != 0 {
+		t.Errorf("expected no allocas for immutable params, got %d", got)
+	}
+}
+
+func TestMutatedParamGetsSlot(t *testing.T) {
+	m := lowerSrc(t, `
+__kernel void k(__global float* a, int n) {
+    n = n + 1;
+    a[get_global_id(0)] = (float)n;
+}
+`)
+	fn := m.Kernel("k")
+	if got := count(fn, ir.OpAlloca); got != 1 {
+		t.Errorf("expected one alloca for the mutated param, got %d", got)
+	}
+}
+
+func TestShortCircuitBranches(t *testing.T) {
+	m := lowerSrc(t, `
+__kernel void k(__global int* out, __global int* guard) {
+    int i = get_global_id(0);
+    /* guard[1000000] would fault if && did not short-circuit */
+    if (i < 0 && guard[1000000] > 0) out[i] = 1;
+    else out[i] = 2;
+}
+`)
+	fn := m.Kernel("k")
+	if count(fn, ir.OpCondBr) < 2 {
+		t.Error("short-circuit && should lower to multiple conditional branches")
+	}
+}
+
+func TestLocalDeclSpaces(t *testing.T) {
+	m := lowerSrc(t, `
+__kernel void k(__global float* out) {
+    __local float sm[32];
+    int lx = get_local_id(0);
+    sm[lx] = 0.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[lx] = sm[lx];
+}
+`)
+	fn := m.Kernel("k")
+	locals, privates := 0, 0
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpAlloca {
+				if in.Space == clc.ASLocal {
+					locals++
+				} else {
+					privates++
+				}
+			}
+		}
+	}
+	if locals != 1 {
+		t.Errorf("local allocas = %d, want 1", locals)
+	}
+	if privates != 1 { // lx
+		t.Errorf("private allocas = %d, want 1", privates)
+	}
+}
+
+func TestBreakOutsideLoopRejected(t *testing.T) {
+	f, err := clc.Parse("t.cl", `__kernel void k(__global int* a) { break; }`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Module(f); err == nil {
+		t.Error("break outside loop must be a lowering error")
+	}
+}
+
+func TestVectorSwizzleLowering(t *testing.T) {
+	m := lowerSrc(t, `
+__kernel void k(__global float4* v) {
+    int i = get_global_id(0);
+    float4 x = v[i];
+    x.xy = x.yx;
+    x.w = 5.0f;
+    v[i] = x;
+}
+`)
+	fn := m.Kernel("k")
+	if count(fn, ir.OpInsert) == 0 {
+		t.Error("swizzle assignment should lower to insert instructions")
+	}
+	if count(fn, ir.OpExtract)+count(fn, ir.OpShuffle) == 0 {
+		t.Error("swizzle read should lower to extract/shuffle")
+	}
+}

@@ -1,0 +1,219 @@
+// Package memsim provides the trace-driven memory-hierarchy models behind
+// the device profiles: set-associative write-back caches with LRU
+// replacement, a DRAM backstop, a GPU coalescing unit, and a banked
+// scratch-pad model. The paper's performance story (coalescing on GPUs,
+// cache reuse versus staging overhead on CPUs, conflict misses on
+// power-of-two strides) is exactly what these components reproduce.
+package memsim
+
+import "fmt"
+
+// Stats aggregates one cache's activity.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+}
+
+// HitRate returns hits/accesses (0 when idle).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Level is a stage of the memory hierarchy returning an access cost in
+// cycles.
+type Level interface {
+	// Access touches [addr, addr+size) and returns the cost in cycles.
+	Access(addr uint64, size int, store bool) int64
+	// Name identifies the level in reports.
+	Name() string
+}
+
+// DRAM is the hierarchy backstop with a fixed access latency.
+type DRAM struct {
+	Latency  int64
+	Accesses int64
+}
+
+// Access counts the access and returns the fixed latency.
+func (d *DRAM) Access(addr uint64, size int, store bool) int64 {
+	d.Accesses++
+	return d.Latency
+}
+
+// Name returns "dram".
+func (d *DRAM) Name() string { return "dram" }
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// age is the LRU timestamp.
+	age uint64
+}
+
+// Cache is one set-associative, write-allocate, write-back cache level.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lineSize int
+	latency  int64
+	next     Level
+
+	lines []line // sets*ways
+	clock uint64
+	stats Stats
+}
+
+// NewCache builds a cache level in front of next. sets and lineSize must
+// be powers of two.
+func NewCache(name string, sets, ways, lineSize int, latency int64, next Level) (*Cache, error) {
+	if sets <= 0 || ways <= 0 || lineSize <= 0 {
+		return nil, fmt.Errorf("memsim: bad geometry for %s: sets=%d ways=%d line=%d", name, sets, ways, lineSize)
+	}
+	if sets&(sets-1) != 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("memsim: %s: sets (%d) and line size (%d) must be powers of two", name, sets, lineSize)
+	}
+	if next == nil {
+		return nil, fmt.Errorf("memsim: %s has no next level", name)
+	}
+	return &Cache{
+		name: name, sets: sets, ways: ways, lineSize: lineSize,
+		latency: latency, next: next,
+		lines: make([]line, sets*ways),
+	}, nil
+}
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// Stats returns a copy of the level's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SizeBytes returns the total capacity.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * c.lineSize }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// Access touches [addr, addr+size), splitting accesses that straddle cache
+// lines, and returns the total cost in cycles.
+func (c *Cache) Access(addr uint64, size int, store bool) int64 {
+	if size <= 0 {
+		size = 1
+	}
+	var cost int64
+	first := addr / uint64(c.lineSize)
+	last := (addr + uint64(size) - 1) / uint64(c.lineSize)
+	for ln := first; ln <= last; ln++ {
+		cost += c.accessLine(ln, store)
+	}
+	return cost
+}
+
+func (c *Cache) accessLine(lineAddr uint64, store bool) int64 {
+	c.clock++
+	c.stats.Accesses++
+	set := int(lineAddr % uint64(c.sets))
+	tag := lineAddr / uint64(c.sets)
+	base := set * c.ways
+
+	// Hit?
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			c.stats.Hits++
+			l.age = c.clock
+			if store {
+				l.dirty = true
+			}
+			return c.latency
+		}
+	}
+	// Miss: fetch from the next level (write-allocate).
+	c.stats.Misses++
+	cost := c.latency + c.next.Access(lineAddr*uint64(c.lineSize), c.lineSize, false)
+
+	// Choose victim: invalid way or LRU.
+	victim := base
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if !l.valid {
+			victim = base + i
+			break
+		}
+		if l.age < c.lines[victim].age {
+			victim = base + i
+		}
+	}
+	v := &c.lines[victim]
+	if v.valid && v.dirty {
+		// Write back the evicted line.
+		c.stats.Writebacks++
+		cost += c.next.Access(v.tag*uint64(c.sets)*uint64(c.lineSize), c.lineSize, true) / 2
+	}
+	*v = line{tag: tag, valid: true, dirty: store, age: c.clock}
+	return cost
+}
+
+// Hierarchy is a convenience bundle: an ordered cache chain plus the DRAM
+// backstop, accessed from the innermost level.
+type Hierarchy struct {
+	Levels []*Cache
+	Mem    *DRAM
+}
+
+// CacheSpec describes one level for NewHierarchy.
+type CacheSpec struct {
+	Name     string
+	Sets     int
+	Ways     int
+	LineSize int
+	Latency  int64
+}
+
+// NewHierarchy builds the chain innermost-first.
+func NewHierarchy(specs []CacheSpec, dramLatency int64) (*Hierarchy, error) {
+	h := &Hierarchy{Mem: &DRAM{Latency: dramLatency}}
+	var next Level = h.Mem
+	// Build outermost first.
+	caches := make([]*Cache, len(specs))
+	for i := len(specs) - 1; i >= 0; i-- {
+		c, err := NewCache(specs[i].Name, specs[i].Sets, specs[i].Ways, specs[i].LineSize, specs[i].Latency, next)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = c
+		next = c
+	}
+	h.Levels = caches
+	return h, nil
+}
+
+// Access goes through the innermost level (or straight to DRAM when the
+// hierarchy has no caches).
+func (h *Hierarchy) Access(addr uint64, size int, store bool) int64 {
+	if len(h.Levels) == 0 {
+		return h.Mem.Access(addr, size, store)
+	}
+	return h.Levels[0].Access(addr, size, store)
+}
+
+// Reset clears every level.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Reset()
+	}
+	h.Mem.Accesses = 0
+}

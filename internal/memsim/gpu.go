@@ -1,0 +1,49 @@
+package memsim
+
+// Coalesce computes the number of memory transactions a warp's
+// simultaneous accesses generate: the count of distinct segment-aligned
+// blocks touched (the classic NVIDIA/AMD coalescing rule). addrs are the
+// byte addresses of the active lanes; segment is the transaction size in
+// bytes (e.g. 128).
+func Coalesce(addrs []uint64, sizes []int, segment int) int {
+	if len(addrs) == 0 {
+		return 0
+	}
+	seen := map[uint64]struct{}{}
+	for i, a := range addrs {
+		sz := 4
+		if i < len(sizes) && sizes[i] > 0 {
+			sz = sizes[i]
+		}
+		first := a / uint64(segment)
+		last := (a + uint64(sz) - 1) / uint64(segment)
+		for s := first; s <= last; s++ {
+			seen[s] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// BankConflictDegree computes the scratch-pad conflict factor of a warp
+// access: the maximum number of distinct addresses mapping to one bank.
+// Lanes reading the same address broadcast and do not conflict.
+func BankConflictDegree(addrs []uint64, banks, bankWidth int) int {
+	if len(addrs) == 0 {
+		return 0
+	}
+	perBank := map[int]map[uint64]struct{}{}
+	for _, a := range addrs {
+		b := int((a / uint64(bankWidth)) % uint64(banks))
+		if perBank[b] == nil {
+			perBank[b] = map[uint64]struct{}{}
+		}
+		perBank[b][a/uint64(bankWidth)] = struct{}{}
+	}
+	maxDeg := 1
+	for _, m := range perBank {
+		if len(m) > maxDeg {
+			maxDeg = len(m)
+		}
+	}
+	return maxDeg
+}

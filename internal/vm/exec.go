@@ -1,0 +1,536 @@
+package vm
+
+import (
+	"fmt"
+
+	"grover/internal/clc"
+	"grover/internal/ir"
+)
+
+// wiCtx is one work-item's resumable execution state.
+type wiCtx struct {
+	wi   int // linear id within the group
+	fn   *ir.Function
+	blk  *ir.Block
+	idx  int
+	regs []rv
+	prms []rv
+	mem  memView
+
+	gid, lid, grp [3]int64
+
+	frameBase int
+	sp        int
+
+	done    bool
+	pending int64 // retired instructions not yet flushed to the tracer
+	callRet rv    // return value stash for nested function calls
+}
+
+// groupExec runs the work-groups assigned to one worker.
+type groupExec struct {
+	p          *Program
+	fn         *ir.Function
+	cfg        Config
+	gmem       *GlobalMem
+	params     []rv
+	localTotal int
+	tracer     Tracer
+
+	local []byte
+	ctxs  []wiCtx
+	priv  [][]byte
+}
+
+func (ge *groupExec) runGroup(group [3]int, linear int) error {
+	lsz := ge.cfg.LocalSize
+	n := lsz[0] * lsz[1] * lsz[2]
+
+	if cap(ge.local) < ge.localTotal {
+		ge.local = make([]byte, ge.localTotal)
+	} else {
+		ge.local = ge.local[:ge.localTotal]
+		clear(ge.local)
+	}
+	if len(ge.ctxs) < n {
+		ge.ctxs = make([]wiCtx, n)
+		ge.priv = make([][]byte, n)
+	}
+	nRegs := ge.p.regCount[ge.fn]
+	stack := ge.p.stackBytes
+	for wi := 0; wi < n; wi++ {
+		c := &ge.ctxs[wi]
+		if c.regs == nil || len(c.regs) < nRegs {
+			c.regs = make([]rv, nRegs)
+		}
+		if ge.priv[wi] == nil || len(ge.priv[wi]) < stack {
+			ge.priv[wi] = make([]byte, stack)
+		}
+		lz := wi / (lsz[0] * lsz[1])
+		rem := wi % (lsz[0] * lsz[1])
+		ly := rem / lsz[0]
+		lx := rem % lsz[0]
+		c.wi = wi
+		c.fn = ge.fn
+		c.blk = ge.fn.Entry()
+		c.idx = 0
+		c.prms = ge.params
+		c.lid = [3]int64{int64(lx), int64(ly), int64(lz)}
+		c.grp = [3]int64{int64(group[0]), int64(group[1]), int64(group[2])}
+		c.gid = [3]int64{
+			int64(group[0]*lsz[0] + lx),
+			int64(group[1]*lsz[1] + ly),
+			int64(group[2]*lsz[2] + lz),
+		}
+		c.frameBase = 0
+		c.sp = ge.p.frames[ge.fn].size
+		c.done = false
+		c.pending = 0
+		c.mem = memView{global: ge.gmem.Data, local: ge.local, private: ge.priv[wi]}
+	}
+
+	if ge.tracer != nil {
+		ge.tracer.GroupBegin(group, linear)
+	}
+	// Rounds: run every live work-item to its next barrier (or to
+	// completion); repeat until all are done.
+	for {
+		var barrierAt *ir.Instr
+		liveBefore := 0
+		atBarrier := 0
+		doneNow := 0
+		for wi := 0; wi < n; wi++ {
+			c := &ge.ctxs[wi]
+			if c.done {
+				continue
+			}
+			liveBefore++
+			hitBarrier, bInstr, err := ge.exec(c, true)
+			if ge.tracer != nil && c.pending > 0 {
+				ge.tracer.Instrs(c.wi, c.pending)
+				c.pending = 0
+			}
+			if err != nil {
+				return fmt.Errorf("work-item %d: %w", wi, err)
+			}
+			if hitBarrier {
+				atBarrier++
+				if barrierAt == nil {
+					barrierAt = bInstr
+				} else if barrierAt != bInstr {
+					return fmt.Errorf("barrier divergence: work-items reached different barriers")
+				}
+			} else {
+				doneNow++
+			}
+		}
+		if liveBefore == 0 {
+			break
+		}
+		if atBarrier > 0 && doneNow > 0 {
+			return fmt.Errorf("barrier divergence: %d work-items at a barrier while %d finished", atBarrier, doneNow)
+		}
+		if atBarrier > 0 && ge.tracer != nil {
+			ge.tracer.Barrier(atBarrier)
+		}
+		if atBarrier == 0 {
+			break
+		}
+	}
+	if ge.tracer != nil {
+		ge.tracer.GroupEnd()
+	}
+	return nil
+}
+
+// val resolves an operand to its runtime value.
+func (c *wiCtx) val(v ir.Value) rv {
+	switch t := v.(type) {
+	case *ir.Instr:
+		return c.regs[t.ID]
+	case *ir.ConstInt:
+		return rv{i: t.Val}
+	case *ir.ConstFloat:
+		return rv{f: t.Val}
+	case *ir.Param:
+		return c.prms[t.Index]
+	}
+	panic(fmt.Sprintf("vm: unknown value %T", v))
+}
+
+// exec runs c until a barrier (kernel level only), a return, or an error.
+// It reports whether execution suspended at a barrier, and which barrier
+// instruction it was.
+func (ge *groupExec) exec(c *wiCtx, kernelLevel bool) (bool, *ir.Instr, error) {
+	tr := ge.tracer
+	for {
+		if c.idx >= len(c.blk.Instrs) {
+			return false, nil, fmt.Errorf("vm: fell off block %s", c.blk.Name)
+		}
+		in := c.blk.Instrs[c.idx]
+		c.pending++
+		switch in.Op {
+		case ir.OpAlloca:
+			var addr uint64
+			if in.Space == clc.ASLocal {
+				addr = MakeAddr(clc.ASLocal, uint64(ge.p.localOff[in]))
+			} else {
+				addr = MakeAddr(clc.ASPrivate, uint64(c.frameBase+ge.p.frames[c.fn].offsets[in]))
+			}
+			c.regs[in.ID] = rv{i: int64(addr)}
+			c.idx++
+
+		case ir.OpLoad:
+			addr := uint64(c.val(in.Args[0]).i)
+			if tr != nil {
+				tr.Access(in, c.wi, addr, in.Typ.Size(), false)
+			}
+			v, err := ge.loadTyped(c, addr, in.Typ, in)
+			if err != nil {
+				return false, nil, err
+			}
+			c.regs[in.ID] = v
+			c.idx++
+
+		case ir.OpStore:
+			addr := uint64(c.val(in.Args[0]).i)
+			val := c.val(in.Args[1])
+			t := in.Args[1].Type()
+			if tr != nil {
+				tr.Access(in, c.wi, addr, t.Size(), true)
+			}
+			if err := ge.storeTyped(c, addr, t, val); err != nil {
+				return false, nil, err
+			}
+			c.idx++
+
+		case ir.OpIndex:
+			base := c.val(in.Args[0]).i
+			idx := c.val(in.Args[1]).i
+			step := int64(ir.PointeeSize(in.Args[0].Type()))
+			c.regs[in.ID] = rv{i: base + idx*step}
+			c.idx++
+
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+			ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+			v, err := ge.binArith(c, in)
+			if err != nil {
+				return false, nil, err
+			}
+			c.regs[in.ID] = v
+			c.idx++
+
+		case ir.OpNeg, ir.OpNot:
+			v, err := ge.unArith(c, in)
+			if err != nil {
+				return false, nil, err
+			}
+			c.regs[in.ID] = v
+			c.idx++
+
+		case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+			c.regs[in.ID] = ge.compare(c, in)
+			c.idx++
+
+		case ir.OpConvert:
+			v, err := ge.convert(c, in)
+			if err != nil {
+				return false, nil, err
+			}
+			c.regs[in.ID] = v
+			c.idx++
+
+		case ir.OpExtract:
+			src := c.val(in.Args[0])
+			lane := in.Comps[0]
+			vt := in.Args[0].Type().(*clc.VectorType)
+			if vt.Elem.Kind.IsFloat() {
+				c.regs[in.ID] = rv{f: src.vf[lane]}
+			} else {
+				c.regs[in.ID] = rv{i: src.vi[lane]}
+			}
+			c.idx++
+
+		case ir.OpInsert:
+			src := c.val(in.Args[0])
+			sc := c.val(in.Args[1])
+			vt := in.Typ.(*clc.VectorType)
+			if vt.Elem.Kind.IsFloat() {
+				dst := ensureVF(&c.regs[in.ID], vt.Len)
+				copy(dst, src.vf)
+				dst[in.Comps[0]] = sc.f
+			} else {
+				dst := ensureVI(&c.regs[in.ID], vt.Len)
+				copy(dst, src.vi)
+				dst[in.Comps[0]] = sc.i
+			}
+			c.idx++
+
+		case ir.OpShuffle:
+			src := c.val(in.Args[0])
+			vt := in.Typ.(*clc.VectorType)
+			if vt.Elem.Kind.IsFloat() {
+				dst := ensureVF(&c.regs[in.ID], vt.Len)
+				for i, l := range in.Comps {
+					dst[i] = src.vf[l]
+				}
+			} else {
+				dst := ensureVI(&c.regs[in.ID], vt.Len)
+				for i, l := range in.Comps {
+					dst[i] = src.vi[l]
+				}
+			}
+			c.idx++
+
+		case ir.OpBuild:
+			vt := in.Typ.(*clc.VectorType)
+			if vt.Elem.Kind.IsFloat() {
+				dst := ensureVF(&c.regs[in.ID], vt.Len)
+				for i, a := range in.Args {
+					dst[i] = c.val(a).f
+				}
+			} else {
+				dst := ensureVI(&c.regs[in.ID], vt.Len)
+				for i, a := range in.Args {
+					dst[i] = c.val(a).i
+				}
+			}
+			c.idx++
+
+		case ir.OpWorkItem:
+			c.regs[in.ID] = ge.workItem(c, in)
+			c.idx++
+
+		case ir.OpMath:
+			v, err := ge.evalMath(c, in)
+			if err != nil {
+				return false, nil, err
+			}
+			c.regs[in.ID] = v
+			c.idx++
+
+		case ir.OpBarrier:
+			if !kernelLevel {
+				return false, nil, fmt.Errorf("vm: barrier inside a function call is unsupported")
+			}
+			c.idx++
+			return true, in, nil
+
+		case ir.OpCall:
+			args := make([]rv, len(in.Args))
+			for i, a := range in.Args {
+				args[i] = c.val(a)
+			}
+			ret, err := ge.call(c, in.Callee, args)
+			if err != nil {
+				return false, nil, err
+			}
+			if in.Producing() {
+				c.regs[in.ID] = ret
+			}
+			c.idx++
+
+		case ir.OpBr:
+			c.blk = in.Targets[0]
+			c.idx = 0
+
+		case ir.OpCondBr:
+			cond := c.val(in.Args[0])
+			taken := cond.i != 0
+			if s, ok := in.Args[0].Type().(*clc.ScalarType); ok && s.Kind.IsFloat() {
+				taken = cond.f != 0
+			}
+			if taken {
+				c.blk = in.Targets[0]
+			} else {
+				c.blk = in.Targets[1]
+			}
+			c.idx = 0
+
+		case ir.OpRet:
+			if kernelLevel {
+				c.done = true
+				return false, nil, nil
+			}
+			var ret rv
+			if len(in.Args) > 0 {
+				ret = c.val(in.Args[0])
+			}
+			// Stash the return value in the context for call() to pick up.
+			c.callRet = ret
+			return false, nil, nil
+
+		default:
+			return false, nil, fmt.Errorf("vm: unhandled op %s", in.Op)
+		}
+	}
+}
+
+// call executes a user function synchronously within the work-item.
+func (ge *groupExec) call(c *wiCtx, callee *ir.Function, args []rv) (rv, error) {
+	saveFn, saveBlk, saveIdx := c.fn, c.blk, c.idx
+	saveRegs, savePrms := c.regs, c.prms
+	saveBase, saveSP := c.frameBase, c.sp
+
+	frame := ge.p.frames[callee]
+	c.fn = callee
+	c.blk = callee.Entry()
+	c.idx = 0
+	c.regs = make([]rv, ge.p.regCount[callee])
+	c.prms = args
+	c.frameBase = c.sp
+	c.sp += frame.size
+	if c.sp > len(c.mem.private) {
+		return rv{}, fmt.Errorf("vm: private stack overflow calling %s", callee.Name)
+	}
+
+	if _, _, err := ge.exec(c, false); err != nil {
+		return rv{}, err
+	}
+	ret := c.callRet
+
+	c.fn, c.blk, c.idx = saveFn, saveBlk, saveIdx
+	c.regs, c.prms = saveRegs, savePrms
+	c.frameBase, c.sp = saveBase, saveSP
+	return ret, nil
+}
+
+func (ge *groupExec) workItem(c *wiCtx, in *ir.Instr) rv {
+	var d int64
+	if len(in.Args) > 0 {
+		d = c.val(in.Args[0]).i
+	}
+	if d < 0 || d > 2 {
+		return rv{}
+	}
+	switch in.Func {
+	case "get_global_id":
+		return rv{i: c.gid[d]}
+	case "get_local_id":
+		return rv{i: c.lid[d]}
+	case "get_group_id":
+		return rv{i: c.grp[d]}
+	case "get_global_size":
+		return rv{i: int64(ge.cfg.GlobalSize[d])}
+	case "get_local_size":
+		return rv{i: int64(ge.cfg.LocalSize[d])}
+	case "get_num_groups":
+		return rv{i: int64(ge.cfg.GlobalSize[d] / ge.cfg.LocalSize[d])}
+	case "get_work_dim":
+		return rv{i: 3}
+	}
+	return rv{}
+}
+
+// ensureVF returns r's float-lane slice resized to n.
+func ensureVF(r *rv, n int) []float64 {
+	if cap(r.vf) < n {
+		r.vf = make([]float64, n)
+	} else {
+		r.vf = r.vf[:n]
+	}
+	return r.vf
+}
+
+// ensureVI returns r's int-lane slice resized to n.
+func ensureVI(r *rv, n int) []int64 {
+	if cap(r.vi) < n {
+		r.vi = make([]int64, n)
+	} else {
+		r.vi = r.vi[:n]
+	}
+	return r.vi
+}
+
+// loadTyped loads a value of type t at addr.
+func (ge *groupExec) loadTyped(c *wiCtx, addr uint64, t clc.Type, in *ir.Instr) (rv, error) {
+	switch tt := t.(type) {
+	case *clc.ScalarType:
+		return c.mem.loadScalar(addr, tt.Kind)
+	case *clc.VectorType:
+		// Load directly into the destination register's lane slice so the
+		// hot path performs no allocation.
+		dst := &c.regs[in.ID]
+		es := tt.Elem.Size()
+		if tt.Elem.Kind.IsFloat() {
+			lanes := ensureVF(dst, tt.Len)
+			for i := 0; i < tt.Len; i++ {
+				v, err := c.mem.loadScalar(addr+uint64(i*es), tt.Elem.Kind)
+				if err != nil {
+					return rv{}, err
+				}
+				lanes[i] = v.f
+			}
+		} else {
+			lanes := ensureVI(dst, tt.Len)
+			for i := 0; i < tt.Len; i++ {
+				v, err := c.mem.loadScalar(addr+uint64(i*es), tt.Elem.Kind)
+				if err != nil {
+					return rv{}, err
+				}
+				lanes[i] = v.i
+			}
+		}
+		return *dst, nil
+	case *clc.PointerType:
+		v, err := c.mem.loadScalar(addr, clc.KULong)
+		return v, err
+	}
+	return rv{}, fmt.Errorf("vm: load of unsupported type %s", t)
+}
+
+// storeTyped stores v of type t at addr.
+func (ge *groupExec) storeTyped(c *wiCtx, addr uint64, t clc.Type, v rv) error {
+	switch tt := t.(type) {
+	case *clc.ScalarType:
+		return c.mem.storeScalar(addr, tt.Kind, v)
+	case *clc.VectorType:
+		es := tt.Elem.Size()
+		for i := 0; i < tt.Len; i++ {
+			var lane rv
+			if tt.Elem.Kind.IsFloat() {
+				lane.f = v.vf[i]
+			} else {
+				lane.i = v.vi[i]
+			}
+			if err := c.mem.storeScalar(addr+uint64(i*es), tt.Elem.Kind, lane); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *clc.PointerType:
+		return c.mem.storeScalar(addr, clc.KULong, v)
+	}
+	return fmt.Errorf("vm: store of unsupported type %s", t)
+}
+
+// normInt truncates x to the width and signedness of kind k.
+func normInt(x int64, k clc.ScalarKind) int64 {
+	switch k {
+	case clc.KBool:
+		if x != 0 {
+			return 1
+		}
+		return 0
+	case clc.KChar:
+		return int64(int8(x))
+	case clc.KUChar:
+		return int64(uint8(x))
+	case clc.KShort:
+		return int64(int16(x))
+	case clc.KUShort:
+		return int64(uint16(x))
+	case clc.KInt:
+		return int64(int32(x))
+	case clc.KUInt:
+		return int64(uint32(x))
+	}
+	return x
+}
+
+func math32(k clc.ScalarKind, x float64) float64 {
+	if k == clc.KFloat {
+		return float64(float32(x))
+	}
+	return x
+}

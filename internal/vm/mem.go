@@ -1,0 +1,228 @@
+// Package vm executes IR kernels over an NDRange with OpenCL work-group
+// semantics: work-items within a group run as resumable contexts that are
+// suspended at barriers and resumed once the whole group arrives; work
+// groups are independent and may be distributed over simulated cores.
+//
+// Addresses are uint64 values carrying a 2-bit address-space tag in the top
+// bits; each space is a flat byte arena (global per launch, local per work
+// group, private per work item).
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"grover/internal/clc"
+)
+
+// Address-space tags (top 2 bits of a pointer).
+const (
+	tagPrivate uint64 = 0
+	tagGlobal  uint64 = 1
+	tagLocal   uint64 = 2
+
+	tagShift = 62
+	offMask  = (uint64(1) << tagShift) - 1
+)
+
+// MakeAddr builds a tagged pointer.
+func MakeAddr(space clc.AddrSpace, off uint64) uint64 {
+	var tag uint64
+	switch space {
+	case clc.ASGlobal, clc.ASConstant:
+		tag = tagGlobal
+	case clc.ASLocal:
+		tag = tagLocal
+	default:
+		tag = tagPrivate
+	}
+	return tag<<tagShift | (off & offMask)
+}
+
+// SplitAddr decomposes a tagged pointer.
+func SplitAddr(addr uint64) (space clc.AddrSpace, off uint64) {
+	switch addr >> tagShift {
+	case tagGlobal:
+		return clc.ASGlobal, addr & offMask
+	case tagLocal:
+		return clc.ASLocal, addr & offMask
+	default:
+		return clc.ASPrivate, addr & offMask
+	}
+}
+
+// GlobalMem is the device's global memory arena. Buffers are allocated
+// sequentially; 256-byte alignment mirrors real device allocators.
+type GlobalMem struct {
+	Data []byte
+}
+
+// NewGlobalMem returns an arena with the given capacity in bytes.
+func NewGlobalMem(capacity int) *GlobalMem {
+	return &GlobalMem{Data: make([]byte, 0, capacity)}
+}
+
+// Buffer is a region of global memory.
+type Buffer struct {
+	Off  uint64
+	Size int
+	mem  *GlobalMem
+}
+
+// Alloc carves a new buffer out of the arena.
+func (g *GlobalMem) Alloc(size int) *Buffer {
+	const align = 256
+	off := (len(g.Data) + align - 1) &^ (align - 1)
+	need := off + size
+	if need > cap(g.Data) {
+		grown := make([]byte, len(g.Data), max(need, 2*cap(g.Data)))
+		copy(grown, g.Data)
+		g.Data = grown
+	}
+	g.Data = g.Data[:need]
+	return &Buffer{Off: uint64(off), Size: size, mem: g}
+}
+
+// Addr returns the buffer's tagged base pointer.
+func (b *Buffer) Addr() uint64 { return MakeAddr(clc.ASGlobal, b.Off) }
+
+// Bytes returns the buffer's backing slice.
+func (b *Buffer) Bytes() []byte { return b.mem.Data[b.Off : int(b.Off)+b.Size] }
+
+// WriteFloat32s fills the buffer with float32 values starting at the front.
+func (b *Buffer) WriteFloat32s(vals []float32) {
+	bs := b.Bytes()
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(bs[i*4:], math.Float32bits(v))
+	}
+}
+
+// ReadFloat32s reads n float32 values from the front of the buffer.
+func (b *Buffer) ReadFloat32s(n int) []float32 {
+	bs := b.Bytes()
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(bs[i*4:]))
+	}
+	return out
+}
+
+// WriteInt32s fills the buffer with int32 values.
+func (b *Buffer) WriteInt32s(vals []int32) {
+	bs := b.Bytes()
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(bs[i*4:], uint32(v))
+	}
+}
+
+// ReadInt32s reads n int32 values.
+func (b *Buffer) ReadInt32s(n int) []int32 {
+	bs := b.Bytes()
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(bs[i*4:]))
+	}
+	return out
+}
+
+// WriteBytes copies raw bytes into the buffer.
+func (b *Buffer) WriteBytes(p []byte) { copy(b.Bytes(), p) }
+
+// memView bundles the three arenas a work-item sees.
+type memView struct {
+	global  []byte
+	local   []byte
+	private []byte
+}
+
+func (m *memView) arena(addr uint64) ([]byte, uint64, error) {
+	off := addr & offMask
+	switch addr >> tagShift {
+	case tagGlobal:
+		if int(off) >= len(m.global) {
+			return nil, 0, fmt.Errorf("vm: global access at %d out of bounds (%d)", off, len(m.global))
+		}
+		return m.global, off, nil
+	case tagLocal:
+		if int(off) >= len(m.local) {
+			return nil, 0, fmt.Errorf("vm: local access at %d out of bounds (%d)", off, len(m.local))
+		}
+		return m.local, off, nil
+	default:
+		if int(off) >= len(m.private) {
+			return nil, 0, fmt.Errorf("vm: private access at %d out of bounds (%d)", off, len(m.private))
+		}
+		return m.private, off, nil
+	}
+}
+
+// loadScalar reads a scalar of kind k at addr.
+func (m *memView) loadScalar(addr uint64, k clc.ScalarKind) (rv, error) {
+	a, off, err := m.arena(addr)
+	if err != nil {
+		return rv{}, err
+	}
+	if int(off)+k.Size() > len(a) {
+		return rv{}, fmt.Errorf("vm: load of %d bytes at %d overruns arena (%d)", k.Size(), off, len(a))
+	}
+	var out rv
+	switch k {
+	case clc.KBool, clc.KUChar:
+		out.i = int64(a[off])
+	case clc.KChar:
+		out.i = int64(int8(a[off]))
+	case clc.KShort:
+		out.i = int64(int16(binary.LittleEndian.Uint16(a[off:])))
+	case clc.KUShort:
+		out.i = int64(binary.LittleEndian.Uint16(a[off:]))
+	case clc.KInt:
+		out.i = int64(int32(binary.LittleEndian.Uint32(a[off:])))
+	case clc.KUInt:
+		out.i = int64(binary.LittleEndian.Uint32(a[off:]))
+	case clc.KLong, clc.KULong:
+		out.i = int64(binary.LittleEndian.Uint64(a[off:]))
+	case clc.KFloat:
+		out.f = float64(math.Float32frombits(binary.LittleEndian.Uint32(a[off:])))
+	case clc.KDouble:
+		out.f = math.Float64frombits(binary.LittleEndian.Uint64(a[off:]))
+	default:
+		return rv{}, fmt.Errorf("vm: load of unsupported scalar %s", k)
+	}
+	return out, nil
+}
+
+// storeScalar writes a scalar of kind k at addr.
+func (m *memView) storeScalar(addr uint64, k clc.ScalarKind, v rv) error {
+	a, off, err := m.arena(addr)
+	if err != nil {
+		return err
+	}
+	if int(off)+k.Size() > len(a) {
+		return fmt.Errorf("vm: store of %d bytes at %d overruns arena (%d)", k.Size(), off, len(a))
+	}
+	switch k {
+	case clc.KBool, clc.KChar, clc.KUChar:
+		a[off] = byte(v.i)
+	case clc.KShort, clc.KUShort:
+		binary.LittleEndian.PutUint16(a[off:], uint16(v.i))
+	case clc.KInt, clc.KUInt:
+		binary.LittleEndian.PutUint32(a[off:], uint32(v.i))
+	case clc.KLong, clc.KULong:
+		binary.LittleEndian.PutUint64(a[off:], uint64(v.i))
+	case clc.KFloat:
+		binary.LittleEndian.PutUint32(a[off:], math.Float32bits(float32(v.f)))
+	case clc.KDouble:
+		binary.LittleEndian.PutUint64(a[off:], math.Float64bits(v.f))
+	default:
+		return fmt.Errorf("vm: store of unsupported scalar %s", k)
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

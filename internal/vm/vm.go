@@ -1,0 +1,274 @@
+package vm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"grover/internal/clc"
+	"grover/internal/ir"
+)
+
+// rv is the runtime representation of one IR value: scalars use i or f
+// (selected by the static type), vectors use vi or vf.
+type rv struct {
+	i  int64
+	f  float64
+	vi []int64
+	vf []float64
+}
+
+// frameInfo is the private-memory layout of one function's allocas.
+type frameInfo struct {
+	size    int
+	offsets map[*ir.Instr]int
+}
+
+// Program is a prepared module: alloca layouts are precomputed and
+// instruction IDs are dense.
+type Program struct {
+	Module *ir.Module
+
+	frames   map[*ir.Function]*frameInfo
+	localOff map[*ir.Instr]int
+	localSz  map[*ir.Function]int
+	regCount map[*ir.Function]int
+	// stackBytes is a conservative private-arena size: the sum of every
+	// frame in the module (OpenCL forbids recursion).
+	stackBytes int
+}
+
+// Prepare lays out allocas and numbers instructions for execution.
+func Prepare(m *ir.Module) (*Program, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Module:   m,
+		frames:   map[*ir.Function]*frameInfo{},
+		localOff: map[*ir.Instr]int{},
+		localSz:  map[*ir.Function]int{},
+		regCount: map[*ir.Function]int{},
+	}
+	for _, f := range m.Funcs {
+		f.AssignIDs()
+		n := 0
+		fi := &frameInfo{offsets: map[*ir.Instr]int{}}
+		localSz := 0
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Producing() {
+					n++
+				}
+				if in.Op != ir.OpAlloca {
+					continue
+				}
+				pt := in.Typ.(*clc.PointerType)
+				sz := pt.Elem.Size()
+				if sz == 0 {
+					return nil, fmt.Errorf("vm: alloca of zero-size type in %s", f.Name)
+				}
+				const align = 16
+				switch in.Space {
+				case clc.ASLocal:
+					localSz = (localSz + align - 1) &^ (align - 1)
+					p.localOff[in] = localSz
+					localSz += sz
+				default:
+					fi.size = (fi.size + align - 1) &^ (align - 1)
+					fi.offsets[in] = fi.size
+					fi.size += sz
+				}
+			}
+		}
+		p.frames[f] = fi
+		p.localSz[f] = localSz
+		p.regCount[f] = n
+		p.stackBytes += fi.size + 64
+	}
+	return p, nil
+}
+
+// ArgKind classifies kernel arguments.
+type ArgKind int
+
+// Kernel argument kinds.
+const (
+	ArgBuffer ArgKind = iota
+	ArgInt
+	ArgFloat
+	ArgLocalBuf
+)
+
+// Arg is one kernel argument.
+type Arg struct {
+	Kind ArgKind
+	Buf  *Buffer
+	I    int64
+	F    float64
+	// LocalBytes is the size of a dynamically allocated __local buffer.
+	LocalBytes int
+}
+
+// BufArg wraps a buffer argument.
+func BufArg(b *Buffer) Arg { return Arg{Kind: ArgBuffer, Buf: b} }
+
+// IntArg wraps an integer scalar argument.
+func IntArg(v int64) Arg { return Arg{Kind: ArgInt, I: v} }
+
+// FloatArg wraps a float scalar argument.
+func FloatArg(v float64) Arg { return Arg{Kind: ArgFloat, F: v} }
+
+// LocalArg reserves a dynamically sized __local buffer.
+func LocalArg(bytes int) Arg { return Arg{Kind: ArgLocalBuf, LocalBytes: bytes} }
+
+// Config describes one NDRange launch.
+type Config struct {
+	GlobalSize [3]int
+	LocalSize  [3]int
+	Args       []Arg
+}
+
+func (c *Config) normalized() (Config, error) {
+	out := *c
+	for d := 0; d < 3; d++ {
+		if out.GlobalSize[d] == 0 {
+			out.GlobalSize[d] = 1
+		}
+		if out.LocalSize[d] == 0 {
+			out.LocalSize[d] = 1
+		}
+		if out.GlobalSize[d]%out.LocalSize[d] != 0 {
+			return out, fmt.Errorf("vm: global size %d not divisible by local size %d in dim %d",
+				out.GlobalSize[d], out.LocalSize[d], d)
+		}
+	}
+	return out, nil
+}
+
+// Tracer observes one worker's execution stream (one worker models one
+// simulated core; work-groups are distributed over workers round-robin and
+// executed serially within a worker).
+type Tracer interface {
+	// GroupBegin starts a work-group with the given group coordinates.
+	GroupBegin(group [3]int, linear int)
+	// Access reports one memory access by work-item wi (linear id within
+	// the group) executing instruction in.
+	Access(in *ir.Instr, wi int, addr uint64, size int, store bool)
+	// Barrier reports one work-group barrier executed by wiCount items.
+	Barrier(wiCount int)
+	// Instrs reports n retired non-memory instructions for work-item wi.
+	Instrs(wi int, n int64)
+	// GroupEnd finishes the current work-group.
+	GroupEnd()
+}
+
+// LaunchOpts control scheduling and tracing.
+type LaunchOpts struct {
+	// Workers is the number of concurrent group executors (simulated
+	// cores when tracing). Defaults to GOMAXPROCS when zero.
+	Workers int
+	// TracerFor, when non-nil, supplies a tracer per worker.
+	TracerFor func(worker int) Tracer
+}
+
+// Launch executes the named kernel over the NDRange. Work-groups are
+// distributed round-robin over workers; each worker runs its groups in
+// ascending order so traced streams are deterministic.
+func (p *Program) Launch(kernel string, cfg Config, gmem *GlobalMem, opts *LaunchOpts) error {
+	fn := p.Module.Kernel(kernel)
+	if fn == nil {
+		return fmt.Errorf("vm: no kernel %q", kernel)
+	}
+	ncfg, err := cfg.normalized()
+	if err != nil {
+		return err
+	}
+	if len(ncfg.Args) != len(fn.Params) {
+		return fmt.Errorf("vm: kernel %s expects %d args, got %d", kernel, len(fn.Params), len(ncfg.Args))
+	}
+	workers := 1
+	var tracerFor func(int) Tracer
+	if opts != nil {
+		workers = opts.Workers
+		tracerFor = opts.TracerFor
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	groups := [3]int{
+		ncfg.GlobalSize[0] / ncfg.LocalSize[0],
+		ncfg.GlobalSize[1] / ncfg.LocalSize[1],
+		ncfg.GlobalSize[2] / ncfg.LocalSize[2],
+	}
+	nGroups := groups[0] * groups[1] * groups[2]
+	if nGroups < workers {
+		workers = nGroups
+	}
+	if workers == 0 {
+		return nil
+	}
+
+	// Dynamic local buffers: lay out after the static local allocas.
+	staticLocal := p.localSz[fn]
+	dynOff := make([]int, len(ncfg.Args))
+	localTotal := staticLocal
+	for i, a := range ncfg.Args {
+		if a.Kind == ArgLocalBuf {
+			const align = 16
+			localTotal = (localTotal + align - 1) &^ (align - 1)
+			dynOff[i] = localTotal
+			localTotal += a.LocalBytes
+		}
+	}
+
+	// Parameter values shared by all work-items.
+	params := make([]rv, len(ncfg.Args))
+	for i, a := range ncfg.Args {
+		switch a.Kind {
+		case ArgBuffer:
+			params[i] = rv{i: int64(a.Buf.Addr())}
+		case ArgInt:
+			params[i] = rv{i: a.I}
+		case ArgFloat:
+			params[i] = rv{f: a.F}
+		case ArgLocalBuf:
+			params[i] = rv{i: int64(MakeAddr(clc.ASLocal, uint64(dynOff[i])))}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var tr Tracer
+			if tracerFor != nil {
+				tr = tracerFor(worker)
+			}
+			ge := &groupExec{
+				p: p, fn: fn, cfg: ncfg, gmem: gmem, params: params,
+				localTotal: localTotal, tracer: tr,
+			}
+			for g := worker; g < nGroups; g += workers {
+				gz := g / (groups[0] * groups[1])
+				rem := g % (groups[0] * groups[1])
+				gy := rem / groups[0]
+				gx := rem % groups[0]
+				if err := ge.runGroup([3]int{gx, gy, gz}, g); err != nil {
+					errs[worker] = fmt.Errorf("group (%d,%d,%d): %w", gx, gy, gz, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,485 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"grover/internal/clc"
+	"grover/internal/ir"
+	"grover/internal/lower"
+)
+
+// compile parses, lowers and prepares a kernel source.
+func compile(t *testing.T, src string) *Program {
+	t.Helper()
+	f, err := clc.Parse("test.cl", src, nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	m, err := lower.Module(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	p, err := Prepare(m)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	return p
+}
+
+func TestVectorAdd(t *testing.T) {
+	p := compile(t, `
+__kernel void vadd(__global float* a, __global float* b, __global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) c[i] = a[i] + b[i];
+}
+`)
+	const n = 100
+	g := NewGlobalMem(1 << 16)
+	a := g.Alloc(n * 4)
+	b := g.Alloc(n * 4)
+	cbuf := g.Alloc(n * 4)
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = float32(i)
+		bv[i] = float32(2 * i)
+	}
+	a.WriteFloat32s(av)
+	b.WriteFloat32s(bv)
+	cfg := Config{
+		GlobalSize: [3]int{128, 1, 1},
+		LocalSize:  [3]int{32, 1, 1},
+		Args:       []Arg{BufArg(a), BufArg(b), BufArg(cbuf), IntArg(n)},
+	}
+	if err := p.Launch("vadd", cfg, g, nil); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got := cbuf.ReadFloat32s(n)
+	for i := range got {
+		if got[i] != float32(3*i) {
+			t.Fatalf("c[%d] = %g, want %g", i, got[i], float32(3*i))
+		}
+	}
+}
+
+func TestTransposeWithLocalMemory(t *testing.T) {
+	p := compile(t, `
+#define S 8
+__kernel void transpose(__global float* out, __global float* in, int W, int H) {
+    __local float lm[S][S];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    int wx = get_group_id(0);
+    int wy = get_group_id(1);
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    lm[ly][lx] = in[(wy*S+ly)*W + (wx*S+lx)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    float val = lm[lx][ly];
+    out[(wx*S+ly)*H + (wy*S+lx)] = val;
+}
+`)
+	const W, H = 32, 16
+	g := NewGlobalMem(1 << 16)
+	in := g.Alloc(W * H * 4)
+	out := g.Alloc(W * H * 4)
+	iv := make([]float32, W*H)
+	for i := range iv {
+		iv[i] = float32(i)
+	}
+	in.WriteFloat32s(iv)
+	cfg := Config{
+		GlobalSize: [3]int{W, H, 1},
+		LocalSize:  [3]int{8, 8, 1},
+		Args:       []Arg{BufArg(out), BufArg(in), IntArg(W), IntArg(H)},
+	}
+	if err := p.Launch("transpose", cfg, g, nil); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	ov := out.ReadFloat32s(W * H)
+	for y := 0; y < H; y++ {
+		for x := 0; x < W; x++ {
+			want := iv[y*W+x]
+			got := ov[x*H+y]
+			if got != want {
+				t.Fatalf("out[%d][%d] = %g, want %g", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestReductionInGroup(t *testing.T) {
+	// Tree reduction exercises barrier loops and local read/write.
+	p := compile(t, `
+#define WG 64
+__kernel void reduce(__global float* in, __global float* out) {
+    __local float sm[WG];
+    int lx = get_local_id(0);
+    int g = get_group_id(0);
+    sm[lx] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    for (int s = WG/2; s > 0; s >>= 1) {
+        if (lx < s) sm[lx] += sm[lx + s];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    if (lx == 0) out[g] = sm[0];
+}
+`)
+	const n, wg = 256, 64
+	g := NewGlobalMem(1 << 16)
+	in := g.Alloc(n * 4)
+	out := g.Alloc((n / wg) * 4)
+	iv := make([]float32, n)
+	var sums [n / wg]float32
+	for i := range iv {
+		iv[i] = float32(i % 7)
+		sums[i/wg] += iv[i]
+	}
+	in.WriteFloat32s(iv)
+	cfg := Config{
+		GlobalSize: [3]int{n, 1, 1},
+		LocalSize:  [3]int{wg, 1, 1},
+		Args:       []Arg{BufArg(in), BufArg(out)},
+	}
+	if err := p.Launch("reduce", cfg, g, nil); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	ov := out.ReadFloat32s(n / wg)
+	for i, got := range ov {
+		if math.Abs(float64(got-sums[i])) > 1e-3 {
+			t.Errorf("group %d sum = %g, want %g", i, got, sums[i])
+		}
+	}
+}
+
+func TestFloat4Kernel(t *testing.T) {
+	p := compile(t, `
+__kernel void scale4(__global float4* v, float s) {
+    int i = get_global_id(0);
+    float4 x = v[i];
+    x = x * (float4)(s, s, s, s);
+    x.x = x.x + 1.0f;
+    x.yz = x.zy;
+    v[i] = x;
+}
+`)
+	const n = 8
+	g := NewGlobalMem(1 << 12)
+	buf := g.Alloc(n * 16)
+	iv := make([]float32, n*4)
+	for i := range iv {
+		iv[i] = float32(i)
+	}
+	buf.WriteFloat32s(iv)
+	cfg := Config{
+		GlobalSize: [3]int{n, 1, 1},
+		LocalSize:  [3]int{4, 1, 1},
+		Args:       []Arg{BufArg(buf), FloatArg(2.0)},
+	}
+	if err := p.Launch("scale4", cfg, g, nil); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	ov := buf.ReadFloat32s(n * 4)
+	for i := 0; i < n; i++ {
+		base := float32(i * 4)
+		wantX := base*2 + 1
+		wantY := (base + 2) * 2 // swapped with z
+		wantZ := (base + 1) * 2
+		wantW := (base + 3) * 2
+		got := ov[i*4 : i*4+4]
+		if got[0] != wantX || got[1] != wantY || got[2] != wantZ || got[3] != wantW {
+			t.Fatalf("v[%d] = %v, want [%g %g %g %g]", i, got, wantX, wantY, wantZ, wantW)
+		}
+	}
+}
+
+func TestUserFunctionCall(t *testing.T) {
+	p := compile(t, `
+float sq(float x) { return x * x; }
+int fib(int n) {
+    int a = 0;
+    int b = 1;
+    for (int i = 0; i < n; i++) { int t = a + b; a = b; b = t; }
+    return a;
+}
+__kernel void k(__global float* f, __global int* iv) {
+    int i = get_global_id(0);
+    f[i] = sq((float)i);
+    iv[i] = fib(i);
+}
+`)
+	const n = 10
+	g := NewGlobalMem(1 << 12)
+	fb := g.Alloc(n * 4)
+	ib := g.Alloc(n * 4)
+	cfg := Config{
+		GlobalSize: [3]int{n, 1, 1},
+		LocalSize:  [3]int{1, 1, 1},
+		Args:       []Arg{BufArg(fb), BufArg(ib)},
+	}
+	if err := p.Launch("k", cfg, g, nil); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	fv := fb.ReadFloat32s(n)
+	iv := ib.ReadInt32s(n)
+	fibs := []int32{0, 1, 1, 2, 3, 5, 8, 13, 21, 34}
+	for i := 0; i < n; i++ {
+		if fv[i] != float32(i*i) {
+			t.Errorf("sq(%d) = %g", i, fv[i])
+		}
+		if iv[i] != fibs[i] {
+			t.Errorf("fib(%d) = %d, want %d", i, iv[i], fibs[i])
+		}
+	}
+}
+
+func TestControlFlowOps(t *testing.T) {
+	p := compile(t, `
+__kernel void k(__global int* out, int n) {
+    int i = get_global_id(0);
+    int acc = 0;
+    for (int j = 0; j < n; j++) {
+        if (j % 3 == 0) continue;
+        if (j > 20) break;
+        acc += j;
+    }
+    int x = (i < 2) ? 100 : 200;
+    int y = (i > 0 && i < 3) ? 1 : 0;
+    int z = (i == 0 || i == 3) ? 1 : 0;
+    out[i] = acc + x + y + z;
+}
+`)
+	const n = 4
+	g := NewGlobalMem(1 << 12)
+	out := g.Alloc(n * 4)
+	cfg := Config{
+		GlobalSize: [3]int{n, 1, 1},
+		LocalSize:  [3]int{n, 1, 1},
+		Args:       []Arg{BufArg(out), IntArg(30)},
+	}
+	if err := p.Launch("k", cfg, g, nil); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	// acc = sum of j in 1..20 excluding multiples of 3 = 210 - (3+6+9+12+15+18) = 147
+	acc := int32(147)
+	want := []int32{acc + 100 + 0 + 1, acc + 100 + 1 + 0, acc + 200 + 1 + 0, acc + 200 + 0 + 1}
+	got := out.ReadInt32s(n)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	p := compile(t, `
+__kernel void k(__global float* out) {
+    out[0] = sqrt(16.0f);
+    out[1] = rsqrt(4.0f);
+    out[2] = fabs(-3.5f);
+    out[3] = mad(2.0f, 3.0f, 4.0f);
+    out[4] = fmax(1.0f, 2.0f);
+    out[5] = fmin(1.0f, 2.0f);
+    out[6] = pow(2.0f, 10.0f);
+    out[7] = clamp(5.0f, 0.0f, 3.0f);
+    out[8] = floor(2.7f);
+    out[9] = (float)min(3, 7);
+    out[10] = (float)max(3, 7);
+    out[11] = dot((float4)(1.0f,2.0f,3.0f,4.0f), (float4)(1.0f,1.0f,1.0f,1.0f));
+    out[12] = native_recip(4.0f);
+    out[13] = exp(0.0f);
+    out[14] = log(1.0f);
+}
+`)
+	g := NewGlobalMem(1 << 12)
+	out := g.Alloc(16 * 4)
+	cfg := Config{
+		GlobalSize: [3]int{1, 1, 1},
+		LocalSize:  [3]int{1, 1, 1},
+		Args:       []Arg{BufArg(out)},
+	}
+	if err := p.Launch("k", cfg, g, nil); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	want := []float32{4, 0.5, 3.5, 10, 2, 1, 1024, 3, 2, 3, 7, 10, 0.25, 1, 0}
+	got := out.ReadFloat32s(len(want))
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-5 {
+			t.Errorf("out[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntegerSemantics(t *testing.T) {
+	p := compile(t, `
+__kernel void k(__global int* out, __global uint* uout) {
+    out[0] = -7 / 2;
+    out[1] = -7 % 2;
+    out[2] = (int)((uint)0xFFFFFFFF >> 28);
+    out[3] = 1 << 31;
+    out[4] = (int)(char)200;
+    out[5] = (int)(uchar)200;
+    out[6] = (int)(short)40000;
+    out[7] = (int)(ushort)40000;
+    uout[0] = (uint)0xFFFFFFFF / 2u;
+}
+`)
+	g := NewGlobalMem(1 << 12)
+	out := g.Alloc(8 * 4)
+	uout := g.Alloc(4)
+	cfg := Config{
+		GlobalSize: [3]int{1, 1, 1},
+		LocalSize:  [3]int{1, 1, 1},
+		Args:       []Arg{BufArg(out), BufArg(uout)},
+	}
+	if err := p.Launch("k", cfg, g, nil); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got := out.ReadInt32s(8)
+	want := []int32{-3, -1, 15, math.MinInt32, -56, 200, -25536, 40000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if u := uint32(uout.ReadInt32s(1)[0]); u != 0x7FFFFFFF {
+		t.Errorf("uout[0] = %#x, want 0x7FFFFFFF", u)
+	}
+}
+
+func TestDivisionByZeroError(t *testing.T) {
+	p := compile(t, `
+__kernel void k(__global int* out, int z) { out[0] = 5 / z; }
+`)
+	g := NewGlobalMem(1 << 12)
+	out := g.Alloc(4)
+	cfg := Config{
+		GlobalSize: [3]int{1, 1, 1},
+		LocalSize:  [3]int{1, 1, 1},
+		Args:       []Arg{BufArg(out), IntArg(0)},
+	}
+	if err := p.Launch("k", cfg, g, nil); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestBarrierDivergenceDetected(t *testing.T) {
+	p := compile(t, `
+__kernel void k(__global int* out) {
+    int lx = get_local_id(0);
+    if (lx == 0) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[get_global_id(0)] = lx;
+}
+`)
+	g := NewGlobalMem(1 << 12)
+	out := g.Alloc(16 * 4)
+	cfg := Config{
+		GlobalSize: [3]int{4, 1, 1},
+		LocalSize:  [3]int{4, 1, 1},
+		Args:       []Arg{BufArg(out)},
+	}
+	if err := p.Launch("k", cfg, g, nil); err == nil {
+		t.Fatal("expected barrier divergence error")
+	}
+}
+
+func TestDynamicLocalArg(t *testing.T) {
+	p := compile(t, `
+__kernel void k(__global float* out, __local float* sm) {
+    int lx = get_local_id(0);
+    sm[lx] = (float)lx * 2.0f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    int n = get_local_size(0);
+    out[get_global_id(0)] = sm[(lx + 1) % n];
+}
+`)
+	g := NewGlobalMem(1 << 12)
+	out := g.Alloc(8 * 4)
+	cfg := Config{
+		GlobalSize: [3]int{8, 1, 1},
+		LocalSize:  [3]int{8, 1, 1},
+		Args:       []Arg{BufArg(out), LocalArg(8 * 4)},
+	}
+	if err := p.Launch("k", cfg, g, nil); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	got := out.ReadFloat32s(8)
+	for i := 0; i < 8; i++ {
+		want := float32(((i + 1) % 8) * 2)
+		if got[i] != want {
+			t.Errorf("out[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+}
+
+func TestOutOfBoundsDetected(t *testing.T) {
+	p := compile(t, `
+__kernel void k(__global int* out, int n) { out[n] = 1; }
+`)
+	g := NewGlobalMem(1 << 8)
+	out := g.Alloc(4)
+	cfg := Config{
+		GlobalSize: [3]int{1, 1, 1},
+		LocalSize:  [3]int{1, 1, 1},
+		Args:       []Arg{BufArg(out), IntArg(1 << 20)},
+	}
+	if err := p.Launch("k", cfg, g, nil); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}
+
+func TestTracerSeesAccesses(t *testing.T) {
+	p := compile(t, `
+__kernel void k(__global float* a, __global float* b) {
+    int i = get_global_id(0);
+    b[i] = a[i];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    b[i] += 1.0f;
+}
+`)
+	g := NewGlobalMem(1 << 12)
+	a := g.Alloc(16 * 4)
+	b := g.Alloc(16 * 4)
+	tr := &countingTracer{}
+	cfg := Config{
+		GlobalSize: [3]int{16, 1, 1},
+		LocalSize:  [3]int{8, 1, 1},
+		Args:       []Arg{BufArg(a), BufArg(b)},
+	}
+	opts := &LaunchOpts{Workers: 1, TracerFor: func(int) Tracer { return tr }}
+	if err := p.Launch("k", cfg, g, opts); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	if tr.groups != 2 {
+		t.Errorf("groups = %d, want 2", tr.groups)
+	}
+	// Per WI: load a[i], store b[i], load b[i], store b[i] = 4 global accesses.
+	if tr.accesses != 16*4 {
+		t.Errorf("accesses = %d, want %d", tr.accesses, 16*4)
+	}
+	if tr.barriers != 2 { // one barrier round per group
+		t.Errorf("barrier rounds = %d, want 2", tr.barriers)
+	}
+	if tr.instrs == 0 {
+		t.Error("no instruction counts reported")
+	}
+}
+
+type countingTracer struct {
+	groups, accesses, barriers int
+	instrs                     int64
+}
+
+func (t *countingTracer) GroupBegin(g [3]int, lin int) { t.groups++ }
+func (t *countingTracer) Access(in *ir.Instr, wi int, addr uint64, size int, store bool) {
+	sp, _ := SplitAddr(addr)
+	if sp == clc.ASGlobal {
+		t.accesses++
+	}
+}
+func (t *countingTracer) Barrier(n int)          { t.barriers++ }
+func (t *countingTracer) Instrs(wi int, n int64) { t.instrs += n }
+func (t *countingTracer) GroupEnd()              {}

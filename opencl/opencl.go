@@ -1,0 +1,298 @@
+// Package opencl is a simulated OpenCL 1.x host API over the repository's
+// from-scratch execution stack: the clc front-end compiles OpenCL C kernel
+// source, the vm package executes NDRanges with true work-group/barrier
+// semantics, and the device package turns execution traces into simulated
+// time for the paper's six platforms (Fermi, Kepler, Tahiti, SNB, Nehalem,
+// MIC).
+//
+// The API follows the host-side shapes of OpenCL — Platform → Device →
+// Context → Program → Kernel → CommandQueue → Event — with Go idioms
+// (errors instead of status codes, variadic kernel arguments).
+//
+//	plat := opencl.NewPlatform()
+//	dev, _ := plat.DeviceByName("SNB")
+//	ctx := opencl.NewContext(dev)
+//	prog, _ := ctx.CompileProgram("transpose.cl", source, nil)
+//	k, _ := prog.Kernel("transpose")
+//	in := ctx.NewBuffer(4 * n)
+//	q := ctx.NewQueue()
+//	evt, _ := q.EnqueueNDRange(k, opencl.NDRange{Global: [3]int{w, h, 1},
+//	    Local: [3]int{16, 16, 1}}, out, in, int32(w), int32(h))
+//	fmt.Println(evt.Duration())
+package opencl
+
+import (
+	"fmt"
+
+	"grover/internal/clc"
+	"grover/internal/device"
+	igrover "grover/internal/grover"
+	"grover/internal/ir"
+	"grover/internal/lower"
+	"grover/internal/opt"
+	"grover/internal/vm"
+)
+
+// Platform enumerates the simulated devices.
+type Platform struct {
+	devices []*Device
+}
+
+// NewPlatform returns the simulated platform with the paper's six devices.
+func NewPlatform() *Platform {
+	p := &Platform{}
+	for _, prof := range device.All() {
+		p.devices = append(p.devices, &Device{prof: prof})
+	}
+	return p
+}
+
+// Devices lists the available devices.
+func (p *Platform) Devices() []*Device { return p.devices }
+
+// DeviceByName returns the device with the given profile name (e.g.
+// "SNB", "Fermi").
+func (p *Platform) DeviceByName(name string) (*Device, error) {
+	for _, d := range p.devices {
+		if d.Name() == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("opencl: no device %q", name)
+}
+
+// Device is one simulated platform.
+type Device struct {
+	prof *device.Profile
+}
+
+// Name returns the profile name.
+func (d *Device) Name() string { return d.prof.Name }
+
+// IsGPU reports whether the device has a scratch-pad/warp execution model.
+func (d *Device) IsGPU() bool { return d.prof.Kind == device.GPUKind }
+
+// ComputeUnits returns the number of cores / CUs.
+func (d *Device) ComputeUnits() int { return d.prof.Cores }
+
+// Profile exposes the underlying cost-model profile name and kind in a
+// printable form.
+func (d *Device) Profile() string {
+	return fmt.Sprintf("%s (%s, %d CUs, %.2f GHz)", d.prof.Name, d.prof.Kind, d.prof.Cores, d.prof.FreqGHz)
+}
+
+// Context owns device memory and compiled programs for one device.
+type Context struct {
+	dev  *Device
+	gmem *vm.GlobalMem
+}
+
+// NewContext creates a context on the device.
+func NewContext(d *Device) *Context {
+	return &Context{dev: d, gmem: vm.NewGlobalMem(1 << 20)}
+}
+
+// Device returns the context's device.
+func (c *Context) Device() *Device { return c.dev }
+
+// Buffer is a device-memory buffer.
+type Buffer struct {
+	buf *vm.Buffer
+}
+
+// NewBuffer allocates size bytes of device global memory.
+func (c *Context) NewBuffer(size int) *Buffer {
+	return &Buffer{buf: c.gmem.Alloc(size)}
+}
+
+// Size returns the buffer size in bytes.
+func (b *Buffer) Size() int { return b.buf.Size }
+
+// WriteFloat32 copies host float32 data into the buffer.
+func (b *Buffer) WriteFloat32(vals []float32) { b.buf.WriteFloat32s(vals) }
+
+// ReadFloat32 reads n float32 values from the buffer.
+func (b *Buffer) ReadFloat32(n int) []float32 { return b.buf.ReadFloat32s(n) }
+
+// WriteInt32 copies host int32 data into the buffer.
+func (b *Buffer) WriteInt32(vals []int32) { b.buf.WriteInt32s(vals) }
+
+// ReadInt32 reads n int32 values from the buffer.
+func (b *Buffer) ReadInt32(n int) []int32 { return b.buf.ReadInt32s(n) }
+
+// WriteBytes copies raw bytes into the buffer.
+func (b *Buffer) WriteBytes(p []byte) { b.buf.WriteBytes(p) }
+
+// Program is a compiled module plus its prepared executable form.
+type Program struct {
+	ctx    *Context
+	name   string
+	module *ir.Module
+	prog   *vm.Program
+}
+
+// CompileProgram compiles OpenCL C source (with optional preprocessor
+// defines) for this context's device.
+func (c *Context) CompileProgram(name, source string, defines map[string]string) (*Program, error) {
+	f, err := clc.Parse(name, source, defines)
+	if err != nil {
+		return nil, fmt.Errorf("opencl: build failed: %w", err)
+	}
+	mod, err := lower.Module(f)
+	if err != nil {
+		return nil, fmt.Errorf("opencl: lowering failed: %w", err)
+	}
+	// Run the standard driver optimizations (CSE, LICM, DCE) so simulated
+	// timings reflect what a vendor compiler would execute.
+	opt.Optimize(mod)
+	return c.newProgramFromModule(name, mod)
+}
+
+func (c *Context) newProgramFromModule(name string, mod *ir.Module) (*Program, error) {
+	prog, err := vm.Prepare(mod)
+	if err != nil {
+		return nil, fmt.Errorf("opencl: preparing module: %w", err)
+	}
+	return &Program{ctx: c, name: name, module: mod, prog: prog}, nil
+}
+
+// KernelNames lists the kernels in the program.
+func (p *Program) KernelNames() []string {
+	var out []string
+	for _, f := range p.module.Kernels() {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// IR renders the program's intermediate representation (useful for
+// inspecting what the Grover pass did).
+func (p *Program) IR() string { return p.module.String() }
+
+// WithLocalMemoryDisabled runs the Grover pass on a copy of the program,
+// disabling local-memory usage in the named kernel, and returns the new
+// program plus the analysis report. The receiver is unchanged.
+func (p *Program) WithLocalMemoryDisabled(kernel string, opts igrover.Options) (*Program, *igrover.Report, error) {
+	clone := ir.CloneModule(p.module)
+	rep, err := igrover.TransformKernel(clone, kernel, opts)
+	if err != nil {
+		return nil, rep, err
+	}
+	opt.Optimize(clone)
+	np, err := p.ctx.newProgramFromModule(p.name+"+grover", clone)
+	if err != nil {
+		return nil, rep, err
+	}
+	return np, rep, nil
+}
+
+// Kernel returns a handle on the named kernel.
+func (p *Program) Kernel(name string) (*Kernel, error) {
+	if p.module.Kernel(name) == nil {
+		return nil, fmt.Errorf("opencl: program %s has no kernel %q", p.name, name)
+	}
+	return &Kernel{prog: p, name: name}, nil
+}
+
+// Kernel is an executable entry point.
+type Kernel struct {
+	prog *Program
+	name string
+}
+
+// Name returns the kernel name.
+func (k *Kernel) Name() string { return k.name }
+
+// Program returns the kernel's program.
+func (k *Kernel) Program() *Program { return k.prog }
+
+// LocalMem reserves size bytes of __local memory for a kernel argument
+// (the dynamic local buffer idiom).
+type LocalMem struct{ Size int }
+
+// NDRange describes a launch geometry. Zero dimensions default to 1.
+type NDRange struct {
+	Global [3]int
+	Local  [3]int
+}
+
+// Queue issues kernel launches on the context's device.
+type Queue struct {
+	ctx *Context
+	// profile enables the device cost model; without it launches run at
+	// full host speed with no timing.
+	profiling bool
+	sim       *device.Simulator
+}
+
+// NewQueue creates a functional (non-profiling) queue: launches execute
+// in parallel on the host and events carry no simulated time.
+func (c *Context) NewQueue() *Queue { return &Queue{ctx: c} }
+
+// NewProfilingQueue creates a queue whose launches run through the device
+// cost model; events report simulated device time.
+func (c *Context) NewProfilingQueue() (*Queue, error) {
+	sim, err := device.NewSimulator(c.dev.prof)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue{ctx: c, profiling: true, sim: sim}, nil
+}
+
+// Event describes a completed launch.
+type Event struct {
+	// Millis is the simulated device time (profiling queues only).
+	Millis float64
+	// Cycles is the simulated cycle makespan (profiling queues only).
+	Cycles int64
+	// Instrs counts executed instructions (profiling queues only).
+	Instrs int64
+	// Stats carries the full device counters (cache hit rates, DRAM
+	// traffic, transactions) for profiling queues.
+	Stats device.Result
+}
+
+// Duration returns the simulated time in milliseconds.
+func (e *Event) Duration() float64 { return e.Millis }
+
+// EnqueueNDRange launches the kernel over the NDRange. Arguments may be
+// *Buffer, LocalMem, int/int32/int64/uint32, float32/float64. The call
+// blocks until completion (the simulated queue is in-order).
+func (q *Queue) EnqueueNDRange(k *Kernel, nd NDRange, args ...interface{}) (*Event, error) {
+	vargs := make([]vm.Arg, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case *Buffer:
+			vargs[i] = vm.BufArg(v.buf)
+		case LocalMem:
+			vargs[i] = vm.LocalArg(v.Size)
+		case int:
+			vargs[i] = vm.IntArg(int64(v))
+		case int32:
+			vargs[i] = vm.IntArg(int64(v))
+		case int64:
+			vargs[i] = vm.IntArg(v)
+		case uint32:
+			vargs[i] = vm.IntArg(int64(v))
+		case float32:
+			vargs[i] = vm.FloatArg(float64(v))
+		case float64:
+			vargs[i] = vm.FloatArg(v)
+		default:
+			return nil, fmt.Errorf("opencl: unsupported argument %d of type %T", i, a)
+		}
+	}
+	cfg := vm.Config{GlobalSize: nd.Global, LocalSize: nd.Local, Args: vargs}
+	if !q.profiling {
+		if err := k.prog.prog.Launch(k.name, cfg, q.ctx.gmem, nil); err != nil {
+			return nil, err
+		}
+		return &Event{}, nil
+	}
+	q.sim.Reset()
+	if err := k.prog.prog.Launch(k.name, cfg, q.ctx.gmem, q.sim.Opts()); err != nil {
+		return nil, err
+	}
+	res := q.sim.Result()
+	return &Event{Millis: res.TimeMS, Cycles: res.Cycles, Instrs: res.Instrs, Stats: res}, nil
+}

@@ -1,0 +1,287 @@
+package opencl
+
+import (
+	"strings"
+	"testing"
+
+	igrover "grover/internal/grover"
+)
+
+const testKernel = `
+__kernel void scale(__global float* data, float f, int n) {
+    int i = get_global_id(0);
+    if (i < n) data[i] = data[i] * f;
+}
+`
+
+func TestPlatformDevices(t *testing.T) {
+	plat := NewPlatform()
+	if len(plat.Devices()) != 6 {
+		t.Fatalf("expected the paper's 6 devices, got %d", len(plat.Devices()))
+	}
+	for _, name := range []string{"Fermi", "Kepler", "Tahiti", "SNB", "Nehalem", "MIC"} {
+		d, err := plat.DeviceByName(name)
+		if err != nil {
+			t.Errorf("DeviceByName(%s): %v", name, err)
+			continue
+		}
+		if d.ComputeUnits() <= 0 || d.Profile() == "" {
+			t.Errorf("%s profile incomplete", name)
+		}
+	}
+	if _, err := plat.DeviceByName("GTX9000"); err == nil {
+		t.Error("unknown device should fail")
+	}
+	gpu, _ := plat.DeviceByName("Fermi")
+	cpu, _ := plat.DeviceByName("SNB")
+	if !gpu.IsGPU() || cpu.IsGPU() {
+		t.Error("IsGPU misclassifies")
+	}
+}
+
+func TestCompileAndRun(t *testing.T) {
+	plat := NewPlatform()
+	dev, _ := plat.DeviceByName("SNB")
+	ctx := NewContext(dev)
+	prog, err := ctx.CompileProgram("scale.cl", testKernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prog.KernelNames(); len(got) != 1 || got[0] != "scale" {
+		t.Errorf("KernelNames = %v", got)
+	}
+	k, err := prog.Kernel("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Kernel("missing"); err == nil {
+		t.Error("missing kernel should error")
+	}
+	const n = 100
+	buf := ctx.NewBuffer(n * 4)
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	buf.WriteFloat32(vals)
+	q := ctx.NewQueue()
+	nd := NDRange{Global: [3]int{128, 1, 1}, Local: [3]int{32, 1, 1}}
+	if _, err := q.EnqueueNDRange(k, nd, buf, float32(2.5), int32(n)); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.ReadFloat32(n)
+	for i := range got {
+		if got[i] != float32(i)*2.5 {
+			t.Fatalf("data[%d] = %g", i, got[i])
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	plat := NewPlatform()
+	dev, _ := plat.DeviceByName("SNB")
+	ctx := NewContext(dev)
+	cases := map[string]string{
+		"syntax":    `__kernel void k(__global float* a) { a[0] = ; }`,
+		"semantics": `__kernel void k(__global float* a) { a[0] = undefined_var; }`,
+		"preproc":   "#include <x.h>\n__kernel void k(__global float* a) {}",
+	}
+	for name, src := range cases {
+		if _, err := ctx.CompileProgram(name, src, nil); err == nil {
+			t.Errorf("%s: expected compile error", name)
+		}
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	plat := NewPlatform()
+	dev, _ := plat.DeviceByName("SNB")
+	ctx := NewContext(dev)
+	prog, err := ctx.CompileProgram("scale.cl", testKernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.Kernel("scale")
+	q := ctx.NewQueue()
+	nd := NDRange{Global: [3]int{32, 1, 1}, Local: [3]int{32, 1, 1}}
+	// Wrong arg count.
+	if _, err := q.EnqueueNDRange(k, nd, ctx.NewBuffer(4)); err == nil {
+		t.Error("missing arguments should fail")
+	}
+	// Unsupported arg type.
+	if _, err := q.EnqueueNDRange(k, nd, "nope", float32(1), int32(1)); err == nil {
+		t.Error("string argument should fail")
+	}
+	// Global size not divisible by local size.
+	bad := NDRange{Global: [3]int{33, 1, 1}, Local: [3]int{32, 1, 1}}
+	if _, err := q.EnqueueNDRange(k, bad, ctx.NewBuffer(256), float32(1), int32(1)); err == nil {
+		t.Error("indivisible NDRange should fail")
+	}
+}
+
+func TestProfilingQueueTimes(t *testing.T) {
+	plat := NewPlatform()
+	for _, devName := range []string{"SNB", "Fermi"} {
+		dev, _ := plat.DeviceByName(devName)
+		ctx := NewContext(dev)
+		prog, err := ctx.CompileProgram("scale.cl", testKernel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, _ := prog.Kernel("scale")
+		buf := ctx.NewBuffer(1024 * 4)
+		q, err := ctx.NewProfilingQueue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd := NDRange{Global: [3]int{1024, 1, 1}, Local: [3]int{64, 1, 1}}
+		evt, err := q.EnqueueNDRange(k, nd, buf, float32(3), int32(1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evt.Duration() <= 0 || evt.Cycles <= 0 || evt.Instrs <= 0 {
+			t.Errorf("%s: profiling event incomplete: %+v", devName, evt)
+		}
+		// Events must be reproducible (deterministic simulator).
+		evt2, err := q.EnqueueNDRange(k, nd, buf, float32(3), int32(1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evt.Cycles != evt2.Cycles {
+			t.Errorf("%s: non-deterministic events: %d vs %d", devName, evt.Cycles, evt2.Cycles)
+		}
+	}
+}
+
+func TestWithLocalMemoryDisabled(t *testing.T) {
+	plat := NewPlatform()
+	dev, _ := plat.DeviceByName("SNB")
+	ctx := NewContext(dev)
+	src := `
+__kernel void k(__global float* out, __global float* in) {
+    __local float sm[64];
+    int lx = get_local_id(0);
+    sm[lx] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = sm[lx] * 2.0f;
+}
+`
+	prog, err := ctx.CompileProgram("k.cl", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noLM, rep, err := prog.WithLocalMemoryDisabled("k", igrover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Transformed() {
+		t.Fatal("not transformed")
+	}
+	// Original program must be untouched.
+	if !strings.Contains(prog.IR(), "__local") {
+		t.Error("original program lost its local alloca")
+	}
+	if strings.Contains(noLM.IR(), "__local") {
+		t.Errorf("transformed program still has local memory:\n%s", noLM.IR())
+	}
+	// Both versions must produce the same results.
+	in := ctx.NewBuffer(256 * 4)
+	out := ctx.NewBuffer(256 * 4)
+	vals := make([]float32, 256)
+	for i := range vals {
+		vals[i] = float32(i) * 0.5
+	}
+	in.WriteFloat32(vals)
+	q := ctx.NewQueue()
+	nd := NDRange{Global: [3]int{256, 1, 1}, Local: [3]int{64, 1, 1}}
+	for _, p := range []*Program{prog, noLM} {
+		k, _ := p.Kernel("k")
+		if _, err := q.EnqueueNDRange(k, nd, out, in); err != nil {
+			t.Fatal(err)
+		}
+		got := out.ReadFloat32(256)
+		for i := range got {
+			if got[i] != vals[i]*2 {
+				t.Fatalf("out[%d] = %g, want %g", i, got[i], vals[i]*2)
+			}
+		}
+	}
+}
+
+func TestNoCandidatesPassthrough(t *testing.T) {
+	plat := NewPlatform()
+	dev, _ := plat.DeviceByName("SNB")
+	ctx := NewContext(dev)
+	prog, err := ctx.CompileProgram("scale.cl", testKernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := prog.WithLocalMemoryDisabled("scale", igrover.Options{}); err != igrover.ErrNoCandidates {
+		t.Errorf("err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestDynamicLocalArgViaAPI(t *testing.T) {
+	plat := NewPlatform()
+	dev, _ := plat.DeviceByName("SNB")
+	ctx := NewContext(dev)
+	src := `
+__kernel void k(__global float* out, __local float* sm) {
+    int lx = get_local_id(0);
+    sm[lx] = (float)lx;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = sm[get_local_size(0) - 1 - lx];
+}
+`
+	prog, err := ctx.CompileProgram("k.cl", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.Kernel("k")
+	out := ctx.NewBuffer(64 * 4)
+	q := ctx.NewQueue()
+	nd := NDRange{Global: [3]int{64, 1, 1}, Local: [3]int{64, 1, 1}}
+	if _, err := q.EnqueueNDRange(k, nd, out, LocalMem{Size: 64 * 4}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.ReadFloat32(64)
+	for i := range got {
+		if got[i] != float32(63-i) {
+			t.Fatalf("out[%d] = %g", i, got[i])
+		}
+	}
+}
+
+func TestEventCarriesCacheStats(t *testing.T) {
+	plat := NewPlatform()
+	dev, _ := plat.DeviceByName("SNB")
+	ctx := NewContext(dev)
+	prog, err := ctx.CompileProgram("scale.cl", testKernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.Kernel("scale")
+	buf := ctx.NewBuffer(1024 * 4)
+	q, err := ctx.NewProfilingQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := NDRange{Global: [3]int{1024, 1, 1}, Local: [3]int{64, 1, 1}}
+	evt, err := q.EnqueueNDRange(k, nd, buf, float32(2), int32(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evt.Stats.Caches) != 3 { // SNB: L1+L2+LLC
+		t.Fatalf("cache levels = %d, want 3", len(evt.Stats.Caches))
+	}
+	l1 := evt.Stats.Caches[0]
+	if l1.Name != "L1" || l1.Accesses == 0 {
+		t.Errorf("L1 stats missing: %+v", l1)
+	}
+	if l1.Hits+l1.Misses != l1.Accesses {
+		t.Errorf("L1 invariants broken: %+v", l1)
+	}
+	if evt.Stats.DRAMAccesses == 0 {
+		t.Error("cold run should touch DRAM")
+	}
+}
