@@ -1,0 +1,67 @@
+// groverd is the kernel compilation and auto-tuning daemon: an HTTP/JSON
+// service that compiles OpenCL C kernels, runs the Grover pass, and
+// auto-tunes kernels on the simulated platforms — with a
+// content-addressed artifact cache (one compile serves N identical
+// requests) and a bounded worker pool (heavy traffic queues instead of
+// thrashing the simulator).
+//
+// Usage:
+//
+//	groverd [-addr :8372] [-cache 256] [-workers 0]
+//
+// Endpoints: POST /v1/compile, /v1/transform, /v1/autotune;
+// GET /v1/devices, /v1/stats, /healthz. See the README "Serving" section
+// for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"grover/internal/service"
+	"grover/opencl"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	cacheCap := flag.Int("cache", 0, "artifact cache capacity in entries (0 = default 256)")
+	workers := flag.Int("workers", 0, "max concurrent compile/tune jobs (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	srv := service.New(service.Config{CacheCapacity: *cacheCap, Workers: *workers})
+
+	log.Printf("groverd: listening on %s (%d workers)", *addr, srv.Pool().Snapshot().Workers)
+	for _, d := range opencl.NewPlatform().Devices() {
+		log.Printf("groverd: device %s", d.Profile())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("groverd: %v", err)
+	case <-ctx.Done():
+		log.Print("groverd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("groverd: shutdown: %v", err)
+		}
+	}
+}

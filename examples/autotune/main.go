@@ -1,8 +1,11 @@
-// Autotune: the paper's headline use case. For every simulated platform,
-// AutoTune transforms the kernel, times both versions, and picks the
-// faster one — "an auto-tuning step for OpenCL kernels" (paper abstract).
-// The same matmul kernel ends up *with* local memory on the NVIDIA-style
-// GPUs and *without* it on several cache-only CPUs.
+// Autotune: the paper's headline use case. AutoTuneAll compiles the
+// kernel once, then tunes every simulated platform concurrently: each
+// device times both versions and keeps the faster one — "an auto-tuning
+// step for OpenCL kernels" (paper abstract). Staging matrix A clearly
+// wins on the NVIDIA-style GPUs; on the cache-only CPUs the two versions
+// land within a few percent of each other (the paper's Fig. 2 MM bars
+// hover around 1.0 on the CPUs too — contrast the transpose example,
+// where the CPUs decisively drop local memory).
 package main
 
 import (
@@ -39,40 +42,32 @@ __kernel void matrixMul(__global float* C, __global float* A, __global float* B,
 
 func main() {
 	const n = 128
-	plat := opencl.NewPlatform()
+	fmt.Println("auto-tuning matrixMul (disable staging of matrix A) on all platforms concurrently:")
 
-	fmt.Println("auto-tuning matrixMul (disable staging of matrix A) per platform:")
-	for _, dev := range plat.Devices() {
-		ctx := opencl.NewContext(dev)
-		prog, err := ctx.CompileProgram("mm.cl", matmulSource, nil)
-		if err != nil {
-			log.Fatal(err)
+	results, err := grover.AutoTuneAll(matmulSource, "matrixMul", grover.LaunchSpec{
+		Options: grover.Options{Candidates: []string{"As"}},
+		ND:      opencl.NDRange{Global: [3]int{n, n, 1}, Local: [3]int{16, 16, 1}},
+		Runs:    1,
+		Args: func(ctx *opencl.Context) ([]interface{}, error) {
+			a := ctx.NewBuffer(n * n * 4)
+			b := ctx.NewBuffer(n * n * 4)
+			c := ctx.NewBuffer(n * n * 4)
+			vals := make([]float32, n*n)
+			for i := range vals {
+				vals[i] = float32(i%17) * 0.25
+			}
+			a.WriteFloat32(vals)
+			b.WriteFloat32(vals)
+			return []interface{}{c, a, b, int32(n), int32(n)}, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.Device, r.Err)
 		}
-
-		a := ctx.NewBuffer(n * n * 4)
-		b := ctx.NewBuffer(n * n * 4)
-		c := ctx.NewBuffer(n * n * 4)
-		vals := make([]float32, n*n)
-		for i := range vals {
-			vals[i] = float32(i%17) * 0.25
-		}
-		a.WriteFloat32(vals)
-		b.WriteFloat32(vals)
-
-		q, err := ctx.NewProfilingQueue()
-		if err != nil {
-			log.Fatal(err)
-		}
-		nd := opencl.NDRange{Global: [3]int{n, n, 1}, Local: [3]int{16, 16, 1}}
-
-		res, err := grover.AutoTune(prog, "matrixMul",
-			grover.Options{Candidates: []string{"As"}}, 1,
-			func(k *opencl.Kernel) (*opencl.Event, error) {
-				return q.EnqueueNDRange(k, nd, c, a, b, int32(n), int32(n))
-			})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %-8s → %s\n", dev.Name(), res)
+		fmt.Printf("  %-8s → %s\n", r.Device, r.Result)
 	}
 }

@@ -26,8 +26,10 @@ package grover
 
 import (
 	"fmt"
+	"sync"
 
 	igrover "grover/internal/grover"
+	"grover/internal/ir"
 	"grover/opencl"
 )
 
@@ -145,4 +147,87 @@ func AutoTune(prog *opencl.Program, kernel string, opts Options, runs int,
 		res.Kernel = orig
 	}
 	return res, nil
+}
+
+// LaunchSpec describes how to launch a kernel for timing on any device:
+// pass options, launch geometry, run count, and a builder that
+// materializes the kernel arguments. Buffers belong to a context and
+// contexts belong to a device, so Args is called once per device with
+// that device's fresh context.
+type LaunchSpec struct {
+	// Options control the Grover pass.
+	Options Options
+	// Defines are extra preprocessor definitions for the compile.
+	Defines map[string]string
+	// ND is the launch geometry.
+	ND opencl.NDRange
+	// Runs is the number of timed executions averaged per version
+	// (defaults to 1; the simulator is deterministic).
+	Runs int
+	// Args builds the kernel argument list (buffers, scalars, LocalMem)
+	// in the given context.
+	Args func(ctx *opencl.Context) ([]interface{}, error)
+}
+
+// DeviceTuneResult is one device's outcome from AutoTuneAll.
+type DeviceTuneResult struct {
+	// Device is the profile name ("SNB", "Fermi", ...).
+	Device string
+	// Result is the tuning verdict; nil when Err is set.
+	Result *TuneResult
+	// Err reports a per-device failure (the other devices still tune).
+	Err error
+}
+
+// AutoTuneAll runs the paper's auto-tuning step for one kernel on every
+// simulated platform concurrently: the source is compiled once to the
+// device-independent IR, then each device gets its own goroutine,
+// context, program instance and profiling queue, and both kernel versions
+// are timed. Results are ordered as opencl.NewPlatform().Devices(); a
+// failure on one device is reported in its slot without aborting the
+// others. Only a compile failure — which no device could survive — is
+// returned as a top-level error.
+func AutoTuneAll(source, kernel string, spec LaunchSpec) ([]DeviceTuneResult, error) {
+	mod, err := opencl.CompileModule(kernel+".cl", source, spec.Defines)
+	if err != nil {
+		return nil, err
+	}
+	devs := opencl.NewPlatform().Devices()
+	out := make([]DeviceTuneResult, len(devs))
+	var wg sync.WaitGroup
+	for i, dev := range devs {
+		wg.Add(1)
+		go func(i int, dev *opencl.Device) {
+			defer wg.Done()
+			res, err := tuneOnDevice(dev, mod, kernel, spec)
+			out[i] = DeviceTuneResult{Device: dev.Name(), Result: res, Err: err}
+		}(i, dev)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// tuneOnDevice instantiates the shared compiled module on one device and
+// times both kernel versions there.
+func tuneOnDevice(dev *opencl.Device, mod *ir.Module, kernel string, spec LaunchSpec) (*TuneResult, error) {
+	ctx := opencl.NewContext(dev)
+	prog, err := ctx.NewProgramFromIR(kernel+".cl", mod)
+	if err != nil {
+		return nil, err
+	}
+	var args []interface{}
+	if spec.Args != nil {
+		args, err = spec.Args(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("grover: building args on %s: %w", dev.Name(), err)
+		}
+	}
+	q, err := ctx.NewProfilingQueue()
+	if err != nil {
+		return nil, err
+	}
+	return AutoTune(prog, kernel, spec.Options, spec.Runs,
+		func(k *opencl.Kernel) (*opencl.Event, error) {
+			return q.EnqueueNDRange(k, spec.ND, args...)
+		})
 }

@@ -168,3 +168,54 @@ __kernel void mm(__global float* C, __global float* A, __global float* B, int N)
 		t.Errorf("candidate selection wrong: As=%v Bs=%v", as, bs)
 	}
 }
+
+// TestAutoTuneAll exercises the concurrent six-device fan-out: one
+// compile, per-device tuning, and the paper's Fig. 2 shape — the tiled
+// transpose keeps local memory on the NVIDIA-style GPUs and drops it on
+// the cache-only CPUs.
+func TestAutoTuneAll(t *testing.T) {
+	const n = 64
+	results, err := grover.AutoTuneAll(transposeSrc, "transpose", grover.LaunchSpec{
+		ND:   opencl.NDRange{Global: [3]int{n, n, 1}, Local: [3]int{16, 16, 1}},
+		Runs: 1,
+		Args: func(ctx *opencl.Context) ([]interface{}, error) {
+			out := ctx.NewBuffer(n * n * 4)
+			in := ctx.NewBuffer(n * n * 4)
+			return []interface{}{out, in, int32(n), int32(n)}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Fermi", "Kepler", "Tahiti", "SNB", "Nehalem", "MIC"}
+	if len(results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(results), len(want))
+	}
+	for i, r := range results {
+		if r.Device != want[i] {
+			t.Errorf("result %d device = %s, want %s", i, r.Device, want[i])
+		}
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Device, r.Err)
+			continue
+		}
+		if r.Result == nil || r.Result.OriginalMS <= 0 || r.Result.TransformedMS <= 0 {
+			t.Errorf("%s: missing timings: %+v", r.Device, r.Result)
+			continue
+		}
+		// The verdict must be consistent with the timings.
+		if r.Result.UseTransformed != (r.Result.TransformedMS < r.Result.OriginalMS) {
+			t.Errorf("%s: verdict inconsistent with timings: %s", r.Device, r.Result)
+		}
+	}
+	byName := map[string]*grover.TuneResult{}
+	for _, r := range results {
+		byName[r.Device] = r.Result
+	}
+	if byName["Kepler"] != nil && byName["Kepler"].UseTransformed {
+		t.Error("Kepler should keep local memory for the transpose")
+	}
+	if byName["SNB"] != nil && !byName["SNB"].UseTransformed {
+		t.Error("SNB should disable local memory for the transpose")
+	}
+}

@@ -1,0 +1,235 @@
+package kcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestKeyFieldBoundaries(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("length prefixing failed: shifted fields collide")
+	}
+	if Key("x") != Key("x") {
+		t.Error("Key is not deterministic")
+	}
+	if Key("x") == Key("x", "") {
+		t.Error("trailing empty field should change the key")
+	}
+}
+
+func TestDefinesFieldCanonical(t *testing.T) {
+	a := DefinesField(map[string]string{"TILE": "16", "N": "128"})
+	b := DefinesField(map[string]string{"N": "128", "TILE": "16"})
+	if a != b {
+		t.Errorf("map order leaked into the field: %q vs %q", a, b)
+	}
+	if DefinesField(nil) != "" {
+		t.Error("nil defines should render empty")
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New(4)
+	calls := 0
+	compute := func() (interface{}, error) { calls++; return 42, nil }
+
+	v, out, err := c.Do("k", compute)
+	if err != nil || v.(int) != 42 || out != Miss {
+		t.Fatalf("first Do = (%v, %v, %v), want (42, miss, nil)", v, out, err)
+	}
+	v, out, err = c.Do("k", compute)
+	if err != nil || v.(int) != 42 || out != Hit {
+		t.Fatalf("second Do = (%v, %v, %v), want (42, hit, nil)", v, out, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Dedups != 0 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want hits=1 misses=1 dedups=0 entries=1", st)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	const waiters = 16
+	c := New(8)
+	var calls int32
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, out, err := c.Do("shared", func() (interface{}, error) {
+				atomic.AddInt32(&calls, 1)
+				<-release // hold the flight open until all waiters arrive
+				return "artifact", nil
+			})
+			if err != nil || v.(string) != "artifact" {
+				t.Errorf("waiter %d: got (%v, %v)", i, v, err)
+			}
+			outcomes[i] = out
+		}(i)
+	}
+	// Wait until the other waiters are parked on the in-flight compute,
+	// then let it finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Snapshot()
+		if st.Dedups == waiters-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never parked: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	misses, dedups := 0, 0
+	for _, o := range outcomes {
+		switch o {
+		case Miss:
+			misses++
+		case Dedup:
+			dedups++
+		default:
+			t.Errorf("unexpected outcome %v", o)
+		}
+	}
+	if misses != 1 || dedups != waiters-1 {
+		t.Errorf("outcomes: %d misses, %d dedups; want 1, %d", misses, dedups, waiters-1)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	put := func(k string) {
+		if _, _, err := c.Do(k, func() (interface{}, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	// Touch "a" so "b" is now least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should be resident")
+	}
+	put("c") // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be resident")
+	}
+	st := c.Snapshot()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want evictions=1 entries=2", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(4)
+	calls := 0
+	boom := errors.New("transient")
+	compute := func() (interface{}, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, _, err := c.Do("k", compute); err != boom {
+		t.Fatalf("first Do err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compute must not leave an entry")
+	}
+	v, out, err := c.Do("k", compute)
+	if err != nil || v.(string) != "ok" || out != Miss {
+		t.Fatalf("retry = (%v, %v, %v), want (ok, miss, nil)", v, out, err)
+	}
+}
+
+func TestSharedErrorWakesWaiters(t *testing.T) {
+	c := New(4)
+	release := make(chan struct{})
+	boom := errors.New("shared failure")
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.Do("k", func() (interface{}, error) {
+				<-release
+				return nil, boom
+			})
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Snapshot().Dedups != int64(len(errs)-1) {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != boom {
+			t.Errorf("waiter %d err = %v, want shared failure", i, err)
+		}
+	}
+}
+
+// TestConcurrentChurn hammers a small cache from many goroutines; run
+// under -race it checks the lock discipline, and at the end every counter
+// must reconcile.
+func TestConcurrentChurn(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	const goroutines = 16
+	const opsPer = 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%24) // 24 keys > capacity 8
+				v, _, err := c.Do(key, func() (interface{}, error) { return key, nil })
+				if err != nil {
+					t.Errorf("Do(%s): %v", key, err)
+					return
+				}
+				if v.(string) != key {
+					t.Errorf("Do(%s) returned %v", key, v)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.Hits+st.Misses+st.Dedups != goroutines*opsPer {
+		t.Errorf("counters do not reconcile: %+v", st)
+	}
+	if st.Entries > 8 {
+		t.Errorf("capacity bound violated: %d entries", st.Entries)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight leak: %d", st.InFlight)
+	}
+}

@@ -1,0 +1,402 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"grover"
+	igrover "grover/internal/grover"
+	"grover/internal/ir"
+	"grover/internal/kcache"
+	"grover/internal/opt"
+	"grover/opencl"
+)
+
+// compiledArtifact is the cached result of a compile: the
+// device-independent module (instantiated per request via
+// Context.NewProgramFromIR, never mutated) plus the response fields.
+type compiledArtifact struct {
+	mod     *ir.Module
+	kernels []string
+	ir      string
+}
+
+// transformArtifact is the cached result of a Grover pass run.
+type transformArtifact struct {
+	report *igrover.Report
+	ir     string
+}
+
+// verdictArtifact is the cached result of one (request, device) tuning.
+type verdictArtifact struct {
+	useTransformed bool
+	origMS         float64
+	transMS        float64
+	speedup        float64
+	report         *igrover.Report
+}
+
+func programName(name string) string {
+	if name == "" {
+		return "kernel.cl"
+	}
+	return name
+}
+
+// compile returns the cached compiled module for (source, defines),
+// compiling at most once across concurrent requests.
+func (s *Server) compile(name, source string, defines map[string]string) (*compiledArtifact, kcache.Outcome, error) {
+	key := kcache.Key("compile", source, kcache.DefinesField(defines))
+	v, out, err := s.cache.Do(key, func() (interface{}, error) {
+		mod, err := opencl.CompileModule(programName(name), source, defines)
+		if err != nil {
+			return nil, err
+		}
+		art := &compiledArtifact{mod: mod, ir: mod.String()}
+		for _, f := range mod.Kernels() {
+			art.kernels = append(art.kernels, f.Name)
+		}
+		return art, nil
+	})
+	if err != nil {
+		return nil, out, err
+	}
+	return v.(*compiledArtifact), out, nil
+}
+
+// kernelIn checks that the compiled module contains the kernel, returning
+// an actionable 404 otherwise.
+func kernelIn(comp *compiledArtifact, kernel string) error {
+	if comp.mod.Kernel(kernel) == nil {
+		return notFound("no kernel %q in program (available: %s)",
+			kernel, strings.Join(comp.kernels, ", "))
+	}
+	return nil
+}
+
+// transform returns the cached Grover pass result for the request.
+func (s *Server) transform(req *TransformRequest) (*transformArtifact, kcache.Outcome, error) {
+	key := kcache.Key("transform", req.Source, kcache.DefinesField(req.Defines),
+		req.Kernel, req.Options.field())
+	v, out, err := s.cache.Do(key, func() (interface{}, error) {
+		comp, _, err := s.compile(req.Name, req.Source, req.Defines)
+		if err != nil {
+			return nil, err
+		}
+		if err := kernelIn(comp, req.Kernel); err != nil {
+			return nil, err
+		}
+		clone := ir.CloneModule(comp.mod)
+		rep, err := igrover.TransformKernel(clone, req.Kernel, req.Options.options())
+		if err != nil {
+			return nil, err
+		}
+		opt.Optimize(clone)
+		return &transformArtifact{report: rep, ir: clone.String()}, nil
+	})
+	if err != nil {
+		return nil, out, err
+	}
+	return v.(*transformArtifact), out, nil
+}
+
+// launchField canonicalizes the launch geometry and arguments for keying.
+func launchField(req *AutotuneRequest) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "g=%v;l=%v;runs=%d;", req.Global, req.Local, req.Runs)
+	for _, a := range req.Args {
+		sb.WriteString(a.field())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// maxBufferBytes bounds one declared buffer argument. Device memory grows
+// on demand, so without a cap a single request could balloon the daemon;
+// 64 MiB is far beyond any scaled benchmark dataset.
+const maxBufferBytes = 64 << 20
+
+// buildArgs materializes the declared arguments in a context. Buffers get
+// a deterministic pseudo-random fill: simulated timing depends on the
+// access pattern, not the values.
+func buildArgs(ctx *opencl.Context, specs []ArgSpec) ([]interface{}, error) {
+	args := make([]interface{}, len(specs))
+	for i, a := range specs {
+		switch a.Kind {
+		case "buffer":
+			if a.Size <= 0 {
+				return nil, badRequest("arg %d: buffer needs a positive size", i)
+			}
+			if a.Size > maxBufferBytes {
+				return nil, badRequest("arg %d: buffer size %d exceeds the %d-byte limit", i, a.Size, maxBufferBytes)
+			}
+			buf := ctx.NewBuffer(a.Size)
+			buf.WriteFloat32(fill(a.Size/4, uint32(i+1)))
+			args[i] = buf
+		case "local":
+			if a.Size <= 0 {
+				return nil, badRequest("arg %d: local needs a positive size", i)
+			}
+			args[i] = opencl.LocalMem{Size: a.Size}
+		case "int":
+			args[i] = a.Int
+		case "float":
+			args[i] = a.Float
+		default:
+			return nil, badRequest("arg %d: unknown kind %q (want buffer, local, int or float)", i, a.Kind)
+		}
+	}
+	return args, nil
+}
+
+// fill generates the deterministic buffer contents.
+func fill(n int, seed uint32) []float32 {
+	out := make([]float32, n)
+	s := seed*2654435761 + 1
+	for i := range out {
+		s = s*1664525 + 1013904223
+		out[i] = float32(s%1024)/512.0 - 1.0
+	}
+	return out
+}
+
+// autotuneDevice returns the cached tuning verdict for (request, device),
+// timing both kernel versions at most once across concurrent requests.
+func (s *Server) autotuneDevice(req *AutotuneRequest, devName string) (*verdictArtifact, kcache.Outcome, error) {
+	key := kcache.Key("autotune", req.Source, kcache.DefinesField(req.Defines),
+		req.Kernel, req.Options.field(), devName, launchField(req))
+	v, out, err := s.cache.Do(key, func() (interface{}, error) {
+		comp, _, err := s.compile(req.Name, req.Source, req.Defines)
+		if err != nil {
+			return nil, err
+		}
+		if err := kernelIn(comp, req.Kernel); err != nil {
+			return nil, err
+		}
+		dev, err := s.plat.DeviceByName(devName)
+		if err != nil {
+			return nil, notFound("%v", err)
+		}
+		ctx := opencl.NewContext(dev)
+		prog, err := ctx.NewProgramFromIR(programName(req.Name), comp.mod)
+		if err != nil {
+			return nil, err
+		}
+		args, err := buildArgs(ctx, req.Args)
+		if err != nil {
+			return nil, err
+		}
+		q, err := ctx.NewProfilingQueue()
+		if err != nil {
+			return nil, err
+		}
+		nd := opencl.NDRange{Global: req.Global, Local: req.Local}
+		res, err := grover.AutoTune(prog, req.Kernel, req.Options.options(), req.Runs,
+			func(k *opencl.Kernel) (*opencl.Event, error) {
+				return q.EnqueueNDRange(k, nd, args...)
+			})
+		if err != nil {
+			return nil, err
+		}
+		return &verdictArtifact{
+			useTransformed: res.UseTransformed,
+			origMS:         res.OriginalMS,
+			transMS:        res.TransformedMS,
+			speedup:        res.Speedup,
+			report:         res.Report,
+		}, nil
+	})
+	if err != nil {
+		return nil, out, err
+	}
+	return v.(*verdictArtifact), out, nil
+}
+
+func (v *verdictArtifact) verdict(device string, outcome kcache.Outcome) TuneVerdict {
+	text := "keep local memory"
+	if v.useTransformed {
+		text = "disable local memory"
+	}
+	return TuneVerdict{
+		Device:         device,
+		UseTransformed: v.useTransformed,
+		Verdict:        text,
+		OriginalMS:     v.origMS,
+		TransformedMS:  v.transMS,
+		Speedup:        v.speedup,
+		Report:         renderReport(v.report),
+		Cache:          outcome.String(),
+	}
+}
+
+// ------------------------------------------------------------- handlers
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req CompileRequest
+	if err := decode(r, &req); err != nil {
+		s.stats.record("compile", time.Since(start), true)
+		writeError(w, err)
+		return
+	}
+	if req.Source == "" {
+		s.stats.record("compile", time.Since(start), true)
+		writeError(w, badRequest("source is required"))
+		return
+	}
+	var (
+		comp *compiledArtifact
+		out  kcache.Outcome
+		err  error
+	)
+	s.pool.Run(func() {
+		comp, out, err = s.compile(req.Name, req.Source, req.Defines)
+	})
+	s.stats.record("compile", time.Since(start), err != nil, out)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := &CompileResponse{
+		Name:      programName(req.Name),
+		Kernels:   comp.kernels,
+		Cache:     out.String(),
+		LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if req.WantIR {
+		resp.IR = comp.ir
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req TransformRequest
+	if err := decode(r, &req); err != nil {
+		s.stats.record("transform", time.Since(start), true)
+		writeError(w, err)
+		return
+	}
+	if req.Source == "" || req.Kernel == "" {
+		s.stats.record("transform", time.Since(start), true)
+		writeError(w, badRequest("source and kernel are required"))
+		return
+	}
+	var (
+		art *transformArtifact
+		out kcache.Outcome
+		err error
+	)
+	s.pool.Run(func() {
+		art, out, err = s.transform(&req)
+	})
+	s.stats.record("transform", time.Since(start), err != nil, out)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := &TransformResponse{
+		Kernel:      req.Kernel,
+		Transformed: art.report.Transformed(),
+		Report:      renderReport(art.report),
+		Cache:       out.String(),
+		LatencyMS:   float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if req.WantIR {
+		resp.IR = art.ir
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req AutotuneRequest
+	if err := decode(r, &req); err != nil {
+		s.stats.record("autotune", time.Since(start), true)
+		writeError(w, err)
+		return
+	}
+	if req.Source == "" || req.Kernel == "" {
+		s.stats.record("autotune", time.Since(start), true)
+		writeError(w, badRequest("source and kernel are required"))
+		return
+	}
+	// Resolve the device list up front so an unknown name is a 404 with
+	// the available devices, before any compile work is queued.
+	var devices []string
+	if req.Device == "" || req.Device == "all" {
+		for _, d := range s.plat.Devices() {
+			devices = append(devices, d.Name())
+		}
+	} else {
+		if _, err := s.plat.DeviceByName(req.Device); err != nil {
+			s.stats.record("autotune", time.Since(start), true)
+			writeError(w, notFound("%v", err))
+			return
+		}
+		devices = []string{req.Device}
+	}
+
+	results := make([]TuneVerdict, len(devices))
+	outcomes := make([]kcache.Outcome, len(devices))
+	errs := make([]error, len(devices))
+	s.pool.Run(func() {
+		// The per-device fan-out runs inside this job's pool slot (see
+		// Pool.Run); a sweep is one unit of queued work.
+		var wg sync.WaitGroup
+		for i, name := range devices {
+			wg.Add(1)
+			go func(i int, name string) {
+				defer wg.Done()
+				v, out, err := s.autotuneDevice(&req, name)
+				outcomes[i] = out
+				if err != nil {
+					errs[i] = err
+					results[i] = TuneVerdict{Device: name, Error: err.Error()}
+					return
+				}
+				results[i] = v.verdict(name, out)
+			}(i, name)
+		}
+		wg.Wait()
+	})
+	// A single-device failure is the request's failure (with its original
+	// HTTP status); sweeps report per-device errors inline instead.
+	failed := len(devices) == 1 && errs[0] != nil
+	s.stats.record("autotune", time.Since(start), failed, outcomes...)
+	if failed {
+		writeError(w, errs[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, &AutotuneResponse{
+		Kernel:    req.Kernel,
+		Results:   results,
+		LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	var out []DeviceInfo
+	for _, d := range s.plat.Devices() {
+		kind := "cpu"
+		if d.IsGPU() {
+			kind = "gpu"
+		}
+		out = append(out, DeviceInfo{
+			Name: d.Name(), Kind: kind,
+			ComputeUnits: d.ComputeUnits(), Profile: d.Profile(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &StatsResponse{
+		Cache:     s.cache.Snapshot(),
+		Pool:      s.pool.Snapshot(),
+		Endpoints: s.stats.snapshot(),
+	})
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Pool bounds the number of concurrently executing compilation/tuning
+// jobs. The VM already parallelizes one launch across cores, so running
+// an unbounded number of simultaneous simulations would thrash the
+// machine; under heavy traffic excess requests queue on the semaphore
+// (HTTP handler goroutines block cheaply) instead.
+type Pool struct {
+	sem     chan struct{}
+	workers int
+
+	active    atomic.Int64
+	queued    atomic.Int64
+	completed atomic.Int64
+}
+
+// NewPool creates a pool with the given number of slots; workers <= 0
+// sizes it to GOMAXPROCS, the most the VM can usefully run at once.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers), workers: workers}
+}
+
+// Run executes fn in the caller's goroutine once a slot is free, blocking
+// while the pool is saturated. Nested work spawned by fn (e.g. the
+// per-device fan-out of an autotune-all job) must not call Run, or a full
+// pool of parents waiting on children would deadlock; such fan-outs run
+// within the parent's slot.
+func (p *Pool) Run(fn func()) {
+	p.queued.Add(1)
+	p.sem <- struct{}{}
+	p.queued.Add(-1)
+	p.active.Add(1)
+	defer func() {
+		p.active.Add(-1)
+		p.completed.Add(1)
+		<-p.sem
+	}()
+	fn()
+}
+
+// PoolStats is a snapshot of pool occupancy for the stats endpoint.
+type PoolStats struct {
+	// Workers is the slot count.
+	Workers int `json:"workers"`
+	// Active jobs hold a slot; Queued jobs are waiting for one.
+	Active int64 `json:"active"`
+	Queued int64 `json:"queued"`
+	// Completed counts finished jobs.
+	Completed int64 `json:"completed"`
+}
+
+// Snapshot returns the current occupancy.
+func (p *Pool) Snapshot() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		Active:    p.active.Load(),
+		Queued:    p.queued.Load(),
+		Completed: p.completed.Load(),
+	}
+}

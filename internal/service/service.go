@@ -1,0 +1,332 @@
+// Package service is the request/response layer of groverd, the kernel
+// compilation and auto-tuning daemon: JSON types and handlers for
+// compile, transform (the Grover pass plus its Table-III-style report),
+// autotune (both kernel versions timed on a device, winner returned) and
+// device inventory, backed by a content-addressed artifact cache
+// (internal/kcache) and a bounded worker pool so heavy traffic queues
+// instead of thrashing the simulator.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/compile    compile source, list kernels (optionally the IR)
+//	POST /v1/transform  run the Grover pass, return the report
+//	POST /v1/autotune   time both versions on a device (or "all"), pick the winner
+//	GET  /v1/devices    the six simulated platforms
+//	GET  /v1/stats      cache, pool and per-endpoint request counters
+//	GET  /healthz       liveness
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"grover"
+	igrover "grover/internal/grover"
+	"grover/internal/kcache"
+	"grover/opencl"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// CacheCapacity bounds the artifact cache (entries); <= 0 uses
+	// kcache.DefaultCapacity.
+	CacheCapacity int
+	// Workers bounds concurrent compile/tune jobs; <= 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// Server holds the service state and implements http.Handler.
+type Server struct {
+	plat  *opencl.Platform
+	cache *kcache.Cache
+	pool  *Pool
+	stats *registry
+	mux   *http.ServeMux
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		plat:  opencl.NewPlatform(),
+		cache: kcache.New(cfg.CacheCapacity),
+		pool:  NewPool(cfg.Workers),
+		stats: newRegistry(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/transform", s.handleTransform)
+	s.mux.HandleFunc("POST /v1/autotune", s.handleAutotune)
+	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Pool exposes the worker pool (for daemon logging).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// ------------------------------------------------------------- JSON types
+
+// OptionsSpec mirrors grover.Options with JSON tags.
+type OptionsSpec struct {
+	// Candidates restricts the pass to the named __local variables.
+	Candidates []string `json:"candidates,omitempty"`
+	// KeepBarriers / CloneAll are the paper's ablation switches.
+	KeepBarriers bool `json:"keep_barriers,omitempty"`
+	CloneAll     bool `json:"clone_all,omitempty"`
+	// Strict fails the request when a selected candidate is not
+	// reversible instead of skipping it.
+	Strict bool `json:"strict,omitempty"`
+}
+
+func (o OptionsSpec) options() grover.Options {
+	return grover.Options{
+		Candidates:   o.Candidates,
+		KeepBarriers: o.KeepBarriers,
+		CloneAll:     o.CloneAll,
+		Strict:       o.Strict,
+	}
+}
+
+// field renders the options canonically (candidate order is irrelevant to
+// the pass, so it must not change the content address).
+func (o OptionsSpec) field() string {
+	cands := append([]string(nil), o.Candidates...)
+	sort.Strings(cands)
+	return fmt.Sprintf("cands=%s;kb=%t;ca=%t;strict=%t",
+		strings.Join(cands, ","), o.KeepBarriers, o.CloneAll, o.Strict)
+}
+
+// CompileRequest compiles OpenCL C source.
+type CompileRequest struct {
+	// Name labels the program in errors and reports (default "kernel.cl").
+	Name string `json:"name,omitempty"`
+	// Source is the OpenCL C program text.
+	Source string `json:"source"`
+	// Defines are extra preprocessor definitions.
+	Defines map[string]string `json:"defines,omitempty"`
+	// WantIR includes the compiled IR in the response.
+	WantIR bool `json:"want_ir,omitempty"`
+}
+
+// CompileResponse describes a compiled program.
+type CompileResponse struct {
+	Name    string   `json:"name"`
+	Kernels []string `json:"kernels"`
+	IR      string   `json:"ir,omitempty"`
+	// Cache is the artifact-cache outcome: "hit", "miss" or "dedup".
+	Cache     string  `json:"cache"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// TransformRequest runs the Grover pass on one kernel.
+type TransformRequest struct {
+	Name    string            `json:"name,omitempty"`
+	Source  string            `json:"source"`
+	Defines map[string]string `json:"defines,omitempty"`
+	// Kernel is the kernel to transform.
+	Kernel  string      `json:"kernel"`
+	Options OptionsSpec `json:"options"`
+	// WantIR includes the transformed IR in the response.
+	WantIR bool `json:"want_ir,omitempty"`
+}
+
+// TransformResponse carries the transformation report.
+type TransformResponse struct {
+	Kernel      string  `json:"kernel"`
+	Transformed bool    `json:"transformed"`
+	Report      *Report `json:"report"`
+	IR          string  `json:"ir,omitempty"`
+	Cache       string  `json:"cache"`
+	LatencyMS   float64 `json:"latency_ms"`
+}
+
+// Report is the JSON rendering of the pass report (the paper's Table III
+// rows plus cleanup counts).
+type Report struct {
+	Kernel            string      `json:"kernel"`
+	Candidates        []Candidate `json:"candidates"`
+	BarriersRemoved   int         `json:"barriers_removed"`
+	DeadInstrsRemoved int         `json:"dead_instrs_removed"`
+	// Text is the human-readable table render.
+	Text string `json:"text"`
+}
+
+// Candidate is one __local variable's row in a Report.
+type Candidate struct {
+	Name string `json:"name"`
+	// GL, LS, LL and NGL are the symbolic index expressions; Solution is
+	// the solved local→global correspondence.
+	GL       string   `json:"gl,omitempty"`
+	LS       string   `json:"ls,omitempty"`
+	LL       []string `json:"ll,omitempty"`
+	NGL      []string `json:"ngl,omitempty"`
+	Solution string   `json:"solution,omitempty"`
+	// Pattern classifies the LS index tree (paper Fig. 7).
+	Pattern     string `json:"pattern"`
+	Transformed bool   `json:"transformed"`
+	Reason      string `json:"reason,omitempty"`
+	// ClonedInstrs counts instructions duplicated by Algorithm 1.
+	ClonedInstrs int `json:"cloned_instrs"`
+	NumLS        int `json:"num_ls"`
+	NumLL        int `json:"num_ll"`
+}
+
+func renderReport(r *igrover.Report) *Report {
+	if r == nil {
+		return nil
+	}
+	out := &Report{
+		Kernel:            r.Kernel,
+		BarriersRemoved:   r.BarriersRemoved,
+		DeadInstrsRemoved: r.DeadInstrsRemoved,
+		Text:              r.String(),
+	}
+	for _, c := range r.Candidates {
+		out.Candidates = append(out.Candidates, Candidate{
+			Name: c.Name, GL: c.GL, LS: c.LS, LL: c.LL, NGL: c.NGL,
+			Solution: c.Solution, Pattern: c.Pattern.String(),
+			Transformed: c.Transformed, Reason: c.Reason,
+			ClonedInstrs: c.ClonedInstrs, NumLS: c.NumLS, NumLL: c.NumLL,
+		})
+	}
+	return out
+}
+
+// ArgSpec declares one kernel argument for an autotune launch. The
+// service allocates buffers itself (clients have no device pointers);
+// buffer contents are a deterministic pseudo-random fill — simulated
+// timing depends on the access pattern, not the values.
+type ArgSpec struct {
+	// Kind is "buffer", "local", "int" or "float".
+	Kind string `json:"kind"`
+	// Size is the byte size of a buffer or local allocation.
+	Size int `json:"size,omitempty"`
+	// Int and Float carry scalar values.
+	Int   int64   `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+}
+
+func (a ArgSpec) field() string {
+	return fmt.Sprintf("%s:%d:%d:%g", a.Kind, a.Size, a.Int, a.Float)
+}
+
+// AutotuneRequest times both kernel versions and returns the winner.
+type AutotuneRequest struct {
+	Name    string            `json:"name,omitempty"`
+	Source  string            `json:"source"`
+	Defines map[string]string `json:"defines,omitempty"`
+	Kernel  string            `json:"kernel"`
+	Options OptionsSpec       `json:"options"`
+	// Device is a profile name ("SNB", "Fermi", ...) or "all" (also the
+	// default) for a concurrent sweep over every platform.
+	Device string `json:"device,omitempty"`
+	// Global and Local are the launch geometry (zero dims default to 1).
+	Global [3]int `json:"global"`
+	Local  [3]int `json:"local"`
+	// Args are the kernel arguments in declaration order.
+	Args []ArgSpec `json:"args"`
+	// Runs averages this many timed executions per version (default 1).
+	Runs int `json:"runs,omitempty"`
+}
+
+// TuneVerdict is one device's auto-tuning outcome.
+type TuneVerdict struct {
+	Device string `json:"device"`
+	// UseTransformed is true when the version without local memory won.
+	UseTransformed bool `json:"use_transformed"`
+	// Verdict is the human-readable decision.
+	Verdict       string  `json:"verdict"`
+	OriginalMS    float64 `json:"original_ms"`
+	TransformedMS float64 `json:"transformed_ms"`
+	// Speedup is original/transformed — the paper's normalized
+	// performance; > 1 means disabling local memory helped.
+	Speedup float64 `json:"speedup"`
+	Report  *Report `json:"report,omitempty"`
+	Cache   string  `json:"cache"`
+	// Error reports a per-device failure during an "all" sweep.
+	Error string `json:"error,omitempty"`
+}
+
+// AutotuneResponse aggregates the requested devices' verdicts.
+type AutotuneResponse struct {
+	Kernel    string        `json:"kernel"`
+	Results   []TuneVerdict `json:"results"`
+	LatencyMS float64       `json:"latency_ms"`
+}
+
+// DeviceInfo describes one simulated platform.
+type DeviceInfo struct {
+	Name         string `json:"name"`
+	Kind         string `json:"kind"`
+	ComputeUnits int    `json:"compute_units"`
+	Profile      string `json:"profile"`
+}
+
+// StatsResponse is the stats endpoint payload.
+type StatsResponse struct {
+	Cache     kcache.Stats             `json:"cache"`
+	Pool      PoolStats                `json:"pool"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// ------------------------------------------------------------- plumbing
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is an error with an HTTP status.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errStatus(err error) int {
+	if ae, ok := err.(*apiError); ok {
+		return ae.code
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, errStatus(err), map[string]string{"error": err.Error()})
+}
+
+func notFound(format string, args ...interface{}) error {
+	return &apiError{code: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+func badRequest(format string, args ...interface{}) error {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// maxBodyBytes bounds request bodies; kernel sources are a few KiB, so
+// 16 MiB is generous while keeping a hostile payload from ballooning the
+// daemon.
+const maxBodyBytes = 16 << 20
+
+func decode(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"grover/internal/apps"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Config{CacheCapacity: 64, Workers: 4}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, req, resp interface{}) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp != nil && r.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), resp); err != nil {
+			t.Fatalf("decoding %s response: %v\n%s", url, err, buf.String())
+		}
+	}
+	return r.StatusCode, buf.String()
+}
+
+func getJSON(t *testing.T, url string, resp interface{}) int {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return r.StatusCode
+}
+
+// nvdMT returns the paper's NVD-MT benchmark (the tiled transpose of
+// Fig. 1) as service requests: the app's real kernel source with a small
+// 32×32 launch.
+func nvdMT() (source string, autotune AutotuneRequest) {
+	app := apps.NVDMT()
+	const n = 32
+	return app.Source, AutotuneRequest{
+		Name:   "nvd-mt.cl",
+		Source: app.Source,
+		Kernel: app.Kernel,
+		Device: "SNB",
+		Global: [3]int{n, n, 1},
+		Local:  [3]int{16, 16, 1},
+		Args: []ArgSpec{
+			{Kind: "buffer", Size: n * n * 4}, // odata
+			{Kind: "buffer", Size: n * n * 4}, // idata
+			{Kind: "int", Int: n},             // width
+			{Kind: "int", Int: n},             // height
+		},
+	}
+}
+
+// TestEndToEnd drives the issue's acceptance scenario over HTTP: compile
+// NVD-MT, autotune it on SNB, and assert via the stats endpoint that the
+// second identical request was served from the cache without recompiling.
+func TestEndToEnd(t *testing.T) {
+	ts := newTestServer(t)
+	source, tuneReq := nvdMT()
+
+	// Compile: first request misses, second hits.
+	var comp CompileResponse
+	code, body := postJSON(t, ts.URL+"/v1/compile",
+		CompileRequest{Name: "nvd-mt.cl", Source: source}, &comp)
+	if code != http.StatusOK {
+		t.Fatalf("compile: %d %s", code, body)
+	}
+	if len(comp.Kernels) != 1 || comp.Kernels[0] != "transpose" {
+		t.Fatalf("kernels = %v, want [transpose]", comp.Kernels)
+	}
+	if comp.Cache != "miss" {
+		t.Errorf("first compile cache = %q, want miss", comp.Cache)
+	}
+	code, _ = postJSON(t, ts.URL+"/v1/compile",
+		CompileRequest{Name: "nvd-mt.cl", Source: source}, &comp)
+	if code != http.StatusOK || comp.Cache != "hit" {
+		t.Errorf("second compile = %d cache %q, want 200 hit", code, comp.Cache)
+	}
+
+	// Autotune on SNB: the CPU should drop local memory (paper Fig. 2).
+	var tune AutotuneResponse
+	code, body = postJSON(t, ts.URL+"/v1/autotune", tuneReq, &tune)
+	if code != http.StatusOK {
+		t.Fatalf("autotune: %d %s", code, body)
+	}
+	if len(tune.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(tune.Results))
+	}
+	v := tune.Results[0]
+	if v.Device != "SNB" || v.Cache != "miss" {
+		t.Errorf("first autotune = %s/%s, want SNB/miss", v.Device, v.Cache)
+	}
+	if !v.UseTransformed || v.Speedup <= 1 {
+		t.Errorf("SNB should disable local memory for the transpose: %+v", v)
+	}
+	if v.OriginalMS <= 0 || v.TransformedMS <= 0 {
+		t.Errorf("missing timings: %+v", v)
+	}
+	if v.Report == nil || !v.Report.Candidates[0].Transformed {
+		t.Errorf("missing transformation report: %+v", v.Report)
+	}
+
+	// The identical request again: served from cache, identical verdict.
+	var tune2 AutotuneResponse
+	code, body = postJSON(t, ts.URL+"/v1/autotune", tuneReq, &tune2)
+	if code != http.StatusOK {
+		t.Fatalf("repeat autotune: %d %s", code, body)
+	}
+	v2 := tune2.Results[0]
+	if v2.Cache != "hit" {
+		t.Errorf("repeat autotune cache = %q, want hit", v2.Cache)
+	}
+	if v2.OriginalMS != v.OriginalMS || v2.TransformedMS != v.TransformedMS {
+		t.Errorf("cached verdict differs: %+v vs %+v", v2, v)
+	}
+
+	// The stats endpoint must corroborate: no recompilation happened (one
+	// compile miss, one autotune miss; everything else hits).
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Cache.Misses != 2 {
+		t.Errorf("cache misses = %d, want 2 (one compile, one tuning)", stats.Cache.Misses)
+	}
+	if stats.Cache.Hits < 2 {
+		t.Errorf("cache hits = %d, want >= 2", stats.Cache.Hits)
+	}
+	at := stats.Endpoints["autotune"]
+	if at.Requests != 2 || at.CacheHits != 1 || at.CacheMisses != 1 {
+		t.Errorf("autotune endpoint stats = %+v, want 2 requests, 1 hit, 1 miss", at)
+	}
+	if at.AvgMS <= 0 {
+		t.Errorf("latency not recorded: %+v", at)
+	}
+	if stats.Pool.Workers != 4 || stats.Pool.Completed < 4 {
+		t.Errorf("pool stats = %+v, want 4 workers, >= 4 completed", stats.Pool)
+	}
+}
+
+func TestTransformEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	source, _ := nvdMT()
+	req := TransformRequest{
+		Source: source,
+		Kernel: "transpose",
+		WantIR: true,
+	}
+	var resp TransformResponse
+	code, body := postJSON(t, ts.URL+"/v1/transform", req, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("transform: %d %s", code, body)
+	}
+	if !resp.Transformed {
+		t.Error("transpose should be transformable")
+	}
+	if resp.Report == nil || resp.Report.Text == "" {
+		t.Error("missing report")
+	}
+	if len(resp.Report.Candidates) != 1 || resp.Report.Candidates[0].Name != "tile" {
+		t.Errorf("candidates = %+v, want tile", resp.Report.Candidates)
+	}
+	if c := resp.Report.Candidates[0]; c.GL == "" || c.Solution == "" || len(c.NGL) == 0 {
+		t.Errorf("Table III fields missing: %+v", c)
+	}
+	if resp.IR == "" {
+		t.Error("want_ir did not return the IR")
+	}
+	if resp.Report.BarriersRemoved == 0 {
+		t.Error("the transpose barrier should be elided")
+	}
+
+	// Same request again is a cache hit.
+	code, _ = postJSON(t, ts.URL+"/v1/transform", req, &resp)
+	if code != http.StatusOK || resp.Cache != "hit" {
+		t.Errorf("repeat transform = %d cache %q, want 200 hit", code, resp.Cache)
+	}
+}
+
+func TestAutotuneAllDevices(t *testing.T) {
+	ts := newTestServer(t)
+	_, req := nvdMT()
+	req.Device = "all"
+	var resp AutotuneResponse
+	code, body := postJSON(t, ts.URL+"/v1/autotune", req, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("autotune all: %d %s", code, body)
+	}
+	if len(resp.Results) != 6 {
+		t.Fatalf("results = %d, want 6", len(resp.Results))
+	}
+	byDevice := map[string]TuneVerdict{}
+	for _, v := range resp.Results {
+		if v.Error != "" {
+			t.Errorf("%s: %s", v.Device, v.Error)
+		}
+		byDevice[v.Device] = v
+	}
+	// The paper's Fig. 2 shape at small scale: NVIDIA GPUs keep local
+	// memory, the CPUs drop it.
+	if byDevice["Kepler"].UseTransformed {
+		t.Error("Kepler should keep local memory")
+	}
+	if !byDevice["SNB"].UseTransformed {
+		t.Error("SNB should disable local memory")
+	}
+}
+
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	ts := newTestServer(t)
+	_, req := nvdMT()
+	const clients = 8
+	var wg sync.WaitGroup
+	verdicts := make([]AutotuneResponse, clients)
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _ = postJSON(t, ts.URL+"/v1/autotune", req, &verdicts[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: %d", i, codes[i])
+		}
+		if verdicts[i].Results[0].OriginalMS != verdicts[0].Results[0].OriginalMS {
+			t.Errorf("client %d saw a different verdict", i)
+		}
+	}
+	// Singleflight: however the requests interleaved, the tuning ran at
+	// most... exactly once per miss, and misses+hits+dedups account for
+	// all clients. The strong assertion: only one autotune artifact and
+	// one compile artifact exist, so at most 2 computes ran.
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Cache.Entries > 2 {
+		t.Errorf("entries = %d, want <= 2 (one compile, one verdict)", stats.Cache.Entries)
+	}
+	if stats.Cache.Misses > 2 {
+		t.Errorf("misses = %d, want <= 2: identical concurrent requests must not recompute", stats.Cache.Misses)
+	}
+	at := stats.Endpoints["autotune"]
+	if at.CacheHits+at.CacheMisses+at.CacheDedups != clients {
+		t.Errorf("outcomes do not cover all clients: %+v", at)
+	}
+}
+
+func TestUnknownDeviceIs404WithInventory(t *testing.T) {
+	ts := newTestServer(t)
+	_, req := nvdMT()
+	req.Device = "GTX9000"
+	code, body := postJSON(t, ts.URL+"/v1/autotune", req, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("code = %d, want 404", code)
+	}
+	// The satellite fix: the 404 body lists the available devices.
+	for _, name := range []string{"Fermi", "Kepler", "Tahiti", "SNB", "Nehalem", "MIC"} {
+		if !bytes.Contains([]byte(body), []byte(name)) {
+			t.Errorf("404 body does not list %s: %s", name, body)
+		}
+	}
+}
+
+func TestUnknownKernelIs404(t *testing.T) {
+	ts := newTestServer(t)
+	source, _ := nvdMT()
+	code, body := postJSON(t, ts.URL+"/v1/transform",
+		TransformRequest{Source: source, Kernel: "nope"}, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("code = %d, want 404 (%s)", code, body)
+	}
+	if !bytes.Contains([]byte(body), []byte("transpose")) {
+		t.Errorf("404 body should list available kernels: %s", body)
+	}
+}
+
+func TestCompileErrorIs422(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := postJSON(t, ts.URL+"/v1/compile",
+		CompileRequest{Source: "__kernel void broken( {"}, nil)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("code = %d, want 422 (%s)", code, body)
+	}
+}
+
+func TestDevicesEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var devs []DeviceInfo
+	if code := getJSON(t, ts.URL+"/v1/devices", &devs); code != http.StatusOK {
+		t.Fatalf("devices: %d", code)
+	}
+	if len(devs) != 6 {
+		t.Fatalf("devices = %d, want 6", len(devs))
+	}
+	kinds := map[string]int{}
+	for _, d := range devs {
+		kinds[d.Kind]++
+		if d.Name == "" || d.ComputeUnits <= 0 || d.Profile == "" {
+			t.Errorf("incomplete device info: %+v", d)
+		}
+	}
+	if kinds["gpu"] != 3 || kinds["cpu"] != 3 {
+		t.Errorf("kinds = %v, want 3 gpu + 3 cpu", kinds)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t)
+	var h map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, h)
+	}
+}
+
+// TestLRUBoundUnderChurn makes distinct requests beyond the cache
+// capacity and checks the bound holds.
+func TestLRUBoundUnderChurn(t *testing.T) {
+	ts := httptest.NewServer(New(Config{CacheCapacity: 4, Workers: 2}))
+	defer ts.Close()
+	for i := 0; i < 8; i++ {
+		src := fmt.Sprintf(
+			"__kernel void k%d(__global float* a) { a[get_global_id(0)] = %d.0f; }", i, i)
+		var resp CompileResponse
+		code, body := postJSON(t, ts.URL+"/v1/compile", CompileRequest{Source: src}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("compile %d: %d %s", i, code, body)
+		}
+	}
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Cache.Entries > 4 {
+		t.Errorf("entries = %d, want <= 4", stats.Cache.Entries)
+	}
+	if stats.Cache.Evictions < 4 {
+		t.Errorf("evictions = %d, want >= 4", stats.Cache.Evictions)
+	}
+}

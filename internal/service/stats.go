@@ -1,0 +1,79 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"grover/internal/kcache"
+)
+
+// EndpointStats aggregates per-endpoint request metrics.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// Cache outcome tallies across the endpoint's requests. An
+	// autotune-all request contributes one tally per device.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	CacheDedups int64 `json:"cache_dedups"`
+	// Latency aggregates, in wall-clock milliseconds.
+	TotalMS float64 `json:"total_ms"`
+	AvgMS   float64 `json:"avg_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// registry collects EndpointStats keyed by endpoint name.
+type registry struct {
+	mu sync.Mutex
+	m  map[string]*EndpointStats
+}
+
+func newRegistry() *registry {
+	return &registry{m: make(map[string]*EndpointStats)}
+}
+
+// record tallies one request: its latency, whether it failed, and the
+// cache outcomes it observed.
+func (r *registry) record(endpoint string, d time.Duration, failed bool, outcomes ...kcache.Outcome) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.m[endpoint]
+	if st == nil {
+		st = &EndpointStats{}
+		r.m[endpoint] = st
+	}
+	st.Requests++
+	if failed {
+		st.Errors++
+	}
+	st.TotalMS += ms
+	if ms > st.MaxMS {
+		st.MaxMS = ms
+	}
+	for _, o := range outcomes {
+		switch o {
+		case kcache.Hit:
+			st.CacheHits++
+		case kcache.Miss:
+			st.CacheMisses++
+		case kcache.Dedup:
+			st.CacheDedups++
+		}
+	}
+}
+
+// snapshot copies the per-endpoint stats with derived averages.
+func (r *registry) snapshot() map[string]EndpointStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]EndpointStats, len(r.m))
+	for k, st := range r.m {
+		cp := *st
+		if cp.Requests > 0 {
+			cp.AvgMS = cp.TotalMS / float64(cp.Requests)
+		}
+		out[k] = cp
+	}
+	return out
+}

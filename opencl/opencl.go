@@ -23,6 +23,7 @@ package opencl
 
 import (
 	"fmt"
+	"strings"
 
 	"grover/internal/clc"
 	"grover/internal/device"
@@ -51,14 +52,17 @@ func NewPlatform() *Platform {
 func (p *Platform) Devices() []*Device { return p.devices }
 
 // DeviceByName returns the device with the given profile name (e.g.
-// "SNB", "Fermi").
+// "SNB", "Fermi"). The error for an unknown name lists the available
+// devices, so it can be returned to service clients verbatim.
 func (p *Platform) DeviceByName(name string) (*Device, error) {
+	names := make([]string, 0, len(p.devices))
 	for _, d := range p.devices {
 		if d.Name() == name {
 			return d, nil
 		}
+		names = append(names, d.Name())
 	}
-	return nil, fmt.Errorf("opencl: no device %q", name)
+	return nil, fmt.Errorf("opencl: no device %q (available: %s)", name, strings.Join(names, ", "))
 }
 
 // Device is one simulated platform.
@@ -134,6 +138,20 @@ type Program struct {
 // CompileProgram compiles OpenCL C source (with optional preprocessor
 // defines) for this context's device.
 func (c *Context) CompileProgram(name, source string, defines map[string]string) (*Program, error) {
+	mod, err := CompileModule(name, source, defines)
+	if err != nil {
+		return nil, err
+	}
+	return c.newProgramFromModule(name, mod)
+}
+
+// CompileModule compiles OpenCL C source to the optimized IR module
+// without binding it to a context. In this stack compilation is
+// device-independent (the cost model is applied at launch time), so one
+// compiled module can be instantiated on every device with
+// Context.NewProgramFromIR — the compile-once primitive behind
+// grover.AutoTuneAll and the groverd compilation cache.
+func CompileModule(name, source string, defines map[string]string) (*ir.Module, error) {
 	f, err := clc.Parse(name, source, defines)
 	if err != nil {
 		return nil, fmt.Errorf("opencl: build failed: %w", err)
@@ -145,7 +163,15 @@ func (c *Context) CompileProgram(name, source string, defines map[string]string)
 	// Run the standard driver optimizations (CSE, LICM, DCE) so simulated
 	// timings reflect what a vendor compiler would execute.
 	opt.Optimize(mod)
-	return c.newProgramFromModule(name, mod)
+	return mod, nil
+}
+
+// NewProgramFromIR instantiates a compiled module on this context. The
+// module is deep-cloned first — preparing a program for execution mutates
+// it — so a single compiled artifact may be shared and instantiated by
+// any number of contexts concurrently.
+func (c *Context) NewProgramFromIR(name string, mod *ir.Module) (*Program, error) {
+	return c.newProgramFromModule(name, ir.CloneModule(mod))
 }
 
 func (c *Context) newProgramFromModule(name string, mod *ir.Module) (*Program, error) {

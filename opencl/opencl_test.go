@@ -2,6 +2,7 @@ package opencl
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	igrover "grover/internal/grover"
@@ -284,4 +285,74 @@ func TestEventCarriesCacheStats(t *testing.T) {
 	if evt.Stats.DRAMAccesses == 0 {
 		t.Error("cold run should touch DRAM")
 	}
+}
+
+func TestDeviceByNameErrorListsDevices(t *testing.T) {
+	plat := NewPlatform()
+	_, err := plat.DeviceByName("GTX9000")
+	if err == nil {
+		t.Fatal("expected an error for an unknown device")
+	}
+	msg := err.Error()
+	for _, name := range []string{"GTX9000", "Fermi", "Kepler", "Tahiti", "SNB", "Nehalem", "MIC"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not mention %q", msg, name)
+		}
+	}
+}
+
+// TestCompileModuleSharedAcrossContexts compiles once and instantiates the
+// module on two devices concurrently — the pattern AutoTuneAll and the
+// groverd cache rely on. Run under -race this also checks that
+// instantiation does not mutate the shared artifact.
+func TestCompileModuleSharedAcrossContexts(t *testing.T) {
+	mod, err := CompileModule("scale.cl", testKernel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := NewPlatform()
+	var wg sync.WaitGroup
+	for _, name := range []string{"SNB", "Kepler"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			dev, err := plat.DeviceByName(name)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctx := NewContext(dev)
+			prog, err := ctx.NewProgramFromIR("scale.cl", mod)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			k, err := prog.Kernel("scale")
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			const n = 64
+			buf := ctx.NewBuffer(n * 4)
+			vals := make([]float32, n)
+			for i := range vals {
+				vals[i] = float32(i)
+			}
+			buf.WriteFloat32(vals)
+			q := ctx.NewQueue()
+			nd := NDRange{Global: [3]int{n, 1, 1}, Local: [3]int{16, 1, 1}}
+			if _, err := q.EnqueueNDRange(k, nd, buf, float32(3), int32(n)); err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			got := buf.ReadFloat32(n)
+			for i := range got {
+				if got[i] != float32(i)*3 {
+					t.Errorf("%s: out[%d] = %g, want %g", name, i, got[i], float32(i)*3)
+					return
+				}
+			}
+		}(name)
+	}
+	wg.Wait()
 }
