@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	groverc [-kernel name] [-candidates a,b] [-ir] [-keep-barriers] file.cl
+//	groverc [-kernel name] [-candidates a,b] [-ir] [-keep-barriers] [-lint] file.cl
 //	groverc -D TILE=16 -D N=1024 kernel.cl
 package main
 
@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"grover/internal/analysis"
 	igrover "grover/internal/grover"
 	"grover/opencl"
 )
@@ -40,6 +41,7 @@ func main() {
 		keepBarriers = flag.Bool("keep-barriers", false, "do not remove barriers after disabling local memory")
 		cloneAll     = flag.Bool("clone-all", false, "duplicate the whole GL tree per load (disable subexpression reuse)")
 		strict       = flag.Bool("strict", false, "fail when any candidate is not reversible")
+		lint         = flag.Bool("lint", false, "run the static analyzers before transforming and print their findings")
 	)
 	flag.Var(defines, "D", "preprocessor define NAME[=VALUE] (repeatable)")
 	flag.Parse()
@@ -84,6 +86,22 @@ func main() {
 	}
 
 	exit := 0
+	if *lint {
+		// Lint the compiled module before transforming. The work-group
+		// size is unknown here (it is a launch-time property), so bounds
+		// intervals are unbounded; use groverlint -local for tight checks.
+		mod, err := opencl.CompileModule(file, string(src), defines)
+		if err != nil {
+			fatal(err)
+		}
+		res := analysis.AnalyzeModule(mod, analysis.Options{})
+		for _, f := range res.Findings {
+			fmt.Fprintf(os.Stderr, "%s: %s: [%s] %s\n", f.Pos, f.Severity, f.Detector, f.Message)
+		}
+		if res.MaxSeverity() == analysis.SeverityError {
+			exit = 1
+		}
+	}
 	for _, k := range kernels {
 		noLM, rep, err := prog.WithLocalMemoryDisabled(k, opts)
 		if err == igrover.ErrNoCandidates {

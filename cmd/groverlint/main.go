@@ -1,0 +1,202 @@
+// Command groverlint runs the static analysis suite over OpenCL C kernel
+// files: barrier divergence, local-memory races, local-array bounds, and
+// the Grover rewrite-legality verdict for every __local buffer.
+//
+// Usage:
+//
+//	groverlint [-json] [-kernel name] [-local x,y,z] [-Werror] file.cl...
+//	groverlint -D TILE=16 kernel.cl
+//	groverlint -corpus
+//
+// The -local flag supplies the launch's work-group extents; without it
+// the bounds intervals stay unbounded and the race prover cannot
+// establish cross-work-item disjointness, so expect fewer (bounds) or
+// more (race) findings. -corpus lints the 11 built-in benchmark
+// applications at their default work-group sizes.
+//
+// Exit status: 0 clean, 1 when any error-severity finding was reported
+// (or any finding at all with -Werror), 2 on usage or compile failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"grover/internal/analysis"
+	"grover/internal/apps"
+	"grover/opencl"
+)
+
+type defineFlags map[string]string
+
+func (d defineFlags) String() string { return "" }
+func (d defineFlags) Set(v string) error {
+	name, val, found := strings.Cut(v, "=")
+	if !found {
+		val = "1"
+	}
+	d[name] = val
+	return nil
+}
+
+func main() {
+	defines := defineFlags{}
+	var (
+		asJSON  = flag.Bool("json", false, "emit findings and legality verdicts as JSON")
+		kernel  = flag.String("kernel", "", "restrict the report to one kernel")
+		local   = flag.String("local", "", "work-group size as x[,y[,z]] (default: unknown)")
+		corpus  = flag.Bool("corpus", false, "lint the built-in benchmark applications instead of files")
+		wError  = flag.Bool("Werror", false, "treat warnings as errors for the exit status")
+		quietOK = flag.Bool("q", false, "suppress the per-file OK line and legality verdicts")
+	)
+	flag.Var(defines, "D", "preprocessor define NAME[=VALUE] (repeatable)")
+	flag.Parse()
+
+	if *corpus != (flag.NArg() == 0) {
+		fmt.Fprintln(os.Stderr, "usage: groverlint [flags] kernel.cl...  |  groverlint [flags] -corpus")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	wg, err := parseLocal(*local)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "groverlint:", err)
+		os.Exit(2)
+	}
+
+	l := &linter{json: *asJSON, werror: *wError, quiet: *quietOK, kernel: *kernel}
+	if *corpus {
+		for _, app := range apps.All() {
+			l.lintApp(app)
+		}
+	} else {
+		for _, file := range flag.Args() {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "groverlint:", err)
+				os.Exit(2)
+			}
+			l.lint(file, string(src), defines, wg)
+		}
+	}
+	os.Exit(l.exit)
+}
+
+// parseLocal parses "x", "x,y" or "x,y,z" into work-group extents;
+// omitted trailing dimensions default to 1.
+func parseLocal(s string) ([3]int, error) {
+	wg := [3]int{}
+	if s == "" {
+		return wg, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > 3 {
+		return wg, fmt.Errorf("-local %q: at most three dimensions", s)
+	}
+	for d := range wg {
+		wg[d] = 1
+	}
+	for d, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return wg, fmt.Errorf("-local %q: dimension %d is not a positive integer", s, d)
+		}
+		wg[d] = v
+	}
+	return wg, nil
+}
+
+type linter struct {
+	json   bool
+	werror bool
+	quiet  bool
+	kernel string
+	exit   int
+}
+
+// jsonReport is the machine-readable per-file output.
+type jsonReport struct {
+	File string `json:"file"`
+	*analysis.Result
+}
+
+func (l *linter) lintApp(app *apps.App) {
+	plat := opencl.NewPlatform()
+	dev, err := plat.DeviceByName("SNB")
+	if err != nil {
+		l.fail(err)
+		return
+	}
+	inst, err := app.Setup(opencl.NewContext(dev), 1)
+	if err != nil {
+		l.fail(fmt.Errorf("%s: setup: %w", app.ID, err))
+		return
+	}
+	l.lint(app.ID+".cl", app.Source, app.Defines, inst.ND.Local)
+}
+
+func (l *linter) lint(file, source string, defines map[string]string, wg [3]int) {
+	mod, err := opencl.CompileModule(file, source, defines)
+	if err != nil {
+		l.fail(err)
+		return
+	}
+	var res *analysis.Result
+	if l.kernel != "" {
+		fn := mod.Kernel(l.kernel)
+		if fn == nil {
+			l.fail(fmt.Errorf("%s: no kernel %q", file, l.kernel))
+			return
+		}
+		res = analysis.AnalyzeKernel(fn, analysis.Options{WorkGroupSize: wg})
+	} else {
+		res = analysis.AnalyzeModule(mod, analysis.Options{WorkGroupSize: wg})
+	}
+	l.report(file, res)
+}
+
+func (l *linter) report(file string, res *analysis.Result) {
+	if l.json {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{File: file, Result: res}); err != nil {
+			l.fail(err)
+		}
+	} else {
+		for _, f := range res.Findings {
+			rel := ""
+			for _, p := range f.Related {
+				rel += fmt.Sprintf(" (see %s)", p)
+			}
+			fmt.Printf("%s: %s: [%s] %s%s\n", f.Pos, f.Severity, f.Detector, f.Message, rel)
+		}
+		if !l.quiet {
+			for _, v := range res.Legality {
+				verdict := "rewritable"
+				if !v.Rewritable {
+					verdict = fmt.Sprintf("not rewritable [%s]: %s", v.Code, v.Detail)
+				}
+				fmt.Printf("%s: info: [grover-legality] __local %s in kernel %s (%d LS, %d LL): %s\n",
+					v.Pos, v.Name, v.Kernel, v.NumLS, v.NumLL, verdict)
+			}
+			if len(res.Findings) == 0 {
+				fmt.Printf("%s: OK\n", file)
+			}
+		}
+	}
+	max := res.MaxSeverity()
+	if max == analysis.SeverityError || (l.werror && len(res.Findings) > 0) {
+		if l.exit < 1 {
+			l.exit = 1
+		}
+	}
+}
+
+func (l *linter) fail(err error) {
+	fmt.Fprintln(os.Stderr, "groverlint:", err)
+	l.exit = 2
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"math/big"
+
+	"grover/internal/clc"
+	"grover/internal/exprtree"
+	"grover/internal/ir"
+	"grover/internal/linsolve"
+)
+
+// access is one load or store of a __local buffer.
+type access struct {
+	instr *ir.Instr
+	// chain is the OpIndex path from the alloca, outermost first.
+	chain []*ir.Instr
+	store bool
+	// aff is the access's byte offset from the buffer base as an affine
+	// form, nil when some index is not affine.
+	aff *linsolve.Affine
+}
+
+// localBuffer groups every collected access to one __local alloca.
+type localBuffer struct {
+	alloca   *ir.Instr
+	accesses []*access
+}
+
+// collectLocalBuffers gathers all loads and stores rooted at __local
+// allocas, in block order. Unlike the Grover candidate matcher it is
+// total: escaping uses don't abort collection, they are simply not
+// accesses (the legality detector reports escapes separately).
+func collectLocalBuffers(fn *ir.Function, tb *exprtree.Builder, reg *exprtree.Registry) []*localBuffer {
+	byAlloca := map[*ir.Instr]*localBuffer{}
+	var order []*localBuffer
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+				continue
+			}
+			base := rootAlloca(in.Args[0])
+			if base == nil || base.Space != clc.ASLocal {
+				continue
+			}
+			buf := byAlloca[base]
+			if buf == nil {
+				buf = &localBuffer{alloca: base}
+				byAlloca[base] = buf
+				order = append(order, buf)
+			}
+			acc := &access{instr: in, chain: indexChain(in.Args[0]), store: in.Op == ir.OpStore}
+			acc.aff = accessOffset(tb, acc, reg)
+			buf.accesses = append(buf.accesses, acc)
+		}
+	}
+	return order
+}
+
+// indexChain returns the OpIndex instructions between a pointer value and
+// its root alloca, outermost first.
+func indexChain(v ir.Value) []*ir.Instr {
+	var rev []*ir.Instr
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok {
+			break
+		}
+		if in.Op == ir.OpIndex {
+			rev = append(rev, in)
+			v = in.Args[0]
+			continue
+		}
+		if in.Op == ir.OpConvert {
+			v = in.Args[0]
+			continue
+		}
+		break
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// accessOffset computes the byte offset of the access from the buffer
+// base, Σ idx_k · step_k over the index chain, or nil when an index is
+// not an affine function of the registry's terms.
+func accessOffset(tb *exprtree.Builder, acc *access, reg *exprtree.Registry) *linsolve.Affine {
+	total := linsolve.NewAffine()
+	for _, idx := range acc.chain {
+		step := int64(ir.PointeeSize(idx.Args[0].Type()))
+		node, err := tb.Build(idx.Args[1])
+		if err != nil {
+			return nil
+		}
+		aff, err := exprtree.ExtractAffine(node, reg)
+		if err != nil {
+			return nil
+		}
+		total.AddScaled(aff, big.NewRat(step, 1))
+	}
+	return total
+}
+
+// accessSize is the number of bytes the access reads or writes.
+func (a *access) accessSize() int {
+	if a.store {
+		return a.instr.Args[1].Type().Size()
+	}
+	return a.instr.Typ.Size()
+}
+
+// bufferSize is the allocation size of a __local alloca in bytes.
+func bufferSize(alloca *ir.Instr) int {
+	pt, ok := alloca.Typ.(*clc.PointerType)
+	if !ok {
+		return 0
+	}
+	return pt.Elem.Size()
+}
+
+// ratInt64 extracts an int64 from an integral rational, reporting
+// whether the extraction is exact.
+func ratInt64(r *big.Rat) (int64, bool) {
+	if !r.IsInt() || !r.Num().IsInt64() {
+		return 0, false
+	}
+	return r.Num().Int64(), true
+}
+
+// workItemCoeffs folds the affine's per-work-item coefficients by
+// dimension: get_global_id(d) varies with the work-item exactly like
+// get_local_id(d) inside one work-group, so both fold into dimension d.
+// ok is false when a coefficient is not an integer.
+func workItemCoeffs(aff *linsolve.Affine) (c [3]int64, ok bool) {
+	for d := 0; d < 3; d++ {
+		sum := new(big.Rat)
+		sum.Add(sum, aff.Coeff(exprtree.LocalIDKey(d)))
+		sum.Add(sum, aff.Coeff(exprtree.WorkItemKey("get_global_id", d)))
+		v, exact := ratInt64(sum)
+		if !exact {
+			return c, false
+		}
+		c[d] = v
+	}
+	return c, true
+}
+
+// isWorkItemDimKey reports whether key is a get_local_id or
+// get_global_id term (a per-work-item-varying dimension).
+func isWorkItemDimKey(key string) bool {
+	for d := 0; d < 3; d++ {
+		if key == exprtree.LocalIDKey(d) || key == exprtree.WorkItemKey("get_global_id", d) {
+			return true
+		}
+	}
+	return false
+}
+
+// stableTerm reports whether the registry term named key has the same
+// value every time one work-item evaluates it during a kernel run:
+// work-item queries and kernel parameters are stable, loads of mutable
+// variables (loop counters) and other opaque subtrees are not.
+func stableTerm(reg *exprtree.Registry, key string) bool {
+	t := reg.Term(key)
+	if t == nil {
+		return false
+	}
+	if t.WorkItemFn != "" {
+		return true
+	}
+	_, isParam := t.Rep.(*ir.Param)
+	return isParam
+}

@@ -1,0 +1,290 @@
+// Tests live in an external package because opencl imports analysis for
+// its debug-verify hooks; importing opencl from package analysis would
+// form a cycle.
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"grover/internal/analysis"
+	"grover/internal/apps"
+	"grover/internal/grover"
+	"grover/opencl"
+)
+
+// analyzeSource compiles an OpenCL C fixture through the full pipeline
+// (parse → lower → optimize, the same IR every other consumer sees) and
+// runs the analyzers over it.
+func analyzeSource(t *testing.T, name, source string, wg [3]int) *analysis.Result {
+	t.Helper()
+	m, err := opencl.CompileModule(name, source, nil)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return analysis.AnalyzeModule(m, analysis.Options{WorkGroupSize: wg})
+}
+
+// findLine returns the 1-based line of the first occurrence of substr.
+func findLine(t *testing.T, source, substr string) int {
+	t.Helper()
+	for i, l := range strings.Split(source, "\n") {
+		if strings.Contains(l, substr) {
+			return i + 1
+		}
+	}
+	t.Fatalf("fixture does not contain %q", substr)
+	return 0
+}
+
+func findingsFor(res *analysis.Result, detector string) []analysis.Finding {
+	var out []analysis.Finding
+	for _, f := range res.Findings {
+		if f.Detector == detector {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+const divergentBarrierSrc = `__kernel void divbar(__global float* in, __global float* out) {
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    __local float tile[16];
+    tile[lx] = in[gx];
+    if (lx < 8) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[gx] = tile[lx];
+}
+`
+
+func TestDetectDivergentBarrier(t *testing.T) {
+	res := analyzeSource(t, "divbar.cl", divergentBarrierSrc, [3]int{16, 1, 1})
+	fs := findingsFor(res, analysis.DetectorBarrierDivergence)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 barrier-divergence finding, got %d: %+v", len(fs), res.Findings)
+	}
+	f := fs[0]
+	if f.Severity != analysis.SeverityError {
+		t.Errorf("severity = %s, want error", f.Severity)
+	}
+	if f.Kernel != "divbar" {
+		t.Errorf("kernel = %q, want divbar", f.Kernel)
+	}
+	if want := findLine(t, divergentBarrierSrc, "barrier("); f.Pos.Line != want {
+		t.Errorf("finding at line %d, want %d (the barrier call)", f.Pos.Line, want)
+	}
+	// tile[lx] load/store pairs are same-index and injective: no race.
+	if rs := findingsFor(res, analysis.DetectorLocalRace); len(rs) != 0 {
+		t.Errorf("unexpected race findings: %+v", rs)
+	}
+}
+
+const missingBarrierSrc = `__kernel void race(__global float* in, __global float* out) {
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    __local float tile[16];
+    tile[lx] = in[gx];
+    out[gx] = tile[15 - lx];
+}
+`
+
+func TestDetectMissingBarrierRace(t *testing.T) {
+	res := analyzeSource(t, "race.cl", missingBarrierSrc, [3]int{16, 1, 1})
+	fs := findingsFor(res, analysis.DetectorLocalRace)
+	if len(fs) != 1 {
+		t.Fatalf("want 1 local-race finding, got %d: %+v", len(fs), res.Findings)
+	}
+	f := fs[0]
+	if f.Severity != analysis.SeverityError {
+		t.Errorf("severity = %s, want error", f.Severity)
+	}
+	storeLine := findLine(t, missingBarrierSrc, "tile[lx] = in[gx];")
+	loadLine := findLine(t, missingBarrierSrc, "tile[15 - lx]")
+	if f.Pos.Line != storeLine {
+		t.Errorf("race anchored at line %d, want %d (the store)", f.Pos.Line, storeLine)
+	}
+	if len(f.Related) != 1 || f.Related[0].Line != loadLine {
+		t.Errorf("related = %+v, want one position at line %d (the load)", f.Related, loadLine)
+	}
+	if bs := findingsFor(res, analysis.DetectorBarrierDivergence); len(bs) != 0 {
+		t.Errorf("unexpected barrier findings: %+v", bs)
+	}
+}
+
+func TestBarrierSuppressesRace(t *testing.T) {
+	fixed := strings.Replace(missingBarrierSrc,
+		"    out[gx] = tile[15 - lx];",
+		"    barrier(CLK_LOCAL_MEM_FENCE);\n    out[gx] = tile[15 - lx];", 1)
+	res := analyzeSource(t, "race_fixed.cl", fixed, [3]int{16, 1, 1})
+	if len(res.Findings) != 0 {
+		t.Errorf("barrier-separated staging must be clean, got %+v", res.Findings)
+	}
+}
+
+const boundsSrc = `__kernel void oob(__global float* in, __global float* out) {
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    __local float lc[16];
+    lc[lx + 1] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = lc[16];
+}
+`
+
+func TestDetectLocalBounds(t *testing.T) {
+	res := analyzeSource(t, "oob.cl", boundsSrc, [3]int{16, 1, 1})
+	fs := findingsFor(res, analysis.DetectorLocalBounds)
+	if len(fs) != 2 {
+		t.Fatalf("want 2 local-bounds findings, got %d: %+v", len(fs), res.Findings)
+	}
+	storeLine := findLine(t, boundsSrc, "lc[lx + 1]")
+	loadLine := findLine(t, boundsSrc, "= lc[16]")
+	var sawStore, sawLoad bool
+	for _, f := range fs {
+		switch f.Pos.Line {
+		case storeLine:
+			sawStore = true
+			// lx+1 reaches 16 only for the last work-item: a may-overflow.
+			if f.Severity != analysis.SeverityWarning {
+				t.Errorf("off-by-one store severity = %s, want warning", f.Severity)
+			}
+		case loadLine:
+			sawLoad = true
+			// lc[16] is out of bounds for every work-item.
+			if f.Severity != analysis.SeverityError {
+				t.Errorf("constant overread severity = %s, want error", f.Severity)
+			}
+		default:
+			t.Errorf("finding at unexpected line %d: %+v", f.Pos.Line, f)
+		}
+	}
+	if !sawStore || !sawLoad {
+		t.Errorf("missing expected findings (store@%d load@%d): %+v", storeLine, loadLine, fs)
+	}
+}
+
+func TestBoundsGuardRefinement(t *testing.T) {
+	// The same off-by-one store under an `if (lx < 15)` guard is in
+	// bounds: the dominating-branch refinement must clamp lx.
+	src := `__kernel void guarded(__global float* in, __global float* out) {
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    __local float lc[16];
+    if (lx < 15) {
+        lc[lx + 1] = in[gx];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = lc[lx];
+}
+`
+	res := analyzeSource(t, "guarded.cl", src, [3]int{16, 1, 1})
+	if fs := findingsFor(res, analysis.DetectorLocalBounds); len(fs) != 0 {
+		t.Errorf("guarded store must be in bounds, got %+v", fs)
+	}
+}
+
+const nonAffineSrc = `__kernel void nonaff(__global float* in, __global float* out) {
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    __local float lc[16];
+    lc[(lx * lx) % 16] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = lc[lx];
+}
+`
+
+func TestLegalityNonAffine(t *testing.T) {
+	res := analyzeSource(t, "nonaff.cl", nonAffineSrc, [3]int{16, 1, 1})
+	if len(res.Legality) != 1 {
+		t.Fatalf("want 1 legality verdict, got %+v", res.Legality)
+	}
+	v := res.Legality[0]
+	if v.Rewritable {
+		t.Error("quadratic store index must not be rewritable")
+	}
+	if v.Code != grover.RejectNonAffineIndex {
+		t.Errorf("reject code = %q, want %q", v.Code, grover.RejectNonAffineIndex)
+	}
+	if v.Name != "lc" || v.Kernel != "nonaff" {
+		t.Errorf("verdict identifies %s/%s, want nonaff/lc", v.Kernel, v.Name)
+	}
+	if want := findLine(t, nonAffineSrc, "__local float lc[16];"); v.Pos.Line != want {
+		t.Errorf("verdict at line %d, want %d (the declaration)", v.Pos.Line, want)
+	}
+}
+
+func TestLegalityRewritable(t *testing.T) {
+	// The canonical staging pattern from the paper's Fig. 1: this is
+	// exactly what the Grover pass rewrites, so the verdict must say so.
+	src := `__kernel void stage(__global float* in, __global float* out) {
+    int lx = get_local_id(0);
+    int gx = get_global_id(0);
+    __local float tile[16];
+    tile[lx] = in[gx];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[gx] = tile[15 - lx];
+}
+`
+	res := analyzeSource(t, "stage.cl", src, [3]int{16, 1, 1})
+	if len(res.Legality) != 1 {
+		t.Fatalf("want 1 legality verdict, got %+v", res.Legality)
+	}
+	v := res.Legality[0]
+	if !v.Rewritable || v.Code != grover.RejectNone {
+		t.Errorf("staging buffer must be rewritable, got %+v", v)
+	}
+	if v.NumLS != 1 || v.NumLL != 1 {
+		t.Errorf("NumLS/NumLL = %d/%d, want 1/1", v.NumLS, v.NumLL)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("canonical staging must be clean, got %+v", res.Findings)
+	}
+}
+
+// TestBenchmarksClean is the golden test: all 11 benchmark kernels,
+// analyzed at their default work-group sizes, must produce zero findings
+// — they are the well-formed staging patterns the detectors are
+// calibrated against.
+func TestBenchmarksClean(t *testing.T) {
+	plat := opencl.NewPlatform()
+	dev, err := plat.DeviceByName("SNB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.ID, func(t *testing.T) {
+			ctx := opencl.NewContext(dev)
+			inst, err := app.Setup(ctx, 1)
+			if err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			m, err := opencl.CompileModule(app.ID+".cl", app.Source, app.Defines)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res := analysis.AnalyzeModule(m, analysis.Options{WorkGroupSize: inst.ND.Local})
+			for _, f := range res.Findings {
+				t.Errorf("unexpected finding: %s:%d:%d %s [%s] %s",
+					app.ID, f.Pos.Line, f.Pos.Col, f.Severity, f.Detector, f.Message)
+			}
+			if len(res.Legality) == 0 {
+				t.Error("no legality verdicts: every benchmark stages through __local")
+			}
+			rewritable := 0
+			for _, v := range res.Legality {
+				if v.Rewritable {
+					rewritable++
+				}
+				if v.Pos.Line == 0 {
+					t.Errorf("verdict for %s/%s lacks a source position", v.Kernel, v.Name)
+				}
+			}
+			if rewritable == 0 {
+				t.Errorf("no rewritable buffer found; verdicts: %+v", res.Legality)
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"grover/internal/analysis/graph"
+	"grover/internal/ir"
+)
+
+// CFG is the control-flow graph of one function, indexed by block
+// position, with dominator and post-dominator trees attached. It is the
+// substrate every analysis in this package runs on.
+type CFG struct {
+	Fn     *ir.Function
+	Blocks []*ir.Block
+	// Index maps each block to its position in Blocks.
+	Index map[*ir.Block]int
+	// Succ and Pred are the adjacency lists by block index.
+	Succ [][]int
+	Pred [][]int
+	// Dom is the dominator tree rooted at the entry block.
+	Dom *graph.Tree
+	// pdom is the post-dominator tree over len(Blocks)+1 nodes: node
+	// len(Blocks) is a virtual exit joined from every return block, so
+	// multi-exit functions still have a single post-dominance root.
+	pdom *graph.Tree
+}
+
+// NewCFG builds the CFG, dominator tree and post-dominator tree of fn.
+func NewCFG(fn *ir.Function) *CFG {
+	c := &CFG{Fn: fn, Blocks: fn.Blocks, Index: map[*ir.Block]int{}}
+	for i, b := range fn.Blocks {
+		c.Index[b] = i
+	}
+	n := len(fn.Blocks)
+	c.Succ = make([][]int, n)
+	c.Pred = make([][]int, n)
+	for i, b := range fn.Blocks {
+		for _, s := range b.Succs() {
+			j := c.Index[s]
+			c.Succ[i] = append(c.Succ[i], j)
+			c.Pred[j] = append(c.Pred[j], i)
+		}
+	}
+	c.Dom = graph.Dominators(n, c.Succ, 0)
+	rev := make([][]int, n+1)
+	for u := 0; u < n; u++ {
+		for _, v := range c.Succ[u] {
+			rev[v] = append(rev[v], u)
+		}
+		if len(c.Succ[u]) == 0 {
+			rev[n] = append(rev[n], u)
+		}
+	}
+	c.pdom = graph.Dominators(n+1, rev, n)
+	return c
+}
+
+// IPostDom returns the immediate post-dominator block index of b, or -1
+// when the only post-dominator is the (virtual) exit — or none at all,
+// as for blocks trapped in an infinite loop.
+func (c *CFG) IPostDom(b int) int {
+	ip := c.pdom.Idom[b]
+	if ip < 0 || ip >= len(c.Blocks) {
+		return -1
+	}
+	return ip
+}
+
+// DivergenceRegion returns the blocks whose execution depends on the
+// branch terminating block b: everything reachable from b's successors
+// without passing through b's immediate post-dominator (the reconvergence
+// point, which itself executes regardless of the branch outcome). When b
+// has no post-dominator inside the function the region is everything
+// reachable from its successors.
+func (c *CFG) DivergenceRegion(b int) []int {
+	stop := c.IPostDom(b)
+	seen := make([]bool, len(c.Blocks))
+	var out, stack []int
+	for _, s := range c.Succ[b] {
+		if s != stop && !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, v)
+		for _, s := range c.Succ[v] {
+			if s != stop && !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return out
+}

@@ -52,9 +52,9 @@ func (k TokenKind) String() string {
 
 // Pos is a source position (1-based line and column).
 type Pos struct {
-	File string
-	Line int
-	Col  int
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
 }
 
 func (p Pos) String() string {

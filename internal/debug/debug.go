@@ -1,0 +1,13 @@
+// Package debug gates the compiler's expensive self-checking mode.
+// When the GROVER_DEBUG_VERIFY environment variable is non-empty, the
+// optimizer re-verifies the IR after every pass, the Grover transform
+// re-verifies after every candidate rewrite, and compilation runs the
+// full static-analysis suite as a crash smoke-test. The checks are
+// invariant assertions for developing the compiler, not user
+// diagnostics; CI runs the test suite with the flag set.
+package debug
+
+import "os"
+
+// Verify reports whether per-pass IR verification is enabled.
+var Verify = os.Getenv("GROVER_DEBUG_VERIFY") != ""

@@ -1,6 +1,7 @@
 package grover
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 
@@ -18,11 +19,49 @@ import (
 // use of the local memory").
 type ErrNotReversible struct {
 	Candidate string
+	Code      RejectCode
 	Reason    string
 }
 
 func (e *ErrNotReversible) Error() string {
 	return fmt.Sprintf("grover: candidate %q is not reversible: %s", e.Candidate, e.Reason)
+}
+
+// codedErr tags an analysis failure with its machine-readable reject code
+// so notReversible can classify without string matching.
+type codedErr struct {
+	code RejectCode
+	err  error
+}
+
+func (e *codedErr) Error() string { return e.err.Error() }
+func (e *codedErr) Unwrap() error { return e.err }
+
+func coded(code RejectCode, format string, args ...interface{}) error {
+	return &codedErr{code: code, err: fmt.Errorf(format, args...)}
+}
+
+// rejectCodeOf classifies an analysis error into a RejectCode.
+func rejectCodeOf(err error) RejectCode {
+	var nr *ErrNotReversible
+	if errors.As(err, &nr) && nr.Code != RejectNone {
+		return nr.Code
+	}
+	var ce *codedErr
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	var na *exprtree.ErrNonAffine
+	if errors.As(err, &na) {
+		return RejectNonAffineIndex
+	}
+	return RejectNoCorrespondence
+}
+
+// notReversible wraps an analysis error as ErrNotReversible for one
+// candidate, classifying its reject code.
+func notReversible(c *Candidate, err error) error {
+	return &ErrNotReversible{Candidate: c.Name, Code: rejectCodeOf(err), Reason: err.Error()}
 }
 
 // row is one equation of the linear system: local-id coefficients plus the
@@ -192,11 +231,11 @@ func buildStorePlan(tb *exprtree.Builder, c *Candidate, st *Access, reg *exprtre
 	if !systemSquare(lsDims) {
 		inferred := inferStrides(lsOff, c.Strides[len(c.Strides)-1])
 		if inferred == nil {
-			return nil, fmt.Errorf("store index %s yields an underdetermined system", lsOff)
+			return nil, coded(RejectUnderdetermined, "store index %s yields an underdetermined system", lsOff)
 		}
 		dims2, err2 := linsolve.DecomposeByStrides(lsOff, inferred)
 		if err2 != nil || !systemSquare(dims2) {
-			return nil, fmt.Errorf("store index %s yields an underdetermined system", lsOff)
+			return nil, coded(RejectUnderdetermined, "store index %s yields an underdetermined system", lsOff)
 		}
 		strides, lsDims = inferred, dims2
 	}
@@ -220,7 +259,7 @@ func buildStorePlan(tb *exprtree.Builder, c *Candidate, st *Access, reg *exprtre
 		}
 	}
 	if len(sp.sysRowIdx) != len(sp.unknowns) {
-		return nil, fmt.Errorf("system is not square: %d equations with local-id terms, %d unknowns",
+		return nil, coded(RejectNonSquareSystem, "system is not square: %d equations with local-id terms, %d unknowns",
 			len(sp.sysRowIdx), len(sp.unknowns))
 	}
 	sp.mat = make([][]*big.Rat, len(sp.sysRowIdx))
@@ -259,7 +298,7 @@ func solveForLL(tb *exprtree.Builder, sp *storePlan, ll *Access, reg *exprtree.R
 			continue
 		}
 		if !r.rest.Equal(llDims[i]) {
-			return nil, fmt.Errorf("dimension %d mismatch: store index %s vs load index %s",
+			return nil, coded(RejectDimMismatch, "dimension %d mismatch: store index %s vs load index %s",
 				i, r.rest, llDims[i])
 		}
 	}
@@ -278,7 +317,7 @@ func solveForLL(tb *exprtree.Builder, sp *storePlan, ll *Access, reg *exprtree.R
 	solved := map[int]*linsolve.Affine{}
 	for j, d := range sp.unknowns {
 		if err := requireIntegral(sol[j]); err != nil {
-			return nil, err
+			return nil, &codedErr{code: RejectNonIntegral, err: err}
 		}
 		solved[d] = sol[j]
 	}
@@ -309,7 +348,7 @@ func checkGLLocalIDs(sp *storePlan, c *Candidate) error {
 		}
 	})
 	if len(bad) > 0 {
-		return fmt.Errorf("global load depends on get_local_id(%d) which the store index does not determine", bad[0])
+		return coded(RejectGLUndetermined, "global load depends on get_local_id(%d) which the store index does not determine", bad[0])
 	}
 	return nil
 }
@@ -326,14 +365,14 @@ func validateGLTree(n *exprtree.Node, c *Candidate) error {
 		}
 		switch in.Op {
 		case ir.OpCall:
-			bad = fmt.Errorf("staged value calls function %s", in.Callee.Name)
+			bad = coded(RejectTemporalStorage, "staged value calls function %s", in.Callee.Name)
 		case ir.OpLoad:
 			if ir.PointerSpace(in.Args[0].Type()) == clc.ASLocal {
-				bad = fmt.Errorf("staged value reads local memory (temporal-storage pattern)")
+				bad = coded(RejectTemporalStorage, "staged value reads local memory (temporal-storage pattern)")
 			}
 		case ir.OpAlloca:
 			if in.Space == clc.ASLocal {
-				bad = fmt.Errorf("staged value references local memory")
+				bad = coded(RejectTemporalStorage, "staged value references local memory")
 			}
 		}
 	})
@@ -347,8 +386,8 @@ func validateGLTree(n *exprtree.Node, c *Candidate) error {
 // consistently for it, which also covers vector kernels staging a block
 // with several stores.
 func analyzeCandidate(tb *exprtree.Builder, c *Candidate) (*analysis, error) {
-	if c.Reject != "" {
-		return nil, &ErrNotReversible{Candidate: c.Name, Reason: c.Reject}
+	if c.Reject != RejectNone {
+		return nil, &ErrNotReversible{Candidate: c.Name, Code: c.Reject, Reason: c.RejectDetail}
 	}
 	reg := exprtree.NewRegistry()
 	a := &analysis{cand: c, reg: reg, plans: map[*ir.Instr]*llPlan{}}
@@ -361,7 +400,7 @@ func analyzeCandidate(tb *exprtree.Builder, c *Candidate) (*analysis, error) {
 			return nil, err
 		}
 		if verr := validateGLTree(tree, c); verr != nil {
-			return nil, &ErrNotReversible{Candidate: c.Name, Reason: verr.Error()}
+			return nil, notReversible(c, verr)
 		}
 	}
 	var planErr error
@@ -374,7 +413,7 @@ func analyzeCandidate(tb *exprtree.Builder, c *Candidate) (*analysis, error) {
 		a.stores = append(a.stores, sp)
 	}
 	if len(a.stores) == 0 {
-		return nil, &ErrNotReversible{Candidate: c.Name, Reason: planErr.Error()}
+		return nil, notReversible(c, planErr)
 	}
 	for _, ll := range c.Loads {
 		var lastErr error
@@ -388,7 +427,7 @@ func analyzeCandidate(tb *exprtree.Builder, c *Candidate) (*analysis, error) {
 			break
 		}
 		if a.plans[ll.Instr] == nil {
-			return nil, &ErrNotReversible{Candidate: c.Name, Reason: lastErr.Error()}
+			return nil, notReversible(c, lastErr)
 		}
 	}
 	return a, nil

@@ -24,6 +24,39 @@ type Access struct {
 	IndexChain []*ir.Instr
 }
 
+// RejectCode is a machine-readable reason a candidate was not rewritable.
+// Every bail-out path of the matcher and the correspondence analysis maps
+// to exactly one code, so callers (the legality detector, AutoTuneAll
+// logs, the lint endpoint) can report *why* the pass did not fire instead
+// of silently skipping.
+type RejectCode string
+
+// Reject codes. The empty code means the candidate is rewritable.
+const (
+	RejectNone RejectCode = ""
+
+	// Matcher-stage rejections (FindCandidates).
+	RejectEscapeIndexOperand RejectCode = "escape-index-operand"
+	RejectEscapeStored       RejectCode = "escape-stored"
+	RejectEscapeCall         RejectCode = "escape-call"
+	RejectUnsupportedUse     RejectCode = "unsupported-use"
+	RejectNoStores           RejectCode = "no-stores"
+	RejectNoLoads            RejectCode = "no-loads"
+
+	// Analysis-stage rejections (analyzeCandidate).
+	RejectTemporalStorage  RejectCode = "temporal-storage"
+	RejectNonAffineIndex   RejectCode = "non-affine-index"
+	RejectUnderdetermined  RejectCode = "underdetermined-system"
+	RejectNonSquareSystem  RejectCode = "non-square-system"
+	RejectGLUndetermined   RejectCode = "gl-local-id-undetermined"
+	RejectDimMismatch      RejectCode = "dimension-mismatch"
+	RejectNonIntegral      RejectCode = "non-integral-solution"
+	RejectNoCorrespondence RejectCode = "no-correspondence"
+
+	// RejectNotSelected marks candidates excluded by Options.Candidates.
+	RejectNotSelected RejectCode = "not-selected"
+)
+
 // Candidate is one __local data structure eligible for reversal.
 type Candidate struct {
 	// Alloca is the local array's allocation.
@@ -40,9 +73,18 @@ type Candidate struct {
 	// Stores are the LS operations, Loads the LL operations.
 	Stores []*Access
 	Loads  []*Access
-	// Reject, when non-empty, explains why the candidate cannot be
-	// analyzed (uses escape, element type mismatch, ...).
-	Reject string
+	// Reject, when non-empty, is the reason code for why the candidate
+	// cannot be analyzed (uses escape, no staging stores, ...);
+	// RejectDetail carries the human-readable specifics.
+	Reject       RejectCode
+	RejectDetail string
+}
+
+// reject records a bail-out reason on the candidate.
+func (c *Candidate) reject(code RejectCode, format string, args ...interface{}) *Candidate {
+	c.Reject = code
+	c.RejectDetail = fmt.Sprintf(format, args...)
+	return c
 }
 
 // FindCandidates scans a kernel for __local data structures and collects
@@ -122,8 +164,7 @@ func buildCandidate(fn *ir.Function, alloca *ir.Instr) *Candidate {
 				switch in.Op {
 				case ir.OpIndex:
 					if in.Args[0] != w.val {
-						c.Reject = "local pointer used as an index operand"
-						return c
+						return c.reject(RejectEscapeIndexOperand, "local pointer used as an index operand")
 					}
 					seen[in] = true
 					chain := append(append([]*ir.Instr{}, w.chain...), in)
@@ -135,24 +176,22 @@ func buildCandidate(fn *ir.Function, alloca *ir.Instr) *Candidate {
 					c.Loads = append(c.Loads, &Access{Instr: in, IndexChain: w.chain})
 				case ir.OpStore:
 					if in.Args[1] == w.val {
-						c.Reject = "local pointer value is stored to memory (escapes)"
-						return c
+						return c.reject(RejectEscapeStored, "local pointer value is stored to memory (escapes)")
 					}
 					c.Stores = append(c.Stores, &Access{Instr: in, IndexChain: w.chain})
 				case ir.OpCall:
-					c.Reject = fmt.Sprintf("local pointer passed to function %s", in.Callee.Name)
-					return c
+					return c.reject(RejectEscapeCall, "local pointer passed to function %s", in.Callee.Name)
 				default:
-					c.Reject = fmt.Sprintf("local pointer used by unsupported op %s", in.Op)
-					return c
+					return c.reject(RejectUnsupportedUse, "local pointer used by unsupported op %s", in.Op)
 				}
 			}
 		}
 	}
 	if len(c.Stores) == 0 {
-		c.Reject = "no stores to local data structure"
-	} else if len(c.Loads) == 0 {
-		c.Reject = "no loads from local data structure"
+		return c.reject(RejectNoStores, "no stores to local data structure")
+	}
+	if len(c.Loads) == 0 {
+		return c.reject(RejectNoLoads, "no loads from local data structure")
 	}
 	return c
 }

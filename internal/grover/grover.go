@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"grover/internal/debug"
 	"grover/internal/exprtree"
 	"grover/internal/ir"
 	"grover/internal/linsolve"
@@ -39,9 +40,11 @@ type CandidateReport struct {
 	// Pattern classifies the LS index tree (paper Fig. 7).
 	Pattern exprtree.PatternKind
 	// Transformed reports whether local memory was removed for this
-	// candidate; Reason explains a skip.
+	// candidate; Reason explains a skip and ReasonCode is its
+	// machine-readable classification.
 	Transformed bool
 	Reason      string
+	ReasonCode  RejectCode
 	// ClonedInstrs counts instructions duplicated by Algorithm 1.
 	ClonedInstrs int
 	// NumLS and NumLL count the store/load sites.
@@ -131,6 +134,7 @@ func TransformKernel(m *ir.Module, kernel string, opts Options) (*Report, error)
 		cr := CandidateReport{Name: c.Name, NumLS: len(c.Stores), NumLL: len(c.Loads)}
 		if !selected(c) {
 			cr.Reason = "not selected"
+			cr.ReasonCode = RejectNotSelected
 			rep.Candidates = append(rep.Candidates, cr)
 			continue
 		}
@@ -140,6 +144,7 @@ func TransformKernel(m *ir.Module, kernel string, opts Options) (*Report, error)
 				return rep, err
 			}
 			cr.Reason = err.Error()
+			cr.ReasonCode = rejectCodeOf(err)
 			rep.Candidates = append(rep.Candidates, cr)
 			continue
 		}
@@ -152,6 +157,12 @@ func TransformKernel(m *ir.Module, kernel string, opts Options) (*Report, error)
 		cr.Transformed = true
 		anyTransformed = true
 		rep.Candidates = append(rep.Candidates, cr)
+		if debug.Verify {
+			fn.AssignIDs()
+			if err := ir.VerifyFunc(fn); err != nil {
+				return rep, fmt.Errorf("grover: rewriting %s produced invalid IR: %w", c.Name, err)
+			}
+		}
 		// The tree builder caches store analysis; rebuild after mutation.
 		tb = exprtree.NewBuilder(fn)
 	}

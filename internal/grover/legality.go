@@ -1,0 +1,53 @@
+package grover
+
+import (
+	"grover/internal/clc"
+	"grover/internal/exprtree"
+	"grover/internal/ir"
+)
+
+// BufferLegality is the machine-readable verdict for one __local buffer
+// Grover considered: whether the pass could rewrite it and, if not, the
+// reject code and human-readable detail explaining why.
+type BufferLegality struct {
+	// Kernel is the kernel function name.
+	Kernel string `json:"kernel"`
+	// Name is the __local variable name; Pos its declaration site.
+	Name string  `json:"name"`
+	Pos  clc.Pos `json:"pos"`
+	// Rewritable reports whether the correspondence analysis succeeded.
+	Rewritable bool `json:"rewritable"`
+	// Code classifies the rejection (RejectNone when rewritable).
+	Code RejectCode `json:"code,omitempty"`
+	// Detail is the human-readable rejection reason.
+	Detail string `json:"detail,omitempty"`
+	// NumLS and NumLL count the staging store and load sites found.
+	NumLS int `json:"num_ls"`
+	NumLL int `json:"num_ll"`
+}
+
+// ExplainKernel runs the candidate matcher and correspondence analysis
+// over one kernel without mutating it, returning one verdict per __local
+// buffer. This is the Grover-legality detector's backend: it answers "why
+// did (or didn't) the pass fire" for every candidate.
+func ExplainKernel(fn *ir.Function) []BufferLegality {
+	var out []BufferLegality
+	tb := exprtree.NewBuilder(fn)
+	for _, c := range FindCandidates(fn) {
+		v := BufferLegality{
+			Kernel: fn.Name,
+			Name:   c.Name,
+			Pos:    c.Alloca.Pos,
+			NumLS:  len(c.Stores),
+			NumLL:  len(c.Loads),
+		}
+		if _, err := analyzeCandidate(tb, c); err != nil {
+			v.Code = rejectCodeOf(err)
+			v.Detail = err.Error()
+		} else {
+			v.Rewritable = true
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -3,14 +3,15 @@ package ir
 import (
 	"fmt"
 
+	"grover/internal/analysis/graph"
 	"grover/internal/clc"
 )
 
 // Verify checks structural invariants of the module: every block ends in
-// exactly one terminator, operands are defined before use (within the
-// block ordering of a reverse-post-order walk this is approximated by
-// requiring operands to belong to the same function), branch targets belong
-// to the same function, and memory ops have pointer operands.
+// exactly one terminator, branch targets belong to the same function,
+// memory ops have pointer operands, opcode-specific arity and type rules
+// hold (OpBarrier, OpAlloca, OpWorkItem, ...), and every use of an
+// instruction value is dominated by its definition.
 func Verify(m *Module) error {
 	for _, f := range m.Funcs {
 		if err := VerifyFunc(f); err != nil {
@@ -18,6 +19,14 @@ func Verify(m *Module) error {
 		}
 	}
 	return nil
+}
+
+// workItemFuncs are the valid OpWorkItem query names and whether they take
+// a dimension argument.
+var workItemFuncs = map[string]bool{
+	"get_global_id": true, "get_local_id": true, "get_group_id": true,
+	"get_global_size": true, "get_local_size": true, "get_num_groups": true,
+	"get_work_dim": false,
 }
 
 // VerifyFunc checks one function.
@@ -33,8 +42,6 @@ func VerifyFunc(f *Function) error {
 	for _, p := range f.Params {
 		defined[p] = true
 	}
-	// First pass: collect all defined instruction values (the IR is not
-	// strictly SSA-ordered across blocks; dominance is not checked).
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			if in.Producing() {
@@ -71,42 +78,140 @@ func VerifyFunc(f *Function) error {
 					return fmt.Errorf("block %s: branch to foreign block %s", b.Name, t.Name)
 				}
 			}
-			switch in.Op {
-			case OpLoad:
-				if len(in.Args) != 1 {
-					return fmt.Errorf("load needs 1 operand")
+			if err := verifyInstr(in); err != nil {
+				return fmt.Errorf("block %s: %s: %w", b.Name, in.Format(), err)
+			}
+		}
+	}
+	return verifyDominance(f)
+}
+
+// verifyInstr applies per-opcode arity and type rules.
+func verifyInstr(in *Instr) error {
+	switch in.Op {
+	case OpLoad:
+		if len(in.Args) != 1 {
+			return fmt.Errorf("load needs 1 operand")
+		}
+		if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
+			return fmt.Errorf("load operand is not a pointer: %s", in.Args[0].Type())
+		}
+	case OpStore:
+		if len(in.Args) != 2 {
+			return fmt.Errorf("store needs 2 operands")
+		}
+		if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
+			return fmt.Errorf("store target is not a pointer: %s", in.Args[0].Type())
+		}
+	case OpIndex:
+		if len(in.Args) != 2 {
+			return fmt.Errorf("index needs 2 operands")
+		}
+		if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
+			return fmt.Errorf("index base is not a pointer: %s", in.Args[0].Type())
+		}
+	case OpAlloca:
+		if len(in.Args) != 0 {
+			return fmt.Errorf("alloca takes no operands")
+		}
+		if _, ok := in.Typ.(*clc.PointerType); !ok {
+			return fmt.Errorf("alloca result is not a pointer: %s", in.Typ)
+		}
+	case OpBarrier:
+		if len(in.Args) > 1 {
+			return fmt.Errorf("barrier takes at most 1 fence-flags operand")
+		}
+		if len(in.Args) == 1 {
+			st, ok := in.Args[0].Type().(*clc.ScalarType)
+			if !ok || !st.Kind.IsInteger() {
+				return fmt.Errorf("barrier fence flags are not an integer: %s", in.Args[0].Type())
+			}
+		}
+	case OpWorkItem:
+		takesDim, known := workItemFuncs[in.Func]
+		if !known {
+			return fmt.Errorf("unknown work-item query %q", in.Func)
+		}
+		want := 0
+		if takesDim {
+			want = 1
+		}
+		if len(in.Args) != want {
+			return fmt.Errorf("%s needs %d operand(s), has %d", in.Func, want, len(in.Args))
+		}
+		if want == 1 {
+			st, ok := in.Args[0].Type().(*clc.ScalarType)
+			if !ok || !st.Kind.IsInteger() {
+				return fmt.Errorf("%s dimension is not an integer: %s", in.Func, in.Args[0].Type())
+			}
+		}
+	case OpCondBr:
+		if len(in.Targets) != 2 {
+			return fmt.Errorf("condbr needs 2 targets")
+		}
+	case OpBr:
+		if len(in.Targets) != 1 {
+			return fmt.Errorf("br needs 1 target")
+		}
+	case OpCall:
+		if in.Callee == nil {
+			return fmt.Errorf("call without callee")
+		}
+		if len(in.Args) != len(in.Callee.Params) {
+			return fmt.Errorf("call to %s: %d args, want %d", in.Callee.Name, len(in.Args), len(in.Callee.Params))
+		}
+	}
+	return nil
+}
+
+// verifyDominance enforces defs-dominate-uses over the dominator tree:
+// every use of an instruction value must be in a block dominated by the
+// definition's block, and within one block the definition must come first.
+// Uses inside blocks unreachable from the entry are exempt (dominance is
+// undefined there; dead blocks are sealed by the lowerer and removed by
+// cleanup passes).
+func verifyDominance(f *Function) error {
+	idx := map[*Block]int{}
+	for i, b := range f.Blocks {
+		idx[b] = i
+	}
+	succ := make([][]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			succ[i] = append(succ[i], idx[s])
+		}
+	}
+	dom := graph.Dominators(len(f.Blocks), succ, 0)
+	// pos gives each instruction's index within its block.
+	pos := map[*Instr]int{}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			pos[in] = i
+		}
+	}
+	for bi, b := range f.Blocks {
+		if !dom.Reachable(bi) {
+			continue
+		}
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				def, ok := a.(*Instr)
+				if !ok {
+					continue // constants and parameters dominate everything
 				}
-				if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
-					return fmt.Errorf("load operand is not a pointer: %s", in.Args[0].Type())
+				di, known := idx[def.Block]
+				if !known {
+					return fmt.Errorf("block %s: %s uses value %s from a foreign function", b.Name, in.Format(), def)
 				}
-			case OpStore:
-				if len(in.Args) != 2 {
-					return fmt.Errorf("store needs 2 operands")
+				if di == bi {
+					if pos[def] >= pos[in] {
+						return fmt.Errorf("block %s: %s uses %s before its definition", b.Name, in.Format(), def)
+					}
+					continue
 				}
-				if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
-					return fmt.Errorf("store target is not a pointer: %s", in.Args[0].Type())
-				}
-			case OpIndex:
-				if len(in.Args) != 2 {
-					return fmt.Errorf("index needs 2 operands")
-				}
-				if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
-					return fmt.Errorf("index base is not a pointer: %s", in.Args[0].Type())
-				}
-			case OpCondBr:
-				if len(in.Targets) != 2 {
-					return fmt.Errorf("condbr needs 2 targets")
-				}
-			case OpBr:
-				if len(in.Targets) != 1 {
-					return fmt.Errorf("br needs 1 target")
-				}
-			case OpCall:
-				if in.Callee == nil {
-					return fmt.Errorf("call without callee")
-				}
-				if len(in.Args) != len(in.Callee.Params) {
-					return fmt.Errorf("call to %s: %d args, want %d", in.Callee.Name, len(in.Args), len(in.Callee.Params))
+				if !dom.Dominates(di, bi) {
+					return fmt.Errorf("block %s: %s uses %s whose definition (block %s) does not dominate the use",
+						b.Name, in.Format(), def, def.Block.Name)
 				}
 			}
 		}

@@ -11,28 +11,42 @@ import (
 	"fmt"
 
 	"grover/internal/clc"
+	"grover/internal/debug"
 	"grover/internal/ir"
 )
 
-// Optimize runs CSE, LICM and DCE to fixpoint over every function.
+// passes is the standard pipeline, named so the debug verifier can say
+// which pass broke the IR.
+var passes = []struct {
+	name string
+	run  func(*ir.Function) bool
+}{
+	{"cse", CSE},
+	{"load-forward", LoadForward},
+	{"dse", DSE},
+	{"peephole", Peephole},
+	{"licm", LICM},
+	{"dce", func(fn *ir.Function) bool { return DCE(fn) > 0 }},
+}
+
+// Optimize runs CSE, LICM and DCE to fixpoint over every function. With
+// GROVER_DEBUG_VERIFY set, the IR is re-verified after every pass that
+// changed the function, and a violation panics naming the pass — an
+// internal invariant failure, not a user error.
 func Optimize(m *ir.Module) {
 	for _, fn := range m.Funcs {
 		for i := 0; i < 32; i++ { // fixpoint, bounded
-			changed := CSE(fn)
-			if LoadForward(fn) {
+			changed := false
+			for _, p := range passes {
+				if !p.run(fn) {
+					continue
+				}
 				changed = true
-			}
-			if DSE(fn) {
-				changed = true
-			}
-			if Peephole(fn) {
-				changed = true
-			}
-			if LICM(fn) {
-				changed = true
-			}
-			if DCE(fn) > 0 {
-				changed = true
+				if debug.Verify {
+					if err := ir.VerifyFunc(fn); err != nil {
+						panic(fmt.Sprintf("opt: pass %s broke %s: %v", p.name, fn.Name, err))
+					}
+				}
 			}
 			if !changed {
 				break

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"grover"
+	"grover/internal/analysis"
 	igrover "grover/internal/grover"
 	"grover/internal/ir"
 	"grover/internal/kcache"
@@ -28,6 +29,11 @@ type compiledArtifact struct {
 type transformArtifact struct {
 	report *igrover.Report
 	ir     string
+}
+
+// lintArtifact is the cached result of a static-analysis run.
+type lintArtifact struct {
+	res *analysis.Result
 }
 
 // verdictArtifact is the cached result of one (request, device) tuning.
@@ -101,6 +107,30 @@ func (s *Server) transform(req *TransformRequest) (*transformArtifact, kcache.Ou
 		return nil, out, err
 	}
 	return v.(*transformArtifact), out, nil
+}
+
+// lint returns the cached static-analysis result for the request.
+func (s *Server) lint(req *LintRequest) (*lintArtifact, kcache.Outcome, error) {
+	key := kcache.Key("lint", req.Source, kcache.DefinesField(req.Defines),
+		req.Kernel, fmt.Sprintf("l=%v", req.Local))
+	v, out, err := s.cache.Do(key, func() (interface{}, error) {
+		comp, _, err := s.compile(req.Name, req.Source, req.Defines)
+		if err != nil {
+			return nil, err
+		}
+		opts := analysis.Options{WorkGroupSize: req.Local}
+		if req.Kernel != "" {
+			if err := kernelIn(comp, req.Kernel); err != nil {
+				return nil, err
+			}
+			return &lintArtifact{res: analysis.AnalyzeKernel(comp.mod.Kernel(req.Kernel), opts)}, nil
+		}
+		return &lintArtifact{res: analysis.AnalyzeModule(comp.mod, opts)}, nil
+	})
+	if err != nil {
+		return nil, out, err
+	}
+	return v.(*lintArtifact), out, nil
 }
 
 // launchField canonicalizes the launch geometry and arguments for keying.
@@ -375,6 +405,42 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		Kernel:    req.Kernel,
 		Results:   results,
 		LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req LintRequest
+	if err := decode(r, &req); err != nil {
+		s.stats.record("lint", time.Since(start), true)
+		writeError(w, err)
+		return
+	}
+	if req.Source == "" {
+		s.stats.record("lint", time.Since(start), true)
+		writeError(w, badRequest("source is required"))
+		return
+	}
+	var (
+		art *lintArtifact
+		out kcache.Outcome
+		err error
+	)
+	s.pool.Run(func() {
+		art, out, err = s.lint(&req)
+	})
+	s.stats.record("lint", time.Since(start), err != nil, out)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &LintResponse{
+		Name:        programName(req.Name),
+		Findings:    art.res.Findings,
+		Legality:    art.res.Legality,
+		MaxSeverity: string(art.res.MaxSeverity()),
+		Cache:       out.String(),
+		LatencyMS:   float64(time.Since(start)) / float64(time.Millisecond),
 	})
 }
 

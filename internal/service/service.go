@@ -11,6 +11,7 @@
 //	POST /v1/compile    compile source, list kernels (optionally the IR)
 //	POST /v1/transform  run the Grover pass, return the report
 //	POST /v1/autotune   time both versions on a device (or "all"), pick the winner
+//	POST /v1/lint       run the static analyzers, return findings + legality verdicts
 //	GET  /v1/devices    the six simulated platforms
 //	GET  /v1/stats      cache, pool and per-endpoint request counters
 //	GET  /healthz       liveness
@@ -24,6 +25,7 @@ import (
 	"strings"
 
 	"grover"
+	"grover/internal/analysis"
 	igrover "grover/internal/grover"
 	"grover/internal/kcache"
 	"grover/opencl"
@@ -59,6 +61,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/transform", s.handleTransform)
 	s.mux.HandleFunc("POST /v1/autotune", s.handleAutotune)
+	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -263,6 +266,30 @@ type AutotuneResponse struct {
 	Kernel    string        `json:"kernel"`
 	Results   []TuneVerdict `json:"results"`
 	LatencyMS float64       `json:"latency_ms"`
+}
+
+// LintRequest runs the static analysis suite over a program.
+type LintRequest struct {
+	Name    string            `json:"name,omitempty"`
+	Source  string            `json:"source"`
+	Defines map[string]string `json:"defines,omitempty"`
+	// Kernel restricts the report to one kernel (default: all).
+	Kernel string `json:"kernel,omitempty"`
+	// Local is the launch's work-group size when known; zero dimensions
+	// mean unknown, which widens bounds intervals and disables the race
+	// prover's cross-work-item disjointness reasoning.
+	Local [3]int `json:"local,omitempty"`
+}
+
+// LintResponse carries the findings and per-buffer legality verdicts.
+type LintResponse struct {
+	Name     string                   `json:"name"`
+	Findings []analysis.Finding       `json:"findings"`
+	Legality []igrover.BufferLegality `json:"legality"`
+	// MaxSeverity is "", "info", "warning" or "error".
+	MaxSeverity string  `json:"max_severity"`
+	Cache       string  `json:"cache"`
+	LatencyMS   float64 `json:"latency_ms"`
 }
 
 // DeviceInfo describes one simulated platform.

@@ -369,3 +369,81 @@ func TestLRUBoundUnderChurn(t *testing.T) {
 		t.Errorf("evictions = %d, want >= 4", stats.Cache.Evictions)
 	}
 }
+
+// TestLintEndpoint lints a clean benchmark and a seeded-bug kernel over
+// HTTP, checking findings, legality verdicts, and caching.
+func TestLintEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+
+	// The NVD-MT benchmark at its default work-group size is clean and
+	// its tile buffer is rewritable.
+	app := apps.NVDMT()
+	var clean LintResponse
+	code, body := postJSON(t, ts.URL+"/v1/lint",
+		LintRequest{Name: "nvd-mt.cl", Source: app.Source, Defines: app.Defines,
+			Local: [3]int{16, 16, 1}}, &clean)
+	if code != http.StatusOK {
+		t.Fatalf("lint: %d %s", code, body)
+	}
+	if len(clean.Findings) != 0 {
+		t.Errorf("NVD-MT findings = %+v, want none", clean.Findings)
+	}
+	if clean.MaxSeverity != "" {
+		t.Errorf("max_severity = %q, want empty", clean.MaxSeverity)
+	}
+	if len(clean.Legality) != 1 || !clean.Legality[0].Rewritable {
+		t.Errorf("legality = %+v, want one rewritable buffer", clean.Legality)
+	}
+	if clean.Cache != "miss" {
+		t.Errorf("first lint cache = %q, want miss", clean.Cache)
+	}
+
+	// The identical request is served from the cache.
+	code, _ = postJSON(t, ts.URL+"/v1/lint",
+		LintRequest{Name: "nvd-mt.cl", Source: app.Source, Defines: app.Defines,
+			Local: [3]int{16, 16, 1}}, &clean)
+	if code != http.StatusOK || clean.Cache != "hit" {
+		t.Errorf("second lint = %d cache %q, want 200 hit", code, clean.Cache)
+	}
+
+	// A divergent barrier is reported as an error.
+	bad := `__kernel void bad(__global float* in, __global float* out) {
+    int lx = get_local_id(0);
+    __local float tile[16];
+    tile[lx] = in[get_global_id(0)];
+    if (lx < 8) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    out[get_global_id(0)] = tile[lx];
+}
+`
+	var res LintResponse
+	code, body = postJSON(t, ts.URL+"/v1/lint",
+		LintRequest{Name: "bad.cl", Source: bad, Local: [3]int{16, 1, 1}}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("lint bad: %d %s", code, body)
+	}
+	if res.MaxSeverity != "error" {
+		t.Errorf("max_severity = %q, want error", res.MaxSeverity)
+	}
+	found := false
+	for _, f := range res.Findings {
+		if f.Detector == "barrier-divergence" && f.Pos.Line == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no barrier-divergence finding at line 6: %+v", res.Findings)
+	}
+
+	// Missing source is a 400; unknown kernel a 404.
+	code, _ = postJSON(t, ts.URL+"/v1/lint", LintRequest{}, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("empty lint = %d, want 400", code)
+	}
+	code, _ = postJSON(t, ts.URL+"/v1/lint",
+		LintRequest{Source: bad, Kernel: "nope"}, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("unknown kernel = %d, want 404", code)
+	}
+}

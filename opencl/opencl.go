@@ -25,7 +25,9 @@ import (
 	"fmt"
 	"strings"
 
+	"grover/internal/analysis"
 	"grover/internal/clc"
+	"grover/internal/debug"
 	"grover/internal/device"
 	igrover "grover/internal/grover"
 	"grover/internal/ir"
@@ -160,9 +162,24 @@ func CompileModule(name, source string, defines map[string]string) (*ir.Module, 
 	if err != nil {
 		return nil, fmt.Errorf("opencl: lowering failed: %w", err)
 	}
+	if debug.Verify {
+		if err := ir.Verify(mod); err != nil {
+			return nil, fmt.Errorf("opencl: lowering produced invalid IR: %w", err)
+		}
+	}
 	// Run the standard driver optimizations (CSE, LICM, DCE) so simulated
 	// timings reflect what a vendor compiler would execute.
 	opt.Optimize(mod)
+	if debug.Verify {
+		if err := ir.Verify(mod); err != nil {
+			return nil, fmt.Errorf("opencl: optimization produced invalid IR: %w", err)
+		}
+		// Exercise the full analysis suite as a crash smoke-test. Findings
+		// are not failures here: the launch geometry is unknown at compile
+		// time, so the race prover legitimately lacks the extents it needs
+		// on some well-formed kernels.
+		analysis.AnalyzeModule(mod, analysis.Options{})
+	}
 	return mod, nil
 }
 
