@@ -44,6 +44,7 @@ func main() {
 		useGrover  = flag.Bool("grover", false, "run the Grover-transformed kernel as well and compare times")
 		timed      = flag.Bool("time", false, "use the device cost model and report simulated time")
 		dump       = flag.String("dump", "", "print buffer contents after the run: ARGINDEX:COUNT")
+		backend    = flag.String("backend", "", "execution backend (interp, bcode; default: $GROVER_BACKEND, else interp)")
 	)
 	flag.Var(&args, "arg", "kernel argument spec (repeatable, in declaration order)")
 	flag.Parse()
@@ -52,14 +53,14 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *deviceName, *kernel, *globalStr, *localStr, args, *useGrover, *timed, *dump); err != nil {
+	if err := run(flag.Arg(0), *deviceName, *kernel, *globalStr, *localStr, args, *useGrover, *timed, *backend, *dump); err != nil {
 		fmt.Fprintln(os.Stderr, "clrun:", err)
 		os.Exit(1)
 	}
 }
 
 func run(file, deviceName, kernel, globalStr, localStr string, argSpecs []string,
-	useGrover, timed bool, dump string) error {
+	useGrover, timed bool, backend, dump string) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -70,6 +71,11 @@ func run(file, deviceName, kernel, globalStr, localStr string, argSpecs []string
 		return err
 	}
 	ctx := opencl.NewContext(dev)
+	if backend != "" {
+		if err := ctx.SetBackend(backend); err != nil {
+			return err
+		}
+	}
 	prog, err := ctx.CompileProgram(file, string(src), nil)
 	if err != nil {
 		return err

@@ -12,26 +12,37 @@
 //	groverbench -experiment table4          # gain/loss distribution
 //	groverbench -experiment all             # everything
 //	groverbench -experiment case -app NVD-MT -device SNB
+//	groverbench -experiment backends -format json   # backend wall-clock comparison
+//
+// -backend selects the execution backend (interp or bcode) and -format
+// json emits machine-readable measurements; the committed BENCH_vm.json
+// is the output of the backends experiment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"grover/internal/apps"
+	"grover/internal/bcode"
 	"grover/internal/harness"
+	"grover/internal/vm"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | all")
+		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | all")
 		app        = flag.String("app", "", "benchmark id for -experiment case (e.g. NVD-MT)")
 		device     = flag.String("device", "SNB", "device for -experiment case")
 		scale      = flag.Int("scale", 1, "dataset scale factor")
 		runs       = flag.Int("runs", 1, "simulated executions to average per version")
 		validate   = flag.Bool("validate", false, "also validate both kernel versions against host references")
+		backend    = flag.String("backend", "", "execution backend (interp, bcode; default: $GROVER_BACKEND, else interp)")
+		format     = flag.String("format", "text", "output format: text | json")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
@@ -40,29 +51,84 @@ func main() {
 	if *quiet {
 		logW = nil
 	}
-	cfg := harness.Config{Scale: *scale, Runs: *runs, Validate: *validate, Log: logW}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "groverbench: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+	cfg := harness.Config{Scale: *scale, Runs: *runs, Validate: *validate, Backend: *backend, Log: logW}
 
-	if err := run(*experiment, *app, *device, cfg); err != nil {
+	if err := run(*experiment, *app, *device, *format, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "groverbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment, appID, deviceName string, cfg harness.Config) error {
+// measurementJSON is the machine-readable form of one measurement.
+type measurementJSON struct {
+	App       string  `json:"app"`
+	Device    string  `json:"device"`
+	WithLM    float64 `json:"with_lm_ms"`
+	WithoutLM float64 `json:"without_lm_ms"`
+	NP        float64 `json:"np"`
+	Verdict   string  `json:"verdict"`
+}
+
+func toJSON(ms []*harness.Measurement) []measurementJSON {
+	out := make([]measurementJSON, len(ms))
+	for i, m := range ms {
+		out[i] = measurementJSON{
+			App: m.App, Device: m.Device,
+			WithLM: m.WithLM, WithoutLM: m.WithoutLM,
+			NP: m.NP, Verdict: m.Classify().String(),
+		}
+	}
+	return out
+}
+
+func emitJSON(v interface{}) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// emitMeasurements renders a sweep in the selected format.
+func emitMeasurements(title string, ms []*harness.Measurement, format string, table4 bool) error {
+	if format == "json" {
+		return emitJSON(map[string]interface{}{
+			"experiment":   title,
+			"measurements": toJSON(ms),
+		})
+	}
+	fmt.Println(harness.RenderFigure(title, ms))
+	if table4 {
+		fmt.Println("Table IV — performance gain/loss distribution (5% threshold)")
+		fmt.Println(harness.MakeTable4(ms))
+	}
+	return nil
+}
+
+func run(experiment, appID, deviceName, format string, cfg harness.Config) error {
 	switch experiment {
 	case "fig2":
-		return runFig2(cfg)
+		ms, err := harness.Fig2(cfg)
+		if err != nil {
+			return err
+		}
+		return emitMeasurements("Figure 2 — removing local memory: MT and MM on six platforms", ms, format, false)
 	case "fig10":
-		return runFig10(cfg)
+		ms, err := harness.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		return emitMeasurements("Figure 10 — all benchmarks on the cache-only platforms", ms, format, true)
 	case "figgpu":
 		ms, err := harness.FigGPU(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Println(harness.RenderFigure(
-			"GPU sweep (paper future work) — all benchmarks on the GPU platforms", ms))
-		fmt.Println(harness.MakeTable4(ms))
-		return nil
+		return emitMeasurements("GPU sweep (paper future work) — all benchmarks on the GPU platforms", ms, format, true)
+	case "backends":
+		return runBackends(cfg, format)
 	case "table1":
 		fmt.Println("Table I — benchmarks and datasets")
 		fmt.Println(harness.Table1())
@@ -98,6 +164,9 @@ func run(experiment, appID, deviceName string, cfg harness.Config) error {
 		m, err := harness.RunCase(a, deviceName, cfg)
 		if err != nil {
 			return err
+		}
+		if format == "json" {
+			return emitJSON(toJSON([]*harness.Measurement{m})[0])
 		}
 		fmt.Printf("%s on %s: with LM %.4f ms, without LM %.4f ms, np=%.2f [%s]\n",
 			m.App, m.Device, m.WithLM, m.WithoutLM, m.NP, m.Classify())
@@ -141,5 +210,88 @@ func runFig10(cfg harness.Config) error {
 		"Figure 10 — all benchmarks on the cache-only platforms", ms))
 	fmt.Println("Table IV — performance gain/loss distribution (5% threshold)")
 	fmt.Println(harness.MakeTable4(ms))
+	return nil
+}
+
+// backendRunJSON is one backend's wall-clock result for the Fig. 10 sweep.
+type backendRunJSON struct {
+	Backend string  `json:"backend"`
+	WallMS  float64 `json:"wall_ms"`
+}
+
+// backendBenchJSON is the backends experiment output (BENCH_vm.json).
+type backendBenchJSON struct {
+	Experiment string           `json:"experiment"`
+	Scale      int              `json:"scale"`
+	Runs       int              `json:"runs"`
+	Backends   []backendRunJSON `json:"backends"`
+	// Speedup is interpreter wall-clock / bytecode wall-clock for the
+	// identical sweep.
+	Speedup float64 `json:"speedup"`
+	// Invariant reports that every simulated measurement was identical
+	// across backends (the VM contract).
+	Invariant    bool              `json:"invariant"`
+	Measurements []measurementJSON `json:"measurements"`
+}
+
+// runBackends times the full Fig. 10 sweep on the interpreter and on the
+// bytecode backend. Simulated measurements must be identical — only the
+// wall-clock time of the experiment itself changes.
+func runBackends(cfg harness.Config, format string) error {
+	type result struct {
+		backend string
+		ms      []*harness.Measurement
+		wall    time.Duration
+	}
+	var results []result
+	for _, b := range []string{vm.BackendInterp, bcode.Name} {
+		c := cfg
+		c.Backend = b
+		if c.Log != nil {
+			fmt.Fprintf(c.Log, "backends: running the Fig. 10 sweep on %s\n", b)
+		}
+		start := time.Now()
+		ms, err := harness.Fig10(c)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b, err)
+		}
+		results = append(results, result{b, ms, time.Since(start)})
+	}
+
+	invariant := len(results[0].ms) == len(results[1].ms)
+	if invariant {
+		for i, m := range results[0].ms {
+			o := results[1].ms[i]
+			if m.App != o.App || m.Device != o.Device ||
+				m.WithLM != o.WithLM || m.WithoutLM != o.WithoutLM {
+				invariant = false
+				break
+			}
+		}
+	}
+	speedup := float64(results[0].wall) / float64(results[1].wall)
+
+	if format == "json" {
+		out := &backendBenchJSON{
+			Experiment:   "fig10-backends",
+			Scale:        cfg.Scale,
+			Runs:         cfg.Runs,
+			Speedup:      speedup,
+			Invariant:    invariant,
+			Measurements: toJSON(results[0].ms),
+		}
+		for _, r := range results {
+			out.Backends = append(out.Backends, backendRunJSON{
+				Backend: r.backend,
+				WallMS:  float64(r.wall) / float64(time.Millisecond),
+			})
+		}
+		return emitJSON(out)
+	}
+	fmt.Println("Backend comparison — Fig. 10 sweep wall-clock")
+	for _, r := range results {
+		fmt.Printf("  %-8s %10.1f ms\n", r.backend, float64(r.wall)/float64(time.Millisecond))
+	}
+	fmt.Printf("  speedup  %10.2fx (measurements identical: %v)\n", speedup, invariant)
 	return nil
 }

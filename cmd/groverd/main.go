@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	groverd [-addr :8372] [-cache 256] [-workers 0]
+//	groverd [-addr :8372] [-cache 256] [-workers 0] [-backend bcode]
 //
 // Endpoints: POST /v1/compile, /v1/transform, /v1/autotune;
 // GET /v1/devices, /v1/stats, /healthz. See the README "Serving" section
@@ -26,18 +26,25 @@ import (
 	"time"
 
 	"grover/internal/service"
+	"grover/internal/vm"
 	"grover/opencl"
+	"strings"
 )
 
 func main() {
 	addr := flag.String("addr", ":8372", "listen address")
 	cacheCap := flag.Int("cache", 0, "artifact cache capacity in entries (0 = default 256)")
 	workers := flag.Int("workers", 0, "max concurrent compile/tune jobs (0 = GOMAXPROCS)")
+	backend := flag.String("backend", "", "default execution backend (default: $GROVER_BACKEND, else interp)")
 	flag.Parse()
 
-	srv := service.New(service.Config{CacheCapacity: *cacheCap, Workers: *workers})
+	if *backend != "" && !vm.ValidBackend(*backend) {
+		log.Fatalf("groverd: unknown backend %q (available: %s)", *backend, strings.Join(vm.Backends(), ", "))
+	}
+	srv := service.New(service.Config{CacheCapacity: *cacheCap, Workers: *workers, Backend: *backend})
 
-	log.Printf("groverd: listening on %s (%d workers)", *addr, srv.Pool().Snapshot().Workers)
+	log.Printf("groverd: listening on %s (%d workers, %s backend)",
+		*addr, srv.Pool().Snapshot().Workers, srv.Backend())
 	for _, d := range opencl.NewPlatform().Devices() {
 		log.Printf("groverd: device %s", d.Profile())
 	}

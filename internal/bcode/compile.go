@@ -1,0 +1,1194 @@
+package bcode
+
+import (
+	"fmt"
+	"math"
+
+	"grover/internal/clc"
+	"grover/internal/ir"
+	"grover/internal/vm"
+)
+
+func init() {
+	vm.RegisterBackend(Name, func(p *vm.Program) (vm.Executor, error) {
+		return Compile(p)
+	})
+}
+
+// Machine is a prepared program compiled to bytecode. It implements
+// vm.Executor; the vm caches one Machine per program, so each function
+// is compiled once and executed many times.
+type Machine struct {
+	p     *vm.Program
+	funcs map[*ir.Function]*bfunc
+}
+
+// Compile translates every function of a prepared program to bytecode.
+func Compile(p *vm.Program) (*Machine, error) {
+	m := &Machine{p: p, funcs: map[*ir.Function]*bfunc{}}
+	// Shells first so call sites can reference not-yet-compiled callees.
+	for _, f := range p.Module.Funcs {
+		m.funcs[f] = &bfunc{fn: f}
+	}
+	for _, f := range p.Module.Funcs {
+		if err := m.compileFunc(f); err != nil {
+			return nil, fmt.Errorf("bcode: %s: %w", f.Name, err)
+		}
+	}
+	return m, nil
+}
+
+// fnCompiler holds per-function compilation state.
+type fnCompiler struct {
+	m  *Machine
+	p  *vm.Program
+	f  *ir.Function
+	bf *bfunc
+
+	refs   map[ir.Value]ref
+	intIdx map[int64]int32
+	fltIdx map[uint64]int32
+	sealed bool // constant region closed; late interning is a bug
+
+	fusedIdx map[*ir.Instr]bool      // index instrs folded into a memory op
+	fuseWith map[*ir.Instr]*ir.Instr // memory op → its folded index
+
+	code    []inst
+	auxes   []aux
+	blockPC map[*ir.Block]int32
+	fixups  []fixup
+}
+
+// fixup is a branch-target patch applied after all block PCs are known.
+type fixup struct {
+	pc   int32
+	slot uint8 // 0 patches imm, 1 patches n
+	blk  *ir.Block
+}
+
+func (m *Machine) compileFunc(f *ir.Function) error {
+	fc := &fnCompiler{
+		m: m, p: m.p, f: f, bf: m.funcs[f],
+		refs:     map[ir.Value]ref{},
+		intIdx:   map[int64]int32{},
+		fltIdx:   map[uint64]int32{},
+		fusedIdx: map[*ir.Instr]bool{},
+		fuseWith: map[*ir.Instr]*ir.Instr{},
+		blockPC:  map[*ir.Block]int32{},
+	}
+	bf := fc.bf
+	bf.frameSize = m.p.FrameSize(f)
+	bf.localSize = m.p.LocalStaticSize(f)
+
+	// Register numbering per bank: constants first (so the preload
+	// templates are a literal prefix of the register file), then
+	// parameters, then instruction results. Zero constants are always
+	// present: they stand in for the interpreter's boxed-value semantics
+	// where reading the float field of an integer value (or vice versa)
+	// yields zero.
+	fc.intConst(0)
+	fc.fltConst(0)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				switch t := a.(type) {
+				case *ir.ConstInt:
+					fc.intConst(t.Val)
+				case *ir.ConstFloat:
+					fc.fltConst(t.Val)
+				}
+			}
+		}
+	}
+	fc.sealed = true
+	bf.params = make([]ref, len(f.Params))
+	for i, p := range f.Params {
+		r := fc.alloc(p.Typ)
+		bf.params[i] = r
+		fc.refs[p] = r
+	}
+	bf.intInitLen = bf.nInt
+	bf.fltInitLen = bf.nFlt
+
+	fc.analyzeFusion()
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Producing() && !fc.fusedIdx[in] {
+				fc.refs[in] = fc.alloc(in.Typ)
+			}
+		}
+	}
+
+	for _, b := range f.Blocks {
+		fc.blockPC[b] = int32(len(fc.code))
+		for _, in := range b.Instrs {
+			if fc.fusedIdx[in] {
+				continue
+			}
+			fc.emit(in)
+		}
+		if b.Terminator() == nil {
+			// The interpreter raises this before counting the fetch,
+			// hence retire 0.
+			fc.trap(fmt.Sprintf("vm: fell off block %s", b.Name), 0)
+		}
+	}
+	if len(fc.code) == 0 {
+		fc.trap(fmt.Sprintf("vm: fell off block entry in %s", f.Name), 0)
+	}
+	for _, fx := range fc.fixups {
+		pc := fc.blockPC[fx.blk]
+		if fx.slot == 0 {
+			fc.code[fx.pc].imm = int64(pc)
+		} else {
+			fc.code[fx.pc].n = pc
+		}
+	}
+	bf.code = fc.code
+	bf.aux = fc.auxes
+	return nil
+}
+
+// alloc assigns a fresh register for a value of type t.
+func (fc *fnCompiler) alloc(t clc.Type) ref {
+	bf := fc.bf
+	switch tt := t.(type) {
+	case *clc.VectorType:
+		if tt.Elem.Kind.IsFloat() {
+			bf.vecFLens = append(bf.vecFLens, tt.Len)
+			return ref{bVecF, int32(len(bf.vecFLens) - 1)}
+		}
+		bf.vecILens = append(bf.vecILens, tt.Len)
+		return ref{bVecI, int32(len(bf.vecILens) - 1)}
+	case *clc.ScalarType:
+		if tt.Kind.IsFloat() {
+			bf.nFlt++
+			return ref{bFlt, int32(bf.nFlt - 1)}
+		}
+	}
+	// Integers, pointers, and anything else addressable as a word.
+	bf.nInt++
+	return ref{bInt, int32(bf.nInt - 1)}
+}
+
+// intConst interns an integer constant into the int bank's const region.
+func (fc *fnCompiler) intConst(v int64) int32 {
+	if i, ok := fc.intIdx[v]; ok {
+		return i
+	}
+	if fc.sealed {
+		panic("bcode: constant interned after the const region was sealed")
+	}
+	i := int32(fc.bf.nInt)
+	fc.bf.nInt++
+	fc.bf.intConsts = append(fc.bf.intConsts, v)
+	fc.intIdx[v] = i
+	return i
+}
+
+// fltConst interns a float constant (keyed by bit pattern).
+func (fc *fnCompiler) fltConst(v float64) int32 {
+	key := math.Float64bits(v)
+	if i, ok := fc.fltIdx[key]; ok {
+		return i
+	}
+	if fc.sealed {
+		panic("bcode: constant interned after the const region was sealed")
+	}
+	i := int32(fc.bf.nFlt)
+	fc.bf.nFlt++
+	fc.bf.fltConsts = append(fc.bf.fltConsts, v)
+	fc.fltIdx[key] = i
+	return i
+}
+
+// operand resolves v to its natural register.
+func (fc *fnCompiler) operand(v ir.Value) (ref, bool) {
+	switch t := v.(type) {
+	case *ir.ConstInt:
+		return ref{bInt, fc.intConst(t.Val)}, true
+	case *ir.ConstFloat:
+		return ref{bFlt, fc.fltConst(t.Val)}, true
+	}
+	r, ok := fc.refs[v]
+	return r, ok
+}
+
+// scalarRef resolves v for a context that reads the given scalar bank.
+// When the value's natural bank differs, the shared zero constant is
+// substituted, mirroring the interpreter's boxed values where the unused
+// field of an rv is zero.
+func (fc *fnCompiler) scalarRef(v ir.Value, b bank) ref {
+	r, ok := fc.operand(v)
+	if ok && r.bank == b {
+		return r
+	}
+	if b == bFlt {
+		return ref{bFlt, fc.fltIdx[0]}
+	}
+	return ref{bInt, fc.intIdx[0]}
+}
+
+// vecRef resolves v for a context that reads the given vector bank, or
+// reports failure (the interpreter would fault on a nil lane slice).
+func (fc *fnCompiler) vecRef(v ir.Value, b bank) (ref, bool) {
+	r, ok := fc.operand(v)
+	if !ok || r.bank != b {
+		return ref{}, false
+	}
+	return r, true
+}
+
+// analyzeFusion marks single-use same-block index instructions whose only
+// consumer is the address operand of a load or store, with no barrier in
+// between. Such a GEP folds into the memory op as a superinstruction; the
+// fused op retires 2 IR instructions so per-round Instrs totals stay
+// bit-identical to the interpreter. SSA form (defs dominate uses, each
+// register written by exactly one instruction) makes moving the address
+// computation to the memory op safe; barriers are excluded because fusing
+// across one would shift the GEP's retirement into the next scheduling
+// round.
+func (fc *fnCompiler) analyzeFusion() {
+	uses := map[*ir.Instr]int{}
+	for _, b := range fc.f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if ai, ok := a.(*ir.Instr); ok && ai.Op == ir.OpIndex {
+					uses[ai]++
+				}
+			}
+		}
+	}
+	for _, b := range fc.f.Blocks {
+		pos := map[*ir.Instr]int{}
+		barriers := make([]int, len(b.Instrs))
+		nb := 0
+		for i, in := range b.Instrs {
+			pos[in] = i
+			barriers[i] = nb
+			if in.Op == ir.OpBarrier {
+				nb++
+			}
+		}
+		for i, in := range b.Instrs {
+			if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+				continue
+			}
+			idx, ok := in.Args[0].(*ir.Instr)
+			if !ok || idx.Op != ir.OpIndex || uses[idx] != 1 {
+				continue
+			}
+			j, sameBlock := pos[idx]
+			if !sameBlock || barriers[j] != barriers[i] {
+				continue
+			}
+			fc.fusedIdx[idx] = true
+			fc.fuseWith[in] = idx
+		}
+	}
+}
+
+func (fc *fnCompiler) add(i inst) int32 {
+	if i.retire == 0 {
+		i.retire = 1
+	}
+	fc.code = append(fc.code, i)
+	return int32(len(fc.code) - 1)
+}
+
+// trap emits an instruction that raises msg when executed. It stands in
+// for constructs whose error the interpreter only raises at runtime, so
+// dead invalid code stays launchable on both backends.
+func (fc *fnCompiler) trap(msg string, retire uint8) {
+	ax := fc.auxAdd(aux{name: msg})
+	fc.code = append(fc.code, inst{op: opTrap, retire: retire, imm: ax})
+}
+
+func (fc *fnCompiler) auxAdd(a aux) int64 {
+	fc.auxes = append(fc.auxes, a)
+	return int64(len(fc.auxes) - 1)
+}
+
+// dst returns the destination register of a producing instruction.
+func (fc *fnCompiler) dst(in *ir.Instr) (ref, bool) {
+	r, ok := fc.refs[in]
+	return r, ok
+}
+
+// ldOp returns the specialized scalar-load opcode for a kind.
+func ldOp(k clc.ScalarKind) opcode {
+	switch k {
+	case clc.KBool, clc.KUChar:
+		return opLdU8
+	case clc.KChar:
+		return opLdI8
+	case clc.KShort:
+		return opLdI16
+	case clc.KUShort:
+		return opLdU16
+	case clc.KInt:
+		return opLdI32
+	case clc.KUInt:
+		return opLdU32
+	case clc.KLong, clc.KULong:
+		return opLdI64
+	case clc.KFloat:
+		return opLdF32
+	case clc.KDouble:
+		return opLdF64
+	}
+	return opNop
+}
+
+// stOp returns the specialized scalar-store opcode for a kind.
+func stOp(k clc.ScalarKind) opcode {
+	switch k {
+	case clc.KBool, clc.KChar, clc.KUChar:
+		return opStI8
+	case clc.KShort, clc.KUShort:
+		return opStI16
+	case clc.KInt, clc.KUInt:
+		return opStI32
+	case clc.KLong, clc.KULong:
+		return opStI64
+	case clc.KFloat:
+		return opStF32
+	case clc.KDouble:
+		return opStF64
+	}
+	return opNop
+}
+
+// memAddr resolves the address operand of a load/store: either the fused
+// base+index pair (retire 2) or a plain address register.
+func (fc *fnCompiler) memAddr(in *ir.Instr) (base, idx ref, step int64, fused bool) {
+	if gep := fc.fuseWith[in]; gep != nil {
+		base = fc.scalarRef(gep.Args[0], bInt)
+		idx = fc.scalarRef(gep.Args[1], bInt)
+		step = int64(ir.PointeeSize(gep.Args[0].Type()))
+		return base, idx, step, true
+	}
+	return fc.scalarRef(in.Args[0], bInt), ref{}, 0, false
+}
+
+// emit translates one IR instruction into bytecode.
+func (fc *fnCompiler) emit(in *ir.Instr) {
+	switch in.Op {
+	case ir.OpAlloca:
+		d, ok := fc.dst(in)
+		if !ok || d.bank != bInt {
+			fc.trap(fmt.Sprintf("vm: alloca %s without pointer register", in.VarName), 1)
+			return
+		}
+		if in.Space == clc.ASLocal {
+			addr := vm.MakeAddr(clc.ASLocal, uint64(fc.p.AllocaOffset(in, fc.f)))
+			fc.add(inst{op: opAllocaL, a: d.idx, imm: int64(addr)})
+		} else {
+			fc.add(inst{op: opAllocaP, a: d.idx, imm: int64(fc.p.AllocaOffset(in, fc.f))})
+		}
+
+	case ir.OpLoad:
+		fc.emitLoad(in)
+
+	case ir.OpStore:
+		fc.emitStore(in)
+
+	case ir.OpIndex:
+		d, ok := fc.dst(in)
+		if !ok || d.bank != bInt {
+			fc.trap("vm: index without pointer register", 1)
+			return
+		}
+		base := fc.scalarRef(in.Args[0], bInt)
+		step := int64(ir.PointeeSize(in.Args[0].Type()))
+		if ci, isC := in.Args[1].(*ir.ConstInt); isC {
+			fc.add(inst{op: opIndexC, a: d.idx, b: base.idx, imm: ci.Val * step})
+		} else {
+			idx := fc.scalarRef(in.Args[1], bInt)
+			fc.add(inst{op: opIndex, a: d.idx, b: base.idx, c: idx.idx, imm: step})
+		}
+
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr:
+		fc.emitBin(in)
+
+	case ir.OpNeg, ir.OpNot:
+		fc.emitUn(in)
+
+	case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		fc.emitCmp(in)
+
+	case ir.OpConvert:
+		fc.emitConvert(in)
+
+	case ir.OpExtract:
+		fc.emitExtract(in)
+
+	case ir.OpInsert:
+		fc.emitInsert(in)
+
+	case ir.OpShuffle:
+		fc.emitShuffle(in)
+
+	case ir.OpBuild:
+		fc.emitBuild(in)
+
+	case ir.OpWorkItem:
+		fc.emitWorkItem(in)
+
+	case ir.OpMath:
+		fc.emitMath(in)
+
+	case ir.OpBarrier:
+		fc.add(inst{op: opBarrier, in: in})
+
+	case ir.OpCall:
+		fc.emitCall(in)
+
+	case ir.OpBr:
+		pc := fc.add(inst{op: opJmp})
+		fc.fixups = append(fc.fixups, fixup{pc: pc, slot: 0, blk: in.Targets[0]})
+
+	case ir.OpCondBr:
+		op := opCondBrI
+		cb := bInt
+		if s, ok := in.Args[0].Type().(*clc.ScalarType); ok && s.Kind.IsFloat() {
+			op, cb = opCondBrF, bFlt
+		}
+		cond := fc.scalarRef(in.Args[0], cb)
+		pc := fc.add(inst{op: op, a: cond.idx})
+		fc.fixups = append(fc.fixups,
+			fixup{pc: pc, slot: 0, blk: in.Targets[0]},
+			fixup{pc: pc, slot: 1, blk: in.Targets[1]})
+
+	case ir.OpRet:
+		if len(in.Args) == 0 {
+			fc.add(inst{op: opRet})
+			return
+		}
+		r, ok := fc.operand(in.Args[0])
+		if !ok {
+			fc.add(inst{op: opRet})
+			return
+		}
+		switch r.bank {
+		case bInt:
+			fc.add(inst{op: opRetI, b: r.idx})
+		case bFlt:
+			fc.add(inst{op: opRetF, b: r.idx})
+		case bVecI:
+			fc.add(inst{op: opRetVI, b: r.idx})
+		case bVecF:
+			fc.add(inst{op: opRetVF, b: r.idx})
+		}
+
+	default:
+		fc.trap(fmt.Sprintf("vm: unhandled op %s", in.Op), 1)
+	}
+}
+
+func (fc *fnCompiler) emitLoad(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	if !ok {
+		fc.trap("vm: load without destination register", 1)
+		return
+	}
+	base, idx, step, fused := fc.memAddr(in)
+	retire := uint8(1)
+	if fused {
+		retire = 2
+	}
+	i := inst{a: d.idx, b: base.idx, c: idx.idx, imm: step,
+		n: int32(in.Typ.Size()), retire: retire, in: in}
+	switch tt := in.Typ.(type) {
+	case *clc.ScalarType:
+		i.op = ldOp(tt.Kind)
+		if i.op == opNop {
+			fc.trap(fmt.Sprintf("vm: load of unsupported scalar %s", tt.Kind), retire)
+			return
+		}
+		if fused {
+			i.op += opLdXI8 - opLdI8
+		}
+	case *clc.VectorType:
+		i.kind = uint8(tt.Elem.Kind)
+		i.sub = uint8(tt.Len)
+		if tt.Elem.Kind.IsFloat() {
+			i.op = opLdVF
+		} else {
+			i.op = opLdVI
+		}
+		if fused {
+			i.op += opLdXVI - opLdVI
+		}
+	case *clc.PointerType:
+		i.op = opLdI64
+		if fused {
+			i.op += opLdXI8 - opLdI8
+		}
+	default:
+		fc.trap(fmt.Sprintf("vm: load of unsupported type %s", in.Typ), retire)
+		return
+	}
+	fc.code = append(fc.code, i)
+}
+
+func (fc *fnCompiler) emitStore(in *ir.Instr) {
+	base, idx, step, fused := fc.memAddr(in)
+	retire := uint8(1)
+	if fused {
+		retire = 2
+	}
+	t := in.Args[1].Type()
+	i := inst{b: base.idx, c: idx.idx, imm: step,
+		n: int32(t.Size()), retire: retire, in: in}
+	switch tt := t.(type) {
+	case *clc.ScalarType:
+		i.op = stOp(tt.Kind)
+		if i.op == opNop {
+			fc.trap(fmt.Sprintf("vm: store of unsupported scalar %s", tt.Kind), retire)
+			return
+		}
+		vb := bInt
+		if tt.Kind.IsFloat() {
+			vb = bFlt
+		}
+		i.a = fc.scalarRef(in.Args[1], vb).idx
+		if fused {
+			i.op += opStXI8 - opStI8
+		}
+	case *clc.VectorType:
+		vb := bVecI
+		i.op = opStVI
+		if tt.Elem.Kind.IsFloat() {
+			vb, i.op = bVecF, opStVF
+		}
+		src, ok := fc.vecRef(in.Args[1], vb)
+		if !ok {
+			fc.trap(fmt.Sprintf("vm: store of unsupported type %s", t), retire)
+			return
+		}
+		i.a = src.idx
+		i.kind = uint8(tt.Elem.Kind)
+		i.sub = uint8(tt.Len)
+		if fused {
+			i.op += opStXVI - opStVI
+		}
+	case *clc.PointerType:
+		i.op = opStI64
+		i.a = fc.scalarRef(in.Args[1], bInt).idx
+		if fused {
+			i.op += opStXI8 - opStI8
+		}
+	default:
+		fc.trap(fmt.Sprintf("vm: store of unsupported type %s", t), retire)
+		return
+	}
+	fc.code = append(fc.code, i)
+}
+
+func (fc *fnCompiler) emitBin(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	if !ok {
+		fc.trap(fmt.Sprintf("vm: binary op %s without register", in.Op), 1)
+		return
+	}
+	switch tt := in.Typ.(type) {
+	case *clc.ScalarType:
+		if tt.Kind.IsFloat() {
+			a := fc.scalarRef(in.Args[0], bFlt)
+			b := fc.scalarRef(in.Args[1], bFlt)
+			var op opcode
+			switch in.Op {
+			case ir.OpAdd:
+				op = opAddF
+			case ir.OpSub:
+				op = opSubF
+			case ir.OpMul:
+				op = opMulF
+			case ir.OpDiv:
+				op = opDivF
+			default:
+				op = opFltBin
+			}
+			if op != opFltBin && tt.Kind == clc.KFloat {
+				op += opAddF32 - opAddF
+			}
+			fc.add(inst{op: op, kind: uint8(tt.Kind), sub: uint8(in.Op),
+				a: d.idx, b: a.idx, c: b.idx})
+			return
+		}
+		a := fc.scalarRef(in.Args[0], bInt)
+		b := fc.scalarRef(in.Args[1], bInt)
+		op := opIntBin
+		// Specializations hold for arbitrary (even unnormalized) inputs:
+		// wrap-to-32 equals normInt after the raw 64-bit op, and 64-bit
+		// kinds need no normalization at all. Narrow kinds and the
+		// div/rem/shift family keep the generic path.
+		switch in.Op {
+		case ir.OpAdd:
+			op = pickIntOp(tt.Kind, opAddI, opAddI32, opAddU32)
+		case ir.OpSub:
+			op = pickIntOp(tt.Kind, opSubI, opSubI32, opSubU32)
+		case ir.OpMul:
+			op = pickIntOp(tt.Kind, opMulI, opMulI32, opMulU32)
+		case ir.OpAnd:
+			op = pickIntOp(tt.Kind, opAndI, opIntBin, opIntBin)
+		case ir.OpOr:
+			op = pickIntOp(tt.Kind, opOrI, opIntBin, opIntBin)
+		case ir.OpXor:
+			op = pickIntOp(tt.Kind, opXorI, opIntBin, opIntBin)
+		}
+		fc.add(inst{op: op, kind: uint8(tt.Kind), sub: uint8(in.Op),
+			a: d.idx, b: a.idx, c: b.idx})
+	case *clc.VectorType:
+		ek := tt.Elem.Kind
+		if ek.IsFloat() {
+			a, okA := fc.vecRef(in.Args[0], bVecF)
+			b, okB := fc.vecRef(in.Args[1], bVecF)
+			if !okA || !okB || d.bank != bVecF {
+				fc.trap(fmt.Sprintf("vm: binary op %s on unsupported type %s", in.Op, in.Typ), 1)
+				return
+			}
+			var op opcode
+			switch in.Op {
+			case ir.OpAdd:
+				op = opVAddF
+			case ir.OpSub:
+				op = opVSubF
+			case ir.OpMul:
+				op = opVMulF
+			case ir.OpDiv:
+				op = opVDivF
+			default:
+				op = opVBinF
+			}
+			fc.add(inst{op: op, kind: uint8(ek), sub: uint8(in.Op),
+				a: d.idx, b: a.idx, c: b.idx})
+			return
+		}
+		a, okA := fc.vecRef(in.Args[0], bVecI)
+		b, okB := fc.vecRef(in.Args[1], bVecI)
+		if !okA || !okB || d.bank != bVecI {
+			fc.trap(fmt.Sprintf("vm: binary op %s on unsupported type %s", in.Op, in.Typ), 1)
+			return
+		}
+		fc.add(inst{op: opVBinI, kind: uint8(ek), sub: uint8(in.Op),
+			a: d.idx, b: a.idx, c: b.idx})
+	case *clc.PointerType:
+		// Raw byte arithmetic on pointers, no normalization.
+		a := fc.scalarRef(in.Args[0], bInt)
+		b := fc.scalarRef(in.Args[1], bInt)
+		switch in.Op {
+		case ir.OpAdd:
+			fc.add(inst{op: opAddI, a: d.idx, b: a.idx, c: b.idx})
+		case ir.OpSub:
+			fc.add(inst{op: opSubI, a: d.idx, b: a.idx, c: b.idx})
+		default:
+			fc.trap(fmt.Sprintf("vm: binary op %s on unsupported type %s", in.Op, in.Typ), 1)
+		}
+	default:
+		fc.trap(fmt.Sprintf("vm: binary op %s on unsupported type %s", in.Op, in.Typ), 1)
+	}
+}
+
+// pickIntOp selects the specialized opcode for an integer kind: raw64 for
+// 64-bit kinds, the wrapping 32-bit variants for int/uint, generic
+// otherwise.
+func pickIntOp(k clc.ScalarKind, raw64, i32, u32 opcode) opcode {
+	switch k {
+	case clc.KLong, clc.KULong:
+		return raw64
+	case clc.KInt:
+		return i32
+	case clc.KUInt:
+		return u32
+	}
+	return opIntBin
+}
+
+func (fc *fnCompiler) emitUn(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	if !ok {
+		fc.trap(fmt.Sprintf("vm: unary op %s without register", in.Op), 1)
+		return
+	}
+	switch tt := in.Typ.(type) {
+	case *clc.ScalarType:
+		if tt.Kind.IsFloat() {
+			if in.Op != ir.OpNeg {
+				fc.trap(fmt.Sprintf("vm: %s on float", in.Op), 1)
+				return
+			}
+			a := fc.scalarRef(in.Args[0], bFlt)
+			fc.add(inst{op: opNegF, a: d.idx, b: a.idx})
+			return
+		}
+		a := fc.scalarRef(in.Args[0], bInt)
+		op := opNotI
+		if in.Op == ir.OpNeg {
+			op = opNegI
+		}
+		fc.add(inst{op: op, kind: uint8(tt.Kind), a: d.idx, b: a.idx})
+	case *clc.VectorType:
+		if tt.Elem.Kind.IsFloat() {
+			a, okA := fc.vecRef(in.Args[0], bVecF)
+			if !okA || d.bank != bVecF {
+				fc.trap(fmt.Sprintf("vm: unary op %s on unsupported type %s", in.Op, in.Typ), 1)
+				return
+			}
+			// The interpreter negates float vectors for both Neg and Not;
+			// replicated bit for bit.
+			fc.add(inst{op: opVNegF, a: d.idx, b: a.idx})
+			return
+		}
+		a, okA := fc.vecRef(in.Args[0], bVecI)
+		if !okA || d.bank != bVecI {
+			fc.trap(fmt.Sprintf("vm: unary op %s on unsupported type %s", in.Op, in.Typ), 1)
+			return
+		}
+		op := opVNotI
+		if in.Op == ir.OpNeg {
+			op = opVNegI
+		}
+		fc.add(inst{op: op, kind: uint8(tt.Elem.Kind), a: d.idx, b: a.idx})
+	default:
+		fc.trap(fmt.Sprintf("vm: unary op %s on unsupported type %s", in.Op, in.Typ), 1)
+	}
+}
+
+func (fc *fnCompiler) emitCmp(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	if !ok {
+		fc.trap(fmt.Sprintf("vm: compare %s without register", in.Op), 1)
+		return
+	}
+	if d.bank == bFlt {
+		// A float-typed compare result: the interpreter boxes {i: 0/1}
+		// and any float-reading consumer sees zero.
+		fc.add(inst{op: opZeroF, a: d.idx})
+		return
+	}
+	if d.bank != bInt {
+		fc.trap(fmt.Sprintf("vm: compare %s with vector result", in.Op), 1)
+		return
+	}
+	rel := in.Op - ir.OpEq // OpEq..OpGe are contiguous
+	switch ot := in.Args[0].Type().(type) {
+	case *clc.ScalarType:
+		if ot.Kind.IsFloat() {
+			a := fc.scalarRef(in.Args[0], bFlt)
+			b := fc.scalarRef(in.Args[1], bFlt)
+			fc.add(inst{op: opEqF + opcode(rel), a: d.idx, b: a.idx, c: b.idx})
+			return
+		}
+		a := fc.scalarRef(in.Args[0], bInt)
+		b := fc.scalarRef(in.Args[1], bInt)
+		op := opEqI + opcode(rel)
+		if ot.Kind.IsUnsigned() && in.Op != ir.OpEq && in.Op != ir.OpNe {
+			op = opLtU + opcode(in.Op-ir.OpLt)
+		}
+		fc.add(inst{op: op, a: d.idx, b: a.idx, c: b.idx})
+	case *clc.PointerType:
+		a := fc.scalarRef(in.Args[0], bInt)
+		b := fc.scalarRef(in.Args[1], bInt)
+		fc.add(inst{op: opEqI + opcode(rel), a: d.idx, b: a.idx, c: b.idx})
+	default:
+		// Vector (and any other) comparisons fall through to zero in the
+		// interpreter.
+		fc.add(inst{op: opZeroI, a: d.idx})
+	}
+}
+
+func (fc *fnCompiler) emitConvert(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	if !ok {
+		fc.trap("vm: convert without register", 1)
+		return
+	}
+	from := in.Args[0].Type()
+	switch tt := in.Typ.(type) {
+	case *clc.ScalarType:
+		switch ft := from.(type) {
+		case *clc.ScalarType:
+			fc.emitScalarConvert(in, d, ft.Kind, tt.Kind)
+			return
+		case *clc.PointerType:
+			a := fc.scalarRef(in.Args[0], bInt)
+			if tt.Kind == clc.KLong || tt.Kind == clc.KULong {
+				fc.add(inst{op: opMovI, a: d.idx, b: a.idx})
+			} else {
+				fc.add(inst{op: opConvI, kind: uint8(tt.Kind), a: d.idx, b: a.idx})
+			}
+			return
+		}
+		fc.trap(fmt.Sprintf("vm: unsupported conversion %s → %s", from, in.Typ), 1)
+	case *clc.PointerType:
+		// The interpreter reuses the boxed value's integer field; for a
+		// float source that field is zero.
+		r, okR := fc.operand(in.Args[0])
+		if okR && r.bank == bInt {
+			fc.add(inst{op: opMovI, a: d.idx, b: r.idx})
+		} else {
+			fc.add(inst{op: opZeroI, a: d.idx})
+		}
+	case *clc.VectorType:
+		ft, okV := from.(*clc.VectorType)
+		if !okV || ft.Len != tt.Len {
+			fc.trap(fmt.Sprintf("vm: bad vector conversion %s → %s", from, in.Typ), 1)
+			return
+		}
+		sb := bVecI
+		if ft.Elem.Kind.IsFloat() {
+			sb = bVecF
+		}
+		src, okS := fc.vecRef(in.Args[0], sb)
+		if !okS {
+			fc.trap(fmt.Sprintf("vm: bad vector conversion %s → %s", from, in.Typ), 1)
+			return
+		}
+		fc.add(inst{op: opVConv, sub: uint8(ft.Elem.Kind), kind: uint8(tt.Elem.Kind),
+			a: d.idx, b: src.idx})
+	default:
+		fc.trap(fmt.Sprintf("vm: unsupported conversion %s → %s", from, in.Typ), 1)
+	}
+}
+
+// emitScalarConvert specializes scalar-to-scalar conversions.
+func (fc *fnCompiler) emitScalarConvert(in *ir.Instr, d ref, from, to clc.ScalarKind) {
+	switch {
+	case from.IsFloat() && to.IsFloat():
+		a := fc.scalarRef(in.Args[0], bFlt)
+		if to == clc.KFloat {
+			fc.add(inst{op: opF2F32, a: d.idx, b: a.idx})
+		} else {
+			fc.add(inst{op: opMovF, a: d.idx, b: a.idx})
+		}
+	case from.IsFloat():
+		a := fc.scalarRef(in.Args[0], bFlt)
+		fc.add(inst{op: opF2I, kind: uint8(to), a: d.idx, b: a.idx})
+	case to.IsFloat():
+		a := fc.scalarRef(in.Args[0], bInt)
+		op := opI2F
+		if from.IsUnsigned() {
+			op = opU2F
+		}
+		fc.add(inst{op: op, kind: uint8(to), a: d.idx, b: a.idx})
+	default:
+		a := fc.scalarRef(in.Args[0], bInt)
+		if to == clc.KLong || to == clc.KULong {
+			fc.add(inst{op: opMovI, a: d.idx, b: a.idx})
+		} else {
+			fc.add(inst{op: opConvI, kind: uint8(to), a: d.idx, b: a.idx})
+		}
+	}
+}
+
+func (fc *fnCompiler) emitExtract(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	vt, okT := in.Args[0].Type().(*clc.VectorType)
+	if !ok || !okT {
+		fc.trap("vm: extract on non-vector operand", 1)
+		return
+	}
+	lane := int64(in.Comps[0])
+	if vt.Elem.Kind.IsFloat() {
+		src, okS := fc.vecRef(in.Args[0], bVecF)
+		if !okS || d.bank != bFlt {
+			fc.trap("vm: extract on non-vector operand", 1)
+			return
+		}
+		fc.add(inst{op: opExtF, a: d.idx, b: src.idx, imm: lane})
+		return
+	}
+	src, okS := fc.vecRef(in.Args[0], bVecI)
+	if !okS || d.bank != bInt {
+		fc.trap("vm: extract on non-vector operand", 1)
+		return
+	}
+	fc.add(inst{op: opExtI, a: d.idx, b: src.idx, imm: lane})
+}
+
+func (fc *fnCompiler) emitInsert(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	vt, okT := in.Typ.(*clc.VectorType)
+	if !ok || !okT {
+		fc.trap("vm: insert on non-vector operand", 1)
+		return
+	}
+	lane := int64(in.Comps[0])
+	if vt.Elem.Kind.IsFloat() {
+		src, okS := fc.vecRef(in.Args[0], bVecF)
+		if !okS || d.bank != bVecF {
+			fc.trap("vm: insert on non-vector operand", 1)
+			return
+		}
+		sc := fc.scalarRef(in.Args[1], bFlt)
+		fc.add(inst{op: opInsF, a: d.idx, b: src.idx, c: sc.idx, imm: lane})
+		return
+	}
+	src, okS := fc.vecRef(in.Args[0], bVecI)
+	if !okS || d.bank != bVecI {
+		fc.trap("vm: insert on non-vector operand", 1)
+		return
+	}
+	sc := fc.scalarRef(in.Args[1], bInt)
+	fc.add(inst{op: opInsI, a: d.idx, b: src.idx, c: sc.idx, imm: lane})
+}
+
+func (fc *fnCompiler) emitShuffle(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	vt, okT := in.Typ.(*clc.VectorType)
+	if !ok || !okT {
+		fc.trap("vm: shuffle on non-vector operand", 1)
+		return
+	}
+	comps := make([]int32, len(in.Comps))
+	for i, c := range in.Comps {
+		comps[i] = int32(c)
+	}
+	ax := fc.auxAdd(aux{comps: comps})
+	if vt.Elem.Kind.IsFloat() {
+		src, okS := fc.vecRef(in.Args[0], bVecF)
+		if !okS || d.bank != bVecF {
+			fc.trap("vm: shuffle on non-vector operand", 1)
+			return
+		}
+		fc.add(inst{op: opShufF, a: d.idx, b: src.idx, imm: ax})
+		return
+	}
+	src, okS := fc.vecRef(in.Args[0], bVecI)
+	if !okS || d.bank != bVecI {
+		fc.trap("vm: shuffle on non-vector operand", 1)
+		return
+	}
+	fc.add(inst{op: opShufI, a: d.idx, b: src.idx, imm: ax})
+}
+
+func (fc *fnCompiler) emitBuild(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	vt, okT := in.Typ.(*clc.VectorType)
+	if !ok || !okT {
+		fc.trap("vm: build on non-vector type", 1)
+		return
+	}
+	eb := bInt
+	op := opBuildI
+	want := bVecI
+	if vt.Elem.Kind.IsFloat() {
+		eb, op, want = bFlt, opBuildF, bVecF
+	}
+	if d.bank != want {
+		fc.trap("vm: build on non-vector type", 1)
+		return
+	}
+	refs := make([]ref, len(in.Args))
+	for i, a := range in.Args {
+		refs[i] = fc.scalarRef(a, eb)
+	}
+	ax := fc.auxAdd(aux{refs: refs})
+	fc.add(inst{op: op, a: d.idx, imm: ax})
+}
+
+func (fc *fnCompiler) emitWorkItem(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	if !ok {
+		fc.trap("vm: work-item query without register", 1)
+		return
+	}
+	if d.bank == bFlt {
+		fc.add(inst{op: opZeroF, a: d.idx})
+		return
+	}
+	if d.bank != bInt {
+		fc.trap(fmt.Sprintf("vm: work-item query %s with vector result", in.Func), 1)
+		return
+	}
+	var q int32
+	switch in.Func {
+	case "get_global_id":
+		q = qGlobalID
+	case "get_local_id":
+		q = qLocalID
+	case "get_group_id":
+		q = qGroupID
+	case "get_global_size":
+		q = qGlobalSize
+	case "get_local_size":
+		q = qLocalSize
+	case "get_num_groups":
+		q = qNumGroups
+	case "get_work_dim":
+		q = qWorkDim
+	default:
+		q = qNone
+	}
+	// Dimension argument: constants (including the no-arg default 0) fold
+	// into specialized opcodes; anything else is resolved at runtime.
+	d64 := int64(0)
+	dynamic := false
+	if len(in.Args) > 0 {
+		switch t := in.Args[0].(type) {
+		case *ir.ConstInt:
+			d64 = t.Val
+		case *ir.ConstFloat:
+			d64 = 0 // the interpreter reads the int field of the box: zero
+		default:
+			dynamic = true
+		}
+	}
+	if dynamic {
+		dim := fc.scalarRef(in.Args[0], bInt)
+		fc.add(inst{op: opWIQ, a: d.idx, b: dim.idx, n: q})
+		return
+	}
+	if d64 < 0 || d64 > 2 || q == qNone {
+		fc.add(inst{op: opZeroI, a: d.idx})
+		return
+	}
+	switch q {
+	case qGlobalID:
+		fc.add(inst{op: opGID, a: d.idx, imm: d64})
+	case qLocalID:
+		fc.add(inst{op: opLID, a: d.idx, imm: d64})
+	case qGroupID:
+		fc.add(inst{op: opGRP, a: d.idx, imm: d64})
+	case qGlobalSize:
+		fc.add(inst{op: opGSZ, a: d.idx, imm: d64})
+	case qLocalSize:
+		fc.add(inst{op: opLSZ, a: d.idx, imm: d64})
+	case qNumGroups:
+		fc.add(inst{op: opNGRP, a: d.idx, imm: d64})
+	case qWorkDim:
+		fc.add(inst{op: opConstI, a: d.idx, imm: 3})
+	}
+}
+
+func (fc *fnCompiler) emitMath(in *ir.Instr) {
+	d, ok := fc.dst(in)
+	if !ok {
+		fc.trap(fmt.Sprintf("vm: math builtin %q without register", in.Func), 1)
+		return
+	}
+	// Geometric reductions: vector args, scalar float result.
+	switch in.Func {
+	case "dot", "length":
+		if vt, isVec := in.Args[0].Type().(*clc.VectorType); isVec {
+			if d.bank != bFlt {
+				// An integer-typed consumer of the boxed float sees zero.
+				fc.add(inst{op: opZeroI, a: d.idx})
+				return
+			}
+			a, okA := fc.vecRef(in.Args[0], bVecF)
+			if !okA {
+				fc.trap(fmt.Sprintf("vm: math builtin %q with unsupported type %s", in.Func, in.Args[0].Type()), 1)
+				return
+			}
+			if in.Func == "length" {
+				fc.add(inst{op: opLenVF, kind: uint8(vt.Elem.Kind), a: d.idx, b: a.idx})
+				return
+			}
+			b, okB := fc.vecRef(in.Args[1], bVecF)
+			if !okB {
+				fc.trap(fmt.Sprintf("vm: math builtin %q with unsupported type %s", in.Func, in.Args[1].Type()), 1)
+				return
+			}
+			fc.add(inst{op: opDotVF, kind: uint8(vt.Elem.Kind), a: d.idx, b: a.idx, c: b.idx})
+			return
+		}
+		if d.bank != bFlt {
+			fc.add(inst{op: opZeroI, a: d.idx})
+			return
+		}
+		a := fc.scalarRef(in.Args[0], bFlt)
+		if in.Func == "length" {
+			fc.add(inst{op: opLenSS, a: d.idx, b: a.idx})
+			return
+		}
+		b := fc.scalarRef(in.Args[1], bFlt)
+		fc.add(inst{op: opDotSS, a: d.idx, b: a.idx, c: b.idx})
+		return
+	}
+	switch tt := in.Typ.(type) {
+	case *clc.ScalarType:
+		if tt.Kind.IsFloat() {
+			refs := make([]ref, len(in.Args))
+			for i, a := range in.Args {
+				refs[i] = fc.scalarRef(a, bFlt)
+			}
+			ax := fc.auxAdd(aux{name: in.Func, refs: refs})
+			fc.add(inst{op: opMathF, kind: uint8(tt.Kind), a: d.idx, imm: ax})
+			return
+		}
+		refs := make([]ref, len(in.Args))
+		for i, a := range in.Args {
+			refs[i] = fc.scalarRef(a, bInt)
+		}
+		ax := fc.auxAdd(aux{name: in.Func, refs: refs})
+		fc.add(inst{op: opMathI, kind: uint8(tt.Kind), a: d.idx, imm: ax})
+	case *clc.VectorType:
+		vb := bVecI
+		op := opVMathI
+		if tt.Elem.Kind.IsFloat() {
+			vb, op = bVecF, opVMathF
+		}
+		if d.bank != vb {
+			fc.trap(fmt.Sprintf("vm: math builtin %q with unsupported type %s", in.Func, in.Typ), 1)
+			return
+		}
+		refs := make([]ref, len(in.Args))
+		for i, a := range in.Args {
+			r, okR := fc.vecRef(a, vb)
+			if !okR {
+				fc.trap(fmt.Sprintf("vm: math builtin %q with unsupported type %s", in.Func, in.Typ), 1)
+				return
+			}
+			refs[i] = r
+		}
+		ax := fc.auxAdd(aux{name: in.Func, refs: refs})
+		fc.add(inst{op: op, kind: uint8(tt.Elem.Kind), a: d.idx, imm: ax})
+	default:
+		fc.trap(fmt.Sprintf("vm: math builtin %q with unsupported type %s", in.Func, in.Typ), 1)
+	}
+}
+
+func (fc *fnCompiler) emitCall(in *ir.Instr) {
+	callee := fc.m.funcs[in.Callee]
+	if callee == nil {
+		fc.trap("vm: call to unknown function", 1)
+		return
+	}
+	if len(in.Args) != len(callee.fn.Params) {
+		fc.trap(fmt.Sprintf("vm: call to %s with %d args, want %d",
+			callee.fn.Name, len(in.Args), len(callee.fn.Params)), 1)
+		return
+	}
+	refs := make([]ref, len(in.Args))
+	for i, a := range in.Args {
+		switch callee.params[i].bank {
+		case bInt:
+			refs[i] = fc.scalarRef(a, bInt)
+		case bFlt:
+			refs[i] = fc.scalarRef(a, bFlt)
+		default:
+			r, okR := fc.vecRef(a, callee.params[i].bank)
+			if !okR {
+				fc.trap(fmt.Sprintf("vm: call to %s with mismatched vector argument %d",
+					callee.fn.Name, i), 1)
+				return
+			}
+			refs[i] = r
+		}
+	}
+	i := inst{op: opCall, a: -1, imm: fc.auxAdd(aux{callee: callee, refs: refs})}
+	if in.Producing() {
+		d, okD := fc.dst(in)
+		if !okD {
+			fc.trap("vm: call without destination register", 1)
+			return
+		}
+		i.a = d.idx
+		i.sub = uint8(d.bank)
+	}
+	fc.add(i)
+}

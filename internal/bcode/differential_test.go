@@ -1,0 +1,130 @@
+// Differential gate for the bytecode backend: every benchmark app, in
+// both its baseline and Grover-transformed form, must produce
+// bit-identical global memory on the interpreter and on bcode, and every
+// device profile must report identical simulated counters (which requires
+// the two backends to emit identical memory-trace streams).
+package bcode_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"grover/internal/apps"
+	"grover/internal/bcode"
+	"grover/internal/device"
+	igrover "grover/internal/grover"
+	"grover/internal/vm"
+	"grover/opencl"
+)
+
+// backends under comparison; the interpreter is the reference.
+var backends = []string{vm.BackendInterp, bcode.Name}
+
+func TestBackendDifferentialApps(t *testing.T) {
+	profiles := device.All()
+	if testing.Short() {
+		profiles = profiles[:2]
+	}
+	plat := opencl.NewPlatform()
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.ID, func(t *testing.T) {
+			t.Parallel()
+			ctx := opencl.NewContext(plat.Devices()[0])
+			prog, err := ctx.CompileProgram(app.ID, app.Source, app.Defines)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			inst, err := app.Setup(ctx, 1)
+			if err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			vargs, err := opencl.VMArgs(inst.Args...)
+			if err != nil {
+				t.Fatalf("args: %v", err)
+			}
+
+			type version struct {
+				name string
+				p    *opencl.Program
+			}
+			versions := []version{{"base", prog}}
+			nolm, _, err := prog.WithLocalMemoryDisabled(app.Kernel, igrover.Options{Candidates: app.Candidates})
+			switch {
+			case err == nil:
+				versions = append(versions, version{"grover", nolm})
+			case errors.Is(err, igrover.ErrNoCandidates):
+				// No local staging to disable; the base version still runs.
+			default:
+				t.Fatalf("grover transform: %v", err)
+			}
+
+			mem := ctx.Mem()
+			initial := append([]byte(nil), mem.Data...)
+			restore := func() {
+				mem.Data = mem.Data[:len(initial)]
+				copy(mem.Data, initial)
+			}
+
+			for _, v := range versions {
+				cfg := vm.Config{
+					GlobalSize: inst.ND.Global,
+					LocalSize:  inst.ND.Local,
+					Args:       vargs,
+				}
+
+				// Functional runs: interpreter produces the reference
+				// memory image, bcode must match byte for byte and also
+				// pass the app's own numeric check.
+				cfg.Backend = vm.BackendInterp
+				restore()
+				if err := v.p.VM().Launch(app.Kernel, cfg, mem, nil); err != nil {
+					t.Fatalf("%s: interp launch: %v", v.name, err)
+				}
+				want := append([]byte(nil), mem.Data...)
+				if err := inst.Check(); err != nil {
+					t.Fatalf("%s: interp result: %v", v.name, err)
+				}
+
+				cfg.Backend = bcode.Name
+				restore()
+				if err := v.p.VM().Launch(app.Kernel, cfg, mem, nil); err != nil {
+					t.Fatalf("%s: bcode launch: %v", v.name, err)
+				}
+				if !bytes.Equal(mem.Data, want) {
+					t.Fatalf("%s: global memory differs between backends", v.name)
+				}
+				if err := inst.Check(); err != nil {
+					t.Fatalf("%s: bcode result: %v", v.name, err)
+				}
+
+				// Simulated runs: identical traces imply identical
+				// counters on every device profile.
+				for _, prof := range profiles {
+					var results [2]device.Result
+					for bi, backend := range backends {
+						sim, err := device.NewSimulator(prof)
+						if err != nil {
+							t.Fatalf("%s: simulator %s: %v", v.name, prof.Name, err)
+						}
+						restore()
+						cfg.Backend = backend
+						if err := v.p.VM().Launch(app.Kernel, cfg, mem, sim.Opts()); err != nil {
+							t.Fatalf("%s on %s via %s: %v", v.name, prof.Name, backend, err)
+						}
+						if !bytes.Equal(mem.Data, want) {
+							t.Fatalf("%s on %s via %s: traced run changed results", v.name, prof.Name, backend)
+						}
+						results[bi] = sim.Result()
+					}
+					if !reflect.DeepEqual(results[0], results[1]) {
+						t.Errorf("%s on %s: device counters differ\n interp: %+v\n bcode:  %+v",
+							v.name, prof.Name, results[0], results[1])
+					}
+				}
+			}
+		})
+	}
+}

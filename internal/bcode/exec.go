@@ -1,0 +1,1145 @@
+package bcode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"grover/internal/clc"
+	"grover/internal/ir"
+	"grover/internal/vm"
+)
+
+// regFile is one register-file instance shaped for a bfunc: dense scalar
+// banks plus per-register lane slices for the vector banks.
+type regFile struct {
+	ri []int64
+	rf []float64
+	vi [][]int64
+	vf [][]float64
+}
+
+// ensure resizes the file to bf's shape, reusing backing storage.
+func (r *regFile) ensure(bf *bfunc) {
+	if cap(r.ri) < bf.nInt {
+		r.ri = make([]int64, bf.nInt)
+	}
+	r.ri = r.ri[:bf.nInt]
+	if cap(r.rf) < bf.nFlt {
+		r.rf = make([]float64, bf.nFlt)
+	}
+	r.rf = r.rf[:bf.nFlt]
+	if cap(r.vi) < len(bf.vecILens) {
+		grown := make([][]int64, len(bf.vecILens))
+		copy(grown, r.vi)
+		r.vi = grown
+	}
+	r.vi = r.vi[:len(bf.vecILens)]
+	for i, n := range bf.vecILens {
+		if cap(r.vi[i]) < n {
+			r.vi[i] = make([]int64, n)
+		}
+		r.vi[i] = r.vi[i][:n]
+	}
+	if cap(r.vf) < len(bf.vecFLens) {
+		grown := make([][]float64, len(bf.vecFLens))
+		copy(grown, r.vf)
+		r.vf = grown
+	}
+	r.vf = r.vf[:len(bf.vecFLens)]
+	for i, n := range bf.vecFLens {
+		if cap(r.vf[i]) < n {
+			r.vf[i] = make([]float64, n)
+		}
+		r.vf[i] = r.vf[i][:n]
+	}
+}
+
+// bFrame is a pooled register file for one call depth.
+type bFrame struct {
+	regs regFile
+}
+
+// wCtx is one work-item's resumable execution state. The current register
+// file is exposed as direct slice fields (swapped on call/return) so the
+// dispatch loop indexes banks without indirection.
+type wCtx struct {
+	wi int
+	bf *bfunc
+	pc int32
+
+	ri  []int64
+	rfl []float64
+	vi  [][]int64
+	vf  [][]float64
+
+	gid, lid, grp [3]int64
+	frameBase, sp int
+
+	done    bool
+	pending int64 // retired instructions not yet flushed to the tracer
+
+	gmem []byte
+	lmem []byte
+	pmem []byte
+
+	// Return-value stash for nested calls. opRet* clears the fields it
+	// does not set, mirroring the interpreter's fresh boxed return value.
+	retI  int64
+	retF  float64
+	retVI []int64
+	retVF []float64
+
+	kern   regFile // kernel-level register file
+	depth  int
+	frames []*bFrame
+}
+
+// frame returns the pooled frame for the current call depth.
+func (c *wCtx) frame() *bFrame {
+	for len(c.frames) <= c.depth {
+		c.frames = append(c.frames, &bFrame{})
+	}
+	return c.frames[c.depth]
+}
+
+// Launch implements vm.Executor with the interpreter's exact scheduling:
+// work-groups are distributed round-robin over workers, each worker runs
+// its groups in ascending order, and work-items within a group advance in
+// barrier-delimited rounds.
+func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts *vm.LaunchOpts) error {
+	fn := m.p.Module.Kernel(kernel)
+	if fn == nil {
+		return fmt.Errorf("vm: no kernel %q", kernel)
+	}
+	bf := m.funcs[fn]
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		return err
+	}
+	if len(ncfg.Args) != len(fn.Params) {
+		return fmt.Errorf("vm: kernel %s expects %d args, got %d", kernel, len(fn.Params), len(ncfg.Args))
+	}
+	workers := 1
+	var tracerFor func(int) vm.Tracer
+	if opts != nil {
+		workers = opts.Workers
+		tracerFor = opts.TracerFor
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	groups := [3]int{
+		ncfg.GlobalSize[0] / ncfg.LocalSize[0],
+		ncfg.GlobalSize[1] / ncfg.LocalSize[1],
+		ncfg.GlobalSize[2] / ncfg.LocalSize[2],
+	}
+	nGroups := groups[0] * groups[1] * groups[2]
+	if nGroups < workers {
+		workers = nGroups
+	}
+	if workers == 0 {
+		return nil
+	}
+
+	// Dynamic local buffers: lay out after the static local allocas.
+	staticLocal := bf.localSize
+	dynOff := make([]int, len(ncfg.Args))
+	localTotal := staticLocal
+	for i, a := range ncfg.Args {
+		if a.Kind == vm.ArgLocalBuf {
+			const align = 16
+			localTotal = (localTotal + align - 1) &^ (align - 1)
+			dynOff[i] = localTotal
+			localTotal += a.LocalBytes
+		}
+	}
+
+	// Parameter payloads by bank. Only the payload matching the argument's
+	// kind is set; a parameter whose bank reads the other payload sees
+	// zero, exactly like reading the unused field of a boxed value.
+	paramI := make([]int64, len(ncfg.Args))
+	paramF := make([]float64, len(ncfg.Args))
+	for i, a := range ncfg.Args {
+		switch a.Kind {
+		case vm.ArgBuffer:
+			paramI[i] = int64(a.Buf.Addr())
+		case vm.ArgInt:
+			paramI[i] = a.I
+		case vm.ArgFloat:
+			paramF[i] = a.F
+		case vm.ArgLocalBuf:
+			paramI[i] = int64(vm.MakeAddr(clc.ASLocal, uint64(dynOff[i])))
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var tr vm.Tracer
+			if tracerFor != nil {
+				tr = tracerFor(worker)
+			}
+			g := &groupRun{
+				m: m, bf: bf, cfg: ncfg, gmem: gmem,
+				paramI: paramI, paramF: paramF,
+				localTotal: localTotal, tracer: tr,
+			}
+			for d := 0; d < 3; d++ {
+				g.gsz[d] = int64(ncfg.GlobalSize[d])
+				g.lsz[d] = int64(ncfg.LocalSize[d])
+				g.ngrp[d] = int64(ncfg.GlobalSize[d] / ncfg.LocalSize[d])
+			}
+			for gi := worker; gi < nGroups; gi += workers {
+				gz := gi / (groups[0] * groups[1])
+				rem := gi % (groups[0] * groups[1])
+				gy := rem / groups[0]
+				gx := rem % groups[0]
+				if err := g.runGroup([3]int{gx, gy, gz}, gi); err != nil {
+					errs[worker] = fmt.Errorf("group (%d,%d,%d): %w", gx, gy, gz, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// groupRun runs the work-groups assigned to one worker.
+type groupRun struct {
+	m          *Machine
+	bf         *bfunc
+	cfg        vm.Config
+	gmem       *vm.GlobalMem
+	paramI     []int64
+	paramF     []float64
+	localTotal int
+	tracer     vm.Tracer
+
+	gsz, lsz, ngrp [3]int64
+
+	local []byte
+	ctxs  []wCtx
+	priv  [][]byte
+
+	// Scratch buffers for math-builtin argument marshaling (never live
+	// across a nested exec, so sharing them per worker is safe).
+	mathF []float64
+	mathI []int64
+}
+
+func (g *groupRun) runGroup(group [3]int, linear int) error {
+	lsz := g.cfg.LocalSize
+	n := lsz[0] * lsz[1] * lsz[2]
+
+	if cap(g.local) < g.localTotal {
+		g.local = make([]byte, g.localTotal)
+	} else {
+		g.local = g.local[:g.localTotal]
+		clear(g.local)
+	}
+	if len(g.ctxs) < n {
+		g.ctxs = make([]wCtx, n)
+		g.priv = make([][]byte, n)
+	}
+	stack := g.m.p.StackBytes()
+	bf := g.bf
+	for wi := 0; wi < n; wi++ {
+		c := &g.ctxs[wi]
+		c.kern.ensure(bf)
+		if g.priv[wi] == nil || len(g.priv[wi]) < stack {
+			g.priv[wi] = make([]byte, stack)
+		}
+		copy(c.kern.ri, bf.intConsts)
+		copy(c.kern.rf, bf.fltConsts)
+		for k, pr := range bf.params {
+			switch pr.bank {
+			case bInt:
+				c.kern.ri[pr.idx] = g.paramI[k]
+			case bFlt:
+				c.kern.rf[pr.idx] = g.paramF[k]
+			}
+		}
+		lz := wi / (lsz[0] * lsz[1])
+		rem := wi % (lsz[0] * lsz[1])
+		ly := rem / lsz[0]
+		lx := rem % lsz[0]
+		c.wi = wi
+		c.bf = bf
+		c.pc = 0
+		c.ri, c.rfl = c.kern.ri, c.kern.rf
+		c.vi, c.vf = c.kern.vi, c.kern.vf
+		c.lid = [3]int64{int64(lx), int64(ly), int64(lz)}
+		c.grp = [3]int64{int64(group[0]), int64(group[1]), int64(group[2])}
+		c.gid = [3]int64{
+			int64(group[0]*lsz[0] + lx),
+			int64(group[1]*lsz[1] + ly),
+			int64(group[2]*lsz[2] + lz),
+		}
+		c.frameBase = 0
+		c.sp = bf.frameSize
+		c.done = false
+		c.pending = 0
+		c.depth = 0
+		c.gmem, c.lmem, c.pmem = g.gmem.Data, g.local, g.priv[wi]
+	}
+
+	if g.tracer != nil {
+		g.tracer.GroupBegin(group, linear)
+	}
+	// Rounds: run every live work-item to its next barrier (or to
+	// completion); repeat until all are done.
+	for {
+		var barrierAt *ir.Instr
+		liveBefore := 0
+		atBarrier := 0
+		doneNow := 0
+		for wi := 0; wi < n; wi++ {
+			c := &g.ctxs[wi]
+			if c.done {
+				continue
+			}
+			liveBefore++
+			hitBarrier, bInstr, err := g.exec(c, true)
+			if g.tracer != nil && c.pending > 0 {
+				g.tracer.Instrs(c.wi, c.pending)
+				c.pending = 0
+			}
+			if err != nil {
+				return fmt.Errorf("work-item %d: %w", wi, err)
+			}
+			if hitBarrier {
+				atBarrier++
+				if barrierAt == nil {
+					barrierAt = bInstr
+				} else if barrierAt != bInstr {
+					return fmt.Errorf("barrier divergence: work-items reached different barriers")
+				}
+			} else {
+				doneNow++
+			}
+		}
+		if liveBefore == 0 {
+			break
+		}
+		if atBarrier > 0 && doneNow > 0 {
+			return fmt.Errorf("barrier divergence: %d work-items at a barrier while %d finished", atBarrier, doneNow)
+		}
+		if atBarrier > 0 && g.tracer != nil {
+			g.tracer.Barrier(atBarrier)
+		}
+		if atBarrier == 0 {
+			break
+		}
+	}
+	if g.tracer != nil {
+		g.tracer.GroupEnd()
+	}
+	return nil
+}
+
+const kF32 = uint8(clc.KFloat)
+
+// exec runs c until a barrier (kernel level only), a return, or an error.
+func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
+	tr := g.tracer
+	code := c.bf.code
+	auxs := c.bf.aux
+	ri, rf := c.ri, c.rfl
+	vi, vf := c.vi, c.vf
+	pc := int(c.pc)
+	for {
+		in := &code[pc]
+		c.pending += int64(in.retire)
+		switch in.op {
+		case opNop:
+
+		case opJmp:
+			pc = int(in.imm)
+			continue
+		case opCondBrI:
+			if ri[in.a] != 0 {
+				pc = int(in.imm)
+			} else {
+				pc = int(in.n)
+			}
+			continue
+		case opCondBrF:
+			if rf[in.a] != 0 {
+				pc = int(in.imm)
+			} else {
+				pc = int(in.n)
+			}
+			continue
+
+		case opRet, opRetI, opRetF, opRetVI, opRetVF:
+			if kernelLevel {
+				c.done = true
+				return false, nil, nil
+			}
+			c.retI, c.retF, c.retVI, c.retVF = 0, 0, nil, nil
+			switch in.op {
+			case opRetI:
+				c.retI = ri[in.b]
+			case opRetF:
+				c.retF = rf[in.b]
+			case opRetVI:
+				c.retVI = vi[in.b]
+			case opRetVF:
+				c.retVF = vf[in.b]
+			}
+			return false, nil, nil
+
+		case opBarrier:
+			if !kernelLevel {
+				return false, nil, errors.New("vm: barrier inside a function call is unsupported")
+			}
+			c.pc = int32(pc + 1)
+			return true, in.in, nil
+
+		case opCall:
+			if err := g.callFn(c, in, ri, rf, vi, vf); err != nil {
+				return false, nil, err
+			}
+
+		case opTrap:
+			return false, nil, errors.New(auxs[in.imm].name)
+
+		case opConstI:
+			ri[in.a] = in.imm
+		case opZeroI:
+			ri[in.a] = 0
+		case opZeroF:
+			rf[in.a] = 0
+		case opMovI:
+			ri[in.a] = ri[in.b]
+		case opMovF:
+			rf[in.a] = rf[in.b]
+
+		case opGID:
+			ri[in.a] = c.gid[in.imm]
+		case opLID:
+			ri[in.a] = c.lid[in.imm]
+		case opGRP:
+			ri[in.a] = c.grp[in.imm]
+		case opGSZ:
+			ri[in.a] = g.gsz[in.imm]
+		case opLSZ:
+			ri[in.a] = g.lsz[in.imm]
+		case opNGRP:
+			ri[in.a] = g.ngrp[in.imm]
+		case opWIQ:
+			ri[in.a] = g.wiQuery(c, in.n, ri[in.b])
+
+		case opAllocaP:
+			ri[in.a] = int64(vm.MakeAddr(clc.ASPrivate, uint64(c.frameBase)+uint64(in.imm)))
+		case opAllocaL:
+			ri[in.a] = in.imm
+
+		case opIndex:
+			ri[in.a] = ri[in.b] + ri[in.c]*in.imm
+		case opIndexC:
+			ri[in.a] = ri[in.b] + in.imm
+
+		case opLdI8, opLdU8, opLdI16, opLdU16, opLdI32, opLdU32, opLdI64, opLdF32, opLdF64:
+			addr := uint64(ri[in.b])
+			if tr != nil {
+				tr.Access(in.in, c.wi, addr, int(in.n), false)
+			}
+			if err := c.load(in, addr); err != nil {
+				return false, nil, err
+			}
+		case opLdXI8, opLdXU8, opLdXI16, opLdXU16, opLdXI32, opLdXU32, opLdXI64, opLdXF32, opLdXF64:
+			addr := uint64(ri[in.b] + ri[in.c]*in.imm)
+			if tr != nil {
+				tr.Access(in.in, c.wi, addr, int(in.n), false)
+			}
+			if err := c.load(in, addr); err != nil {
+				return false, nil, err
+			}
+
+		case opStI8, opStI16, opStI32, opStI64, opStF32, opStF64:
+			addr := uint64(ri[in.b])
+			if tr != nil {
+				tr.Access(in.in, c.wi, addr, int(in.n), true)
+			}
+			if err := c.store(in, addr); err != nil {
+				return false, nil, err
+			}
+		case opStXI8, opStXI16, opStXI32, opStXI64, opStXF32, opStXF64:
+			addr := uint64(ri[in.b] + ri[in.c]*in.imm)
+			if tr != nil {
+				tr.Access(in.in, c.wi, addr, int(in.n), true)
+			}
+			if err := c.store(in, addr); err != nil {
+				return false, nil, err
+			}
+
+		case opLdVI, opLdVF:
+			addr := uint64(ri[in.b])
+			if tr != nil {
+				tr.Access(in.in, c.wi, addr, int(in.n), false)
+			}
+			if err := c.loadVec(in, addr); err != nil {
+				return false, nil, err
+			}
+		case opLdXVI, opLdXVF:
+			addr := uint64(ri[in.b] + ri[in.c]*in.imm)
+			if tr != nil {
+				tr.Access(in.in, c.wi, addr, int(in.n), false)
+			}
+			if err := c.loadVec(in, addr); err != nil {
+				return false, nil, err
+			}
+		case opStVI, opStVF:
+			addr := uint64(ri[in.b])
+			if tr != nil {
+				tr.Access(in.in, c.wi, addr, int(in.n), true)
+			}
+			if err := c.storeVec(in, addr); err != nil {
+				return false, nil, err
+			}
+		case opStXVI, opStXVF:
+			addr := uint64(ri[in.b] + ri[in.c]*in.imm)
+			if tr != nil {
+				tr.Access(in.in, c.wi, addr, int(in.n), true)
+			}
+			if err := c.storeVec(in, addr); err != nil {
+				return false, nil, err
+			}
+
+		case opAddI:
+			ri[in.a] = ri[in.b] + ri[in.c]
+		case opSubI:
+			ri[in.a] = ri[in.b] - ri[in.c]
+		case opMulI:
+			ri[in.a] = ri[in.b] * ri[in.c]
+		case opAndI:
+			ri[in.a] = ri[in.b] & ri[in.c]
+		case opOrI:
+			ri[in.a] = ri[in.b] | ri[in.c]
+		case opXorI:
+			ri[in.a] = ri[in.b] ^ ri[in.c]
+		case opAddI32:
+			ri[in.a] = int64(int32(ri[in.b] + ri[in.c]))
+		case opSubI32:
+			ri[in.a] = int64(int32(ri[in.b] - ri[in.c]))
+		case opMulI32:
+			ri[in.a] = int64(int32(ri[in.b] * ri[in.c]))
+		case opAddU32:
+			ri[in.a] = int64(uint32(ri[in.b] + ri[in.c]))
+		case opSubU32:
+			ri[in.a] = int64(uint32(ri[in.b] - ri[in.c]))
+		case opMulU32:
+			ri[in.a] = int64(uint32(ri[in.b] * ri[in.c]))
+		case opIntBin:
+			v, err := vm.IntBin(ir.Op(in.sub), clc.ScalarKind(in.kind), ri[in.b], ri[in.c])
+			if err != nil {
+				return false, nil, err
+			}
+			ri[in.a] = v
+
+		case opAddF:
+			rf[in.a] = rf[in.b] + rf[in.c]
+		case opSubF:
+			rf[in.a] = rf[in.b] - rf[in.c]
+		case opMulF:
+			rf[in.a] = rf[in.b] * rf[in.c]
+		case opDivF:
+			rf[in.a] = rf[in.b] / rf[in.c]
+		case opAddF32:
+			rf[in.a] = float64(float32(rf[in.b] + rf[in.c]))
+		case opSubF32:
+			rf[in.a] = float64(float32(rf[in.b] - rf[in.c]))
+		case opMulF32:
+			rf[in.a] = float64(float32(rf[in.b] * rf[in.c]))
+		case opDivF32:
+			rf[in.a] = float64(float32(rf[in.b] / rf[in.c]))
+		case opFltBin:
+			v, err := vm.FloatBin(ir.Op(in.sub), clc.ScalarKind(in.kind), rf[in.b], rf[in.c])
+			if err != nil {
+				return false, nil, err
+			}
+			rf[in.a] = v
+
+		case opNegF:
+			rf[in.a] = -rf[in.b]
+		case opNegI:
+			ri[in.a] = vm.NormInt(-ri[in.b], clc.ScalarKind(in.kind))
+		case opNotI:
+			ri[in.a] = vm.NormInt(^ri[in.b], clc.ScalarKind(in.kind))
+		case opVNegF:
+			d, s := vf[in.a], vf[in.b]
+			for i := range d {
+				d[i] = -s[i]
+			}
+		case opVNegI:
+			k := clc.ScalarKind(in.kind)
+			d, s := vi[in.a], vi[in.b]
+			for i := range d {
+				d[i] = vm.NormInt(-s[i], k)
+			}
+		case opVNotI:
+			k := clc.ScalarKind(in.kind)
+			d, s := vi[in.a], vi[in.b]
+			for i := range d {
+				d[i] = vm.NormInt(^s[i], k)
+			}
+
+		case opEqI:
+			ri[in.a] = b2i(ri[in.b] == ri[in.c])
+		case opNeI:
+			ri[in.a] = b2i(ri[in.b] != ri[in.c])
+		case opLtI:
+			ri[in.a] = b2i(ri[in.b] < ri[in.c])
+		case opLeI:
+			ri[in.a] = b2i(ri[in.b] <= ri[in.c])
+		case opGtI:
+			ri[in.a] = b2i(ri[in.b] > ri[in.c])
+		case opGeI:
+			ri[in.a] = b2i(ri[in.b] >= ri[in.c])
+		case opLtU:
+			ri[in.a] = b2i(uint64(ri[in.b]) < uint64(ri[in.c]))
+		case opLeU:
+			ri[in.a] = b2i(uint64(ri[in.b]) <= uint64(ri[in.c]))
+		case opGtU:
+			ri[in.a] = b2i(uint64(ri[in.b]) > uint64(ri[in.c]))
+		case opGeU:
+			ri[in.a] = b2i(uint64(ri[in.b]) >= uint64(ri[in.c]))
+		case opEqF:
+			ri[in.a] = b2i(rf[in.b] == rf[in.c])
+		case opNeF:
+			ri[in.a] = b2i(rf[in.b] != rf[in.c])
+		case opLtF:
+			ri[in.a] = b2i(rf[in.b] < rf[in.c])
+		case opLeF:
+			ri[in.a] = b2i(rf[in.b] <= rf[in.c])
+		case opGtF:
+			ri[in.a] = b2i(rf[in.b] > rf[in.c])
+		case opGeF:
+			ri[in.a] = b2i(rf[in.b] >= rf[in.c])
+
+		case opConvI:
+			ri[in.a] = vm.NormInt(ri[in.b], clc.ScalarKind(in.kind))
+		case opI2F:
+			rf[in.a] = vm.Round32(clc.ScalarKind(in.kind), float64(ri[in.b]))
+		case opU2F:
+			rf[in.a] = vm.Round32(clc.ScalarKind(in.kind), float64(uint64(ri[in.b])))
+		case opF2I:
+			f := rf[in.b]
+			if math.IsNaN(f) {
+				ri[in.a] = 0
+			} else {
+				ri[in.a] = vm.NormInt(int64(f), clc.ScalarKind(in.kind))
+			}
+		case opF2F32:
+			rf[in.a] = float64(float32(rf[in.b]))
+		case opVConv:
+			c.vconv(in)
+
+		case opVAddF:
+			d, x, y := vf[in.a], vf[in.b], vf[in.c]
+			if in.kind == kF32 {
+				for i := range d {
+					d[i] = float64(float32(x[i] + y[i]))
+				}
+			} else {
+				for i := range d {
+					d[i] = x[i] + y[i]
+				}
+			}
+		case opVSubF:
+			d, x, y := vf[in.a], vf[in.b], vf[in.c]
+			if in.kind == kF32 {
+				for i := range d {
+					d[i] = float64(float32(x[i] - y[i]))
+				}
+			} else {
+				for i := range d {
+					d[i] = x[i] - y[i]
+				}
+			}
+		case opVMulF:
+			d, x, y := vf[in.a], vf[in.b], vf[in.c]
+			if in.kind == kF32 {
+				for i := range d {
+					d[i] = float64(float32(x[i] * y[i]))
+				}
+			} else {
+				for i := range d {
+					d[i] = x[i] * y[i]
+				}
+			}
+		case opVDivF:
+			d, x, y := vf[in.a], vf[in.b], vf[in.c]
+			if in.kind == kF32 {
+				for i := range d {
+					d[i] = float64(float32(x[i] / y[i]))
+				}
+			} else {
+				for i := range d {
+					d[i] = x[i] / y[i]
+				}
+			}
+		case opVBinF:
+			d, x, y := vf[in.a], vf[in.b], vf[in.c]
+			op, k := ir.Op(in.sub), clc.ScalarKind(in.kind)
+			for i := range d {
+				v, err := vm.FloatBin(op, k, x[i], y[i])
+				if err != nil {
+					return false, nil, err
+				}
+				d[i] = v
+			}
+		case opVBinI:
+			d, x, y := vi[in.a], vi[in.b], vi[in.c]
+			op, k := ir.Op(in.sub), clc.ScalarKind(in.kind)
+			for i := range d {
+				v, err := vm.IntBin(op, k, x[i], y[i])
+				if err != nil {
+					return false, nil, err
+				}
+				d[i] = v
+			}
+
+		case opExtI:
+			ri[in.a] = vi[in.b][in.imm]
+		case opExtF:
+			rf[in.a] = vf[in.b][in.imm]
+		case opInsI:
+			d := vi[in.a]
+			copy(d, vi[in.b])
+			d[in.imm] = ri[in.c]
+		case opInsF:
+			d := vf[in.a]
+			copy(d, vf[in.b])
+			d[in.imm] = rf[in.c]
+		case opShufI:
+			d, s := vi[in.a], vi[in.b]
+			for i, l := range auxs[in.imm].comps {
+				d[i] = s[l]
+			}
+		case opShufF:
+			d, s := vf[in.a], vf[in.b]
+			for i, l := range auxs[in.imm].comps {
+				d[i] = s[l]
+			}
+		case opBuildI:
+			d := vi[in.a]
+			for i, r := range auxs[in.imm].refs {
+				d[i] = ri[r.idx]
+			}
+		case opBuildF:
+			d := vf[in.a]
+			for i, r := range auxs[in.imm].refs {
+				d[i] = rf[r.idx]
+			}
+
+		case opDotVF:
+			x, y := vf[in.b], vf[in.c]
+			var sum float64
+			for i := range x {
+				sum += x[i] * y[i]
+			}
+			rf[in.a] = vm.Round32(clc.ScalarKind(in.kind), sum)
+		case opDotSS:
+			rf[in.a] = rf[in.b] * rf[in.c]
+		case opLenVF:
+			x := vf[in.b]
+			var sum float64
+			for i := range x {
+				sum += x[i] * x[i]
+			}
+			rf[in.a] = vm.Round32(clc.ScalarKind(in.kind), math.Sqrt(sum))
+		case opLenSS:
+			rf[in.a] = math.Abs(rf[in.b])
+		case opMathF:
+			ax := &auxs[in.imm]
+			fa := g.scratchF(len(ax.refs))
+			for i, r := range ax.refs {
+				fa[i] = rf[r.idx]
+			}
+			v, err := vm.MathF(ax.name, clc.ScalarKind(in.kind), fa)
+			if err != nil {
+				return false, nil, err
+			}
+			rf[in.a] = v
+		case opMathI:
+			ax := &auxs[in.imm]
+			ia := g.scratchI(len(ax.refs))
+			for i, r := range ax.refs {
+				ia[i] = ri[r.idx]
+			}
+			v, err := vm.MathI(ax.name, clc.ScalarKind(in.kind), ia)
+			if err != nil {
+				return false, nil, err
+			}
+			ri[in.a] = v
+		case opVMathF:
+			ax := &auxs[in.imm]
+			d := vf[in.a]
+			fa := g.scratchF(len(ax.refs))
+			k := clc.ScalarKind(in.kind)
+			for l := range d {
+				for i, r := range ax.refs {
+					fa[i] = vf[r.idx][l]
+				}
+				v, err := vm.MathF(ax.name, k, fa)
+				if err != nil {
+					return false, nil, err
+				}
+				d[l] = v
+			}
+		case opVMathI:
+			ax := &auxs[in.imm]
+			d := vi[in.a]
+			ia := g.scratchI(len(ax.refs))
+			k := clc.ScalarKind(in.kind)
+			for l := range d {
+				for i, r := range ax.refs {
+					ia[i] = vi[r.idx][l]
+				}
+				v, err := vm.MathI(ax.name, k, ia)
+				if err != nil {
+					return false, nil, err
+				}
+				d[l] = v
+			}
+
+		default:
+			return false, nil, fmt.Errorf("bcode: invalid opcode %d at pc %d", in.op, pc)
+		}
+		pc++
+	}
+}
+
+// callFn executes a user function synchronously within the work-item,
+// running it in the pooled register file for the current call depth. The
+// caller's bank slices are passed in so the return value lands in the
+// caller's registers after the context is restored.
+func (g *groupRun) callFn(c *wCtx, in *inst, ri []int64, rf []float64, vi [][]int64, vf [][]float64) error {
+	ax := &c.bf.aux[in.imm]
+	callee := ax.callee
+	fr := c.frame()
+	fr.regs.ensure(callee)
+	copy(fr.regs.ri, callee.intConsts)
+	copy(fr.regs.rf, callee.fltConsts)
+	for i, r := range ax.refs {
+		p := callee.params[i]
+		switch p.bank {
+		case bInt:
+			fr.regs.ri[p.idx] = ri[r.idx]
+		case bFlt:
+			fr.regs.rf[p.idx] = rf[r.idx]
+		case bVecI:
+			copy(fr.regs.vi[p.idx], vi[r.idx])
+		case bVecF:
+			copy(fr.regs.vf[p.idx], vf[r.idx])
+		}
+	}
+
+	saveBf, savePC := c.bf, c.pc
+	saveRi, saveRf, saveVi, saveVf := c.ri, c.rfl, c.vi, c.vf
+	saveBase, saveSP := c.frameBase, c.sp
+
+	c.bf = callee
+	c.pc = 0
+	c.ri, c.rfl = fr.regs.ri, fr.regs.rf
+	c.vi, c.vf = fr.regs.vi, fr.regs.vf
+	c.frameBase = c.sp
+	c.sp += callee.frameSize
+	c.depth++
+	if c.sp > len(c.pmem) {
+		return fmt.Errorf("vm: private stack overflow calling %s", callee.fn.Name)
+	}
+	_, _, err := g.exec(c, false)
+	c.depth--
+	c.bf, c.pc = saveBf, savePC
+	c.ri, c.rfl = saveRi, saveRf
+	c.vi, c.vf = saveVi, saveVf
+	c.frameBase, c.sp = saveBase, saveSP
+	if err != nil {
+		return err
+	}
+	if in.a >= 0 {
+		switch bank(in.sub) {
+		case bInt:
+			ri[in.a] = c.retI
+		case bFlt:
+			rf[in.a] = c.retF
+		case bVecI:
+			if c.retVI != nil {
+				copy(vi[in.a], c.retVI)
+			}
+		case bVecF:
+			if c.retVF != nil {
+				copy(vf[in.a], c.retVF)
+			}
+		}
+	}
+	return nil
+}
+
+// wiQuery answers a runtime-dimension work-item query.
+func (g *groupRun) wiQuery(c *wCtx, q int32, d int64) int64 {
+	if d < 0 || d > 2 {
+		return 0
+	}
+	switch q {
+	case qGlobalID:
+		return c.gid[d]
+	case qLocalID:
+		return c.lid[d]
+	case qGroupID:
+		return c.grp[d]
+	case qGlobalSize:
+		return g.gsz[d]
+	case qLocalSize:
+		return g.lsz[d]
+	case qNumGroups:
+		return g.ngrp[d]
+	case qWorkDim:
+		return 3
+	}
+	return 0
+}
+
+// arena resolves a tagged address to its backing byte arena, with the
+// interpreter's exact bounds diagnostics.
+func (c *wCtx) arena(addr uint64) ([]byte, uint64, error) {
+	space, off := vm.SplitAddr(addr)
+	switch space {
+	case clc.ASGlobal:
+		if int(off) >= len(c.gmem) {
+			return nil, 0, fmt.Errorf("vm: global access at %d out of bounds (%d)", off, len(c.gmem))
+		}
+		return c.gmem, off, nil
+	case clc.ASLocal:
+		if int(off) >= len(c.lmem) {
+			return nil, 0, fmt.Errorf("vm: local access at %d out of bounds (%d)", off, len(c.lmem))
+		}
+		return c.lmem, off, nil
+	default:
+		if int(off) >= len(c.pmem) {
+			return nil, 0, fmt.Errorf("vm: private access at %d out of bounds (%d)", off, len(c.pmem))
+		}
+		return c.pmem, off, nil
+	}
+}
+
+// load performs a scalar load. For scalar memory ops in.n is both the
+// traced size and the access width.
+func (c *wCtx) load(in *inst, addr uint64) error {
+	a, off, err := c.arena(addr)
+	if err != nil {
+		return err
+	}
+	sz := int(in.n)
+	if int(off)+sz > len(a) {
+		return fmt.Errorf("vm: load of %d bytes at %d overruns arena (%d)", sz, off, len(a))
+	}
+	switch in.op {
+	case opLdI8, opLdXI8:
+		c.ri[in.a] = int64(int8(a[off]))
+	case opLdU8, opLdXU8:
+		c.ri[in.a] = int64(a[off])
+	case opLdI16, opLdXI16:
+		c.ri[in.a] = int64(int16(binary.LittleEndian.Uint16(a[off:])))
+	case opLdU16, opLdXU16:
+		c.ri[in.a] = int64(binary.LittleEndian.Uint16(a[off:]))
+	case opLdI32, opLdXI32:
+		c.ri[in.a] = int64(int32(binary.LittleEndian.Uint32(a[off:])))
+	case opLdU32, opLdXU32:
+		c.ri[in.a] = int64(binary.LittleEndian.Uint32(a[off:]))
+	case opLdI64, opLdXI64:
+		c.ri[in.a] = int64(binary.LittleEndian.Uint64(a[off:]))
+	case opLdF32, opLdXF32:
+		c.rfl[in.a] = float64(math.Float32frombits(binary.LittleEndian.Uint32(a[off:])))
+	case opLdF64, opLdXF64:
+		c.rfl[in.a] = math.Float64frombits(binary.LittleEndian.Uint64(a[off:]))
+	}
+	return nil
+}
+
+// store performs a scalar store.
+func (c *wCtx) store(in *inst, addr uint64) error {
+	a, off, err := c.arena(addr)
+	if err != nil {
+		return err
+	}
+	sz := int(in.n)
+	if int(off)+sz > len(a) {
+		return fmt.Errorf("vm: store of %d bytes at %d overruns arena (%d)", sz, off, len(a))
+	}
+	switch in.op {
+	case opStI8, opStXI8:
+		a[off] = byte(c.ri[in.a])
+	case opStI16, opStXI16:
+		binary.LittleEndian.PutUint16(a[off:], uint16(c.ri[in.a]))
+	case opStI32, opStXI32:
+		binary.LittleEndian.PutUint32(a[off:], uint32(c.ri[in.a]))
+	case opStI64, opStXI64:
+		binary.LittleEndian.PutUint64(a[off:], uint64(c.ri[in.a]))
+	case opStF32, opStXF32:
+		binary.LittleEndian.PutUint32(a[off:], math.Float32bits(float32(c.rfl[in.a])))
+	case opStF64, opStXF64:
+		binary.LittleEndian.PutUint64(a[off:], math.Float64bits(c.rfl[in.a]))
+	}
+	return nil
+}
+
+// loadVec loads a vector lane by lane at element-size strides, with the
+// interpreter's per-lane bounds checks.
+func (c *wCtx) loadVec(in *inst, addr uint64) error {
+	k := clc.ScalarKind(in.kind)
+	es := k.Size()
+	lanes := int(in.sub)
+	flt := in.op == opLdVF || in.op == opLdXVF
+	for i := 0; i < lanes; i++ {
+		a, off, err := c.arena(addr + uint64(i*es))
+		if err != nil {
+			return err
+		}
+		if int(off)+es > len(a) {
+			return fmt.Errorf("vm: load of %d bytes at %d overruns arena (%d)", es, off, len(a))
+		}
+		if flt {
+			if k == clc.KFloat {
+				c.vf[in.a][i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(a[off:])))
+			} else {
+				c.vf[in.a][i] = math.Float64frombits(binary.LittleEndian.Uint64(a[off:]))
+			}
+		} else {
+			c.vi[in.a][i] = loadIntLane(a, off, k)
+		}
+	}
+	return nil
+}
+
+// storeVec stores a vector lane by lane.
+func (c *wCtx) storeVec(in *inst, addr uint64) error {
+	k := clc.ScalarKind(in.kind)
+	es := k.Size()
+	lanes := int(in.sub)
+	flt := in.op == opStVF || in.op == opStXVF
+	for i := 0; i < lanes; i++ {
+		a, off, err := c.arena(addr + uint64(i*es))
+		if err != nil {
+			return err
+		}
+		if int(off)+es > len(a) {
+			return fmt.Errorf("vm: store of %d bytes at %d overruns arena (%d)", es, off, len(a))
+		}
+		if flt {
+			if k == clc.KFloat {
+				binary.LittleEndian.PutUint32(a[off:], math.Float32bits(float32(c.vf[in.a][i])))
+			} else {
+				binary.LittleEndian.PutUint64(a[off:], math.Float64bits(c.vf[in.a][i]))
+			}
+		} else {
+			storeIntLane(a, off, k, c.vi[in.a][i])
+		}
+	}
+	return nil
+}
+
+func loadIntLane(a []byte, off uint64, k clc.ScalarKind) int64 {
+	switch k {
+	case clc.KBool, clc.KUChar:
+		return int64(a[off])
+	case clc.KChar:
+		return int64(int8(a[off]))
+	case clc.KShort:
+		return int64(int16(binary.LittleEndian.Uint16(a[off:])))
+	case clc.KUShort:
+		return int64(binary.LittleEndian.Uint16(a[off:]))
+	case clc.KInt:
+		return int64(int32(binary.LittleEndian.Uint32(a[off:])))
+	case clc.KUInt:
+		return int64(binary.LittleEndian.Uint32(a[off:]))
+	default: // KLong, KULong
+		return int64(binary.LittleEndian.Uint64(a[off:]))
+	}
+}
+
+func storeIntLane(a []byte, off uint64, k clc.ScalarKind, v int64) {
+	switch k {
+	case clc.KBool, clc.KChar, clc.KUChar:
+		a[off] = byte(v)
+	case clc.KShort, clc.KUShort:
+		binary.LittleEndian.PutUint16(a[off:], uint16(v))
+	case clc.KInt, clc.KUInt:
+		binary.LittleEndian.PutUint32(a[off:], uint32(v))
+	default: // KLong, KULong
+		binary.LittleEndian.PutUint64(a[off:], uint64(v))
+	}
+}
+
+// vconv performs a lane-wise vector conversion.
+func (c *wCtx) vconv(in *inst) {
+	from := clc.ScalarKind(in.sub)
+	to := clc.ScalarKind(in.kind)
+	if from.IsFloat() {
+		src := c.vf[in.b]
+		if to.IsFloat() {
+			d := c.vf[in.a]
+			for i := range d {
+				_, d[i] = vm.ConvertKind(0, src[i], from, to)
+			}
+		} else {
+			d := c.vi[in.a]
+			for i := range d {
+				d[i], _ = vm.ConvertKind(0, src[i], from, to)
+			}
+		}
+	} else {
+		src := c.vi[in.b]
+		if to.IsFloat() {
+			d := c.vf[in.a]
+			for i := range d {
+				_, d[i] = vm.ConvertKind(src[i], 0, from, to)
+			}
+		} else {
+			d := c.vi[in.a]
+			for i := range d {
+				d[i], _ = vm.ConvertKind(src[i], 0, from, to)
+			}
+		}
+	}
+}
+
+// scratchF returns the worker's pooled float argument buffer.
+func (g *groupRun) scratchF(n int) []float64 {
+	if cap(g.mathF) < n {
+		g.mathF = make([]float64, n)
+	}
+	return g.mathF[:n]
+}
+
+// scratchI returns the worker's pooled integer argument buffer.
+func (g *groupRun) scratchI(n int) []int64 {
+	if cap(g.mathI) < n {
+		g.mathI = make([]int64, n)
+	}
+	return g.mathI[:n]
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,286 @@
+// Package bcode is a register-bytecode execution backend for the kernel
+// VM. Each ir.Function is compiled once into flat register-machine
+// bytecode: values live in dense per-bank register slots (int64, float64,
+// and vector lanes) instead of boxed interpreter values, operands and
+// branch targets are resolved to indices at compile time, opcodes are
+// specialized by scalar/vector type, and the GEP+load / GEP+store address
+// chains that dominate the benchmark kernels are fused into
+// superinstructions. The dispatch loop preserves the interpreter's
+// contract exactly — cooperative barrier suspend/resume, divergence
+// detection, and bit-identical memory-trace emission — so simulated cycle
+// counts from internal/memsim are backend-invariant.
+//
+// The backend registers itself with the VM under the name "bcode";
+// importing the package (a blank import suffices) enables it.
+package bcode
+
+import (
+	"grover/internal/ir"
+)
+
+// Name is the backend's registration name.
+const Name = "bcode"
+
+// opcode enumerates bytecode operations.
+type opcode uint16
+
+const (
+	opNop opcode = iota
+
+	// Control flow.
+	opJmp     // pc = imm
+	opCondBrI // pc = ri[a] != 0 ? imm : n
+	opCondBrF // pc = rf[a] != 0 ? imm : n
+	opRet     // return void (kernel level: work-item done)
+	opRetI    // return ri[b]
+	opRetF    // return rf[b]
+	opRetVI   // return vi[b]
+	opRetVF   // return vf[b]
+	opBarrier // suspend at a work-group barrier (kernel level only)
+	opCall    // aux[imm]: callee + arg refs; a = dst (-1 none), sub = dst bank
+	opTrap    // raise the error in aux[imm].name (deferred semantic error)
+
+	// Constants and moves.
+	opConstI // ri[a] = imm
+	opZeroI  // ri[a] = 0
+	opZeroF  // rf[a] = 0
+	opMovI   // ri[a] = ri[b]
+	opMovF   // rf[a] = rf[b]
+
+	// Work-item queries with a compile-time dimension (imm = dim).
+	opGID  // ri[a] = get_global_id(imm)
+	opLID  // ri[a] = get_local_id(imm)
+	opGRP  // ri[a] = get_group_id(imm)
+	opGSZ  // ri[a] = get_global_size(imm)
+	opLSZ  // ri[a] = get_local_size(imm)
+	opNGRP // ri[a] = get_num_groups(imm)
+	opWIQ  // generic: n = query, b = dim register (runtime-bounded)
+
+	// Allocas.
+	opAllocaP // ri[a] = private address frameBase+imm
+	opAllocaL // ri[a] = imm (precomputed tagged __local address)
+
+	// Address computation (single-index GEP).
+	opIndex  // ri[a] = ri[b] + ri[c]*imm
+	opIndexC // ri[a] = ri[b] + imm
+
+	// Scalar loads: a = dst, b = address register, n = traced size.
+	opLdI8
+	opLdU8
+	opLdI16
+	opLdU16
+	opLdI32
+	opLdU32
+	opLdI64
+	opLdF32
+	opLdF64
+	// Fused index+load: address is ri[b] + ri[c]*imm.
+	opLdXI8
+	opLdXU8
+	opLdXI16
+	opLdXU16
+	opLdXI32
+	opLdXU32
+	opLdXI64
+	opLdXF32
+	opLdXF64
+	// Scalar stores: a = src, b = address register, n = traced size.
+	opStI8
+	opStI16
+	opStI32
+	opStI64
+	opStF32
+	opStF64
+	// Fused index+store: address is ri[b] + ri[c]*imm.
+	opStXI8
+	opStXI16
+	opStXI32
+	opStXI64
+	opStXF32
+	opStXF64
+	// Vector loads/stores: kind = element kind, sub = lanes, n = traced
+	// size; fused variants address through ri[b] + ri[c]*imm.
+	opLdVI
+	opLdVF
+	opLdXVI
+	opLdXVF
+	opStVI
+	opStVF
+	opStXVI
+	opStXVF
+
+	// 64-bit integer arithmetic (no normalization: the kind's width is 64
+	// or the op is normalization-transparent).
+	opAddI
+	opSubI
+	opMulI
+	opAndI
+	opOrI
+	opXorI
+	// 32-bit integer arithmetic with C wrapping.
+	opAddI32
+	opSubI32
+	opMulI32
+	opAddU32
+	opSubU32
+	opMulU32
+	// Generic integer binary op: sub = ir.Op, kind = scalar kind.
+	opIntBin
+	// Double-precision float arithmetic.
+	opAddF
+	opSubF
+	opMulF
+	opDivF
+	// Single-precision float arithmetic (round to float32).
+	opAddF32
+	opSubF32
+	opMulF32
+	opDivF32
+	// Generic float binary op: sub = ir.Op, kind = scalar kind.
+	opFltBin
+
+	// Unary ops (kind = scalar kind for integer normalization).
+	opNegF
+	opNegI
+	opNotI
+	opVNegF
+	opVNegI
+	opVNotI
+
+	// Comparisons (dst = int register; 0 or 1).
+	opEqI
+	opNeI
+	opLtI
+	opLeI
+	opGtI
+	opGeI
+	opLtU
+	opLeU
+	opGtU
+	opGeU
+	opEqF
+	opNeF
+	opLtF
+	opLeF
+	opGtF
+	opGeF
+
+	// Conversions.
+	opConvI // ri[a] = normInt(ri[b], kind)
+	opI2F   // rf[a] = round(kind, float64(ri[b]))
+	opU2F   // rf[a] = round(kind, float64(uint64(ri[b])))
+	opF2I   // ri[a] = NaN ? 0 : normInt(int64(rf[b]), kind)
+	opF2F32 // rf[a] = float64(float32(rf[b]))
+	opVConv // lane-wise conversion; sub = from kind, kind = to kind
+
+	// Vector arithmetic: a/b/c are vector registers, kind = element kind.
+	opVAddF
+	opVSubF
+	opVMulF
+	opVDivF
+	opVBinF // generic: sub = ir.Op
+	opVBinI // generic: sub = ir.Op
+
+	// Vector shape ops.
+	opExtI   // ri[a] = vi[b][imm]
+	opExtF   // rf[a] = vf[b][imm]
+	opInsI   // vi[a] = vi[b] with lane imm set to ri[c]
+	opInsF   // vf[a] = vf[b] with lane imm set to rf[c]
+	opShufI  // vi[a][i] = vi[b][comps[i]] (aux[imm])
+	opShufF  // vf[a][i] = vf[b][comps[i]] (aux[imm])
+	opBuildI // vi[a][i] = ri[refs[i]] (aux[imm])
+	opBuildF // vf[a][i] = rf[refs[i]] (aux[imm])
+
+	// Math builtins.
+	opDotVF  // rf[a] = round(kind, Σ vf[b]·vf[c])
+	opDotSS  // rf[a] = rf[b] * rf[c]
+	opLenVF  // rf[a] = round(kind, sqrt(Σ vf[b]²))
+	opLenSS  // rf[a] = |rf[b]|
+	opMathF  // rf[a] = builtin(aux[imm].refs...); kind rounds
+	opMathI  // ri[a] = builtin(aux[imm].refs...)
+	opVMathF // vf[a] = lane-wise builtin(aux[imm].refs...)
+	opVMathI // vi[a] = lane-wise builtin(aux[imm].refs...)
+)
+
+// Work-item query codes for opWIQ (stored in inst.n).
+const (
+	qNone int32 = iota
+	qGlobalID
+	qLocalID
+	qGroupID
+	qGlobalSize
+	qLocalSize
+	qNumGroups
+	qWorkDim
+)
+
+// bank identifies a register file.
+type bank uint8
+
+const (
+	bInt bank = iota
+	bFlt
+	bVecI
+	bVecF
+)
+
+// ref names one register: a bank plus an index within it.
+type ref struct {
+	bank bank
+	idx  int32
+}
+
+// inst is one bytecode instruction. Operand registers a, b, c are indices
+// into the bank implied by the opcode; imm and n carry immediates, branch
+// targets, or aux-table indices. retire is the number of IR instructions
+// this instruction accounts for in the trace (2 for fused
+// superinstructions, 0 for synthetic traps covering fall-off-block).
+// in is the originating IR instruction, kept so memory-trace emission is
+// pointer-identical to the interpreter's (the GPU warp model coalesces by
+// instruction identity).
+type inst struct {
+	op     opcode
+	kind   uint8 // clc.ScalarKind operand
+	sub    uint8 // secondary operand: ir.Op, lane count, bank, or from-kind
+	retire uint8
+	a      int32
+	b      int32
+	c      int32
+	n      int32
+	imm    int64
+	in     *ir.Instr
+}
+
+// aux carries the variable-length operands that do not fit in an inst.
+type aux struct {
+	name   string // math builtin name, or trap error message
+	callee *bfunc // opCall target
+	refs   []ref  // call arguments, math arguments, or build lanes
+	comps  []int32
+}
+
+// bfunc is one compiled function.
+type bfunc struct {
+	fn   *ir.Function
+	code []inst
+	aux  []aux
+
+	// Register-file shape: scalar bank sizes and per-register lane counts
+	// for the vector banks.
+	nInt     int
+	nFlt     int
+	vecILens []int
+	vecFLens []int
+
+	// Register-file initialization: the int/float banks open with a
+	// constant region (preloaded from these templates) followed by the
+	// parameter region; params[i] names parameter i's register.
+	intConsts  []int64
+	fltConsts  []float64
+	intInitLen int
+	fltInitLen int
+	params     []ref
+
+	frameSize int // private alloca frame, bytes
+	localSize int // static __local arena, bytes
+}

@@ -30,6 +30,11 @@ type Config struct {
 	// Validate additionally checks both kernel versions against the host
 	// reference before timing.
 	Validate bool
+	// Backend selects the execution backend ("interp", "bcode", ...).
+	// Empty uses the VM default (GROVER_BACKEND, else the interpreter).
+	// Simulated timings are backend-invariant; this picks how fast the
+	// experiment itself runs.
+	Backend string
 	// Log receives progress lines (may be nil).
 	Log io.Writer
 }
@@ -104,6 +109,11 @@ func RunCase(app *apps.App, deviceName string, cfg Config) (*Measurement, error)
 		return nil, err
 	}
 	ctx := opencl.NewContext(dev)
+	if cfg.Backend != "" {
+		if err := ctx.SetBackend(cfg.Backend); err != nil {
+			return nil, err
+		}
+	}
 	prog, err := ctx.CompileProgram(app.ID+".cl", app.Source, app.Defines)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", app.ID, err)

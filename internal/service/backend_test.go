@@ -1,0 +1,90 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"grover/internal/bcode"
+	"grover/internal/vm"
+)
+
+// TestAutotuneBackendOverride runs an autotune request on the bytecode
+// backend and checks the verdict matches an interpreter run (the VM
+// contract makes simulated timings backend-invariant), that per-backend
+// counters surface on /v1/stats, and that unknown names are rejected.
+func TestAutotuneBackendOverride(t *testing.T) {
+	ts := httptest.NewServer(New(Config{CacheCapacity: 64, Workers: 4}))
+	defer ts.Close()
+
+	_, req := nvdMT()
+
+	var interp, bc AutotuneResponse
+	req.Backend = vm.BackendInterp
+	if code, body := postJSON(t, ts.URL+"/v1/autotune", req, &interp); code != http.StatusOK {
+		t.Fatalf("interp autotune: %d %s", code, body)
+	}
+	req.Backend = bcode.Name
+	if code, body := postJSON(t, ts.URL+"/v1/autotune", req, &bc); code != http.StatusOK {
+		t.Fatalf("bcode autotune: %d %s", code, body)
+	}
+	if bc.Backend != bcode.Name || interp.Backend != vm.BackendInterp {
+		t.Fatalf("echoed backends: interp=%q bcode=%q", interp.Backend, bc.Backend)
+	}
+	if len(interp.Results) != 1 || len(bc.Results) != 1 {
+		t.Fatalf("want 1 result each, got %d and %d", len(interp.Results), len(bc.Results))
+	}
+	ri, rb := interp.Results[0], bc.Results[0]
+	if ri.OriginalMS != rb.OriginalMS || ri.TransformedMS != rb.TransformedMS ||
+		ri.UseTransformed != rb.UseTransformed {
+		t.Errorf("verdicts differ across backends:\n interp: %+v\n bcode:  %+v", ri, rb)
+	}
+
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Backends[vm.BackendInterp] != 1 || stats.Backends[bcode.Name] != 1 {
+		t.Errorf("backend counters = %v, want 1 run each", stats.Backends)
+	}
+
+	req.Backend = "nope"
+	code, body := postJSON(t, ts.URL+"/v1/autotune", req, nil)
+	if code != http.StatusBadRequest || !strings.Contains(body, "unknown backend") {
+		t.Errorf("invalid backend: got %d %s", code, body)
+	}
+}
+
+// TestServerDefaultBackend checks the configured default is applied and
+// reported, and that unknown config values fall back to the VM default.
+func TestServerDefaultBackend(t *testing.T) {
+	s := New(Config{Backend: bcode.Name})
+	if s.Backend() != bcode.Name {
+		t.Fatalf("Backend() = %q, want %q", s.Backend(), bcode.Name)
+	}
+	if s := New(Config{Backend: "bogus"}); s.Backend() != vm.DefaultBackend() {
+		t.Fatalf("bogus backend config: got %q, want %q", s.Backend(), vm.DefaultBackend())
+	}
+
+	ts := httptest.NewServer(New(Config{Backend: bcode.Name, CacheCapacity: 8, Workers: 2}))
+	defer ts.Close()
+	_, req := nvdMT()
+	var resp AutotuneResponse
+	if code, body := postJSON(t, ts.URL+"/v1/autotune", req, &resp); code != http.StatusOK {
+		t.Fatalf("autotune: %d %s", code, body)
+	}
+	if resp.Backend != bcode.Name {
+		t.Errorf("default backend not applied: got %q", resp.Backend)
+	}
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Backend != bcode.Name {
+		t.Errorf("stats default backend = %q, want %q", stats.Backend, bcode.Name)
+	}
+	if stats.Backends[bcode.Name] != 1 {
+		t.Errorf("backend counters = %v, want one bcode run", stats.Backends)
+	}
+}

@@ -13,14 +13,20 @@ import (
 	"grover/internal/ir"
 	"grover/internal/kcache"
 	"grover/internal/opt"
+	"grover/internal/vm"
 	"grover/opencl"
 )
 
-// compiledArtifact is the cached result of a compile: the
-// device-independent module (instantiated per request via
-// Context.NewProgramFromIR, never mutated) plus the response fields.
+// compiledArtifact is the cached result of a compile: the pristine
+// device-independent module plus a prepared VM program shared across
+// requests via Context.NewProgramFromPrepared. Backend bytecode compiled
+// for the prepared program (eagerly for the server's default backend,
+// lazily for request overrides) is cached inside it, so the kcache entry
+// holds the bytecode alongside the module and each program is compiled
+// once no matter how many requests execute it.
 type compiledArtifact struct {
 	mod     *ir.Module
+	prog    *vm.Program
 	kernels []string
 	ir      string
 }
@@ -61,7 +67,21 @@ func (s *Server) compile(name, source string, defines map[string]string) (*compi
 		if err != nil {
 			return nil, err
 		}
-		art := &compiledArtifact{mod: mod, ir: mod.String()}
+		// Prepare a shared execution program from a clone (preparation
+		// mutates the module; the artifact's module stays pristine for IR
+		// rendering and transform cloning).
+		prog, err := vm.Prepare(ir.CloneModule(mod))
+		if err != nil {
+			return nil, err
+		}
+		if s.backend != vm.BackendInterp {
+			// Compile the default backend's bytecode now so it is cached
+			// with the artifact rather than rebuilt per request.
+			if _, err := prog.Executor(s.backend); err != nil {
+				return nil, err
+			}
+		}
+		art := &compiledArtifact{mod: mod, prog: prog, ir: mod.String()}
 		for _, f := range mod.Kernels() {
 			art.kernels = append(art.kernels, f.Name)
 		}
@@ -193,11 +213,14 @@ func fill(n int, seed uint32) []float32 {
 	return out
 }
 
-// autotuneDevice returns the cached tuning verdict for (request, device),
-// timing both kernel versions at most once across concurrent requests.
-func (s *Server) autotuneDevice(req *AutotuneRequest, devName string) (*verdictArtifact, kcache.Outcome, error) {
+// autotuneDevice returns the cached tuning verdict for (request, device,
+// backend), timing both kernel versions at most once across concurrent
+// requests. The backend is part of the key: the verdict is
+// backend-invariant by the VM contract, but keeping the entries separate
+// keeps the cache an honest record of what actually ran.
+func (s *Server) autotuneDevice(req *AutotuneRequest, devName, backend string) (*verdictArtifact, kcache.Outcome, error) {
 	key := kcache.Key("autotune", req.Source, kcache.DefinesField(req.Defines),
-		req.Kernel, req.Options.field(), devName, launchField(req))
+		req.Kernel, req.Options.field(), devName, backend, launchField(req))
 	v, out, err := s.cache.Do(key, func() (interface{}, error) {
 		comp, _, err := s.compile(req.Name, req.Source, req.Defines)
 		if err != nil {
@@ -211,10 +234,10 @@ func (s *Server) autotuneDevice(req *AutotuneRequest, devName string) (*verdictA
 			return nil, notFound("%v", err)
 		}
 		ctx := opencl.NewContext(dev)
-		prog, err := ctx.NewProgramFromIR(programName(req.Name), comp.mod)
-		if err != nil {
-			return nil, err
+		if err := ctx.SetBackend(backend); err != nil {
+			return nil, badRequest("%v", err)
 		}
+		prog := ctx.NewProgramFromPrepared(programName(req.Name), comp.prog)
 		args, err := buildArgs(ctx, req.Args)
 		if err != nil {
 			return nil, err
@@ -354,6 +377,16 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("source and kernel are required"))
 		return
 	}
+	backend := req.Backend
+	if backend == "" {
+		backend = s.backend
+	}
+	if !vm.ValidBackend(backend) {
+		s.stats.record("autotune", time.Since(start), true)
+		writeError(w, badRequest("unknown backend %q (available: %s)",
+			backend, strings.Join(vm.Backends(), ", ")))
+		return
+	}
 	// Resolve the device list up front so an unknown name is a 404 with
 	// the available devices, before any compile work is queued.
 	var devices []string
@@ -381,7 +414,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(i int, name string) {
 				defer wg.Done()
-				v, out, err := s.autotuneDevice(&req, name)
+				v, out, err := s.autotuneDevice(&req, name, backend)
 				outcomes[i] = out
 				if err != nil {
 					errs[i] = err
@@ -397,12 +430,14 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	// HTTP status); sweeps report per-device errors inline instead.
 	failed := len(devices) == 1 && errs[0] != nil
 	s.stats.record("autotune", time.Since(start), failed, outcomes...)
+	s.stats.recordBackend(backend, int64(len(devices)))
 	if failed {
 		writeError(w, errs[0])
 		return
 	}
 	writeJSON(w, http.StatusOK, &AutotuneResponse{
 		Kernel:    req.Kernel,
+		Backend:   backend,
 		Results:   results,
 		LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
 	})
@@ -463,6 +498,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &StatsResponse{
 		Cache:     s.cache.Snapshot(),
 		Pool:      s.pool.Snapshot(),
+		Backend:   s.backend,
+		Backends:  s.stats.backendSnapshot(),
 		Endpoints: s.stats.snapshot(),
 	})
 }

@@ -13,7 +13,7 @@
 //	POST /v1/autotune   time both versions on a device (or "all"), pick the winner
 //	POST /v1/lint       run the static analyzers, return findings + legality verdicts
 //	GET  /v1/devices    the six simulated platforms
-//	GET  /v1/stats      cache, pool and per-endpoint request counters
+//	GET  /v1/stats      cache, pool, per-endpoint and per-backend counters
 //	GET  /healthz       liveness
 package service
 
@@ -28,6 +28,7 @@ import (
 	"grover/internal/analysis"
 	igrover "grover/internal/grover"
 	"grover/internal/kcache"
+	"grover/internal/vm"
 	"grover/opencl"
 )
 
@@ -38,25 +39,35 @@ type Config struct {
 	CacheCapacity int
 	// Workers bounds concurrent compile/tune jobs; <= 0 uses GOMAXPROCS.
 	Workers int
+	// Backend is the default execution backend for autotune launches
+	// (requests may override per call). Empty or unknown names fall back
+	// to the VM default (GROVER_BACKEND, else the interpreter).
+	Backend string
 }
 
 // Server holds the service state and implements http.Handler.
 type Server struct {
-	plat  *opencl.Platform
-	cache *kcache.Cache
-	pool  *Pool
-	stats *registry
-	mux   *http.ServeMux
+	plat    *opencl.Platform
+	cache   *kcache.Cache
+	pool    *Pool
+	stats   *registry
+	backend string
+	mux     *http.ServeMux
 }
 
 // New builds a ready-to-serve Server.
 func New(cfg Config) *Server {
+	backend := cfg.Backend
+	if !vm.ValidBackend(backend) {
+		backend = vm.DefaultBackend()
+	}
 	s := &Server{
-		plat:  opencl.NewPlatform(),
-		cache: kcache.New(cfg.CacheCapacity),
-		pool:  NewPool(cfg.Workers),
-		stats: newRegistry(),
-		mux:   http.NewServeMux(),
+		plat:    opencl.NewPlatform(),
+		cache:   kcache.New(cfg.CacheCapacity),
+		pool:    NewPool(cfg.Workers),
+		stats:   newRegistry(),
+		backend: backend,
+		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/transform", s.handleTransform)
@@ -77,6 +88,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Pool exposes the worker pool (for daemon logging).
 func (s *Server) Pool() *Pool { return s.pool }
+
+// Backend reports the server's default execution backend.
+func (s *Server) Backend() string { return s.backend }
 
 // ------------------------------------------------------------- JSON types
 
@@ -241,6 +255,10 @@ type AutotuneRequest struct {
 	Args []ArgSpec `json:"args"`
 	// Runs averages this many timed executions per version (default 1).
 	Runs int `json:"runs,omitempty"`
+	// Backend overrides the server's default execution backend for this
+	// request ("interp", "bcode", ...). Simulated timings are
+	// backend-invariant; this picks how fast the tuning itself runs.
+	Backend string `json:"backend,omitempty"`
 }
 
 // TuneVerdict is one device's auto-tuning outcome.
@@ -263,7 +281,9 @@ type TuneVerdict struct {
 
 // AutotuneResponse aggregates the requested devices' verdicts.
 type AutotuneResponse struct {
-	Kernel    string        `json:"kernel"`
+	Kernel string `json:"kernel"`
+	// Backend is the execution backend the launches ran on.
+	Backend   string        `json:"backend"`
 	Results   []TuneVerdict `json:"results"`
 	LatencyMS float64       `json:"latency_ms"`
 }
@@ -302,8 +322,12 @@ type DeviceInfo struct {
 
 // StatsResponse is the stats endpoint payload.
 type StatsResponse struct {
-	Cache     kcache.Stats             `json:"cache"`
-	Pool      PoolStats                `json:"pool"`
+	Cache kcache.Stats `json:"cache"`
+	Pool  PoolStats    `json:"pool"`
+	// Backend is the server's default execution backend; Backends counts
+	// autotune device-runs per backend actually used.
+	Backend   string                   `json:"backend"`
+	Backends  map[string]int64         `json:"backends"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 

@@ -22,14 +22,37 @@ type EndpointStats struct {
 	MaxMS   float64 `json:"max_ms"`
 }
 
-// registry collects EndpointStats keyed by endpoint name.
+// registry collects EndpointStats keyed by endpoint name plus execution
+// counts keyed by backend name.
 type registry struct {
 	mu sync.Mutex
 	m  map[string]*EndpointStats
+	be map[string]int64
 }
 
 func newRegistry() *registry {
-	return &registry{m: make(map[string]*EndpointStats)}
+	return &registry{
+		m:  make(map[string]*EndpointStats),
+		be: make(map[string]int64),
+	}
+}
+
+// recordBackend tallies n device-runs executed on the named backend.
+func (r *registry) recordBackend(name string, n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.be[name] += n
+}
+
+// backendSnapshot copies the per-backend run counts.
+func (r *registry) backendSnapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.be))
+	for k, v := range r.be {
+		out[k] = v
+	}
+	return out
 }
 
 // record tallies one request: its latency, whether it failed, and the

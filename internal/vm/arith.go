@@ -420,7 +420,12 @@ func scalarMathI(name string, k clc.ScalarKind, a []int64) (int64, error) {
 }
 
 func (ge *groupExec) evalMath(c *wiCtx, in *ir.Instr) (rv, error) {
-	args := make([]rv, len(in.Args))
+	// Argument marshaling uses per-worker scratch: evalMath never runs a
+	// nested exec, so the buffers cannot be live twice.
+	if cap(ge.mathArgs) < len(in.Args) {
+		ge.mathArgs = make([]rv, len(in.Args))
+	}
+	args := ge.mathArgs[:len(in.Args)]
 	for i, a := range in.Args {
 		args[i] = c.val(a)
 	}
@@ -448,14 +453,14 @@ func (ge *groupExec) evalMath(c *wiCtx, in *ir.Instr) (rv, error) {
 	switch tt := in.Typ.(type) {
 	case *clc.ScalarType:
 		if tt.Kind.IsFloat() {
-			fa := make([]float64, len(args))
+			fa := ge.mathScratchF(len(args))
 			for i := range args {
 				fa[i] = args[i].f
 			}
 			r, err := scalarMathF(in.Func, tt.Kind, fa)
 			return rv{f: r}, err
 		}
-		ia := make([]int64, len(args))
+		ia := ge.mathScratchI(len(args))
 		for i := range args {
 			ia[i] = args[i].i
 		}
@@ -464,7 +469,7 @@ func (ge *groupExec) evalMath(c *wiCtx, in *ir.Instr) (rv, error) {
 	case *clc.VectorType:
 		if tt.Elem.Kind.IsFloat() {
 			dst := ensureVF(&c.regs[in.ID], tt.Len)
-			fa := make([]float64, len(args))
+			fa := ge.mathScratchF(len(args))
 			for l := 0; l < tt.Len; l++ {
 				for i := range args {
 					fa[i] = args[i].vf[l]
@@ -477,7 +482,7 @@ func (ge *groupExec) evalMath(c *wiCtx, in *ir.Instr) (rv, error) {
 			}
 		} else {
 			dst := ensureVI(&c.regs[in.ID], tt.Len)
-			ia := make([]int64, len(args))
+			ia := ge.mathScratchI(len(args))
 			for l := 0; l < tt.Len; l++ {
 				for i := range args {
 					ia[i] = args[i].vi[l]
@@ -492,4 +497,20 @@ func (ge *groupExec) evalMath(c *wiCtx, in *ir.Instr) (rv, error) {
 		return c.regs[in.ID], nil
 	}
 	return rv{}, fmt.Errorf("vm: math builtin %q with unsupported type %s", in.Func, in.Typ)
+}
+
+// mathScratchF returns the worker's pooled float argument buffer.
+func (ge *groupExec) mathScratchF(n int) []float64 {
+	if cap(ge.mathF) < n {
+		ge.mathF = make([]float64, n)
+	}
+	return ge.mathF[:n]
+}
+
+// mathScratchI returns the worker's pooled integer argument buffer.
+func (ge *groupExec) mathScratchI(n int) []int64 {
+	if cap(ge.mathI) < n {
+		ge.mathI = make([]int64, n)
+	}
+	return ge.mathI[:n]
 }

@@ -1,0 +1,165 @@
+package vm
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"grover/internal/clc"
+	"grover/internal/ir"
+)
+
+// BackendInterp names the built-in tree-walking interpreter backend.
+const BackendInterp = "interp"
+
+// EnvBackend is the environment variable that selects the default
+// execution backend for launches whose Config.Backend is empty.
+const EnvBackend = "GROVER_BACKEND"
+
+// Executor is an alternative execution backend for a prepared Program.
+// An Executor must preserve the VM contract exactly: identical results,
+// identical memory-trace emission, and identical error behavior, so that
+// simulated cycle counts are backend-invariant.
+type Executor interface {
+	Launch(kernel string, cfg Config, gmem *GlobalMem, opts *LaunchOpts) error
+}
+
+var backendsMu sync.RWMutex
+var backendBuilders = map[string]func(*Program) (Executor, error){}
+
+// RegisterBackend makes a backend available under the given name.
+// Backends register themselves from an init function; importing the
+// backend package is enough to enable it.
+func RegisterBackend(name string, build func(*Program) (Executor, error)) {
+	if name == BackendInterp {
+		panic("vm: cannot replace the interpreter backend")
+	}
+	backendsMu.Lock()
+	defer backendsMu.Unlock()
+	if _, dup := backendBuilders[name]; dup {
+		panic(fmt.Sprintf("vm: duplicate backend %q", name))
+	}
+	backendBuilders[name] = build
+}
+
+// Backends returns the names of all available backends, sorted, always
+// including the built-in interpreter.
+func Backends() []string {
+	backendsMu.RLock()
+	names := make([]string, 0, len(backendBuilders)+1)
+	for n := range backendBuilders {
+		names = append(names, n)
+	}
+	backendsMu.RUnlock()
+	names = append(names, BackendInterp)
+	sort.Strings(names)
+	return names
+}
+
+// ValidBackend reports whether name refers to a registered backend.
+func ValidBackend(name string) bool {
+	if name == BackendInterp {
+		return true
+	}
+	backendsMu.RLock()
+	defer backendsMu.RUnlock()
+	_, ok := backendBuilders[name]
+	return ok
+}
+
+// DefaultBackend returns the backend used when Config.Backend is empty:
+// the GROVER_BACKEND environment variable when set, else the interpreter.
+func DefaultBackend() string {
+	if v := os.Getenv(EnvBackend); v != "" {
+		return v
+	}
+	return BackendInterp
+}
+
+// Executor returns the named backend's executor for this program,
+// compiling it on first use and caching it alongside the program.
+func (p *Program) Executor(name string) (Executor, error) {
+	backendsMu.RLock()
+	build, ok := backendBuilders[name]
+	backendsMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("vm: unknown backend %q (available: %v)", name, Backends())
+	}
+	p.execMu.Lock()
+	defer p.execMu.Unlock()
+	if e, ok := p.execs[name]; ok {
+		return e, nil
+	}
+	e, err := build(p)
+	if err != nil {
+		return nil, fmt.Errorf("vm: backend %q: %w", name, err)
+	}
+	if p.execs == nil {
+		p.execs = map[string]Executor{}
+	}
+	p.execs[name] = e
+	return e, nil
+}
+
+// The accessors below expose the layouts Prepare computed so alternative
+// backends can replicate the interpreter's memory model bit for bit.
+
+// FrameSize returns the private-memory frame size of f in bytes.
+func (p *Program) FrameSize(f *ir.Function) int { return p.frames[f].size }
+
+// AllocaOffset returns the byte offset of an alloca within its arena:
+// the function frame for private allocas, the group-local arena for
+// __local allocas.
+func (p *Program) AllocaOffset(in *ir.Instr, f *ir.Function) int {
+	if in.Space == clc.ASLocal {
+		return p.localOff[in]
+	}
+	return p.frames[f].offsets[in]
+}
+
+// LocalStaticSize returns the static __local arena size of f in bytes.
+func (p *Program) LocalStaticSize(f *ir.Function) int { return p.localSz[f] }
+
+// RegCount returns the number of producing instructions in f.
+func (p *Program) RegCount(f *ir.Function) int { return p.regCount[f] }
+
+// StackBytes returns the conservative per-work-item private arena size.
+func (p *Program) StackBytes() int { return p.stackBytes }
+
+// The helpers below export the interpreter's exact scalar semantics so
+// alternative backends produce bit-identical values on every input.
+
+// NormInt truncates x to the width and signedness of kind k.
+func NormInt(x int64, k clc.ScalarKind) int64 { return normInt(x, k) }
+
+// Round32 rounds x to float32 precision when k is KFloat.
+func Round32(k clc.ScalarKind, x float64) float64 { return math32(k, x) }
+
+// IntBin evaluates one integer binary op with C wrapping semantics.
+func IntBin(op ir.Op, k clc.ScalarKind, a, b int64) (int64, error) { return intBin(op, k, a, b) }
+
+// FloatBin evaluates one floating binary op, rounding to float32 when
+// the kind is KFloat.
+func FloatBin(op ir.Op, k clc.ScalarKind, a, b float64) (float64, error) {
+	return floatBin(op, k, a, b)
+}
+
+// MathF evaluates a float math builtin on scalar operands.
+func MathF(name string, k clc.ScalarKind, a []float64) (float64, error) {
+	return scalarMathF(name, k, a)
+}
+
+// MathI evaluates an integer math builtin on scalar operands.
+func MathI(name string, k clc.ScalarKind, a []int64) (int64, error) {
+	return scalarMathI(name, k, a)
+}
+
+// ConvertKind converts one scalar value between kinds with the
+// interpreter's exact semantics (float32 rounding, NaN→0, C truncation).
+// Exactly one of the returned values is meaningful, selected by the
+// destination kind's class.
+func ConvertKind(i int64, f float64, from, to clc.ScalarKind) (int64, float64) {
+	out := convertScalar(rv{i: i, f: f}, from, to)
+	return out.i, out.f
+}

@@ -25,6 +25,41 @@ type wiCtx struct {
 	done    bool
 	pending int64 // retired instructions not yet flushed to the tracer
 	callRet rv    // return value stash for nested function calls
+
+	// depth is the current call-nesting depth; frames pools one register
+	// file per depth, reused across calls and across work-groups (the
+	// contexts themselves are reused by groupExec) to avoid per-call
+	// allocation. Calls are synchronous, so one frame per depth suffices.
+	depth  int
+	frames []*callFrame
+}
+
+// callFrame is a pooled register file and argument buffer for one call
+// depth.
+type callFrame struct {
+	regs []rv
+	args []rv
+}
+
+// frame returns the pooled frame for the work-item's current call depth.
+func (c *wiCtx) frame() *callFrame {
+	for len(c.frames) <= c.depth {
+		c.frames = append(c.frames, &callFrame{})
+	}
+	return c.frames[c.depth]
+}
+
+// storeRet copies a call's return value into a caller register. Vector
+// lanes are copied out of the pooled callee register file so the value
+// stays valid after the frame is reused by a later call.
+func storeRet(dst *rv, ret rv) {
+	dst.i, dst.f = ret.i, ret.f
+	if ret.vf != nil {
+		copy(ensureVF(dst, len(ret.vf)), ret.vf)
+	}
+	if ret.vi != nil {
+		copy(ensureVI(dst, len(ret.vi)), ret.vi)
+	}
 }
 
 // groupExec runs the work-groups assigned to one worker.
@@ -40,6 +75,12 @@ type groupExec struct {
 	local []byte
 	ctxs  []wiCtx
 	priv  [][]byte
+
+	// Scratch buffers for evalMath argument marshaling (never live across
+	// a nested exec, so sharing them per worker is safe).
+	mathArgs []rv
+	mathF    []float64
+	mathI    []int64
 }
 
 func (ge *groupExec) runGroup(group [3]int, linear int) error {
@@ -86,6 +127,7 @@ func (ge *groupExec) runGroup(group [3]int, linear int) error {
 		c.sp = ge.p.frames[ge.fn].size
 		c.done = false
 		c.pending = 0
+		c.depth = 0
 		c.mem = memView{global: ge.gmem.Data, local: ge.local, private: ge.priv[wi]}
 	}
 
@@ -317,16 +359,20 @@ func (ge *groupExec) exec(c *wiCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			return true, in, nil
 
 		case ir.OpCall:
-			args := make([]rv, len(in.Args))
+			fr := c.frame()
+			if cap(fr.args) < len(in.Args) {
+				fr.args = make([]rv, len(in.Args))
+			}
+			args := fr.args[:len(in.Args)]
 			for i, a := range in.Args {
 				args[i] = c.val(a)
 			}
-			ret, err := ge.call(c, in.Callee, args)
+			ret, err := ge.call(c, in.Callee, fr, args)
 			if err != nil {
 				return false, nil, err
 			}
 			if in.Producing() {
-				c.regs[in.ID] = ret
+				storeRet(&c.regs[in.ID], ret)
 			}
 			c.idx++
 
@@ -366,20 +412,26 @@ func (ge *groupExec) exec(c *wiCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 	}
 }
 
-// call executes a user function synchronously within the work-item.
-func (ge *groupExec) call(c *wiCtx, callee *ir.Function, args []rv) (rv, error) {
+// call executes a user function synchronously within the work-item,
+// running it in the pooled register file for the current call depth.
+func (ge *groupExec) call(c *wiCtx, callee *ir.Function, fr *callFrame, args []rv) (rv, error) {
 	saveFn, saveBlk, saveIdx := c.fn, c.blk, c.idx
 	saveRegs, savePrms := c.regs, c.prms
 	saveBase, saveSP := c.frameBase, c.sp
 
 	frame := ge.p.frames[callee]
+	nRegs := ge.p.regCount[callee]
+	if cap(fr.regs) < nRegs {
+		fr.regs = make([]rv, nRegs)
+	}
 	c.fn = callee
 	c.blk = callee.Entry()
 	c.idx = 0
-	c.regs = make([]rv, ge.p.regCount[callee])
+	c.regs = fr.regs[:nRegs]
 	c.prms = args
 	c.frameBase = c.sp
 	c.sp += frame.size
+	c.depth++
 	if c.sp > len(c.mem.private) {
 		return rv{}, fmt.Errorf("vm: private stack overflow calling %s", callee.Name)
 	}
@@ -389,6 +441,7 @@ func (ge *groupExec) call(c *wiCtx, callee *ir.Function, args []rv) (rv, error) 
 	}
 	ret := c.callRet
 
+	c.depth--
 	c.fn, c.blk, c.idx = saveFn, saveBlk, saveIdx
 	c.regs, c.prms = saveRegs, savePrms
 	c.frameBase, c.sp = saveBase, saveSP

@@ -36,6 +36,11 @@ type Program struct {
 	// stackBytes is a conservative private-arena size: the sum of every
 	// frame in the module (OpenCL forbids recursion).
 	stackBytes int
+
+	// execMu guards execs, the per-backend compiled executors cached so
+	// each program is compiled once and executed many times.
+	execMu sync.Mutex
+	execs  map[string]Executor
 }
 
 // Prepare lays out allocas and numbers instructions for execution.
@@ -127,9 +132,14 @@ type Config struct {
 	GlobalSize [3]int
 	LocalSize  [3]int
 	Args       []Arg
+	// Backend selects the execution backend ("interp", "bcode", ...).
+	// Empty means DefaultBackend(): the GROVER_BACKEND environment
+	// variable when set, else the interpreter.
+	Backend string
 }
 
-func (c *Config) normalized() (Config, error) {
+// Normalized fills defaulted dimensions and checks divisibility.
+func (c *Config) Normalized() (Config, error) {
 	out := *c
 	for d := 0; d < 3; d++ {
 		if out.GlobalSize[d] == 0 {
@@ -172,15 +182,32 @@ type LaunchOpts struct {
 	TracerFor func(worker int) Tracer
 }
 
-// Launch executes the named kernel over the NDRange. Work-groups are
-// distributed round-robin over workers; each worker runs its groups in
-// ascending order so traced streams are deterministic.
+// Launch executes the named kernel over the NDRange on the backend
+// selected by cfg.Backend. Work-groups are distributed round-robin over
+// workers; each worker runs its groups in ascending order so traced
+// streams are deterministic regardless of backend.
 func (p *Program) Launch(kernel string, cfg Config, gmem *GlobalMem, opts *LaunchOpts) error {
+	backend := cfg.Backend
+	if backend == "" {
+		backend = DefaultBackend()
+	}
+	if backend != BackendInterp {
+		ex, err := p.Executor(backend)
+		if err != nil {
+			return err
+		}
+		return ex.Launch(kernel, cfg, gmem, opts)
+	}
+	return p.launchInterp(kernel, cfg, gmem, opts)
+}
+
+// launchInterp runs a launch on the tree-walking interpreter.
+func (p *Program) launchInterp(kernel string, cfg Config, gmem *GlobalMem, opts *LaunchOpts) error {
 	fn := p.Module.Kernel(kernel)
 	if fn == nil {
 		return fmt.Errorf("vm: no kernel %q", kernel)
 	}
-	ncfg, err := cfg.normalized()
+	ncfg, err := cfg.Normalized()
 	if err != nil {
 		return err
 	}

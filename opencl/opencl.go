@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"grover/internal/analysis"
+	_ "grover/internal/bcode" // register the bytecode execution backend
 	"grover/internal/clc"
 	"grover/internal/debug"
 	"grover/internal/device"
@@ -91,6 +92,9 @@ func (d *Device) Profile() string {
 type Context struct {
 	dev  *Device
 	gmem *vm.GlobalMem
+	// backend selects the VM execution backend for launches from this
+	// context's queues; empty defers to vm.DefaultBackend().
+	backend string
 }
 
 // NewContext creates a context on the device.
@@ -100,6 +104,25 @@ func NewContext(d *Device) *Context {
 
 // Device returns the context's device.
 func (c *Context) Device() *Device { return c.dev }
+
+// SetBackend selects the VM execution backend ("interp", "bcode") for all
+// launches from this context's queues. The empty string restores the
+// default (the GROVER_BACKEND environment variable, else the interpreter).
+func (c *Context) SetBackend(name string) error {
+	if name != "" && !vm.ValidBackend(name) {
+		return fmt.Errorf("opencl: unknown backend %q (available: %v)", name, vm.Backends())
+	}
+	c.backend = name
+	return nil
+}
+
+// Backend returns the backend selected with SetBackend ("" = default).
+func (c *Context) Backend() string { return c.backend }
+
+// Mem exposes the context's global-memory arena. It is intended for
+// harnesses that need to snapshot and restore device memory around
+// launches (e.g. backend differential tests).
+func (c *Context) Mem() *vm.GlobalMem { return c.gmem }
 
 // Buffer is a device-memory buffer.
 type Buffer struct {
@@ -191,6 +214,15 @@ func (c *Context) NewProgramFromIR(name string, mod *ir.Module) (*Program, error
 	return c.newProgramFromModule(name, ir.CloneModule(mod))
 }
 
+// NewProgramFromPrepared wraps an already-prepared VM program on this
+// context without cloning or re-preparing it. Launches only read the
+// prepared program, so one prepared artifact — including any backend
+// bytecode lazily compiled and cached inside it — can be shared by any
+// number of contexts concurrently.
+func (c *Context) NewProgramFromPrepared(name string, prog *vm.Program) *Program {
+	return &Program{ctx: c, name: name, module: prog.Module, prog: prog}
+}
+
 func (c *Context) newProgramFromModule(name string, mod *ir.Module) (*Program, error) {
 	prog, err := vm.Prepare(mod)
 	if err != nil {
@@ -211,6 +243,11 @@ func (p *Program) KernelNames() []string {
 // IR renders the program's intermediate representation (useful for
 // inspecting what the Grover pass did).
 func (p *Program) IR() string { return p.module.String() }
+
+// VM exposes the prepared vm.Program behind this program, for harnesses
+// that drive launches directly (e.g. to run the same prepared program on
+// several execution backends with pointer-identical traced instructions).
+func (p *Program) VM() *vm.Program { return p.prog }
 
 // WithLocalMemoryDisabled runs the Grover pass on a copy of the program,
 // disabling local-memory usage in the named kernel, and returns the new
@@ -302,6 +339,29 @@ func (e *Event) Duration() float64 { return e.Millis }
 // *Buffer, LocalMem, int/int32/int64/uint32, float32/float64. The call
 // blocks until completion (the simulated queue is in-order).
 func (q *Queue) EnqueueNDRange(k *Kernel, nd NDRange, args ...interface{}) (*Event, error) {
+	vargs, err := VMArgs(args...)
+	if err != nil {
+		return nil, err
+	}
+	cfg := vm.Config{GlobalSize: nd.Global, LocalSize: nd.Local, Args: vargs,
+		Backend: q.ctx.backend}
+	if !q.profiling {
+		if err := k.prog.prog.Launch(k.name, cfg, q.ctx.gmem, nil); err != nil {
+			return nil, err
+		}
+		return &Event{}, nil
+	}
+	q.sim.Reset()
+	if err := k.prog.prog.Launch(k.name, cfg, q.ctx.gmem, q.sim.Opts()); err != nil {
+		return nil, err
+	}
+	res := q.sim.Result()
+	return &Event{Millis: res.TimeMS, Cycles: res.Cycles, Instrs: res.Instrs, Stats: res}, nil
+}
+
+// VMArgs converts host-side kernel arguments (*Buffer, LocalMem, Go
+// integers and floats) to vm.Arg values, exactly as EnqueueNDRange does.
+func VMArgs(args ...interface{}) ([]vm.Arg, error) {
 	vargs := make([]vm.Arg, len(args))
 	for i, a := range args {
 		switch v := a.(type) {
@@ -325,17 +385,5 @@ func (q *Queue) EnqueueNDRange(k *Kernel, nd NDRange, args ...interface{}) (*Eve
 			return nil, fmt.Errorf("opencl: unsupported argument %d of type %T", i, a)
 		}
 	}
-	cfg := vm.Config{GlobalSize: nd.Global, LocalSize: nd.Local, Args: vargs}
-	if !q.profiling {
-		if err := k.prog.prog.Launch(k.name, cfg, q.ctx.gmem, nil); err != nil {
-			return nil, err
-		}
-		return &Event{}, nil
-	}
-	q.sim.Reset()
-	if err := k.prog.prog.Launch(k.name, cfg, q.ctx.gmem, q.sim.Opts()); err != nil {
-		return nil, err
-	}
-	res := q.sim.Result()
-	return &Event{Millis: res.TimeMS, Cycles: res.Cycles, Instrs: res.Instrs, Stats: res}, nil
+	return vargs, nil
 }
