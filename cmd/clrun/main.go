@@ -44,7 +44,7 @@ func main() {
 		useGrover  = flag.Bool("grover", false, "run the Grover-transformed kernel as well and compare times")
 		timed      = flag.Bool("time", false, "use the device cost model and report simulated time")
 		dump       = flag.String("dump", "", "print buffer contents after the run: ARGINDEX:COUNT")
-		backend    = flag.String("backend", "", "execution backend (interp, bcode; default: $GROVER_BACKEND, else interp)")
+		backend    = flag.String("backend", "", "execution backend (interp, bcode, wgvec; default: $GROVER_BACKEND, else interp)")
 	)
 	flag.Var(&args, "arg", "kernel argument spec (repeatable, in declaration order)")
 	flag.Parse()

@@ -14,9 +14,11 @@
 //	groverbench -experiment case -app NVD-MT -device SNB
 //	groverbench -experiment backends -format json   # backend wall-clock comparison
 //
-// -backend selects the execution backend (interp or bcode) and -format
-// json emits machine-readable measurements; the committed BENCH_vm.json
-// is the output of the backends experiment.
+// -backend selects the execution backend (interp, bcode, or wgvec) and
+// -format json emits machine-readable measurements; the committed
+// BENCH_vm.json and BENCH_wgvec.json are outputs of the backends
+// experiment. -cpuprofile and -memprofile write pprof profiles of the
+// run for backend performance work.
 package main
 
 import (
@@ -25,12 +27,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"grover/internal/apps"
-	"grover/internal/bcode"
 	"grover/internal/harness"
 	"grover/internal/vm"
+	"grover/opencl"
 )
 
 func main() {
@@ -41,9 +45,11 @@ func main() {
 		scale      = flag.Int("scale", 1, "dataset scale factor")
 		runs       = flag.Int("runs", 1, "simulated executions to average per version")
 		validate   = flag.Bool("validate", false, "also validate both kernel versions against host references")
-		backend    = flag.String("backend", "", "execution backend (interp, bcode; default: $GROVER_BACKEND, else interp)")
+		backend    = flag.String("backend", "", "execution backend (interp, bcode, wgvec; default: $GROVER_BACKEND, else interp)")
 		format     = flag.String("format", "text", "output format: text | json")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -55,12 +61,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "groverbench: unknown format %q (want text or json)\n", *format)
 		os.Exit(2)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "groverbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "groverbench:", err)
+			os.Exit(1)
+		}
+	}
 	cfg := harness.Config{Scale: *scale, Runs: *runs, Validate: *validate, Backend: *backend, Log: logW}
 
-	if err := run(*experiment, *app, *device, *format, cfg); err != nil {
+	err := run(*experiment, *app, *device, *format, cfg)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		if perr := writeMemProfile(*memprofile); perr != nil && err == nil {
+			err = perr
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "groverbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile dumps the allocation profile at exit.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.Lookup("allocs").WriteTo(f, 0)
 }
 
 // measurementJSON is the machine-readable form of one measurement.
@@ -217,26 +254,133 @@ func runFig10(cfg harness.Config) error {
 type backendRunJSON struct {
 	Backend string  `json:"backend"`
 	WallMS  float64 `json:"wall_ms"`
+	// NsPerItem is experiment wall-clock divided by the total number of
+	// work-items executed in timed launches.
+	NsPerItem float64 `json:"ns_per_item"`
+	// Speedup is interpreter wall-clock over this backend's wall-clock.
+	Speedup float64 `json:"speedup"`
 }
 
-// backendBenchJSON is the backends experiment output (BENCH_vm.json).
+// appRunJSON is one backend's untraced wall-clock for a single
+// benchmark app in the functional section.
+type appRunJSON struct {
+	Backend   string  `json:"backend"`
+	WallMS    float64 `json:"wall_ms"`
+	NsPerItem float64 `json:"ns_per_item"`
+	// SpeedupInterp and SpeedupBcode are this backend's speedup over
+	// the interpreter and the bytecode backend on the same app.
+	SpeedupInterp float64 `json:"speedup_vs_interp"`
+	SpeedupBcode  float64 `json:"speedup_vs_bcode"`
+}
+
+// appBenchJSON is the functional (untraced) comparison for one app.
+type appBenchJSON struct {
+	App      string       `json:"app"`
+	Backends []appRunJSON `json:"backends"`
+}
+
+// backendBenchJSON is the backends experiment output (BENCH_vm.json,
+// BENCH_wgvec.json).
 type backendBenchJSON struct {
 	Experiment string           `json:"experiment"`
 	Scale      int              `json:"scale"`
 	Runs       int              `json:"runs"`
 	Backends   []backendRunJSON `json:"backends"`
-	// Speedup is interpreter wall-clock / bytecode wall-clock for the
-	// identical sweep.
+	// Speedup is interpreter wall-clock over the fastest compiled
+	// backend's wall-clock for the identical sweep.
 	Speedup float64 `json:"speedup"`
 	// Invariant reports that every simulated measurement was identical
 	// across backends (the VM contract).
 	Invariant    bool              `json:"invariant"`
 	Measurements []measurementJSON `json:"measurements"`
+	// Functional times untraced launches of every benchmark app on
+	// every backend. The traced sweep above is dominated by the device
+	// simulator's per-access cost and gates measurement invariance;
+	// the functional section is the measure of raw backend speed.
+	Functional []appBenchJSON `json:"functional"`
 }
 
-// runBackends times the full Fig. 10 sweep on the interpreter and on the
-// bytecode backend. Simulated measurements must be identical — only the
-// wall-clock time of the experiment itself changes.
+// backendList orders every registered backend with the interpreter (the
+// reference implementation) first.
+func backendList() []string {
+	out := []string{vm.BackendInterp}
+	for _, b := range vm.Backends() {
+		if b != vm.BackendInterp {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// runFunctional times untraced launches of every benchmark app on every
+// registered backend. Without a tracer there is no simulation cost, so
+// this measures the backends themselves.
+func runFunctional(cfg harness.Config) ([]appBenchJSON, error) {
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	backends := backendList()
+	plat := opencl.NewPlatform()
+	var out []appBenchJSON
+	for _, app := range apps.All() {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "backends: functional runs of %s\n", app.ID)
+		}
+		ctx := opencl.NewContext(plat.Devices()[0])
+		prog, err := ctx.CompileProgram(app.ID, app.Source, app.Defines)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.ID, err)
+		}
+		inst, err := app.Setup(ctx, cfg.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.ID, err)
+		}
+		vargs, err := opencl.VMArgs(inst.Args...)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.ID, err)
+		}
+		mem := ctx.Mem()
+		initial := append([]byte(nil), mem.Data...)
+		items := int64(runs) * int64(inst.ND.Global[0]) *
+			int64(inst.ND.Global[1]) * int64(inst.ND.Global[2])
+		walls := make([]time.Duration, len(backends))
+		for bi, b := range backends {
+			c := vm.Config{GlobalSize: inst.ND.Global, LocalSize: inst.ND.Local,
+				Args: vargs, Backend: b}
+			start := time.Now()
+			for r := 0; r < runs; r++ {
+				copy(mem.Data[:len(initial)], initial)
+				if err := prog.VM().Launch(app.Kernel, c, mem, nil); err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", app.ID, b, err)
+				}
+			}
+			walls[bi] = time.Since(start)
+		}
+		bcodeWall := walls[0]
+		for bi, b := range backends {
+			if b == "bcode" {
+				bcodeWall = walls[bi]
+			}
+		}
+		entry := appBenchJSON{App: app.ID}
+		for bi, b := range backends {
+			entry.Backends = append(entry.Backends, appRunJSON{
+				Backend:       b,
+				WallMS:        float64(walls[bi]) / float64(time.Millisecond),
+				NsPerItem:     float64(walls[bi].Nanoseconds()) / float64(items),
+				SpeedupInterp: float64(walls[0]) / float64(walls[bi]),
+				SpeedupBcode:  float64(bcodeWall) / float64(walls[bi]),
+			})
+		}
+		out = append(out, entry)
+	}
+	return out, nil
+}
+
+// runBackends times the full Fig. 10 sweep on every registered backend.
+// Simulated measurements must be identical — only the wall-clock time of
+// the experiment itself changes.
 func runBackends(cfg harness.Config, format string) error {
 	type result struct {
 		backend string
@@ -244,7 +388,7 @@ func runBackends(cfg harness.Config, format string) error {
 		wall    time.Duration
 	}
 	var results []result
-	for _, b := range []string{vm.BackendInterp, bcode.Name} {
+	for _, b := range backendList() {
 		c := cfg
 		c.Backend = b
 		if c.Log != nil {
@@ -258,10 +402,25 @@ func runBackends(cfg harness.Config, format string) error {
 		results = append(results, result{b, ms, time.Since(start)})
 	}
 
-	invariant := len(results[0].ms) == len(results[1].ms)
-	if invariant {
+	// Total work-items over the timed launches: two kernel versions per
+	// measurement, each launched cfg.Runs times.
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	var items int64
+	for _, m := range results[0].ms {
+		items += 2 * int64(runs) * m.Items
+	}
+
+	invariant := true
+	for _, r := range results[1:] {
+		if len(r.ms) != len(results[0].ms) {
+			invariant = false
+			break
+		}
 		for i, m := range results[0].ms {
-			o := results[1].ms[i]
+			o := r.ms[i]
 			if m.App != o.App || m.Device != o.Device ||
 				m.WithLM != o.WithLM || m.WithoutLM != o.WithoutLM {
 				invariant = false
@@ -269,7 +428,18 @@ func runBackends(cfg harness.Config, format string) error {
 			}
 		}
 	}
-	speedup := float64(results[0].wall) / float64(results[1].wall)
+	interpWall := results[0].wall
+	speedup := 1.0
+	for _, r := range results[1:] {
+		if s := float64(interpWall) / float64(r.wall); s > speedup {
+			speedup = s
+		}
+	}
+
+	functional, err := runFunctional(cfg)
+	if err != nil {
+		return err
+	}
 
 	if format == "json" {
 		out := &backendBenchJSON{
@@ -279,19 +449,33 @@ func runBackends(cfg harness.Config, format string) error {
 			Speedup:      speedup,
 			Invariant:    invariant,
 			Measurements: toJSON(results[0].ms),
+			Functional:   functional,
 		}
 		for _, r := range results {
 			out.Backends = append(out.Backends, backendRunJSON{
-				Backend: r.backend,
-				WallMS:  float64(r.wall) / float64(time.Millisecond),
+				Backend:   r.backend,
+				WallMS:    float64(r.wall) / float64(time.Millisecond),
+				NsPerItem: float64(r.wall.Nanoseconds()) / float64(items),
+				Speedup:   float64(interpWall) / float64(r.wall),
 			})
 		}
 		return emitJSON(out)
 	}
 	fmt.Println("Backend comparison — Fig. 10 sweep wall-clock")
 	for _, r := range results {
-		fmt.Printf("  %-8s %10.1f ms\n", r.backend, float64(r.wall)/float64(time.Millisecond))
+		fmt.Printf("  %-8s %10.1f ms  %8.1f ns/item  %6.2fx\n",
+			r.backend, float64(r.wall)/float64(time.Millisecond),
+			float64(r.wall.Nanoseconds())/float64(items),
+			float64(interpWall)/float64(r.wall))
 	}
-	fmt.Printf("  speedup  %10.2fx (measurements identical: %v)\n", speedup, invariant)
+	fmt.Printf("  best speedup %.2fx over interp (measurements identical: %v)\n", speedup, invariant)
+	fmt.Println("Functional comparison — untraced launches per app")
+	for _, f := range functional {
+		fmt.Printf("  %-10s", f.App)
+		for _, b := range f.Backends {
+			fmt.Printf("  %s %10.1f ms (%.2fx bcode)", b.Backend, b.WallMS, b.SpeedupBcode)
+		}
+		fmt.Println()
+	}
 	return nil
 }

@@ -20,15 +20,15 @@ func init() {
 // is compiled once and executed many times.
 type Machine struct {
 	p     *vm.Program
-	funcs map[*ir.Function]*bfunc
+	funcs map[*ir.Function]*BFunc
 }
 
 // Compile translates every function of a prepared program to bytecode.
 func Compile(p *vm.Program) (*Machine, error) {
-	m := &Machine{p: p, funcs: map[*ir.Function]*bfunc{}}
+	m := &Machine{p: p, funcs: map[*ir.Function]*BFunc{}}
 	// Shells first so call sites can reference not-yet-compiled callees.
 	for _, f := range p.Module.Funcs {
-		m.funcs[f] = &bfunc{fn: f}
+		m.funcs[f] = &BFunc{Fn: f}
 	}
 	for _, f := range p.Module.Funcs {
 		if err := m.compileFunc(f); err != nil {
@@ -38,14 +38,21 @@ func Compile(p *vm.Program) (*Machine, error) {
 	return m, nil
 }
 
+// Program returns the prepared program this machine was compiled from.
+func (m *Machine) Program() *vm.Program { return m.p }
+
+// Func returns the compiled form of f, or nil if f is not part of the
+// machine's module.
+func (m *Machine) Func(f *ir.Function) *BFunc { return m.funcs[f] }
+
 // fnCompiler holds per-function compilation state.
 type fnCompiler struct {
 	m  *Machine
 	p  *vm.Program
 	f  *ir.Function
-	bf *bfunc
+	bf *BFunc
 
-	refs   map[ir.Value]ref
+	vals   map[ir.Value]Ref
 	intIdx map[int64]int32
 	fltIdx map[uint64]int32
 	sealed bool // constant region closed; late interning is a bug
@@ -53,8 +60,8 @@ type fnCompiler struct {
 	fusedIdx map[*ir.Instr]bool      // index instrs folded into a memory op
 	fuseWith map[*ir.Instr]*ir.Instr // memory op → its folded index
 
-	code    []inst
-	auxes   []aux
+	code    []Inst
+	auxes   []Aux
 	blockPC map[*ir.Block]int32
 	fixups  []fixup
 }
@@ -69,7 +76,7 @@ type fixup struct {
 func (m *Machine) compileFunc(f *ir.Function) error {
 	fc := &fnCompiler{
 		m: m, p: m.p, f: f, bf: m.funcs[f],
-		refs:     map[ir.Value]ref{},
+		vals:     map[ir.Value]Ref{},
 		intIdx:   map[int64]int32{},
 		fltIdx:   map[uint64]int32{},
 		fusedIdx: map[*ir.Instr]bool{},
@@ -77,10 +84,10 @@ func (m *Machine) compileFunc(f *ir.Function) error {
 		blockPC:  map[*ir.Block]int32{},
 	}
 	bf := fc.bf
-	bf.frameSize = m.p.FrameSize(f)
-	bf.localSize = m.p.LocalStaticSize(f)
+	bf.FrameSize = m.p.FrameSize(f)
+	bf.LocalSize = m.p.LocalStaticSize(f)
 
-	// Register numbering per bank: constants first (so the preload
+	// Register numbering per Bank: constants first (so the preload
 	// templates are a literal prefix of the register file), then
 	// parameters, then instruction results. Zero constants are always
 	// present: they stand in for the interpreter's boxed-value semantics
@@ -101,31 +108,41 @@ func (m *Machine) compileFunc(f *ir.Function) error {
 		}
 	}
 	fc.sealed = true
-	bf.params = make([]ref, len(f.Params))
+	bf.Params = make([]Ref, len(f.Params))
 	for i, p := range f.Params {
 		r := fc.alloc(p.Typ)
-		bf.params[i] = r
-		fc.refs[p] = r
+		bf.Params[i] = r
+		fc.vals[p] = r
 	}
-	bf.intInitLen = bf.nInt
-	bf.fltInitLen = bf.nFlt
+	bf.IntInitLen = bf.NInt
+	bf.FltInitLen = bf.NFlt
 
 	fc.analyzeFusion()
 	for _, b := range f.Blocks {
 		for _, in := range b.Instrs {
 			if in.Producing() && !fc.fusedIdx[in] {
-				fc.refs[in] = fc.alloc(in.Typ)
+				fc.vals[in] = fc.alloc(in.Typ)
 			}
 		}
 	}
 
-	for _, b := range f.Blocks {
+	bf.BlockStart = make([]int32, len(f.Blocks))
+	for bi, b := range f.Blocks {
 		fc.blockPC[b] = int32(len(fc.code))
+		bf.BlockStart[bi] = int32(len(fc.code))
 		for _, in := range b.Instrs {
 			if fc.fusedIdx[in] {
 				continue
 			}
+			start := len(fc.code)
 			fc.emit(in)
+			// Stamp the originating IR instruction on everything just
+			// emitted; memory ops and barriers set it themselves.
+			for j := start; j < len(fc.code); j++ {
+				if fc.code[j].In == nil {
+					fc.code[j].In = in
+				}
+			}
 		}
 		if b.Terminator() == nil {
 			// The interpreter raises this before counting the fetch,
@@ -139,39 +156,39 @@ func (m *Machine) compileFunc(f *ir.Function) error {
 	for _, fx := range fc.fixups {
 		pc := fc.blockPC[fx.blk]
 		if fx.slot == 0 {
-			fc.code[fx.pc].imm = int64(pc)
+			fc.code[fx.pc].Imm = int64(pc)
 		} else {
-			fc.code[fx.pc].n = pc
+			fc.code[fx.pc].N = pc
 		}
 	}
-	bf.code = fc.code
-	bf.aux = fc.auxes
+	bf.Code = fc.code
+	bf.Aux = fc.auxes
 	return nil
 }
 
 // alloc assigns a fresh register for a value of type t.
-func (fc *fnCompiler) alloc(t clc.Type) ref {
+func (fc *fnCompiler) alloc(t clc.Type) Ref {
 	bf := fc.bf
 	switch tt := t.(type) {
 	case *clc.VectorType:
 		if tt.Elem.Kind.IsFloat() {
-			bf.vecFLens = append(bf.vecFLens, tt.Len)
-			return ref{bVecF, int32(len(bf.vecFLens) - 1)}
+			bf.VecFLens = append(bf.VecFLens, tt.Len)
+			return Ref{BankVecF, int32(len(bf.VecFLens) - 1)}
 		}
-		bf.vecILens = append(bf.vecILens, tt.Len)
-		return ref{bVecI, int32(len(bf.vecILens) - 1)}
+		bf.VecILens = append(bf.VecILens, tt.Len)
+		return Ref{BankVecI, int32(len(bf.VecILens) - 1)}
 	case *clc.ScalarType:
 		if tt.Kind.IsFloat() {
-			bf.nFlt++
-			return ref{bFlt, int32(bf.nFlt - 1)}
+			bf.NFlt++
+			return Ref{BankFlt, int32(bf.NFlt - 1)}
 		}
 	}
 	// Integers, pointers, and anything else addressable as a word.
-	bf.nInt++
-	return ref{bInt, int32(bf.nInt - 1)}
+	bf.NInt++
+	return Ref{BankInt, int32(bf.NInt - 1)}
 }
 
-// intConst interns an integer constant into the int bank's const region.
+// intConst interns an integer constant into the int Bank's const region.
 func (fc *fnCompiler) intConst(v int64) int32 {
 	if i, ok := fc.intIdx[v]; ok {
 		return i
@@ -179,9 +196,9 @@ func (fc *fnCompiler) intConst(v int64) int32 {
 	if fc.sealed {
 		panic("bcode: constant interned after the const region was sealed")
 	}
-	i := int32(fc.bf.nInt)
-	fc.bf.nInt++
-	fc.bf.intConsts = append(fc.bf.intConsts, v)
+	i := int32(fc.bf.NInt)
+	fc.bf.NInt++
+	fc.bf.IntConsts = append(fc.bf.IntConsts, v)
 	fc.intIdx[v] = i
 	return i
 }
@@ -195,46 +212,46 @@ func (fc *fnCompiler) fltConst(v float64) int32 {
 	if fc.sealed {
 		panic("bcode: constant interned after the const region was sealed")
 	}
-	i := int32(fc.bf.nFlt)
-	fc.bf.nFlt++
-	fc.bf.fltConsts = append(fc.bf.fltConsts, v)
+	i := int32(fc.bf.NFlt)
+	fc.bf.NFlt++
+	fc.bf.FltConsts = append(fc.bf.FltConsts, v)
 	fc.fltIdx[key] = i
 	return i
 }
 
 // operand resolves v to its natural register.
-func (fc *fnCompiler) operand(v ir.Value) (ref, bool) {
+func (fc *fnCompiler) operand(v ir.Value) (Ref, bool) {
 	switch t := v.(type) {
 	case *ir.ConstInt:
-		return ref{bInt, fc.intConst(t.Val)}, true
+		return Ref{BankInt, fc.intConst(t.Val)}, true
 	case *ir.ConstFloat:
-		return ref{bFlt, fc.fltConst(t.Val)}, true
+		return Ref{BankFlt, fc.fltConst(t.Val)}, true
 	}
-	r, ok := fc.refs[v]
+	r, ok := fc.vals[v]
 	return r, ok
 }
 
-// scalarRef resolves v for a context that reads the given scalar bank.
-// When the value's natural bank differs, the shared zero constant is
+// scalarRef resolves v for a context that reads the given scalar Bank.
+// When the value's natural Bank differs, the shared zero constant is
 // substituted, mirroring the interpreter's boxed values where the unused
 // field of an rv is zero.
-func (fc *fnCompiler) scalarRef(v ir.Value, b bank) ref {
+func (fc *fnCompiler) scalarRef(v ir.Value, b Bank) Ref {
 	r, ok := fc.operand(v)
-	if ok && r.bank == b {
+	if ok && r.Bank == b {
 		return r
 	}
-	if b == bFlt {
-		return ref{bFlt, fc.fltIdx[0]}
+	if b == BankFlt {
+		return Ref{BankFlt, fc.fltIdx[0]}
 	}
-	return ref{bInt, fc.intIdx[0]}
+	return Ref{BankInt, fc.intIdx[0]}
 }
 
-// vecRef resolves v for a context that reads the given vector bank, or
+// vecRef resolves v for a context that reads the given vector Bank, or
 // reports failure (the interpreter would fault on a nil lane slice).
-func (fc *fnCompiler) vecRef(v ir.Value, b bank) (ref, bool) {
+func (fc *fnCompiler) vecRef(v ir.Value, b Bank) (Ref, bool) {
 	r, ok := fc.operand(v)
-	if !ok || r.bank != b {
-		return ref{}, false
+	if !ok || r.Bank != b {
+		return Ref{}, false
 	}
 	return r, true
 }
@@ -288,9 +305,9 @@ func (fc *fnCompiler) analyzeFusion() {
 	}
 }
 
-func (fc *fnCompiler) add(i inst) int32 {
-	if i.retire == 0 {
-		i.retire = 1
+func (fc *fnCompiler) add(i Inst) int32 {
+	if i.Retire == 0 {
+		i.Retire = 1
 	}
 	fc.code = append(fc.code, i)
 	return int32(len(fc.code) - 1)
@@ -300,75 +317,75 @@ func (fc *fnCompiler) add(i inst) int32 {
 // for constructs whose error the interpreter only raises at runtime, so
 // dead invalid code stays launchable on both backends.
 func (fc *fnCompiler) trap(msg string, retire uint8) {
-	ax := fc.auxAdd(aux{name: msg})
-	fc.code = append(fc.code, inst{op: opTrap, retire: retire, imm: ax})
+	ax := fc.auxAdd(Aux{Name: msg})
+	fc.code = append(fc.code, Inst{Op: OpTrap, Retire: retire, Imm: ax})
 }
 
-func (fc *fnCompiler) auxAdd(a aux) int64 {
+func (fc *fnCompiler) auxAdd(a Aux) int64 {
 	fc.auxes = append(fc.auxes, a)
 	return int64(len(fc.auxes) - 1)
 }
 
 // dst returns the destination register of a producing instruction.
-func (fc *fnCompiler) dst(in *ir.Instr) (ref, bool) {
-	r, ok := fc.refs[in]
+func (fc *fnCompiler) dst(in *ir.Instr) (Ref, bool) {
+	r, ok := fc.vals[in]
 	return r, ok
 }
 
-// ldOp returns the specialized scalar-load opcode for a kind.
-func ldOp(k clc.ScalarKind) opcode {
+// ldOp returns the specialized scalar-load Opcode for a kind.
+func ldOp(k clc.ScalarKind) Opcode {
 	switch k {
 	case clc.KBool, clc.KUChar:
-		return opLdU8
+		return OpLdU8
 	case clc.KChar:
-		return opLdI8
+		return OpLdI8
 	case clc.KShort:
-		return opLdI16
+		return OpLdI16
 	case clc.KUShort:
-		return opLdU16
+		return OpLdU16
 	case clc.KInt:
-		return opLdI32
+		return OpLdI32
 	case clc.KUInt:
-		return opLdU32
+		return OpLdU32
 	case clc.KLong, clc.KULong:
-		return opLdI64
+		return OpLdI64
 	case clc.KFloat:
-		return opLdF32
+		return OpLdF32
 	case clc.KDouble:
-		return opLdF64
+		return OpLdF64
 	}
-	return opNop
+	return OpNop
 }
 
-// stOp returns the specialized scalar-store opcode for a kind.
-func stOp(k clc.ScalarKind) opcode {
+// stOp returns the specialized scalar-store Opcode for a kind.
+func stOp(k clc.ScalarKind) Opcode {
 	switch k {
 	case clc.KBool, clc.KChar, clc.KUChar:
-		return opStI8
+		return OpStI8
 	case clc.KShort, clc.KUShort:
-		return opStI16
+		return OpStI16
 	case clc.KInt, clc.KUInt:
-		return opStI32
+		return OpStI32
 	case clc.KLong, clc.KULong:
-		return opStI64
+		return OpStI64
 	case clc.KFloat:
-		return opStF32
+		return OpStF32
 	case clc.KDouble:
-		return opStF64
+		return OpStF64
 	}
-	return opNop
+	return OpNop
 }
 
 // memAddr resolves the address operand of a load/store: either the fused
 // base+index pair (retire 2) or a plain address register.
-func (fc *fnCompiler) memAddr(in *ir.Instr) (base, idx ref, step int64, fused bool) {
+func (fc *fnCompiler) memAddr(in *ir.Instr) (base, idx Ref, step int64, fused bool) {
 	if gep := fc.fuseWith[in]; gep != nil {
-		base = fc.scalarRef(gep.Args[0], bInt)
-		idx = fc.scalarRef(gep.Args[1], bInt)
+		base = fc.scalarRef(gep.Args[0], BankInt)
+		idx = fc.scalarRef(gep.Args[1], BankInt)
 		step = int64(ir.PointeeSize(gep.Args[0].Type()))
 		return base, idx, step, true
 	}
-	return fc.scalarRef(in.Args[0], bInt), ref{}, 0, false
+	return fc.scalarRef(in.Args[0], BankInt), Ref{}, 0, false
 }
 
 // emit translates one IR instruction into bytecode.
@@ -376,15 +393,15 @@ func (fc *fnCompiler) emit(in *ir.Instr) {
 	switch in.Op {
 	case ir.OpAlloca:
 		d, ok := fc.dst(in)
-		if !ok || d.bank != bInt {
+		if !ok || d.Bank != BankInt {
 			fc.trap(fmt.Sprintf("vm: alloca %s without pointer register", in.VarName), 1)
 			return
 		}
 		if in.Space == clc.ASLocal {
 			addr := vm.MakeAddr(clc.ASLocal, uint64(fc.p.AllocaOffset(in, fc.f)))
-			fc.add(inst{op: opAllocaL, a: d.idx, imm: int64(addr)})
+			fc.add(Inst{Op: OpAllocaL, A: d.Idx, Imm: int64(addr)})
 		} else {
-			fc.add(inst{op: opAllocaP, a: d.idx, imm: int64(fc.p.AllocaOffset(in, fc.f))})
+			fc.add(Inst{Op: OpAllocaP, A: d.Idx, Imm: int64(fc.p.AllocaOffset(in, fc.f))})
 		}
 
 	case ir.OpLoad:
@@ -395,17 +412,17 @@ func (fc *fnCompiler) emit(in *ir.Instr) {
 
 	case ir.OpIndex:
 		d, ok := fc.dst(in)
-		if !ok || d.bank != bInt {
+		if !ok || d.Bank != BankInt {
 			fc.trap("vm: index without pointer register", 1)
 			return
 		}
-		base := fc.scalarRef(in.Args[0], bInt)
+		base := fc.scalarRef(in.Args[0], BankInt)
 		step := int64(ir.PointeeSize(in.Args[0].Type()))
 		if ci, isC := in.Args[1].(*ir.ConstInt); isC {
-			fc.add(inst{op: opIndexC, a: d.idx, b: base.idx, imm: ci.Val * step})
+			fc.add(Inst{Op: OpIndexC, A: d.Idx, B: base.Idx, Imm: ci.Val * step})
 		} else {
-			idx := fc.scalarRef(in.Args[1], bInt)
-			fc.add(inst{op: opIndex, a: d.idx, b: base.idx, c: idx.idx, imm: step})
+			idx := fc.scalarRef(in.Args[1], BankInt)
+			fc.add(Inst{Op: OpIndex, A: d.Idx, B: base.Idx, C: idx.Idx, Imm: step})
 		}
 
 	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
@@ -440,46 +457,46 @@ func (fc *fnCompiler) emit(in *ir.Instr) {
 		fc.emitMath(in)
 
 	case ir.OpBarrier:
-		fc.add(inst{op: opBarrier, in: in})
+		fc.add(Inst{Op: OpBarrier, In: in})
 
 	case ir.OpCall:
 		fc.emitCall(in)
 
 	case ir.OpBr:
-		pc := fc.add(inst{op: opJmp})
+		pc := fc.add(Inst{Op: OpJmp})
 		fc.fixups = append(fc.fixups, fixup{pc: pc, slot: 0, blk: in.Targets[0]})
 
 	case ir.OpCondBr:
-		op := opCondBrI
-		cb := bInt
+		op := OpCondBrI
+		cb := BankInt
 		if s, ok := in.Args[0].Type().(*clc.ScalarType); ok && s.Kind.IsFloat() {
-			op, cb = opCondBrF, bFlt
+			op, cb = OpCondBrF, BankFlt
 		}
 		cond := fc.scalarRef(in.Args[0], cb)
-		pc := fc.add(inst{op: op, a: cond.idx})
+		pc := fc.add(Inst{Op: op, A: cond.Idx})
 		fc.fixups = append(fc.fixups,
 			fixup{pc: pc, slot: 0, blk: in.Targets[0]},
 			fixup{pc: pc, slot: 1, blk: in.Targets[1]})
 
 	case ir.OpRet:
 		if len(in.Args) == 0 {
-			fc.add(inst{op: opRet})
+			fc.add(Inst{Op: OpRet})
 			return
 		}
 		r, ok := fc.operand(in.Args[0])
 		if !ok {
-			fc.add(inst{op: opRet})
+			fc.add(Inst{Op: OpRet})
 			return
 		}
-		switch r.bank {
-		case bInt:
-			fc.add(inst{op: opRetI, b: r.idx})
-		case bFlt:
-			fc.add(inst{op: opRetF, b: r.idx})
-		case bVecI:
-			fc.add(inst{op: opRetVI, b: r.idx})
-		case bVecF:
-			fc.add(inst{op: opRetVF, b: r.idx})
+		switch r.Bank {
+		case BankInt:
+			fc.add(Inst{Op: OpRetI, B: r.Idx})
+		case BankFlt:
+			fc.add(Inst{Op: OpRetF, B: r.Idx})
+		case BankVecI:
+			fc.add(Inst{Op: OpRetVI, B: r.Idx})
+		case BankVecF:
+			fc.add(Inst{Op: OpRetVF, B: r.Idx})
 		}
 
 	default:
@@ -498,33 +515,33 @@ func (fc *fnCompiler) emitLoad(in *ir.Instr) {
 	if fused {
 		retire = 2
 	}
-	i := inst{a: d.idx, b: base.idx, c: idx.idx, imm: step,
-		n: int32(in.Typ.Size()), retire: retire, in: in}
+	i := Inst{A: d.Idx, B: base.Idx, C: idx.Idx, Imm: step,
+		N: int32(in.Typ.Size()), Retire: retire, In: in}
 	switch tt := in.Typ.(type) {
 	case *clc.ScalarType:
-		i.op = ldOp(tt.Kind)
-		if i.op == opNop {
+		i.Op = ldOp(tt.Kind)
+		if i.Op == OpNop {
 			fc.trap(fmt.Sprintf("vm: load of unsupported scalar %s", tt.Kind), retire)
 			return
 		}
 		if fused {
-			i.op += opLdXI8 - opLdI8
+			i.Op += OpLdXI8 - OpLdI8
 		}
 	case *clc.VectorType:
-		i.kind = uint8(tt.Elem.Kind)
-		i.sub = uint8(tt.Len)
+		i.Kind = uint8(tt.Elem.Kind)
+		i.Sub = uint8(tt.Len)
 		if tt.Elem.Kind.IsFloat() {
-			i.op = opLdVF
+			i.Op = OpLdVF
 		} else {
-			i.op = opLdVI
+			i.Op = OpLdVI
 		}
 		if fused {
-			i.op += opLdXVI - opLdVI
+			i.Op += OpLdXVI - OpLdVI
 		}
 	case *clc.PointerType:
-		i.op = opLdI64
+		i.Op = OpLdI64
 		if fused {
-			i.op += opLdXI8 - opLdI8
+			i.Op += OpLdXI8 - OpLdI8
 		}
 	default:
 		fc.trap(fmt.Sprintf("vm: load of unsupported type %s", in.Typ), retire)
@@ -540,45 +557,45 @@ func (fc *fnCompiler) emitStore(in *ir.Instr) {
 		retire = 2
 	}
 	t := in.Args[1].Type()
-	i := inst{b: base.idx, c: idx.idx, imm: step,
-		n: int32(t.Size()), retire: retire, in: in}
+	i := Inst{B: base.Idx, C: idx.Idx, Imm: step,
+		N: int32(t.Size()), Retire: retire, In: in}
 	switch tt := t.(type) {
 	case *clc.ScalarType:
-		i.op = stOp(tt.Kind)
-		if i.op == opNop {
+		i.Op = stOp(tt.Kind)
+		if i.Op == OpNop {
 			fc.trap(fmt.Sprintf("vm: store of unsupported scalar %s", tt.Kind), retire)
 			return
 		}
-		vb := bInt
+		vb := BankInt
 		if tt.Kind.IsFloat() {
-			vb = bFlt
+			vb = BankFlt
 		}
-		i.a = fc.scalarRef(in.Args[1], vb).idx
+		i.A = fc.scalarRef(in.Args[1], vb).Idx
 		if fused {
-			i.op += opStXI8 - opStI8
+			i.Op += OpStXI8 - OpStI8
 		}
 	case *clc.VectorType:
-		vb := bVecI
-		i.op = opStVI
+		vb := BankVecI
+		i.Op = OpStVI
 		if tt.Elem.Kind.IsFloat() {
-			vb, i.op = bVecF, opStVF
+			vb, i.Op = BankVecF, OpStVF
 		}
 		src, ok := fc.vecRef(in.Args[1], vb)
 		if !ok {
 			fc.trap(fmt.Sprintf("vm: store of unsupported type %s", t), retire)
 			return
 		}
-		i.a = src.idx
-		i.kind = uint8(tt.Elem.Kind)
-		i.sub = uint8(tt.Len)
+		i.A = src.Idx
+		i.Kind = uint8(tt.Elem.Kind)
+		i.Sub = uint8(tt.Len)
 		if fused {
-			i.op += opStXVI - opStVI
+			i.Op += OpStXVI - OpStVI
 		}
 	case *clc.PointerType:
-		i.op = opStI64
-		i.a = fc.scalarRef(in.Args[1], bInt).idx
+		i.Op = OpStI64
+		i.A = fc.scalarRef(in.Args[1], BankInt).Idx
 		if fused {
-			i.op += opStXI8 - opStI8
+			i.Op += OpStXI8 - OpStI8
 		}
 	default:
 		fc.trap(fmt.Sprintf("vm: store of unsupported type %s", t), retire)
@@ -596,94 +613,94 @@ func (fc *fnCompiler) emitBin(in *ir.Instr) {
 	switch tt := in.Typ.(type) {
 	case *clc.ScalarType:
 		if tt.Kind.IsFloat() {
-			a := fc.scalarRef(in.Args[0], bFlt)
-			b := fc.scalarRef(in.Args[1], bFlt)
-			var op opcode
+			a := fc.scalarRef(in.Args[0], BankFlt)
+			b := fc.scalarRef(in.Args[1], BankFlt)
+			var op Opcode
 			switch in.Op {
 			case ir.OpAdd:
-				op = opAddF
+				op = OpAddF
 			case ir.OpSub:
-				op = opSubF
+				op = OpSubF
 			case ir.OpMul:
-				op = opMulF
+				op = OpMulF
 			case ir.OpDiv:
-				op = opDivF
+				op = OpDivF
 			default:
-				op = opFltBin
+				op = OpFltBin
 			}
-			if op != opFltBin && tt.Kind == clc.KFloat {
-				op += opAddF32 - opAddF
+			if op != OpFltBin && tt.Kind == clc.KFloat {
+				op += OpAddF32 - OpAddF
 			}
-			fc.add(inst{op: op, kind: uint8(tt.Kind), sub: uint8(in.Op),
-				a: d.idx, b: a.idx, c: b.idx})
+			fc.add(Inst{Op: op, Kind: uint8(tt.Kind), Sub: uint8(in.Op),
+				A: d.Idx, B: a.Idx, C: b.Idx})
 			return
 		}
-		a := fc.scalarRef(in.Args[0], bInt)
-		b := fc.scalarRef(in.Args[1], bInt)
-		op := opIntBin
+		a := fc.scalarRef(in.Args[0], BankInt)
+		b := fc.scalarRef(in.Args[1], BankInt)
+		op := OpIntBin
 		// Specializations hold for arbitrary (even unnormalized) inputs:
 		// wrap-to-32 equals normInt after the raw 64-bit op, and 64-bit
 		// kinds need no normalization at all. Narrow kinds and the
 		// div/rem/shift family keep the generic path.
 		switch in.Op {
 		case ir.OpAdd:
-			op = pickIntOp(tt.Kind, opAddI, opAddI32, opAddU32)
+			op = pickIntOp(tt.Kind, OpAddI, OpAddI32, OpAddU32)
 		case ir.OpSub:
-			op = pickIntOp(tt.Kind, opSubI, opSubI32, opSubU32)
+			op = pickIntOp(tt.Kind, OpSubI, OpSubI32, OpSubU32)
 		case ir.OpMul:
-			op = pickIntOp(tt.Kind, opMulI, opMulI32, opMulU32)
+			op = pickIntOp(tt.Kind, OpMulI, OpMulI32, OpMulU32)
 		case ir.OpAnd:
-			op = pickIntOp(tt.Kind, opAndI, opIntBin, opIntBin)
+			op = pickIntOp(tt.Kind, OpAndI, OpIntBin, OpIntBin)
 		case ir.OpOr:
-			op = pickIntOp(tt.Kind, opOrI, opIntBin, opIntBin)
+			op = pickIntOp(tt.Kind, OpOrI, OpIntBin, OpIntBin)
 		case ir.OpXor:
-			op = pickIntOp(tt.Kind, opXorI, opIntBin, opIntBin)
+			op = pickIntOp(tt.Kind, OpXorI, OpIntBin, OpIntBin)
 		}
-		fc.add(inst{op: op, kind: uint8(tt.Kind), sub: uint8(in.Op),
-			a: d.idx, b: a.idx, c: b.idx})
+		fc.add(Inst{Op: op, Kind: uint8(tt.Kind), Sub: uint8(in.Op),
+			A: d.Idx, B: a.Idx, C: b.Idx})
 	case *clc.VectorType:
 		ek := tt.Elem.Kind
 		if ek.IsFloat() {
-			a, okA := fc.vecRef(in.Args[0], bVecF)
-			b, okB := fc.vecRef(in.Args[1], bVecF)
-			if !okA || !okB || d.bank != bVecF {
+			a, okA := fc.vecRef(in.Args[0], BankVecF)
+			b, okB := fc.vecRef(in.Args[1], BankVecF)
+			if !okA || !okB || d.Bank != BankVecF {
 				fc.trap(fmt.Sprintf("vm: binary op %s on unsupported type %s", in.Op, in.Typ), 1)
 				return
 			}
-			var op opcode
+			var op Opcode
 			switch in.Op {
 			case ir.OpAdd:
-				op = opVAddF
+				op = OpVAddF
 			case ir.OpSub:
-				op = opVSubF
+				op = OpVSubF
 			case ir.OpMul:
-				op = opVMulF
+				op = OpVMulF
 			case ir.OpDiv:
-				op = opVDivF
+				op = OpVDivF
 			default:
-				op = opVBinF
+				op = OpVBinF
 			}
-			fc.add(inst{op: op, kind: uint8(ek), sub: uint8(in.Op),
-				a: d.idx, b: a.idx, c: b.idx})
+			fc.add(Inst{Op: op, Kind: uint8(ek), Sub: uint8(in.Op),
+				A: d.Idx, B: a.Idx, C: b.Idx})
 			return
 		}
-		a, okA := fc.vecRef(in.Args[0], bVecI)
-		b, okB := fc.vecRef(in.Args[1], bVecI)
-		if !okA || !okB || d.bank != bVecI {
+		a, okA := fc.vecRef(in.Args[0], BankVecI)
+		b, okB := fc.vecRef(in.Args[1], BankVecI)
+		if !okA || !okB || d.Bank != BankVecI {
 			fc.trap(fmt.Sprintf("vm: binary op %s on unsupported type %s", in.Op, in.Typ), 1)
 			return
 		}
-		fc.add(inst{op: opVBinI, kind: uint8(ek), sub: uint8(in.Op),
-			a: d.idx, b: a.idx, c: b.idx})
+		fc.add(Inst{Op: OpVBinI, Kind: uint8(ek), Sub: uint8(in.Op),
+			A: d.Idx, B: a.Idx, C: b.Idx})
 	case *clc.PointerType:
 		// Raw byte arithmetic on pointers, no normalization.
-		a := fc.scalarRef(in.Args[0], bInt)
-		b := fc.scalarRef(in.Args[1], bInt)
+		a := fc.scalarRef(in.Args[0], BankInt)
+		b := fc.scalarRef(in.Args[1], BankInt)
 		switch in.Op {
 		case ir.OpAdd:
-			fc.add(inst{op: opAddI, a: d.idx, b: a.idx, c: b.idx})
+			fc.add(Inst{Op: OpAddI, A: d.Idx, B: a.Idx, C: b.Idx})
 		case ir.OpSub:
-			fc.add(inst{op: opSubI, a: d.idx, b: a.idx, c: b.idx})
+			fc.add(Inst{Op: OpSubI, A: d.Idx, B: a.Idx, C: b.Idx})
 		default:
 			fc.trap(fmt.Sprintf("vm: binary op %s on unsupported type %s", in.Op, in.Typ), 1)
 		}
@@ -692,10 +709,10 @@ func (fc *fnCompiler) emitBin(in *ir.Instr) {
 	}
 }
 
-// pickIntOp selects the specialized opcode for an integer kind: raw64 for
+// pickIntOp selects the specialized Opcode for an integer Kind: raw64 for
 // 64-bit kinds, the wrapping 32-bit variants for int/uint, generic
 // otherwise.
-func pickIntOp(k clc.ScalarKind, raw64, i32, u32 opcode) opcode {
+func pickIntOp(k clc.ScalarKind, raw64, i32, u32 Opcode) Opcode {
 	switch k {
 	case clc.KLong, clc.KULong:
 		return raw64
@@ -704,7 +721,7 @@ func pickIntOp(k clc.ScalarKind, raw64, i32, u32 opcode) opcode {
 	case clc.KUInt:
 		return u32
 	}
-	return opIntBin
+	return OpIntBin
 }
 
 func (fc *fnCompiler) emitUn(in *ir.Instr) {
@@ -720,38 +737,38 @@ func (fc *fnCompiler) emitUn(in *ir.Instr) {
 				fc.trap(fmt.Sprintf("vm: %s on float", in.Op), 1)
 				return
 			}
-			a := fc.scalarRef(in.Args[0], bFlt)
-			fc.add(inst{op: opNegF, a: d.idx, b: a.idx})
+			a := fc.scalarRef(in.Args[0], BankFlt)
+			fc.add(Inst{Op: OpNegF, A: d.Idx, B: a.Idx})
 			return
 		}
-		a := fc.scalarRef(in.Args[0], bInt)
-		op := opNotI
+		a := fc.scalarRef(in.Args[0], BankInt)
+		op := OpNotI
 		if in.Op == ir.OpNeg {
-			op = opNegI
+			op = OpNegI
 		}
-		fc.add(inst{op: op, kind: uint8(tt.Kind), a: d.idx, b: a.idx})
+		fc.add(Inst{Op: op, Kind: uint8(tt.Kind), A: d.Idx, B: a.Idx})
 	case *clc.VectorType:
 		if tt.Elem.Kind.IsFloat() {
-			a, okA := fc.vecRef(in.Args[0], bVecF)
-			if !okA || d.bank != bVecF {
+			a, okA := fc.vecRef(in.Args[0], BankVecF)
+			if !okA || d.Bank != BankVecF {
 				fc.trap(fmt.Sprintf("vm: unary op %s on unsupported type %s", in.Op, in.Typ), 1)
 				return
 			}
 			// The interpreter negates float vectors for both Neg and Not;
 			// replicated bit for bit.
-			fc.add(inst{op: opVNegF, a: d.idx, b: a.idx})
+			fc.add(Inst{Op: OpVNegF, A: d.Idx, B: a.Idx})
 			return
 		}
-		a, okA := fc.vecRef(in.Args[0], bVecI)
-		if !okA || d.bank != bVecI {
+		a, okA := fc.vecRef(in.Args[0], BankVecI)
+		if !okA || d.Bank != BankVecI {
 			fc.trap(fmt.Sprintf("vm: unary op %s on unsupported type %s", in.Op, in.Typ), 1)
 			return
 		}
-		op := opVNotI
+		op := OpVNotI
 		if in.Op == ir.OpNeg {
-			op = opVNegI
+			op = OpVNegI
 		}
-		fc.add(inst{op: op, kind: uint8(tt.Elem.Kind), a: d.idx, b: a.idx})
+		fc.add(Inst{Op: op, Kind: uint8(tt.Elem.Kind), A: d.Idx, B: a.Idx})
 	default:
 		fc.trap(fmt.Sprintf("vm: unary op %s on unsupported type %s", in.Op, in.Typ), 1)
 	}
@@ -763,13 +780,13 @@ func (fc *fnCompiler) emitCmp(in *ir.Instr) {
 		fc.trap(fmt.Sprintf("vm: compare %s without register", in.Op), 1)
 		return
 	}
-	if d.bank == bFlt {
+	if d.Bank == BankFlt {
 		// A float-typed compare result: the interpreter boxes {i: 0/1}
 		// and any float-reading consumer sees zero.
-		fc.add(inst{op: opZeroF, a: d.idx})
+		fc.add(Inst{Op: OpZeroF, A: d.Idx})
 		return
 	}
-	if d.bank != bInt {
+	if d.Bank != BankInt {
 		fc.trap(fmt.Sprintf("vm: compare %s with vector result", in.Op), 1)
 		return
 	}
@@ -777,26 +794,26 @@ func (fc *fnCompiler) emitCmp(in *ir.Instr) {
 	switch ot := in.Args[0].Type().(type) {
 	case *clc.ScalarType:
 		if ot.Kind.IsFloat() {
-			a := fc.scalarRef(in.Args[0], bFlt)
-			b := fc.scalarRef(in.Args[1], bFlt)
-			fc.add(inst{op: opEqF + opcode(rel), a: d.idx, b: a.idx, c: b.idx})
+			a := fc.scalarRef(in.Args[0], BankFlt)
+			b := fc.scalarRef(in.Args[1], BankFlt)
+			fc.add(Inst{Op: OpEqF + Opcode(rel), A: d.Idx, B: a.Idx, C: b.Idx})
 			return
 		}
-		a := fc.scalarRef(in.Args[0], bInt)
-		b := fc.scalarRef(in.Args[1], bInt)
-		op := opEqI + opcode(rel)
+		a := fc.scalarRef(in.Args[0], BankInt)
+		b := fc.scalarRef(in.Args[1], BankInt)
+		op := OpEqI + Opcode(rel)
 		if ot.Kind.IsUnsigned() && in.Op != ir.OpEq && in.Op != ir.OpNe {
-			op = opLtU + opcode(in.Op-ir.OpLt)
+			op = OpLtU + Opcode(in.Op-ir.OpLt)
 		}
-		fc.add(inst{op: op, a: d.idx, b: a.idx, c: b.idx})
+		fc.add(Inst{Op: op, A: d.Idx, B: a.Idx, C: b.Idx})
 	case *clc.PointerType:
-		a := fc.scalarRef(in.Args[0], bInt)
-		b := fc.scalarRef(in.Args[1], bInt)
-		fc.add(inst{op: opEqI + opcode(rel), a: d.idx, b: a.idx, c: b.idx})
+		a := fc.scalarRef(in.Args[0], BankInt)
+		b := fc.scalarRef(in.Args[1], BankInt)
+		fc.add(Inst{Op: OpEqI + Opcode(rel), A: d.Idx, B: a.Idx, C: b.Idx})
 	default:
 		// Vector (and any other) comparisons fall through to zero in the
 		// interpreter.
-		fc.add(inst{op: opZeroI, a: d.idx})
+		fc.add(Inst{Op: OpZeroI, A: d.Idx})
 	}
 }
 
@@ -814,11 +831,11 @@ func (fc *fnCompiler) emitConvert(in *ir.Instr) {
 			fc.emitScalarConvert(in, d, ft.Kind, tt.Kind)
 			return
 		case *clc.PointerType:
-			a := fc.scalarRef(in.Args[0], bInt)
+			a := fc.scalarRef(in.Args[0], BankInt)
 			if tt.Kind == clc.KLong || tt.Kind == clc.KULong {
-				fc.add(inst{op: opMovI, a: d.idx, b: a.idx})
+				fc.add(Inst{Op: OpMovI, A: d.Idx, B: a.Idx})
 			} else {
-				fc.add(inst{op: opConvI, kind: uint8(tt.Kind), a: d.idx, b: a.idx})
+				fc.add(Inst{Op: OpConvI, Kind: uint8(tt.Kind), A: d.Idx, B: a.Idx})
 			}
 			return
 		}
@@ -827,10 +844,10 @@ func (fc *fnCompiler) emitConvert(in *ir.Instr) {
 		// The interpreter reuses the boxed value's integer field; for a
 		// float source that field is zero.
 		r, okR := fc.operand(in.Args[0])
-		if okR && r.bank == bInt {
-			fc.add(inst{op: opMovI, a: d.idx, b: r.idx})
+		if okR && r.Bank == BankInt {
+			fc.add(Inst{Op: OpMovI, A: d.Idx, B: r.Idx})
 		} else {
-			fc.add(inst{op: opZeroI, a: d.idx})
+			fc.add(Inst{Op: OpZeroI, A: d.Idx})
 		}
 	case *clc.VectorType:
 		ft, okV := from.(*clc.VectorType)
@@ -838,48 +855,48 @@ func (fc *fnCompiler) emitConvert(in *ir.Instr) {
 			fc.trap(fmt.Sprintf("vm: bad vector conversion %s → %s", from, in.Typ), 1)
 			return
 		}
-		sb := bVecI
+		sb := BankVecI
 		if ft.Elem.Kind.IsFloat() {
-			sb = bVecF
+			sb = BankVecF
 		}
 		src, okS := fc.vecRef(in.Args[0], sb)
 		if !okS {
 			fc.trap(fmt.Sprintf("vm: bad vector conversion %s → %s", from, in.Typ), 1)
 			return
 		}
-		fc.add(inst{op: opVConv, sub: uint8(ft.Elem.Kind), kind: uint8(tt.Elem.Kind),
-			a: d.idx, b: src.idx})
+		fc.add(Inst{Op: OpVConv, Sub: uint8(ft.Elem.Kind), Kind: uint8(tt.Elem.Kind),
+			A: d.Idx, B: src.Idx})
 	default:
 		fc.trap(fmt.Sprintf("vm: unsupported conversion %s → %s", from, in.Typ), 1)
 	}
 }
 
 // emitScalarConvert specializes scalar-to-scalar conversions.
-func (fc *fnCompiler) emitScalarConvert(in *ir.Instr, d ref, from, to clc.ScalarKind) {
+func (fc *fnCompiler) emitScalarConvert(in *ir.Instr, d Ref, from, to clc.ScalarKind) {
 	switch {
 	case from.IsFloat() && to.IsFloat():
-		a := fc.scalarRef(in.Args[0], bFlt)
+		a := fc.scalarRef(in.Args[0], BankFlt)
 		if to == clc.KFloat {
-			fc.add(inst{op: opF2F32, a: d.idx, b: a.idx})
+			fc.add(Inst{Op: OpF2F32, A: d.Idx, B: a.Idx})
 		} else {
-			fc.add(inst{op: opMovF, a: d.idx, b: a.idx})
+			fc.add(Inst{Op: OpMovF, A: d.Idx, B: a.Idx})
 		}
 	case from.IsFloat():
-		a := fc.scalarRef(in.Args[0], bFlt)
-		fc.add(inst{op: opF2I, kind: uint8(to), a: d.idx, b: a.idx})
+		a := fc.scalarRef(in.Args[0], BankFlt)
+		fc.add(Inst{Op: OpF2I, Kind: uint8(to), A: d.Idx, B: a.Idx})
 	case to.IsFloat():
-		a := fc.scalarRef(in.Args[0], bInt)
-		op := opI2F
+		a := fc.scalarRef(in.Args[0], BankInt)
+		op := OpI2F
 		if from.IsUnsigned() {
-			op = opU2F
+			op = OpU2F
 		}
-		fc.add(inst{op: op, kind: uint8(to), a: d.idx, b: a.idx})
+		fc.add(Inst{Op: op, Kind: uint8(to), A: d.Idx, B: a.Idx})
 	default:
-		a := fc.scalarRef(in.Args[0], bInt)
+		a := fc.scalarRef(in.Args[0], BankInt)
 		if to == clc.KLong || to == clc.KULong {
-			fc.add(inst{op: opMovI, a: d.idx, b: a.idx})
+			fc.add(Inst{Op: OpMovI, A: d.Idx, B: a.Idx})
 		} else {
-			fc.add(inst{op: opConvI, kind: uint8(to), a: d.idx, b: a.idx})
+			fc.add(Inst{Op: OpConvI, Kind: uint8(to), A: d.Idx, B: a.Idx})
 		}
 	}
 }
@@ -893,20 +910,20 @@ func (fc *fnCompiler) emitExtract(in *ir.Instr) {
 	}
 	lane := int64(in.Comps[0])
 	if vt.Elem.Kind.IsFloat() {
-		src, okS := fc.vecRef(in.Args[0], bVecF)
-		if !okS || d.bank != bFlt {
+		src, okS := fc.vecRef(in.Args[0], BankVecF)
+		if !okS || d.Bank != BankFlt {
 			fc.trap("vm: extract on non-vector operand", 1)
 			return
 		}
-		fc.add(inst{op: opExtF, a: d.idx, b: src.idx, imm: lane})
+		fc.add(Inst{Op: OpExtF, A: d.Idx, B: src.Idx, Imm: lane})
 		return
 	}
-	src, okS := fc.vecRef(in.Args[0], bVecI)
-	if !okS || d.bank != bInt {
+	src, okS := fc.vecRef(in.Args[0], BankVecI)
+	if !okS || d.Bank != BankInt {
 		fc.trap("vm: extract on non-vector operand", 1)
 		return
 	}
-	fc.add(inst{op: opExtI, a: d.idx, b: src.idx, imm: lane})
+	fc.add(Inst{Op: OpExtI, A: d.Idx, B: src.Idx, Imm: lane})
 }
 
 func (fc *fnCompiler) emitInsert(in *ir.Instr) {
@@ -918,22 +935,22 @@ func (fc *fnCompiler) emitInsert(in *ir.Instr) {
 	}
 	lane := int64(in.Comps[0])
 	if vt.Elem.Kind.IsFloat() {
-		src, okS := fc.vecRef(in.Args[0], bVecF)
-		if !okS || d.bank != bVecF {
+		src, okS := fc.vecRef(in.Args[0], BankVecF)
+		if !okS || d.Bank != BankVecF {
 			fc.trap("vm: insert on non-vector operand", 1)
 			return
 		}
-		sc := fc.scalarRef(in.Args[1], bFlt)
-		fc.add(inst{op: opInsF, a: d.idx, b: src.idx, c: sc.idx, imm: lane})
+		sc := fc.scalarRef(in.Args[1], BankFlt)
+		fc.add(Inst{Op: OpInsF, A: d.Idx, B: src.Idx, C: sc.Idx, Imm: lane})
 		return
 	}
-	src, okS := fc.vecRef(in.Args[0], bVecI)
-	if !okS || d.bank != bVecI {
+	src, okS := fc.vecRef(in.Args[0], BankVecI)
+	if !okS || d.Bank != BankVecI {
 		fc.trap("vm: insert on non-vector operand", 1)
 		return
 	}
-	sc := fc.scalarRef(in.Args[1], bInt)
-	fc.add(inst{op: opInsI, a: d.idx, b: src.idx, c: sc.idx, imm: lane})
+	sc := fc.scalarRef(in.Args[1], BankInt)
+	fc.add(Inst{Op: OpInsI, A: d.Idx, B: src.Idx, C: sc.Idx, Imm: lane})
 }
 
 func (fc *fnCompiler) emitShuffle(in *ir.Instr) {
@@ -947,22 +964,22 @@ func (fc *fnCompiler) emitShuffle(in *ir.Instr) {
 	for i, c := range in.Comps {
 		comps[i] = int32(c)
 	}
-	ax := fc.auxAdd(aux{comps: comps})
+	ax := fc.auxAdd(Aux{Comps: comps})
 	if vt.Elem.Kind.IsFloat() {
-		src, okS := fc.vecRef(in.Args[0], bVecF)
-		if !okS || d.bank != bVecF {
+		src, okS := fc.vecRef(in.Args[0], BankVecF)
+		if !okS || d.Bank != BankVecF {
 			fc.trap("vm: shuffle on non-vector operand", 1)
 			return
 		}
-		fc.add(inst{op: opShufF, a: d.idx, b: src.idx, imm: ax})
+		fc.add(Inst{Op: OpShufF, A: d.Idx, B: src.Idx, Imm: ax})
 		return
 	}
-	src, okS := fc.vecRef(in.Args[0], bVecI)
-	if !okS || d.bank != bVecI {
+	src, okS := fc.vecRef(in.Args[0], BankVecI)
+	if !okS || d.Bank != BankVecI {
 		fc.trap("vm: shuffle on non-vector operand", 1)
 		return
 	}
-	fc.add(inst{op: opShufI, a: d.idx, b: src.idx, imm: ax})
+	fc.add(Inst{Op: OpShufI, A: d.Idx, B: src.Idx, Imm: ax})
 }
 
 func (fc *fnCompiler) emitBuild(in *ir.Instr) {
@@ -972,22 +989,22 @@ func (fc *fnCompiler) emitBuild(in *ir.Instr) {
 		fc.trap("vm: build on non-vector type", 1)
 		return
 	}
-	eb := bInt
-	op := opBuildI
-	want := bVecI
+	eb := BankInt
+	op := OpBuildI
+	want := BankVecI
 	if vt.Elem.Kind.IsFloat() {
-		eb, op, want = bFlt, opBuildF, bVecF
+		eb, op, want = BankFlt, OpBuildF, BankVecF
 	}
-	if d.bank != want {
+	if d.Bank != want {
 		fc.trap("vm: build on non-vector type", 1)
 		return
 	}
-	refs := make([]ref, len(in.Args))
+	refs := make([]Ref, len(in.Args))
 	for i, a := range in.Args {
 		refs[i] = fc.scalarRef(a, eb)
 	}
-	ax := fc.auxAdd(aux{refs: refs})
-	fc.add(inst{op: op, a: d.idx, imm: ax})
+	ax := fc.auxAdd(Aux{Refs: refs})
+	fc.add(Inst{Op: op, A: d.Idx, Imm: ax})
 }
 
 func (fc *fnCompiler) emitWorkItem(in *ir.Instr) {
@@ -996,32 +1013,32 @@ func (fc *fnCompiler) emitWorkItem(in *ir.Instr) {
 		fc.trap("vm: work-item query without register", 1)
 		return
 	}
-	if d.bank == bFlt {
-		fc.add(inst{op: opZeroF, a: d.idx})
+	if d.Bank == BankFlt {
+		fc.add(Inst{Op: OpZeroF, A: d.Idx})
 		return
 	}
-	if d.bank != bInt {
+	if d.Bank != BankInt {
 		fc.trap(fmt.Sprintf("vm: work-item query %s with vector result", in.Func), 1)
 		return
 	}
 	var q int32
 	switch in.Func {
 	case "get_global_id":
-		q = qGlobalID
+		q = QGlobalID
 	case "get_local_id":
-		q = qLocalID
+		q = QLocalID
 	case "get_group_id":
-		q = qGroupID
+		q = QGroupID
 	case "get_global_size":
-		q = qGlobalSize
+		q = QGlobalSize
 	case "get_local_size":
-		q = qLocalSize
+		q = QLocalSize
 	case "get_num_groups":
-		q = qNumGroups
+		q = QNumGroups
 	case "get_work_dim":
-		q = qWorkDim
+		q = QWorkDim
 	default:
-		q = qNone
+		q = QNone
 	}
 	// Dimension argument: constants (including the no-arg default 0) fold
 	// into specialized opcodes; anything else is resolved at runtime.
@@ -1038,29 +1055,29 @@ func (fc *fnCompiler) emitWorkItem(in *ir.Instr) {
 		}
 	}
 	if dynamic {
-		dim := fc.scalarRef(in.Args[0], bInt)
-		fc.add(inst{op: opWIQ, a: d.idx, b: dim.idx, n: q})
+		dim := fc.scalarRef(in.Args[0], BankInt)
+		fc.add(Inst{Op: OpWIQ, A: d.Idx, B: dim.Idx, N: q})
 		return
 	}
-	if d64 < 0 || d64 > 2 || q == qNone {
-		fc.add(inst{op: opZeroI, a: d.idx})
+	if d64 < 0 || d64 > 2 || q == QNone {
+		fc.add(Inst{Op: OpZeroI, A: d.Idx})
 		return
 	}
 	switch q {
-	case qGlobalID:
-		fc.add(inst{op: opGID, a: d.idx, imm: d64})
-	case qLocalID:
-		fc.add(inst{op: opLID, a: d.idx, imm: d64})
-	case qGroupID:
-		fc.add(inst{op: opGRP, a: d.idx, imm: d64})
-	case qGlobalSize:
-		fc.add(inst{op: opGSZ, a: d.idx, imm: d64})
-	case qLocalSize:
-		fc.add(inst{op: opLSZ, a: d.idx, imm: d64})
-	case qNumGroups:
-		fc.add(inst{op: opNGRP, a: d.idx, imm: d64})
-	case qWorkDim:
-		fc.add(inst{op: opConstI, a: d.idx, imm: 3})
+	case QGlobalID:
+		fc.add(Inst{Op: OpGID, A: d.Idx, Imm: d64})
+	case QLocalID:
+		fc.add(Inst{Op: OpLID, A: d.Idx, Imm: d64})
+	case QGroupID:
+		fc.add(Inst{Op: OpGRP, A: d.Idx, Imm: d64})
+	case QGlobalSize:
+		fc.add(Inst{Op: OpGSZ, A: d.Idx, Imm: d64})
+	case QLocalSize:
+		fc.add(Inst{Op: OpLSZ, A: d.Idx, Imm: d64})
+	case QNumGroups:
+		fc.add(Inst{Op: OpNGRP, A: d.Idx, Imm: d64})
+	case QWorkDim:
+		fc.add(Inst{Op: OpConstI, A: d.Idx, Imm: 3})
 	}
 }
 
@@ -1074,69 +1091,69 @@ func (fc *fnCompiler) emitMath(in *ir.Instr) {
 	switch in.Func {
 	case "dot", "length":
 		if vt, isVec := in.Args[0].Type().(*clc.VectorType); isVec {
-			if d.bank != bFlt {
+			if d.Bank != BankFlt {
 				// An integer-typed consumer of the boxed float sees zero.
-				fc.add(inst{op: opZeroI, a: d.idx})
+				fc.add(Inst{Op: OpZeroI, A: d.Idx})
 				return
 			}
-			a, okA := fc.vecRef(in.Args[0], bVecF)
+			a, okA := fc.vecRef(in.Args[0], BankVecF)
 			if !okA {
 				fc.trap(fmt.Sprintf("vm: math builtin %q with unsupported type %s", in.Func, in.Args[0].Type()), 1)
 				return
 			}
 			if in.Func == "length" {
-				fc.add(inst{op: opLenVF, kind: uint8(vt.Elem.Kind), a: d.idx, b: a.idx})
+				fc.add(Inst{Op: OpLenVF, Kind: uint8(vt.Elem.Kind), A: d.Idx, B: a.Idx})
 				return
 			}
-			b, okB := fc.vecRef(in.Args[1], bVecF)
+			b, okB := fc.vecRef(in.Args[1], BankVecF)
 			if !okB {
 				fc.trap(fmt.Sprintf("vm: math builtin %q with unsupported type %s", in.Func, in.Args[1].Type()), 1)
 				return
 			}
-			fc.add(inst{op: opDotVF, kind: uint8(vt.Elem.Kind), a: d.idx, b: a.idx, c: b.idx})
+			fc.add(Inst{Op: OpDotVF, Kind: uint8(vt.Elem.Kind), A: d.Idx, B: a.Idx, C: b.Idx})
 			return
 		}
-		if d.bank != bFlt {
-			fc.add(inst{op: opZeroI, a: d.idx})
+		if d.Bank != BankFlt {
+			fc.add(Inst{Op: OpZeroI, A: d.Idx})
 			return
 		}
-		a := fc.scalarRef(in.Args[0], bFlt)
+		a := fc.scalarRef(in.Args[0], BankFlt)
 		if in.Func == "length" {
-			fc.add(inst{op: opLenSS, a: d.idx, b: a.idx})
+			fc.add(Inst{Op: OpLenSS, A: d.Idx, B: a.Idx})
 			return
 		}
-		b := fc.scalarRef(in.Args[1], bFlt)
-		fc.add(inst{op: opDotSS, a: d.idx, b: a.idx, c: b.idx})
+		b := fc.scalarRef(in.Args[1], BankFlt)
+		fc.add(Inst{Op: OpDotSS, A: d.Idx, B: a.Idx, C: b.Idx})
 		return
 	}
 	switch tt := in.Typ.(type) {
 	case *clc.ScalarType:
 		if tt.Kind.IsFloat() {
-			refs := make([]ref, len(in.Args))
+			refs := make([]Ref, len(in.Args))
 			for i, a := range in.Args {
-				refs[i] = fc.scalarRef(a, bFlt)
+				refs[i] = fc.scalarRef(a, BankFlt)
 			}
-			ax := fc.auxAdd(aux{name: in.Func, refs: refs})
-			fc.add(inst{op: opMathF, kind: uint8(tt.Kind), a: d.idx, imm: ax})
+			ax := fc.auxAdd(Aux{Name: in.Func, Refs: refs})
+			fc.add(Inst{Op: OpMathF, Kind: uint8(tt.Kind), A: d.Idx, Imm: ax})
 			return
 		}
-		refs := make([]ref, len(in.Args))
+		refs := make([]Ref, len(in.Args))
 		for i, a := range in.Args {
-			refs[i] = fc.scalarRef(a, bInt)
+			refs[i] = fc.scalarRef(a, BankInt)
 		}
-		ax := fc.auxAdd(aux{name: in.Func, refs: refs})
-		fc.add(inst{op: opMathI, kind: uint8(tt.Kind), a: d.idx, imm: ax})
+		ax := fc.auxAdd(Aux{Name: in.Func, Refs: refs})
+		fc.add(Inst{Op: OpMathI, Kind: uint8(tt.Kind), A: d.Idx, Imm: ax})
 	case *clc.VectorType:
-		vb := bVecI
-		op := opVMathI
+		vb := BankVecI
+		op := OpVMathI
 		if tt.Elem.Kind.IsFloat() {
-			vb, op = bVecF, opVMathF
+			vb, op = BankVecF, OpVMathF
 		}
-		if d.bank != vb {
+		if d.Bank != vb {
 			fc.trap(fmt.Sprintf("vm: math builtin %q with unsupported type %s", in.Func, in.Typ), 1)
 			return
 		}
-		refs := make([]ref, len(in.Args))
+		refs := make([]Ref, len(in.Args))
 		for i, a := range in.Args {
 			r, okR := fc.vecRef(a, vb)
 			if !okR {
@@ -1145,8 +1162,8 @@ func (fc *fnCompiler) emitMath(in *ir.Instr) {
 			}
 			refs[i] = r
 		}
-		ax := fc.auxAdd(aux{name: in.Func, refs: refs})
-		fc.add(inst{op: op, kind: uint8(tt.Elem.Kind), a: d.idx, imm: ax})
+		ax := fc.auxAdd(Aux{Name: in.Func, Refs: refs})
+		fc.add(Inst{Op: op, Kind: uint8(tt.Elem.Kind), A: d.Idx, Imm: ax})
 	default:
 		fc.trap(fmt.Sprintf("vm: math builtin %q with unsupported type %s", in.Func, in.Typ), 1)
 	}
@@ -1158,37 +1175,37 @@ func (fc *fnCompiler) emitCall(in *ir.Instr) {
 		fc.trap("vm: call to unknown function", 1)
 		return
 	}
-	if len(in.Args) != len(callee.fn.Params) {
+	if len(in.Args) != len(callee.Fn.Params) {
 		fc.trap(fmt.Sprintf("vm: call to %s with %d args, want %d",
-			callee.fn.Name, len(in.Args), len(callee.fn.Params)), 1)
+			callee.Fn.Name, len(in.Args), len(callee.Fn.Params)), 1)
 		return
 	}
-	refs := make([]ref, len(in.Args))
+	refs := make([]Ref, len(in.Args))
 	for i, a := range in.Args {
-		switch callee.params[i].bank {
-		case bInt:
-			refs[i] = fc.scalarRef(a, bInt)
-		case bFlt:
-			refs[i] = fc.scalarRef(a, bFlt)
+		switch callee.Params[i].Bank {
+		case BankInt:
+			refs[i] = fc.scalarRef(a, BankInt)
+		case BankFlt:
+			refs[i] = fc.scalarRef(a, BankFlt)
 		default:
-			r, okR := fc.vecRef(a, callee.params[i].bank)
+			r, okR := fc.vecRef(a, callee.Params[i].Bank)
 			if !okR {
 				fc.trap(fmt.Sprintf("vm: call to %s with mismatched vector argument %d",
-					callee.fn.Name, i), 1)
+					callee.Fn.Name, i), 1)
 				return
 			}
 			refs[i] = r
 		}
 	}
-	i := inst{op: opCall, a: -1, imm: fc.auxAdd(aux{callee: callee, refs: refs})}
+	i := Inst{Op: OpCall, A: -1, Imm: fc.auxAdd(Aux{Callee: callee, Refs: refs})}
 	if in.Producing() {
 		d, okD := fc.dst(in)
 		if !okD {
 			fc.trap("vm: call without destination register", 1)
 			return
 		}
-		i.a = d.idx
-		i.sub = uint8(d.bank)
+		i.A = d.Idx
+		i.Sub = uint8(d.Bank)
 	}
 	fc.add(i)
 }

@@ -1,8 +1,9 @@
-// Differential gate for the bytecode backend: every benchmark app, in
-// both its baseline and Grover-transformed form, must produce
-// bit-identical global memory on the interpreter and on bcode, and every
-// device profile must report identical simulated counters (which requires
-// the two backends to emit identical memory-trace streams).
+// Differential gate for the compiled backends (bcode and wgvec): every
+// benchmark app, in both its baseline and Grover-transformed form, must
+// produce bit-identical global memory on the interpreter and on each
+// compiled backend, and every device profile must report identical
+// simulated counters (which requires all backends to emit identical
+// memory-trace streams).
 package bcode_test
 
 import (
@@ -16,16 +17,20 @@ import (
 	"grover/internal/device"
 	igrover "grover/internal/grover"
 	"grover/internal/vm"
+	"grover/internal/wgvec"
 	"grover/opencl"
 )
 
 // backends under comparison; the interpreter is the reference.
-var backends = []string{vm.BackendInterp, bcode.Name}
+var backends = []string{vm.BackendInterp, bcode.Name, wgvec.Name}
 
 func TestBackendDifferentialApps(t *testing.T) {
 	profiles := device.All()
 	if testing.Short() {
-		profiles = profiles[:2]
+		// One profile keeps the race pass fast now that the matrix
+		// covers three backends; the full 6-profile sweep runs in the
+		// (un-raced) backends CI job.
+		profiles = profiles[:1]
 	}
 	plat := opencl.NewPlatform()
 	for _, app := range apps.All() {
@@ -75,9 +80,9 @@ func TestBackendDifferentialApps(t *testing.T) {
 					Args:       vargs,
 				}
 
-				// Functional runs: interpreter produces the reference
-				// memory image, bcode must match byte for byte and also
-				// pass the app's own numeric check.
+				// Functional runs: the interpreter produces the reference
+				// memory image, every compiled backend must match byte for
+				// byte and also pass the app's own numeric check.
 				cfg.Backend = vm.BackendInterp
 				restore()
 				if err := v.p.VM().Launch(app.Kernel, cfg, mem, nil); err != nil {
@@ -88,22 +93,24 @@ func TestBackendDifferentialApps(t *testing.T) {
 					t.Fatalf("%s: interp result: %v", v.name, err)
 				}
 
-				cfg.Backend = bcode.Name
-				restore()
-				if err := v.p.VM().Launch(app.Kernel, cfg, mem, nil); err != nil {
-					t.Fatalf("%s: bcode launch: %v", v.name, err)
-				}
-				if !bytes.Equal(mem.Data, want) {
-					t.Fatalf("%s: global memory differs between backends", v.name)
-				}
-				if err := inst.Check(); err != nil {
-					t.Fatalf("%s: bcode result: %v", v.name, err)
+				for _, backend := range backends[1:] {
+					cfg.Backend = backend
+					restore()
+					if err := v.p.VM().Launch(app.Kernel, cfg, mem, nil); err != nil {
+						t.Fatalf("%s: %s launch: %v", v.name, backend, err)
+					}
+					if !bytes.Equal(mem.Data, want) {
+						t.Fatalf("%s: global memory differs between interp and %s", v.name, backend)
+					}
+					if err := inst.Check(); err != nil {
+						t.Fatalf("%s: %s result: %v", v.name, backend, err)
+					}
 				}
 
 				// Simulated runs: identical traces imply identical
 				// counters on every device profile.
 				for _, prof := range profiles {
-					var results [2]device.Result
+					results := make([]device.Result, len(backends))
 					for bi, backend := range backends {
 						sim, err := device.NewSimulator(prof)
 						if err != nil {
@@ -119,9 +126,11 @@ func TestBackendDifferentialApps(t *testing.T) {
 						}
 						results[bi] = sim.Result()
 					}
-					if !reflect.DeepEqual(results[0], results[1]) {
-						t.Errorf("%s on %s: device counters differ\n interp: %+v\n bcode:  %+v",
-							v.name, prof.Name, results[0], results[1])
+					for bi := 1; bi < len(backends); bi++ {
+						if !reflect.DeepEqual(results[0], results[bi]) {
+							t.Errorf("%s on %s: device counters differ\n interp: %+v\n %s: %+v",
+								v.name, prof.Name, results[0], backends[bi], results[bi])
+						}
 					}
 				}
 			}

@@ -13,7 +13,7 @@ import (
 	"grover/internal/vm"
 )
 
-// regFile is one register-file instance shaped for a bfunc: dense scalar
+// regFile is one register-file instance shaped for a BFunc: dense scalar
 // banks plus per-register lane slices for the vector banks.
 type regFile struct {
 	ri []int64
@@ -23,34 +23,34 @@ type regFile struct {
 }
 
 // ensure resizes the file to bf's shape, reusing backing storage.
-func (r *regFile) ensure(bf *bfunc) {
-	if cap(r.ri) < bf.nInt {
-		r.ri = make([]int64, bf.nInt)
+func (r *regFile) ensure(bf *BFunc) {
+	if cap(r.ri) < bf.NInt {
+		r.ri = make([]int64, bf.NInt)
 	}
-	r.ri = r.ri[:bf.nInt]
-	if cap(r.rf) < bf.nFlt {
-		r.rf = make([]float64, bf.nFlt)
+	r.ri = r.ri[:bf.NInt]
+	if cap(r.rf) < bf.NFlt {
+		r.rf = make([]float64, bf.NFlt)
 	}
-	r.rf = r.rf[:bf.nFlt]
-	if cap(r.vi) < len(bf.vecILens) {
-		grown := make([][]int64, len(bf.vecILens))
+	r.rf = r.rf[:bf.NFlt]
+	if cap(r.vi) < len(bf.VecILens) {
+		grown := make([][]int64, len(bf.VecILens))
 		copy(grown, r.vi)
 		r.vi = grown
 	}
-	r.vi = r.vi[:len(bf.vecILens)]
-	for i, n := range bf.vecILens {
+	r.vi = r.vi[:len(bf.VecILens)]
+	for i, n := range bf.VecILens {
 		if cap(r.vi[i]) < n {
 			r.vi[i] = make([]int64, n)
 		}
 		r.vi[i] = r.vi[i][:n]
 	}
-	if cap(r.vf) < len(bf.vecFLens) {
-		grown := make([][]float64, len(bf.vecFLens))
+	if cap(r.vf) < len(bf.VecFLens) {
+		grown := make([][]float64, len(bf.VecFLens))
 		copy(grown, r.vf)
 		r.vf = grown
 	}
-	r.vf = r.vf[:len(bf.vecFLens)]
-	for i, n := range bf.vecFLens {
+	r.vf = r.vf[:len(bf.VecFLens)]
+	for i, n := range bf.VecFLens {
 		if cap(r.vf[i]) < n {
 			r.vf[i] = make([]float64, n)
 		}
@@ -68,7 +68,7 @@ type bFrame struct {
 // dispatch loop indexes banks without indirection.
 type wCtx struct {
 	wi int
-	bf *bfunc
+	bf *BFunc
 	pc int32
 
 	ri  []int64
@@ -86,7 +86,7 @@ type wCtx struct {
 	lmem []byte
 	pmem []byte
 
-	// Return-value stash for nested calls. opRet* clears the fields it
+	// Return-value stash for nested calls. OpRet* clears the fields it
 	// does not set, mirroring the interpreter's fresh boxed return value.
 	retI  int64
 	retF  float64
@@ -107,8 +107,9 @@ func (c *wCtx) frame() *bFrame {
 }
 
 // Launch implements vm.Executor with the interpreter's exact scheduling:
-// work-groups are distributed round-robin over workers, each worker runs
-// its groups in ascending order, and work-items within a group advance in
+// traced launches distribute work-groups round-robin over workers with
+// each worker running its groups in ascending order, untraced launches
+// balance groups dynamically, and work-items within a group advance in
 // barrier-delimited rounds.
 func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts *vm.LaunchOpts) error {
 	fn := m.p.Module.Kernel(kernel)
@@ -147,7 +148,7 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 	}
 
 	// Dynamic local buffers: lay out after the static local allocas.
-	staticLocal := bf.localSize
+	staticLocal := bf.LocalSize
 	dynOff := make([]int, len(ncfg.Args))
 	localTotal := staticLocal
 	for i, a := range ncfg.Args {
@@ -159,8 +160,8 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 		}
 	}
 
-	// Parameter payloads by bank. Only the payload matching the argument's
-	// kind is set; a parameter whose bank reads the other payload sees
+	// Parameter payloads by Bank. Only the payload matching the argument's
+	// kind is set; a parameter whose Bank reads the other payload sees
 	// zero, exactly like reading the unused field of a boxed value.
 	paramI := make([]int64, len(ncfg.Args))
 	paramF := make([]float64, len(ncfg.Args))
@@ -179,6 +180,7 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
+	sched := vm.NewGroupSchedule(nGroups, workers, tracerFor != nil)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -197,7 +199,8 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 				g.lsz[d] = int64(ncfg.LocalSize[d])
 				g.ngrp[d] = int64(ncfg.GlobalSize[d] / ncfg.LocalSize[d])
 			}
-			for gi := worker; gi < nGroups; gi += workers {
+			cur := sched.Cursor(worker)
+			for gi := cur.Next(); gi >= 0; gi = cur.Next() {
 				gz := gi / (groups[0] * groups[1])
 				rem := gi % (groups[0] * groups[1])
 				gy := rem / groups[0]
@@ -221,7 +224,7 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 // groupRun runs the work-groups assigned to one worker.
 type groupRun struct {
 	m          *Machine
-	bf         *bfunc
+	bf         *BFunc
 	cfg        vm.Config
 	gmem       *vm.GlobalMem
 	paramI     []int64
@@ -245,7 +248,11 @@ func (g *groupRun) runGroup(group [3]int, linear int) error {
 	lsz := g.cfg.LocalSize
 	n := lsz[0] * lsz[1] * lsz[2]
 
-	if cap(g.local) < g.localTotal {
+	// Grover-rewritten kernels have no __local memory at all; skip the
+	// arena sizing and per-group clear entirely in that case.
+	if g.localTotal == 0 {
+		g.local = nil
+	} else if cap(g.local) < g.localTotal {
 		g.local = make([]byte, g.localTotal)
 	} else {
 		g.local = g.local[:g.localTotal]
@@ -263,14 +270,14 @@ func (g *groupRun) runGroup(group [3]int, linear int) error {
 		if g.priv[wi] == nil || len(g.priv[wi]) < stack {
 			g.priv[wi] = make([]byte, stack)
 		}
-		copy(c.kern.ri, bf.intConsts)
-		copy(c.kern.rf, bf.fltConsts)
-		for k, pr := range bf.params {
-			switch pr.bank {
-			case bInt:
-				c.kern.ri[pr.idx] = g.paramI[k]
-			case bFlt:
-				c.kern.rf[pr.idx] = g.paramF[k]
+		copy(c.kern.ri, bf.IntConsts)
+		copy(c.kern.rf, bf.FltConsts)
+		for k, pr := range bf.Params {
+			switch pr.Bank {
+			case BankInt:
+				c.kern.ri[pr.Idx] = g.paramI[k]
+			case BankFlt:
+				c.kern.rf[pr.Idx] = g.paramF[k]
 			}
 		}
 		lz := wi / (lsz[0] * lsz[1])
@@ -290,7 +297,7 @@ func (g *groupRun) runGroup(group [3]int, linear int) error {
 			int64(group[2]*lsz[2] + lz),
 		}
 		c.frameBase = 0
-		c.sp = bf.frameSize
+		c.sp = bf.FrameSize
 		c.done = false
 		c.pending = 0
 		c.depth = 0
@@ -356,303 +363,303 @@ const kF32 = uint8(clc.KFloat)
 // exec runs c until a barrier (kernel level only), a return, or an error.
 func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 	tr := g.tracer
-	code := c.bf.code
-	auxs := c.bf.aux
+	code := c.bf.Code
+	auxs := c.bf.Aux
 	ri, rf := c.ri, c.rfl
 	vi, vf := c.vi, c.vf
 	pc := int(c.pc)
 	for {
 		in := &code[pc]
-		c.pending += int64(in.retire)
-		switch in.op {
-		case opNop:
+		c.pending += int64(in.Retire)
+		switch in.Op {
+		case OpNop:
 
-		case opJmp:
-			pc = int(in.imm)
+		case OpJmp:
+			pc = int(in.Imm)
 			continue
-		case opCondBrI:
-			if ri[in.a] != 0 {
-				pc = int(in.imm)
+		case OpCondBrI:
+			if ri[in.A] != 0 {
+				pc = int(in.Imm)
 			} else {
-				pc = int(in.n)
+				pc = int(in.N)
 			}
 			continue
-		case opCondBrF:
-			if rf[in.a] != 0 {
-				pc = int(in.imm)
+		case OpCondBrF:
+			if rf[in.A] != 0 {
+				pc = int(in.Imm)
 			} else {
-				pc = int(in.n)
+				pc = int(in.N)
 			}
 			continue
 
-		case opRet, opRetI, opRetF, opRetVI, opRetVF:
+		case OpRet, OpRetI, OpRetF, OpRetVI, OpRetVF:
 			if kernelLevel {
 				c.done = true
 				return false, nil, nil
 			}
 			c.retI, c.retF, c.retVI, c.retVF = 0, 0, nil, nil
-			switch in.op {
-			case opRetI:
-				c.retI = ri[in.b]
-			case opRetF:
-				c.retF = rf[in.b]
-			case opRetVI:
-				c.retVI = vi[in.b]
-			case opRetVF:
-				c.retVF = vf[in.b]
+			switch in.Op {
+			case OpRetI:
+				c.retI = ri[in.B]
+			case OpRetF:
+				c.retF = rf[in.B]
+			case OpRetVI:
+				c.retVI = vi[in.B]
+			case OpRetVF:
+				c.retVF = vf[in.B]
 			}
 			return false, nil, nil
 
-		case opBarrier:
+		case OpBarrier:
 			if !kernelLevel {
 				return false, nil, errors.New("vm: barrier inside a function call is unsupported")
 			}
 			c.pc = int32(pc + 1)
-			return true, in.in, nil
+			return true, in.In, nil
 
-		case opCall:
+		case OpCall:
 			if err := g.callFn(c, in, ri, rf, vi, vf); err != nil {
 				return false, nil, err
 			}
 
-		case opTrap:
-			return false, nil, errors.New(auxs[in.imm].name)
+		case OpTrap:
+			return false, nil, errors.New(auxs[in.Imm].Name)
 
-		case opConstI:
-			ri[in.a] = in.imm
-		case opZeroI:
-			ri[in.a] = 0
-		case opZeroF:
-			rf[in.a] = 0
-		case opMovI:
-			ri[in.a] = ri[in.b]
-		case opMovF:
-			rf[in.a] = rf[in.b]
+		case OpConstI:
+			ri[in.A] = in.Imm
+		case OpZeroI:
+			ri[in.A] = 0
+		case OpZeroF:
+			rf[in.A] = 0
+		case OpMovI:
+			ri[in.A] = ri[in.B]
+		case OpMovF:
+			rf[in.A] = rf[in.B]
 
-		case opGID:
-			ri[in.a] = c.gid[in.imm]
-		case opLID:
-			ri[in.a] = c.lid[in.imm]
-		case opGRP:
-			ri[in.a] = c.grp[in.imm]
-		case opGSZ:
-			ri[in.a] = g.gsz[in.imm]
-		case opLSZ:
-			ri[in.a] = g.lsz[in.imm]
-		case opNGRP:
-			ri[in.a] = g.ngrp[in.imm]
-		case opWIQ:
-			ri[in.a] = g.wiQuery(c, in.n, ri[in.b])
+		case OpGID:
+			ri[in.A] = c.gid[in.Imm]
+		case OpLID:
+			ri[in.A] = c.lid[in.Imm]
+		case OpGRP:
+			ri[in.A] = c.grp[in.Imm]
+		case OpGSZ:
+			ri[in.A] = g.gsz[in.Imm]
+		case OpLSZ:
+			ri[in.A] = g.lsz[in.Imm]
+		case OpNGRP:
+			ri[in.A] = g.ngrp[in.Imm]
+		case OpWIQ:
+			ri[in.A] = g.wiQuery(c, in.N, ri[in.B])
 
-		case opAllocaP:
-			ri[in.a] = int64(vm.MakeAddr(clc.ASPrivate, uint64(c.frameBase)+uint64(in.imm)))
-		case opAllocaL:
-			ri[in.a] = in.imm
+		case OpAllocaP:
+			ri[in.A] = int64(vm.MakeAddr(clc.ASPrivate, uint64(c.frameBase)+uint64(in.Imm)))
+		case OpAllocaL:
+			ri[in.A] = in.Imm
 
-		case opIndex:
-			ri[in.a] = ri[in.b] + ri[in.c]*in.imm
-		case opIndexC:
-			ri[in.a] = ri[in.b] + in.imm
+		case OpIndex:
+			ri[in.A] = ri[in.B] + ri[in.C]*in.Imm
+		case OpIndexC:
+			ri[in.A] = ri[in.B] + in.Imm
 
-		case opLdI8, opLdU8, opLdI16, opLdU16, opLdI32, opLdU32, opLdI64, opLdF32, opLdF64:
-			addr := uint64(ri[in.b])
+		case OpLdI8, OpLdU8, OpLdI16, OpLdU16, OpLdI32, OpLdU32, OpLdI64, OpLdF32, OpLdF64:
+			addr := uint64(ri[in.B])
 			if tr != nil {
-				tr.Access(in.in, c.wi, addr, int(in.n), false)
+				tr.Access(in.In, c.wi, addr, int(in.N), false)
 			}
 			if err := c.load(in, addr); err != nil {
 				return false, nil, err
 			}
-		case opLdXI8, opLdXU8, opLdXI16, opLdXU16, opLdXI32, opLdXU32, opLdXI64, opLdXF32, opLdXF64:
-			addr := uint64(ri[in.b] + ri[in.c]*in.imm)
+		case OpLdXI8, OpLdXU8, OpLdXI16, OpLdXU16, OpLdXI32, OpLdXU32, OpLdXI64, OpLdXF32, OpLdXF64:
+			addr := uint64(ri[in.B] + ri[in.C]*in.Imm)
 			if tr != nil {
-				tr.Access(in.in, c.wi, addr, int(in.n), false)
+				tr.Access(in.In, c.wi, addr, int(in.N), false)
 			}
 			if err := c.load(in, addr); err != nil {
 				return false, nil, err
 			}
 
-		case opStI8, opStI16, opStI32, opStI64, opStF32, opStF64:
-			addr := uint64(ri[in.b])
+		case OpStI8, OpStI16, OpStI32, OpStI64, OpStF32, OpStF64:
+			addr := uint64(ri[in.B])
 			if tr != nil {
-				tr.Access(in.in, c.wi, addr, int(in.n), true)
+				tr.Access(in.In, c.wi, addr, int(in.N), true)
 			}
 			if err := c.store(in, addr); err != nil {
 				return false, nil, err
 			}
-		case opStXI8, opStXI16, opStXI32, opStXI64, opStXF32, opStXF64:
-			addr := uint64(ri[in.b] + ri[in.c]*in.imm)
+		case OpStXI8, OpStXI16, OpStXI32, OpStXI64, OpStXF32, OpStXF64:
+			addr := uint64(ri[in.B] + ri[in.C]*in.Imm)
 			if tr != nil {
-				tr.Access(in.in, c.wi, addr, int(in.n), true)
+				tr.Access(in.In, c.wi, addr, int(in.N), true)
 			}
 			if err := c.store(in, addr); err != nil {
 				return false, nil, err
 			}
 
-		case opLdVI, opLdVF:
-			addr := uint64(ri[in.b])
+		case OpLdVI, OpLdVF:
+			addr := uint64(ri[in.B])
 			if tr != nil {
-				tr.Access(in.in, c.wi, addr, int(in.n), false)
+				tr.Access(in.In, c.wi, addr, int(in.N), false)
 			}
 			if err := c.loadVec(in, addr); err != nil {
 				return false, nil, err
 			}
-		case opLdXVI, opLdXVF:
-			addr := uint64(ri[in.b] + ri[in.c]*in.imm)
+		case OpLdXVI, OpLdXVF:
+			addr := uint64(ri[in.B] + ri[in.C]*in.Imm)
 			if tr != nil {
-				tr.Access(in.in, c.wi, addr, int(in.n), false)
+				tr.Access(in.In, c.wi, addr, int(in.N), false)
 			}
 			if err := c.loadVec(in, addr); err != nil {
 				return false, nil, err
 			}
-		case opStVI, opStVF:
-			addr := uint64(ri[in.b])
+		case OpStVI, OpStVF:
+			addr := uint64(ri[in.B])
 			if tr != nil {
-				tr.Access(in.in, c.wi, addr, int(in.n), true)
+				tr.Access(in.In, c.wi, addr, int(in.N), true)
 			}
 			if err := c.storeVec(in, addr); err != nil {
 				return false, nil, err
 			}
-		case opStXVI, opStXVF:
-			addr := uint64(ri[in.b] + ri[in.c]*in.imm)
+		case OpStXVI, OpStXVF:
+			addr := uint64(ri[in.B] + ri[in.C]*in.Imm)
 			if tr != nil {
-				tr.Access(in.in, c.wi, addr, int(in.n), true)
+				tr.Access(in.In, c.wi, addr, int(in.N), true)
 			}
 			if err := c.storeVec(in, addr); err != nil {
 				return false, nil, err
 			}
 
-		case opAddI:
-			ri[in.a] = ri[in.b] + ri[in.c]
-		case opSubI:
-			ri[in.a] = ri[in.b] - ri[in.c]
-		case opMulI:
-			ri[in.a] = ri[in.b] * ri[in.c]
-		case opAndI:
-			ri[in.a] = ri[in.b] & ri[in.c]
-		case opOrI:
-			ri[in.a] = ri[in.b] | ri[in.c]
-		case opXorI:
-			ri[in.a] = ri[in.b] ^ ri[in.c]
-		case opAddI32:
-			ri[in.a] = int64(int32(ri[in.b] + ri[in.c]))
-		case opSubI32:
-			ri[in.a] = int64(int32(ri[in.b] - ri[in.c]))
-		case opMulI32:
-			ri[in.a] = int64(int32(ri[in.b] * ri[in.c]))
-		case opAddU32:
-			ri[in.a] = int64(uint32(ri[in.b] + ri[in.c]))
-		case opSubU32:
-			ri[in.a] = int64(uint32(ri[in.b] - ri[in.c]))
-		case opMulU32:
-			ri[in.a] = int64(uint32(ri[in.b] * ri[in.c]))
-		case opIntBin:
-			v, err := vm.IntBin(ir.Op(in.sub), clc.ScalarKind(in.kind), ri[in.b], ri[in.c])
+		case OpAddI:
+			ri[in.A] = ri[in.B] + ri[in.C]
+		case OpSubI:
+			ri[in.A] = ri[in.B] - ri[in.C]
+		case OpMulI:
+			ri[in.A] = ri[in.B] * ri[in.C]
+		case OpAndI:
+			ri[in.A] = ri[in.B] & ri[in.C]
+		case OpOrI:
+			ri[in.A] = ri[in.B] | ri[in.C]
+		case OpXorI:
+			ri[in.A] = ri[in.B] ^ ri[in.C]
+		case OpAddI32:
+			ri[in.A] = int64(int32(ri[in.B] + ri[in.C]))
+		case OpSubI32:
+			ri[in.A] = int64(int32(ri[in.B] - ri[in.C]))
+		case OpMulI32:
+			ri[in.A] = int64(int32(ri[in.B] * ri[in.C]))
+		case OpAddU32:
+			ri[in.A] = int64(uint32(ri[in.B] + ri[in.C]))
+		case OpSubU32:
+			ri[in.A] = int64(uint32(ri[in.B] - ri[in.C]))
+		case OpMulU32:
+			ri[in.A] = int64(uint32(ri[in.B] * ri[in.C]))
+		case OpIntBin:
+			v, err := vm.IntBin(ir.Op(in.Sub), clc.ScalarKind(in.Kind), ri[in.B], ri[in.C])
 			if err != nil {
 				return false, nil, err
 			}
-			ri[in.a] = v
+			ri[in.A] = v
 
-		case opAddF:
-			rf[in.a] = rf[in.b] + rf[in.c]
-		case opSubF:
-			rf[in.a] = rf[in.b] - rf[in.c]
-		case opMulF:
-			rf[in.a] = rf[in.b] * rf[in.c]
-		case opDivF:
-			rf[in.a] = rf[in.b] / rf[in.c]
-		case opAddF32:
-			rf[in.a] = float64(float32(rf[in.b] + rf[in.c]))
-		case opSubF32:
-			rf[in.a] = float64(float32(rf[in.b] - rf[in.c]))
-		case opMulF32:
-			rf[in.a] = float64(float32(rf[in.b] * rf[in.c]))
-		case opDivF32:
-			rf[in.a] = float64(float32(rf[in.b] / rf[in.c]))
-		case opFltBin:
-			v, err := vm.FloatBin(ir.Op(in.sub), clc.ScalarKind(in.kind), rf[in.b], rf[in.c])
+		case OpAddF:
+			rf[in.A] = rf[in.B] + rf[in.C]
+		case OpSubF:
+			rf[in.A] = rf[in.B] - rf[in.C]
+		case OpMulF:
+			rf[in.A] = rf[in.B] * rf[in.C]
+		case OpDivF:
+			rf[in.A] = rf[in.B] / rf[in.C]
+		case OpAddF32:
+			rf[in.A] = float64(float32(rf[in.B] + rf[in.C]))
+		case OpSubF32:
+			rf[in.A] = float64(float32(rf[in.B] - rf[in.C]))
+		case OpMulF32:
+			rf[in.A] = float64(float32(rf[in.B] * rf[in.C]))
+		case OpDivF32:
+			rf[in.A] = float64(float32(rf[in.B] / rf[in.C]))
+		case OpFltBin:
+			v, err := vm.FloatBin(ir.Op(in.Sub), clc.ScalarKind(in.Kind), rf[in.B], rf[in.C])
 			if err != nil {
 				return false, nil, err
 			}
-			rf[in.a] = v
+			rf[in.A] = v
 
-		case opNegF:
-			rf[in.a] = -rf[in.b]
-		case opNegI:
-			ri[in.a] = vm.NormInt(-ri[in.b], clc.ScalarKind(in.kind))
-		case opNotI:
-			ri[in.a] = vm.NormInt(^ri[in.b], clc.ScalarKind(in.kind))
-		case opVNegF:
-			d, s := vf[in.a], vf[in.b]
+		case OpNegF:
+			rf[in.A] = -rf[in.B]
+		case OpNegI:
+			ri[in.A] = vm.NormInt(-ri[in.B], clc.ScalarKind(in.Kind))
+		case OpNotI:
+			ri[in.A] = vm.NormInt(^ri[in.B], clc.ScalarKind(in.Kind))
+		case OpVNegF:
+			d, s := vf[in.A], vf[in.B]
 			for i := range d {
 				d[i] = -s[i]
 			}
-		case opVNegI:
-			k := clc.ScalarKind(in.kind)
-			d, s := vi[in.a], vi[in.b]
+		case OpVNegI:
+			k := clc.ScalarKind(in.Kind)
+			d, s := vi[in.A], vi[in.B]
 			for i := range d {
 				d[i] = vm.NormInt(-s[i], k)
 			}
-		case opVNotI:
-			k := clc.ScalarKind(in.kind)
-			d, s := vi[in.a], vi[in.b]
+		case OpVNotI:
+			k := clc.ScalarKind(in.Kind)
+			d, s := vi[in.A], vi[in.B]
 			for i := range d {
 				d[i] = vm.NormInt(^s[i], k)
 			}
 
-		case opEqI:
-			ri[in.a] = b2i(ri[in.b] == ri[in.c])
-		case opNeI:
-			ri[in.a] = b2i(ri[in.b] != ri[in.c])
-		case opLtI:
-			ri[in.a] = b2i(ri[in.b] < ri[in.c])
-		case opLeI:
-			ri[in.a] = b2i(ri[in.b] <= ri[in.c])
-		case opGtI:
-			ri[in.a] = b2i(ri[in.b] > ri[in.c])
-		case opGeI:
-			ri[in.a] = b2i(ri[in.b] >= ri[in.c])
-		case opLtU:
-			ri[in.a] = b2i(uint64(ri[in.b]) < uint64(ri[in.c]))
-		case opLeU:
-			ri[in.a] = b2i(uint64(ri[in.b]) <= uint64(ri[in.c]))
-		case opGtU:
-			ri[in.a] = b2i(uint64(ri[in.b]) > uint64(ri[in.c]))
-		case opGeU:
-			ri[in.a] = b2i(uint64(ri[in.b]) >= uint64(ri[in.c]))
-		case opEqF:
-			ri[in.a] = b2i(rf[in.b] == rf[in.c])
-		case opNeF:
-			ri[in.a] = b2i(rf[in.b] != rf[in.c])
-		case opLtF:
-			ri[in.a] = b2i(rf[in.b] < rf[in.c])
-		case opLeF:
-			ri[in.a] = b2i(rf[in.b] <= rf[in.c])
-		case opGtF:
-			ri[in.a] = b2i(rf[in.b] > rf[in.c])
-		case opGeF:
-			ri[in.a] = b2i(rf[in.b] >= rf[in.c])
+		case OpEqI:
+			ri[in.A] = b2i(ri[in.B] == ri[in.C])
+		case OpNeI:
+			ri[in.A] = b2i(ri[in.B] != ri[in.C])
+		case OpLtI:
+			ri[in.A] = b2i(ri[in.B] < ri[in.C])
+		case OpLeI:
+			ri[in.A] = b2i(ri[in.B] <= ri[in.C])
+		case OpGtI:
+			ri[in.A] = b2i(ri[in.B] > ri[in.C])
+		case OpGeI:
+			ri[in.A] = b2i(ri[in.B] >= ri[in.C])
+		case OpLtU:
+			ri[in.A] = b2i(uint64(ri[in.B]) < uint64(ri[in.C]))
+		case OpLeU:
+			ri[in.A] = b2i(uint64(ri[in.B]) <= uint64(ri[in.C]))
+		case OpGtU:
+			ri[in.A] = b2i(uint64(ri[in.B]) > uint64(ri[in.C]))
+		case OpGeU:
+			ri[in.A] = b2i(uint64(ri[in.B]) >= uint64(ri[in.C]))
+		case OpEqF:
+			ri[in.A] = b2i(rf[in.B] == rf[in.C])
+		case OpNeF:
+			ri[in.A] = b2i(rf[in.B] != rf[in.C])
+		case OpLtF:
+			ri[in.A] = b2i(rf[in.B] < rf[in.C])
+		case OpLeF:
+			ri[in.A] = b2i(rf[in.B] <= rf[in.C])
+		case OpGtF:
+			ri[in.A] = b2i(rf[in.B] > rf[in.C])
+		case OpGeF:
+			ri[in.A] = b2i(rf[in.B] >= rf[in.C])
 
-		case opConvI:
-			ri[in.a] = vm.NormInt(ri[in.b], clc.ScalarKind(in.kind))
-		case opI2F:
-			rf[in.a] = vm.Round32(clc.ScalarKind(in.kind), float64(ri[in.b]))
-		case opU2F:
-			rf[in.a] = vm.Round32(clc.ScalarKind(in.kind), float64(uint64(ri[in.b])))
-		case opF2I:
-			f := rf[in.b]
+		case OpConvI:
+			ri[in.A] = vm.NormInt(ri[in.B], clc.ScalarKind(in.Kind))
+		case OpI2F:
+			rf[in.A] = vm.Round32(clc.ScalarKind(in.Kind), float64(ri[in.B]))
+		case OpU2F:
+			rf[in.A] = vm.Round32(clc.ScalarKind(in.Kind), float64(uint64(ri[in.B])))
+		case OpF2I:
+			f := rf[in.B]
 			if math.IsNaN(f) {
-				ri[in.a] = 0
+				ri[in.A] = 0
 			} else {
-				ri[in.a] = vm.NormInt(int64(f), clc.ScalarKind(in.kind))
+				ri[in.A] = vm.NormInt(int64(f), clc.ScalarKind(in.Kind))
 			}
-		case opF2F32:
-			rf[in.a] = float64(float32(rf[in.b]))
-		case opVConv:
+		case OpF2F32:
+			rf[in.A] = float64(float32(rf[in.B]))
+		case OpVConv:
 			c.vconv(in)
 
-		case opVAddF:
-			d, x, y := vf[in.a], vf[in.b], vf[in.c]
-			if in.kind == kF32 {
+		case OpVAddF:
+			d, x, y := vf[in.A], vf[in.B], vf[in.C]
+			if in.Kind == kF32 {
 				for i := range d {
 					d[i] = float64(float32(x[i] + y[i]))
 				}
@@ -661,9 +668,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 					d[i] = x[i] + y[i]
 				}
 			}
-		case opVSubF:
-			d, x, y := vf[in.a], vf[in.b], vf[in.c]
-			if in.kind == kF32 {
+		case OpVSubF:
+			d, x, y := vf[in.A], vf[in.B], vf[in.C]
+			if in.Kind == kF32 {
 				for i := range d {
 					d[i] = float64(float32(x[i] - y[i]))
 				}
@@ -672,9 +679,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 					d[i] = x[i] - y[i]
 				}
 			}
-		case opVMulF:
-			d, x, y := vf[in.a], vf[in.b], vf[in.c]
-			if in.kind == kF32 {
+		case OpVMulF:
+			d, x, y := vf[in.A], vf[in.B], vf[in.C]
+			if in.Kind == kF32 {
 				for i := range d {
 					d[i] = float64(float32(x[i] * y[i]))
 				}
@@ -683,9 +690,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 					d[i] = x[i] * y[i]
 				}
 			}
-		case opVDivF:
-			d, x, y := vf[in.a], vf[in.b], vf[in.c]
-			if in.kind == kF32 {
+		case OpVDivF:
+			d, x, y := vf[in.A], vf[in.B], vf[in.C]
+			if in.Kind == kF32 {
 				for i := range d {
 					d[i] = float64(float32(x[i] / y[i]))
 				}
@@ -694,9 +701,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 					d[i] = x[i] / y[i]
 				}
 			}
-		case opVBinF:
-			d, x, y := vf[in.a], vf[in.b], vf[in.c]
-			op, k := ir.Op(in.sub), clc.ScalarKind(in.kind)
+		case OpVBinF:
+			d, x, y := vf[in.A], vf[in.B], vf[in.C]
+			op, k := ir.Op(in.Sub), clc.ScalarKind(in.Kind)
 			for i := range d {
 				v, err := vm.FloatBin(op, k, x[i], y[i])
 				if err != nil {
@@ -704,9 +711,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 				}
 				d[i] = v
 			}
-		case opVBinI:
-			d, x, y := vi[in.a], vi[in.b], vi[in.c]
-			op, k := ir.Op(in.sub), clc.ScalarKind(in.kind)
+		case OpVBinI:
+			d, x, y := vi[in.A], vi[in.B], vi[in.C]
+			op, k := ir.Op(in.Sub), clc.ScalarKind(in.Kind)
 			for i := range d {
 				v, err := vm.IntBin(op, k, x[i], y[i])
 				if err != nil {
@@ -715,104 +722,104 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 				d[i] = v
 			}
 
-		case opExtI:
-			ri[in.a] = vi[in.b][in.imm]
-		case opExtF:
-			rf[in.a] = vf[in.b][in.imm]
-		case opInsI:
-			d := vi[in.a]
-			copy(d, vi[in.b])
-			d[in.imm] = ri[in.c]
-		case opInsF:
-			d := vf[in.a]
-			copy(d, vf[in.b])
-			d[in.imm] = rf[in.c]
-		case opShufI:
-			d, s := vi[in.a], vi[in.b]
-			for i, l := range auxs[in.imm].comps {
+		case OpExtI:
+			ri[in.A] = vi[in.B][in.Imm]
+		case OpExtF:
+			rf[in.A] = vf[in.B][in.Imm]
+		case OpInsI:
+			d := vi[in.A]
+			copy(d, vi[in.B])
+			d[in.Imm] = ri[in.C]
+		case OpInsF:
+			d := vf[in.A]
+			copy(d, vf[in.B])
+			d[in.Imm] = rf[in.C]
+		case OpShufI:
+			d, s := vi[in.A], vi[in.B]
+			for i, l := range auxs[in.Imm].Comps {
 				d[i] = s[l]
 			}
-		case opShufF:
-			d, s := vf[in.a], vf[in.b]
-			for i, l := range auxs[in.imm].comps {
+		case OpShufF:
+			d, s := vf[in.A], vf[in.B]
+			for i, l := range auxs[in.Imm].Comps {
 				d[i] = s[l]
 			}
-		case opBuildI:
-			d := vi[in.a]
-			for i, r := range auxs[in.imm].refs {
-				d[i] = ri[r.idx]
+		case OpBuildI:
+			d := vi[in.A]
+			for i, r := range auxs[in.Imm].Refs {
+				d[i] = ri[r.Idx]
 			}
-		case opBuildF:
-			d := vf[in.a]
-			for i, r := range auxs[in.imm].refs {
-				d[i] = rf[r.idx]
+		case OpBuildF:
+			d := vf[in.A]
+			for i, r := range auxs[in.Imm].Refs {
+				d[i] = rf[r.Idx]
 			}
 
-		case opDotVF:
-			x, y := vf[in.b], vf[in.c]
+		case OpDotVF:
+			x, y := vf[in.B], vf[in.C]
 			var sum float64
 			for i := range x {
 				sum += x[i] * y[i]
 			}
-			rf[in.a] = vm.Round32(clc.ScalarKind(in.kind), sum)
-		case opDotSS:
-			rf[in.a] = rf[in.b] * rf[in.c]
-		case opLenVF:
-			x := vf[in.b]
+			rf[in.A] = vm.Round32(clc.ScalarKind(in.Kind), sum)
+		case OpDotSS:
+			rf[in.A] = rf[in.B] * rf[in.C]
+		case OpLenVF:
+			x := vf[in.B]
 			var sum float64
 			for i := range x {
 				sum += x[i] * x[i]
 			}
-			rf[in.a] = vm.Round32(clc.ScalarKind(in.kind), math.Sqrt(sum))
-		case opLenSS:
-			rf[in.a] = math.Abs(rf[in.b])
-		case opMathF:
-			ax := &auxs[in.imm]
-			fa := g.scratchF(len(ax.refs))
-			for i, r := range ax.refs {
-				fa[i] = rf[r.idx]
+			rf[in.A] = vm.Round32(clc.ScalarKind(in.Kind), math.Sqrt(sum))
+		case OpLenSS:
+			rf[in.A] = math.Abs(rf[in.B])
+		case OpMathF:
+			ax := &auxs[in.Imm]
+			fa := g.scratchF(len(ax.Refs))
+			for i, r := range ax.Refs {
+				fa[i] = rf[r.Idx]
 			}
-			v, err := vm.MathF(ax.name, clc.ScalarKind(in.kind), fa)
+			v, err := vm.MathF(ax.Name, clc.ScalarKind(in.Kind), fa)
 			if err != nil {
 				return false, nil, err
 			}
-			rf[in.a] = v
-		case opMathI:
-			ax := &auxs[in.imm]
-			ia := g.scratchI(len(ax.refs))
-			for i, r := range ax.refs {
-				ia[i] = ri[r.idx]
+			rf[in.A] = v
+		case OpMathI:
+			ax := &auxs[in.Imm]
+			ia := g.scratchI(len(ax.Refs))
+			for i, r := range ax.Refs {
+				ia[i] = ri[r.Idx]
 			}
-			v, err := vm.MathI(ax.name, clc.ScalarKind(in.kind), ia)
+			v, err := vm.MathI(ax.Name, clc.ScalarKind(in.Kind), ia)
 			if err != nil {
 				return false, nil, err
 			}
-			ri[in.a] = v
-		case opVMathF:
-			ax := &auxs[in.imm]
-			d := vf[in.a]
-			fa := g.scratchF(len(ax.refs))
-			k := clc.ScalarKind(in.kind)
+			ri[in.A] = v
+		case OpVMathF:
+			ax := &auxs[in.Imm]
+			d := vf[in.A]
+			fa := g.scratchF(len(ax.Refs))
+			k := clc.ScalarKind(in.Kind)
 			for l := range d {
-				for i, r := range ax.refs {
-					fa[i] = vf[r.idx][l]
+				for i, r := range ax.Refs {
+					fa[i] = vf[r.Idx][l]
 				}
-				v, err := vm.MathF(ax.name, k, fa)
+				v, err := vm.MathF(ax.Name, k, fa)
 				if err != nil {
 					return false, nil, err
 				}
 				d[l] = v
 			}
-		case opVMathI:
-			ax := &auxs[in.imm]
-			d := vi[in.a]
-			ia := g.scratchI(len(ax.refs))
-			k := clc.ScalarKind(in.kind)
+		case OpVMathI:
+			ax := &auxs[in.Imm]
+			d := vi[in.A]
+			ia := g.scratchI(len(ax.Refs))
+			k := clc.ScalarKind(in.Kind)
 			for l := range d {
-				for i, r := range ax.refs {
-					ia[i] = vi[r.idx][l]
+				for i, r := range ax.Refs {
+					ia[i] = vi[r.Idx][l]
 				}
-				v, err := vm.MathI(ax.name, k, ia)
+				v, err := vm.MathI(ax.Name, k, ia)
 				if err != nil {
 					return false, nil, err
 				}
@@ -820,7 +827,7 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			}
 
 		default:
-			return false, nil, fmt.Errorf("bcode: invalid opcode %d at pc %d", in.op, pc)
+			return false, nil, fmt.Errorf("bcode: invalid opcode %d at pc %d", in.Op, pc)
 		}
 		pc++
 	}
@@ -828,26 +835,26 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 
 // callFn executes a user function synchronously within the work-item,
 // running it in the pooled register file for the current call depth. The
-// caller's bank slices are passed in so the return value lands in the
+// caller's Bank slices are passed in so the return value lands in the
 // caller's registers after the context is restored.
-func (g *groupRun) callFn(c *wCtx, in *inst, ri []int64, rf []float64, vi [][]int64, vf [][]float64) error {
-	ax := &c.bf.aux[in.imm]
-	callee := ax.callee
+func (g *groupRun) callFn(c *wCtx, in *Inst, ri []int64, rf []float64, vi [][]int64, vf [][]float64) error {
+	ax := &c.bf.Aux[in.Imm]
+	callee := ax.Callee
 	fr := c.frame()
 	fr.regs.ensure(callee)
-	copy(fr.regs.ri, callee.intConsts)
-	copy(fr.regs.rf, callee.fltConsts)
-	for i, r := range ax.refs {
-		p := callee.params[i]
-		switch p.bank {
-		case bInt:
-			fr.regs.ri[p.idx] = ri[r.idx]
-		case bFlt:
-			fr.regs.rf[p.idx] = rf[r.idx]
-		case bVecI:
-			copy(fr.regs.vi[p.idx], vi[r.idx])
-		case bVecF:
-			copy(fr.regs.vf[p.idx], vf[r.idx])
+	copy(fr.regs.ri, callee.IntConsts)
+	copy(fr.regs.rf, callee.FltConsts)
+	for i, r := range ax.Refs {
+		p := callee.Params[i]
+		switch p.Bank {
+		case BankInt:
+			fr.regs.ri[p.Idx] = ri[r.Idx]
+		case BankFlt:
+			fr.regs.rf[p.Idx] = rf[r.Idx]
+		case BankVecI:
+			copy(fr.regs.vi[p.Idx], vi[r.Idx])
+		case BankVecF:
+			copy(fr.regs.vf[p.Idx], vf[r.Idx])
 		}
 	}
 
@@ -860,10 +867,10 @@ func (g *groupRun) callFn(c *wCtx, in *inst, ri []int64, rf []float64, vi [][]in
 	c.ri, c.rfl = fr.regs.ri, fr.regs.rf
 	c.vi, c.vf = fr.regs.vi, fr.regs.vf
 	c.frameBase = c.sp
-	c.sp += callee.frameSize
+	c.sp += callee.FrameSize
 	c.depth++
 	if c.sp > len(c.pmem) {
-		return fmt.Errorf("vm: private stack overflow calling %s", callee.fn.Name)
+		return fmt.Errorf("vm: private stack overflow calling %s", callee.Fn.Name)
 	}
 	_, _, err := g.exec(c, false)
 	c.depth--
@@ -874,19 +881,19 @@ func (g *groupRun) callFn(c *wCtx, in *inst, ri []int64, rf []float64, vi [][]in
 	if err != nil {
 		return err
 	}
-	if in.a >= 0 {
-		switch bank(in.sub) {
-		case bInt:
-			ri[in.a] = c.retI
-		case bFlt:
-			rf[in.a] = c.retF
-		case bVecI:
+	if in.A >= 0 {
+		switch Bank(in.Sub) {
+		case BankInt:
+			ri[in.A] = c.retI
+		case BankFlt:
+			rf[in.A] = c.retF
+		case BankVecI:
 			if c.retVI != nil {
-				copy(vi[in.a], c.retVI)
+				copy(vi[in.A], c.retVI)
 			}
-		case bVecF:
+		case BankVecF:
 			if c.retVF != nil {
-				copy(vf[in.a], c.retVF)
+				copy(vf[in.A], c.retVF)
 			}
 		}
 	}
@@ -899,19 +906,19 @@ func (g *groupRun) wiQuery(c *wCtx, q int32, d int64) int64 {
 		return 0
 	}
 	switch q {
-	case qGlobalID:
+	case QGlobalID:
 		return c.gid[d]
-	case qLocalID:
+	case QLocalID:
 		return c.lid[d]
-	case qGroupID:
+	case QGroupID:
 		return c.grp[d]
-	case qGlobalSize:
+	case QGlobalSize:
 		return g.gsz[d]
-	case qLocalSize:
+	case QLocalSize:
 		return g.lsz[d]
-	case qNumGroups:
+	case QNumGroups:
 		return g.ngrp[d]
-	case qWorkDim:
+	case QWorkDim:
 		return 3
 	}
 	return 0
@@ -940,74 +947,74 @@ func (c *wCtx) arena(addr uint64) ([]byte, uint64, error) {
 	}
 }
 
-// load performs a scalar load. For scalar memory ops in.n is both the
+// load performs a scalar load. For scalar memory ops in.N is both the
 // traced size and the access width.
-func (c *wCtx) load(in *inst, addr uint64) error {
+func (c *wCtx) load(in *Inst, addr uint64) error {
 	a, off, err := c.arena(addr)
 	if err != nil {
 		return err
 	}
-	sz := int(in.n)
+	sz := int(in.N)
 	if int(off)+sz > len(a) {
 		return fmt.Errorf("vm: load of %d bytes at %d overruns arena (%d)", sz, off, len(a))
 	}
-	switch in.op {
-	case opLdI8, opLdXI8:
-		c.ri[in.a] = int64(int8(a[off]))
-	case opLdU8, opLdXU8:
-		c.ri[in.a] = int64(a[off])
-	case opLdI16, opLdXI16:
-		c.ri[in.a] = int64(int16(binary.LittleEndian.Uint16(a[off:])))
-	case opLdU16, opLdXU16:
-		c.ri[in.a] = int64(binary.LittleEndian.Uint16(a[off:]))
-	case opLdI32, opLdXI32:
-		c.ri[in.a] = int64(int32(binary.LittleEndian.Uint32(a[off:])))
-	case opLdU32, opLdXU32:
-		c.ri[in.a] = int64(binary.LittleEndian.Uint32(a[off:]))
-	case opLdI64, opLdXI64:
-		c.ri[in.a] = int64(binary.LittleEndian.Uint64(a[off:]))
-	case opLdF32, opLdXF32:
-		c.rfl[in.a] = float64(math.Float32frombits(binary.LittleEndian.Uint32(a[off:])))
-	case opLdF64, opLdXF64:
-		c.rfl[in.a] = math.Float64frombits(binary.LittleEndian.Uint64(a[off:]))
+	switch in.Op {
+	case OpLdI8, OpLdXI8:
+		c.ri[in.A] = int64(int8(a[off]))
+	case OpLdU8, OpLdXU8:
+		c.ri[in.A] = int64(a[off])
+	case OpLdI16, OpLdXI16:
+		c.ri[in.A] = int64(int16(binary.LittleEndian.Uint16(a[off:])))
+	case OpLdU16, OpLdXU16:
+		c.ri[in.A] = int64(binary.LittleEndian.Uint16(a[off:]))
+	case OpLdI32, OpLdXI32:
+		c.ri[in.A] = int64(int32(binary.LittleEndian.Uint32(a[off:])))
+	case OpLdU32, OpLdXU32:
+		c.ri[in.A] = int64(binary.LittleEndian.Uint32(a[off:]))
+	case OpLdI64, OpLdXI64:
+		c.ri[in.A] = int64(binary.LittleEndian.Uint64(a[off:]))
+	case OpLdF32, OpLdXF32:
+		c.rfl[in.A] = float64(math.Float32frombits(binary.LittleEndian.Uint32(a[off:])))
+	case OpLdF64, OpLdXF64:
+		c.rfl[in.A] = math.Float64frombits(binary.LittleEndian.Uint64(a[off:]))
 	}
 	return nil
 }
 
 // store performs a scalar store.
-func (c *wCtx) store(in *inst, addr uint64) error {
+func (c *wCtx) store(in *Inst, addr uint64) error {
 	a, off, err := c.arena(addr)
 	if err != nil {
 		return err
 	}
-	sz := int(in.n)
+	sz := int(in.N)
 	if int(off)+sz > len(a) {
 		return fmt.Errorf("vm: store of %d bytes at %d overruns arena (%d)", sz, off, len(a))
 	}
-	switch in.op {
-	case opStI8, opStXI8:
-		a[off] = byte(c.ri[in.a])
-	case opStI16, opStXI16:
-		binary.LittleEndian.PutUint16(a[off:], uint16(c.ri[in.a]))
-	case opStI32, opStXI32:
-		binary.LittleEndian.PutUint32(a[off:], uint32(c.ri[in.a]))
-	case opStI64, opStXI64:
-		binary.LittleEndian.PutUint64(a[off:], uint64(c.ri[in.a]))
-	case opStF32, opStXF32:
-		binary.LittleEndian.PutUint32(a[off:], math.Float32bits(float32(c.rfl[in.a])))
-	case opStF64, opStXF64:
-		binary.LittleEndian.PutUint64(a[off:], math.Float64bits(c.rfl[in.a]))
+	switch in.Op {
+	case OpStI8, OpStXI8:
+		a[off] = byte(c.ri[in.A])
+	case OpStI16, OpStXI16:
+		binary.LittleEndian.PutUint16(a[off:], uint16(c.ri[in.A]))
+	case OpStI32, OpStXI32:
+		binary.LittleEndian.PutUint32(a[off:], uint32(c.ri[in.A]))
+	case OpStI64, OpStXI64:
+		binary.LittleEndian.PutUint64(a[off:], uint64(c.ri[in.A]))
+	case OpStF32, OpStXF32:
+		binary.LittleEndian.PutUint32(a[off:], math.Float32bits(float32(c.rfl[in.A])))
+	case OpStF64, OpStXF64:
+		binary.LittleEndian.PutUint64(a[off:], math.Float64bits(c.rfl[in.A]))
 	}
 	return nil
 }
 
 // loadVec loads a vector lane by lane at element-size strides, with the
 // interpreter's per-lane bounds checks.
-func (c *wCtx) loadVec(in *inst, addr uint64) error {
-	k := clc.ScalarKind(in.kind)
+func (c *wCtx) loadVec(in *Inst, addr uint64) error {
+	k := clc.ScalarKind(in.Kind)
 	es := k.Size()
-	lanes := int(in.sub)
-	flt := in.op == opLdVF || in.op == opLdXVF
+	lanes := int(in.Sub)
+	flt := in.Op == OpLdVF || in.Op == OpLdXVF
 	for i := 0; i < lanes; i++ {
 		a, off, err := c.arena(addr + uint64(i*es))
 		if err != nil {
@@ -1018,23 +1025,23 @@ func (c *wCtx) loadVec(in *inst, addr uint64) error {
 		}
 		if flt {
 			if k == clc.KFloat {
-				c.vf[in.a][i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(a[off:])))
+				c.vf[in.A][i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(a[off:])))
 			} else {
-				c.vf[in.a][i] = math.Float64frombits(binary.LittleEndian.Uint64(a[off:]))
+				c.vf[in.A][i] = math.Float64frombits(binary.LittleEndian.Uint64(a[off:]))
 			}
 		} else {
-			c.vi[in.a][i] = loadIntLane(a, off, k)
+			c.vi[in.A][i] = loadIntLane(a, off, k)
 		}
 	}
 	return nil
 }
 
 // storeVec stores a vector lane by lane.
-func (c *wCtx) storeVec(in *inst, addr uint64) error {
-	k := clc.ScalarKind(in.kind)
+func (c *wCtx) storeVec(in *Inst, addr uint64) error {
+	k := clc.ScalarKind(in.Kind)
 	es := k.Size()
-	lanes := int(in.sub)
-	flt := in.op == opStVF || in.op == opStXVF
+	lanes := int(in.Sub)
+	flt := in.Op == OpStVF || in.Op == OpStXVF
 	for i := 0; i < lanes; i++ {
 		a, off, err := c.arena(addr + uint64(i*es))
 		if err != nil {
@@ -1045,12 +1052,12 @@ func (c *wCtx) storeVec(in *inst, addr uint64) error {
 		}
 		if flt {
 			if k == clc.KFloat {
-				binary.LittleEndian.PutUint32(a[off:], math.Float32bits(float32(c.vf[in.a][i])))
+				binary.LittleEndian.PutUint32(a[off:], math.Float32bits(float32(c.vf[in.A][i])))
 			} else {
-				binary.LittleEndian.PutUint64(a[off:], math.Float64bits(c.vf[in.a][i]))
+				binary.LittleEndian.PutUint64(a[off:], math.Float64bits(c.vf[in.A][i]))
 			}
 		} else {
-			storeIntLane(a, off, k, c.vi[in.a][i])
+			storeIntLane(a, off, k, c.vi[in.A][i])
 		}
 	}
 	return nil
@@ -1089,31 +1096,31 @@ func storeIntLane(a []byte, off uint64, k clc.ScalarKind, v int64) {
 }
 
 // vconv performs a lane-wise vector conversion.
-func (c *wCtx) vconv(in *inst) {
-	from := clc.ScalarKind(in.sub)
-	to := clc.ScalarKind(in.kind)
+func (c *wCtx) vconv(in *Inst) {
+	from := clc.ScalarKind(in.Sub)
+	to := clc.ScalarKind(in.Kind)
 	if from.IsFloat() {
-		src := c.vf[in.b]
+		src := c.vf[in.B]
 		if to.IsFloat() {
-			d := c.vf[in.a]
+			d := c.vf[in.A]
 			for i := range d {
 				_, d[i] = vm.ConvertKind(0, src[i], from, to)
 			}
 		} else {
-			d := c.vi[in.a]
+			d := c.vi[in.A]
 			for i := range d {
 				d[i], _ = vm.ConvertKind(0, src[i], from, to)
 			}
 		}
 	} else {
-		src := c.vi[in.b]
+		src := c.vi[in.B]
 		if to.IsFloat() {
-			d := c.vf[in.a]
+			d := c.vf[in.A]
 			for i := range d {
 				_, d[i] = vm.ConvertKind(src[i], 0, from, to)
 			}
 		} else {
-			d := c.vi[in.a]
+			d := c.vi[in.A]
 			for i := range d {
 				d[i], _ = vm.ConvertKind(src[i], 0, from, to)
 			}

@@ -12,6 +12,11 @@
 //
 // The backend registers itself with the VM under the name "bcode";
 // importing the package (a blank import suffices) enables it.
+//
+// The compiled form (Inst, BFunc, the Op* opcode space) is exported so
+// other backends can consume bcode's output as their input IR; the
+// work-group-vectorized backend in internal/wgvec compiles region
+// programs directly from these instructions.
 package bcode
 
 import (
@@ -21,266 +26,274 @@ import (
 // Name is the backend's registration name.
 const Name = "bcode"
 
-// opcode enumerates bytecode operations.
-type opcode uint16
+// Opcode enumerates bytecode operations.
+type Opcode uint16
 
 const (
-	opNop opcode = iota
+	OpNop Opcode = iota
 
 	// Control flow.
-	opJmp     // pc = imm
-	opCondBrI // pc = ri[a] != 0 ? imm : n
-	opCondBrF // pc = rf[a] != 0 ? imm : n
-	opRet     // return void (kernel level: work-item done)
-	opRetI    // return ri[b]
-	opRetF    // return rf[b]
-	opRetVI   // return vi[b]
-	opRetVF   // return vf[b]
-	opBarrier // suspend at a work-group barrier (kernel level only)
-	opCall    // aux[imm]: callee + arg refs; a = dst (-1 none), sub = dst bank
-	opTrap    // raise the error in aux[imm].name (deferred semantic error)
+	OpJmp     // pc = imm
+	OpCondBrI // pc = ri[a] != 0 ? imm : n
+	OpCondBrF // pc = rf[a] != 0 ? imm : n
+	OpRet     // return void (kernel level: work-item done)
+	OpRetI    // return ri[b]
+	OpRetF    // return rf[b]
+	OpRetVI   // return vi[b]
+	OpRetVF   // return vf[b]
+	OpBarrier // suspend at a work-group barrier (kernel level only)
+	OpCall    // aux[imm]: callee + arg refs; a = dst (-1 none), sub = dst bank
+	OpTrap    // raise the error in aux[imm].Name (deferred semantic error)
 
 	// Constants and moves.
-	opConstI // ri[a] = imm
-	opZeroI  // ri[a] = 0
-	opZeroF  // rf[a] = 0
-	opMovI   // ri[a] = ri[b]
-	opMovF   // rf[a] = rf[b]
+	OpConstI // ri[a] = imm
+	OpZeroI  // ri[a] = 0
+	OpZeroF  // rf[a] = 0
+	OpMovI   // ri[a] = ri[b]
+	OpMovF   // rf[a] = rf[b]
 
 	// Work-item queries with a compile-time dimension (imm = dim).
-	opGID  // ri[a] = get_global_id(imm)
-	opLID  // ri[a] = get_local_id(imm)
-	opGRP  // ri[a] = get_group_id(imm)
-	opGSZ  // ri[a] = get_global_size(imm)
-	opLSZ  // ri[a] = get_local_size(imm)
-	opNGRP // ri[a] = get_num_groups(imm)
-	opWIQ  // generic: n = query, b = dim register (runtime-bounded)
+	OpGID  // ri[a] = get_global_id(imm)
+	OpLID  // ri[a] = get_local_id(imm)
+	OpGRP  // ri[a] = get_group_id(imm)
+	OpGSZ  // ri[a] = get_global_size(imm)
+	OpLSZ  // ri[a] = get_local_size(imm)
+	OpNGRP // ri[a] = get_num_groups(imm)
+	OpWIQ  // generic: n = query, b = dim register (runtime-bounded)
 
 	// Allocas.
-	opAllocaP // ri[a] = private address frameBase+imm
-	opAllocaL // ri[a] = imm (precomputed tagged __local address)
+	OpAllocaP // ri[a] = private address frameBase+imm
+	OpAllocaL // ri[a] = imm (precomputed tagged __local address)
 
 	// Address computation (single-index GEP).
-	opIndex  // ri[a] = ri[b] + ri[c]*imm
-	opIndexC // ri[a] = ri[b] + imm
+	OpIndex  // ri[a] = ri[b] + ri[c]*imm
+	OpIndexC // ri[a] = ri[b] + imm
 
 	// Scalar loads: a = dst, b = address register, n = traced size.
-	opLdI8
-	opLdU8
-	opLdI16
-	opLdU16
-	opLdI32
-	opLdU32
-	opLdI64
-	opLdF32
-	opLdF64
+	OpLdI8
+	OpLdU8
+	OpLdI16
+	OpLdU16
+	OpLdI32
+	OpLdU32
+	OpLdI64
+	OpLdF32
+	OpLdF64
 	// Fused index+load: address is ri[b] + ri[c]*imm.
-	opLdXI8
-	opLdXU8
-	opLdXI16
-	opLdXU16
-	opLdXI32
-	opLdXU32
-	opLdXI64
-	opLdXF32
-	opLdXF64
+	OpLdXI8
+	OpLdXU8
+	OpLdXI16
+	OpLdXU16
+	OpLdXI32
+	OpLdXU32
+	OpLdXI64
+	OpLdXF32
+	OpLdXF64
 	// Scalar stores: a = src, b = address register, n = traced size.
-	opStI8
-	opStI16
-	opStI32
-	opStI64
-	opStF32
-	opStF64
+	OpStI8
+	OpStI16
+	OpStI32
+	OpStI64
+	OpStF32
+	OpStF64
 	// Fused index+store: address is ri[b] + ri[c]*imm.
-	opStXI8
-	opStXI16
-	opStXI32
-	opStXI64
-	opStXF32
-	opStXF64
+	OpStXI8
+	OpStXI16
+	OpStXI32
+	OpStXI64
+	OpStXF32
+	OpStXF64
 	// Vector loads/stores: kind = element kind, sub = lanes, n = traced
 	// size; fused variants address through ri[b] + ri[c]*imm.
-	opLdVI
-	opLdVF
-	opLdXVI
-	opLdXVF
-	opStVI
-	opStVF
-	opStXVI
-	opStXVF
+	OpLdVI
+	OpLdVF
+	OpLdXVI
+	OpLdXVF
+	OpStVI
+	OpStVF
+	OpStXVI
+	OpStXVF
 
 	// 64-bit integer arithmetic (no normalization: the kind's width is 64
 	// or the op is normalization-transparent).
-	opAddI
-	opSubI
-	opMulI
-	opAndI
-	opOrI
-	opXorI
+	OpAddI
+	OpSubI
+	OpMulI
+	OpAndI
+	OpOrI
+	OpXorI
 	// 32-bit integer arithmetic with C wrapping.
-	opAddI32
-	opSubI32
-	opMulI32
-	opAddU32
-	opSubU32
-	opMulU32
+	OpAddI32
+	OpSubI32
+	OpMulI32
+	OpAddU32
+	OpSubU32
+	OpMulU32
 	// Generic integer binary op: sub = ir.Op, kind = scalar kind.
-	opIntBin
+	OpIntBin
 	// Double-precision float arithmetic.
-	opAddF
-	opSubF
-	opMulF
-	opDivF
+	OpAddF
+	OpSubF
+	OpMulF
+	OpDivF
 	// Single-precision float arithmetic (round to float32).
-	opAddF32
-	opSubF32
-	opMulF32
-	opDivF32
+	OpAddF32
+	OpSubF32
+	OpMulF32
+	OpDivF32
 	// Generic float binary op: sub = ir.Op, kind = scalar kind.
-	opFltBin
+	OpFltBin
 
 	// Unary ops (kind = scalar kind for integer normalization).
-	opNegF
-	opNegI
-	opNotI
-	opVNegF
-	opVNegI
-	opVNotI
+	OpNegF
+	OpNegI
+	OpNotI
+	OpVNegF
+	OpVNegI
+	OpVNotI
 
 	// Comparisons (dst = int register; 0 or 1).
-	opEqI
-	opNeI
-	opLtI
-	opLeI
-	opGtI
-	opGeI
-	opLtU
-	opLeU
-	opGtU
-	opGeU
-	opEqF
-	opNeF
-	opLtF
-	opLeF
-	opGtF
-	opGeF
+	OpEqI
+	OpNeI
+	OpLtI
+	OpLeI
+	OpGtI
+	OpGeI
+	OpLtU
+	OpLeU
+	OpGtU
+	OpGeU
+	OpEqF
+	OpNeF
+	OpLtF
+	OpLeF
+	OpGtF
+	OpGeF
 
 	// Conversions.
-	opConvI // ri[a] = normInt(ri[b], kind)
-	opI2F   // rf[a] = round(kind, float64(ri[b]))
-	opU2F   // rf[a] = round(kind, float64(uint64(ri[b])))
-	opF2I   // ri[a] = NaN ? 0 : normInt(int64(rf[b]), kind)
-	opF2F32 // rf[a] = float64(float32(rf[b]))
-	opVConv // lane-wise conversion; sub = from kind, kind = to kind
+	OpConvI // ri[a] = normInt(ri[b], kind)
+	OpI2F   // rf[a] = round(kind, float64(ri[b]))
+	OpU2F   // rf[a] = round(kind, float64(uint64(ri[b])))
+	OpF2I   // ri[a] = NaN ? 0 : normInt(int64(rf[b]), kind)
+	OpF2F32 // rf[a] = float64(float32(rf[b]))
+	OpVConv // lane-wise conversion; sub = from kind, kind = to kind
 
 	// Vector arithmetic: a/b/c are vector registers, kind = element kind.
-	opVAddF
-	opVSubF
-	opVMulF
-	opVDivF
-	opVBinF // generic: sub = ir.Op
-	opVBinI // generic: sub = ir.Op
+	OpVAddF
+	OpVSubF
+	OpVMulF
+	OpVDivF
+	OpVBinF // generic: sub = ir.Op
+	OpVBinI // generic: sub = ir.Op
 
 	// Vector shape ops.
-	opExtI   // ri[a] = vi[b][imm]
-	opExtF   // rf[a] = vf[b][imm]
-	opInsI   // vi[a] = vi[b] with lane imm set to ri[c]
-	opInsF   // vf[a] = vf[b] with lane imm set to rf[c]
-	opShufI  // vi[a][i] = vi[b][comps[i]] (aux[imm])
-	opShufF  // vf[a][i] = vf[b][comps[i]] (aux[imm])
-	opBuildI // vi[a][i] = ri[refs[i]] (aux[imm])
-	opBuildF // vf[a][i] = rf[refs[i]] (aux[imm])
+	OpExtI   // ri[a] = vi[b][imm]
+	OpExtF   // rf[a] = vf[b][imm]
+	OpInsI   // vi[a] = vi[b] with lane imm set to ri[c]
+	OpInsF   // vf[a] = vf[b] with lane imm set to rf[c]
+	OpShufI  // vi[a][i] = vi[b][comps[i]] (aux[imm])
+	OpShufF  // vf[a][i] = vf[b][comps[i]] (aux[imm])
+	OpBuildI // vi[a][i] = ri[refs[i]] (aux[imm])
+	OpBuildF // vf[a][i] = rf[refs[i]] (aux[imm])
 
 	// Math builtins.
-	opDotVF  // rf[a] = round(kind, Σ vf[b]·vf[c])
-	opDotSS  // rf[a] = rf[b] * rf[c]
-	opLenVF  // rf[a] = round(kind, sqrt(Σ vf[b]²))
-	opLenSS  // rf[a] = |rf[b]|
-	opMathF  // rf[a] = builtin(aux[imm].refs...); kind rounds
-	opMathI  // ri[a] = builtin(aux[imm].refs...)
-	opVMathF // vf[a] = lane-wise builtin(aux[imm].refs...)
-	opVMathI // vi[a] = lane-wise builtin(aux[imm].refs...)
+	OpDotVF  // rf[a] = round(kind, Σ vf[b]·vf[c])
+	OpDotSS  // rf[a] = rf[b] * rf[c]
+	OpLenVF  // rf[a] = round(kind, sqrt(Σ vf[b]²))
+	OpLenSS  // rf[a] = |rf[b]|
+	OpMathF  // rf[a] = builtin(aux[imm].Refs...); kind rounds
+	OpMathI  // ri[a] = builtin(aux[imm].Refs...)
+	OpVMathF // vf[a] = lane-wise builtin(aux[imm].Refs...)
+	OpVMathI // vi[a] = lane-wise builtin(aux[imm].Refs...)
 )
 
-// Work-item query codes for opWIQ (stored in inst.n).
+// Work-item query codes for OpWIQ (stored in Inst.N).
 const (
-	qNone int32 = iota
-	qGlobalID
-	qLocalID
-	qGroupID
-	qGlobalSize
-	qLocalSize
-	qNumGroups
-	qWorkDim
+	QNone int32 = iota
+	QGlobalID
+	QLocalID
+	QGroupID
+	QGlobalSize
+	QLocalSize
+	QNumGroups
+	QWorkDim
 )
 
-// bank identifies a register file.
-type bank uint8
+// Bank identifies a register file.
+type Bank uint8
 
 const (
-	bInt bank = iota
-	bFlt
-	bVecI
-	bVecF
+	BankInt Bank = iota
+	BankFlt
+	BankVecI
+	BankVecF
 )
 
-// ref names one register: a bank plus an index within it.
-type ref struct {
-	bank bank
-	idx  int32
+// Ref names one register: a bank plus an index within it.
+type Ref struct {
+	Bank Bank
+	Idx  int32
 }
 
-// inst is one bytecode instruction. Operand registers a, b, c are indices
-// into the bank implied by the opcode; imm and n carry immediates, branch
-// targets, or aux-table indices. retire is the number of IR instructions
+// Inst is one bytecode instruction. Operand registers A, B, C are indices
+// into the bank implied by the opcode; Imm and N carry immediates, branch
+// targets, or aux-table indices. Retire is the number of IR instructions
 // this instruction accounts for in the trace (2 for fused
 // superinstructions, 0 for synthetic traps covering fall-off-block).
-// in is the originating IR instruction, kept so memory-trace emission is
-// pointer-identical to the interpreter's (the GPU warp model coalesces by
-// instruction identity).
-type inst struct {
-	op     opcode
-	kind   uint8 // clc.ScalarKind operand
-	sub    uint8 // secondary operand: ir.Op, lane count, bank, or from-kind
-	retire uint8
-	a      int32
-	b      int32
-	c      int32
-	n      int32
-	imm    int64
-	in     *ir.Instr
+// In is the originating IR instruction: memory ops and barriers need it
+// so trace emission is pointer-identical to the interpreter's (the GPU
+// warp model coalesces by instruction identity), and every other
+// instruction carries it so downstream consumers (wgvec's uniformity
+// mapping) can look up per-IR-value analysis facts.
+type Inst struct {
+	Op     Opcode
+	Kind   uint8 // clc.ScalarKind operand
+	Sub    uint8 // secondary operand: ir.Op, lane count, bank, or from-kind
+	Retire uint8
+	A      int32
+	B      int32
+	C      int32
+	N      int32
+	Imm    int64
+	In     *ir.Instr
 }
 
-// aux carries the variable-length operands that do not fit in an inst.
-type aux struct {
-	name   string // math builtin name, or trap error message
-	callee *bfunc // opCall target
-	refs   []ref  // call arguments, math arguments, or build lanes
-	comps  []int32
+// Aux carries the variable-length operands that do not fit in an Inst.
+type Aux struct {
+	Name   string // math builtin name, or trap error message
+	Callee *BFunc // OpCall target
+	Refs   []Ref  // call arguments, math arguments, or build lanes
+	Comps  []int32
 }
 
-// bfunc is one compiled function.
-type bfunc struct {
-	fn   *ir.Function
-	code []inst
-	aux  []aux
+// BFunc is one compiled function.
+type BFunc struct {
+	Fn   *ir.Function
+	Code []Inst
+	Aux  []Aux
+
+	// BlockStart[i] is the pc of the first instruction emitted for
+	// Fn.Blocks[i]. Blocks are emitted contiguously in order, so the
+	// half-open pc range of block i ends at BlockStart[i+1] (or at
+	// len(Code) for the last block).
+	BlockStart []int32
 
 	// Register-file shape: scalar bank sizes and per-register lane counts
 	// for the vector banks.
-	nInt     int
-	nFlt     int
-	vecILens []int
-	vecFLens []int
+	NInt     int
+	NFlt     int
+	VecILens []int
+	VecFLens []int
 
 	// Register-file initialization: the int/float banks open with a
 	// constant region (preloaded from these templates) followed by the
-	// parameter region; params[i] names parameter i's register.
-	intConsts  []int64
-	fltConsts  []float64
-	intInitLen int
-	fltInitLen int
-	params     []ref
+	// parameter region; Params[i] names parameter i's register.
+	IntConsts  []int64
+	FltConsts  []float64
+	IntInitLen int
+	FltInitLen int
+	Params     []Ref
 
-	frameSize int // private alloca frame, bytes
-	localSize int // static __local arena, bytes
+	FrameSize int // private alloca frame, bytes
+	LocalSize int // static __local arena, bytes
 }

@@ -1,8 +1,8 @@
 // Randomized differential property test: seeded random NDRange shapes,
 // work-group sizes, scalar arguments and input buffers are run through
-// both backends with a fixed worker count, and the full trace streams
-// (hashed per worker, including instruction identity) plus the final
-// memory images must agree exactly.
+// every registered backend with a fixed worker count, and the full trace
+// streams (hashed per worker, including instruction identity) plus the
+// final memory images must agree exactly.
 package bcode_test
 
 import (
@@ -12,7 +12,6 @@ import (
 	"testing"
 	"unsafe"
 
-	"grover/internal/bcode"
 	"grover/internal/ir"
 	"grover/internal/vm"
 	"grover/opencl"
@@ -189,7 +188,7 @@ func TestBackendPropertyRandom(t *testing.T) {
 					for i := range hashes {
 						if hashes[i] != wantHash[i] {
 							t.Errorf("worker %d trace hash differs: interp %#x, %s %#x (global %dx%d local %dx%d)",
-								i, wantHash[i], bcode.Name, hashes[i], gx, gy, lx, ly)
+								i, wantHash[i], backend, hashes[i], gx, gy, lx, ly)
 						}
 					}
 				}

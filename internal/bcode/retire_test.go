@@ -51,7 +51,7 @@ __kernel void k(__global int* o) { int g = get_global_id(0); o[g] = two(g); }`},
 		if err != nil {
 			t.Fatalf("%s: args: %v", tc.name, err)
 		}
-		var got [2]int64
+		got := make([]int64, len(backends))
 		for bi, backend := range backends {
 			tr := &countTracer{}
 			cfg := vm.Config{GlobalSize: [3]int{8, 1, 1}, LocalSize: [3]int{8, 1, 1}, Backend: backend, Args: vargs}
@@ -61,8 +61,11 @@ __kernel void k(__global int* o) { int g = get_global_id(0); o[g] = two(g); }`},
 			}
 			got[bi] = tr.n
 		}
-		if got[0] != got[1] {
-			t.Errorf("%s: retired instruction counts differ: interp=%d bcode=%d", tc.name, got[0], got[1])
+		for bi := 1; bi < len(backends); bi++ {
+			if got[bi] != got[0] {
+				t.Errorf("%s: retired instruction counts differ: interp=%d %s=%d",
+					tc.name, got[0], backends[bi], got[bi])
+			}
 		}
 	}
 }

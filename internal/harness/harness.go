@@ -64,6 +64,9 @@ type Measurement struct {
 	WithoutLM float64
 	// NP is the paper's normalized performance (WithLM / WithoutLM).
 	NP float64
+	// Items is the number of work-items per timed launch (the NDRange
+	// global size), for wall-clock-per-work-item reporting.
+	Items int64
 	// Report is the Grover transformation report.
 	Report *igrover.Report
 }
@@ -169,10 +172,17 @@ func RunCase(app *apps.App, deviceName string, cfg Config) (*Measurement, error)
 	if err != nil {
 		return nil, fmt.Errorf("%s: timing without LM: %w", app.ID, err)
 	}
+	items := int64(1)
+	for _, d := range inst.ND.Global {
+		if d > 1 {
+			items *= int64(d)
+		}
+	}
 	m := &Measurement{
 		App: app.ID, Device: deviceName,
 		WithLM: withLM, WithoutLM: withoutLM,
 		NP:     withLM / withoutLM,
+		Items:  items,
 		Report: rep,
 	}
 	cfg.logf("  %-10s %-8s withLM=%.4fms withoutLM=%.4fms np=%.2f [%s]",

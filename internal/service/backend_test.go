@@ -8,6 +8,7 @@ import (
 
 	"grover/internal/bcode"
 	"grover/internal/vm"
+	"grover/internal/wgvec"
 )
 
 // TestAutotuneBackendOverride runs an autotune request on the bytecode
@@ -41,11 +42,26 @@ func TestAutotuneBackendOverride(t *testing.T) {
 		t.Errorf("verdicts differ across backends:\n interp: %+v\n bcode:  %+v", ri, rb)
 	}
 
+	var wv AutotuneResponse
+	req.Backend = wgvec.Name
+	if code, body := postJSON(t, ts.URL+"/v1/autotune", req, &wv); code != http.StatusOK {
+		t.Fatalf("wgvec autotune: %d %s", code, body)
+	}
+	if wv.Backend != wgvec.Name {
+		t.Fatalf("echoed backend: wgvec=%q", wv.Backend)
+	}
+	rw := wv.Results[0]
+	if ri.OriginalMS != rw.OriginalMS || ri.TransformedMS != rw.TransformedMS ||
+		ri.UseTransformed != rw.UseTransformed {
+		t.Errorf("verdicts differ across backends:\n interp: %+v\n wgvec:  %+v", ri, rw)
+	}
+
 	var stats StatsResponse
 	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
 		t.Fatalf("stats: %d", code)
 	}
-	if stats.Backends[vm.BackendInterp] != 1 || stats.Backends[bcode.Name] != 1 {
+	if stats.Backends[vm.BackendInterp] != 1 || stats.Backends[bcode.Name] != 1 ||
+		stats.Backends[wgvec.Name] != 1 {
 		t.Errorf("backend counters = %v, want 1 run each", stats.Backends)
 	}
 

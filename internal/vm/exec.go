@@ -87,7 +87,11 @@ func (ge *groupExec) runGroup(group [3]int, linear int) error {
 	lsz := ge.cfg.LocalSize
 	n := lsz[0] * lsz[1] * lsz[2]
 
-	if cap(ge.local) < ge.localTotal {
+	// Grover-rewritten kernels have no __local memory at all; skip the
+	// arena sizing and per-group clear entirely in that case.
+	if ge.localTotal == 0 {
+		ge.local = nil
+	} else if cap(ge.local) < ge.localTotal {
 		ge.local = make([]byte, ge.localTotal)
 	} else {
 		ge.local = ge.local[:ge.localTotal]

@@ -183,9 +183,10 @@ type LaunchOpts struct {
 }
 
 // Launch executes the named kernel over the NDRange on the backend
-// selected by cfg.Backend. Work-groups are distributed round-robin over
-// workers; each worker runs its groups in ascending order so traced
-// streams are deterministic regardless of backend.
+// selected by cfg.Backend. Traced launches distribute work-groups
+// round-robin over workers, each worker running its groups in ascending
+// order, so traced streams are deterministic regardless of backend;
+// untraced launches balance groups dynamically (see GroupSchedule).
 func (p *Program) Launch(kernel string, cfg Config, gmem *GlobalMem, opts *LaunchOpts) error {
 	backend := cfg.Backend
 	if backend == "" {
@@ -267,6 +268,7 @@ func (p *Program) launchInterp(kernel string, cfg Config, gmem *GlobalMem, opts 
 
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
+	sched := NewGroupSchedule(nGroups, workers, tracerFor != nil)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
@@ -279,7 +281,8 @@ func (p *Program) launchInterp(kernel string, cfg Config, gmem *GlobalMem, opts 
 				p: p, fn: fn, cfg: ncfg, gmem: gmem, params: params,
 				localTotal: localTotal, tracer: tr,
 			}
-			for g := worker; g < nGroups; g += workers {
+			cur := sched.Cursor(worker)
+			for g := cur.Next(); g >= 0; g = cur.Next() {
 				gz := g / (groups[0] * groups[1])
 				rem := g % (groups[0] * groups[1])
 				gy := rem / groups[0]

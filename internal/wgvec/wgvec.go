@@ -1,0 +1,186 @@
+// Package wgvec is a work-group-vectorized execution backend for the
+// kernel VM. It consumes the register bytecode produced by internal/bcode
+// and flips bcode's loop nest: instead of dispatching every instruction
+// once per work-item, the executor walks instructions once per work-group
+// and sweeps all active work-items over columnar (struct-of-arrays)
+// register banks — ri[reg][wi], rf[reg][wi] — so the dispatch overhead of
+// a barrier region is paid once instead of local_size times and the inner
+// loops are tight, bounds-check-friendly sweeps over contiguous columns.
+//
+// Control flow is handled with per-work-item active masks: the CFG of
+// each function is annotated with reverse-post-order block priorities,
+// and a scheduler repeatedly runs the pending program point with minimal
+// (block priority, pc), with the mask of all work-items waiting there.
+// For the reducible, structured CFGs the frontend emits this reconverges
+// divergent work-items exactly at the immediate post-dominator of the
+// branch (the divergence-region machinery of internal/analysis); on
+// adversarial shapes it degrades to smaller masks, never to wrong
+// results. Instructions proven work-group-uniform by the uniformity
+// analysis execute once per group and broadcast, guarded at runtime by a
+// full-mask check.
+//
+// The backend preserves the PR 3 execution contract exactly: cooperative
+// barrier semantics with barrier-divergence detection, and
+// backend-invariant simulated counters. Memory-trace events are buffered
+// per work-item during lockstep execution and replayed to the tracer in
+// work-item-major order at the end of each barrier round, so memsim
+// observes the same stream as the interpreter and bcode.
+//
+// The backend registers itself with the VM under the name "wgvec";
+// importing the package (a blank import suffices) enables it.
+package wgvec
+
+import (
+	"grover/internal/analysis"
+	"grover/internal/analysis/graph"
+	"grover/internal/bcode"
+	"grover/internal/ir"
+	"grover/internal/vm"
+)
+
+// Name is the backend's registration name.
+const Name = "wgvec"
+
+func init() {
+	vm.RegisterBackend(Name, func(p *vm.Program) (vm.Executor, error) {
+		return Compile(p)
+	})
+}
+
+// Machine is a prepared program compiled to region programs: the shared
+// bytecode plus per-function scheduling and uniformity metadata. It
+// implements vm.Executor; the vm caches one Machine per program.
+type Machine struct {
+	bm    *bcode.Machine
+	progs map[*ir.Function]*regionProgram
+}
+
+// Compile lowers every function of a prepared program to a region
+// program over its bytecode.
+func Compile(p *vm.Program) (*Machine, error) {
+	bm, err := bcode.Compile(p)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{bm: bm, progs: map[*ir.Function]*regionProgram{}}
+	// Uniform execute-once facts assume work-group-uniform parameters,
+	// which holds for launch arguments but not for call arguments; only
+	// kernels that are never themselves called qualify.
+	called := map[*ir.Function]bool{}
+	for _, f := range p.Module.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in.Callee != nil {
+					called[in.Callee] = true
+				}
+			}
+		}
+	}
+	for _, f := range p.Module.Funcs {
+		m.progs[f] = newRegionProgram(bm.Func(f), f.IsKernel && !called[f])
+	}
+	return m, nil
+}
+
+// Program returns the prepared program this machine executes.
+func (m *Machine) Program() *vm.Program { return m.bm.Program() }
+
+// regionProgram is the per-function execution metadata layered over the
+// bytecode: the pc→block map, reverse-post-order block priorities for the
+// reconvergence scheduler, the barrier-region count, and the set of
+// instructions that may execute once per group.
+type regionProgram struct {
+	bf      *bcode.BFunc
+	blockOf []int32 // pc → block index
+	prio    []int32 // block index → scheduling priority (RPO position)
+	uniform []bool  // pc → eligible for execute-once-and-broadcast
+	regions int     // barrier-delimited region count (metadata)
+}
+
+// newRegionProgram builds the metadata for one compiled function. root
+// marks functions whose parameters are work-group-uniform (kernels never
+// called as functions); only those get uniform execute-once flags.
+func newRegionProgram(bf *bcode.BFunc, root bool) *regionProgram {
+	fn := bf.Fn
+	rp := &regionProgram{
+		bf:      bf,
+		blockOf: make([]int32, len(bf.Code)),
+		uniform: make([]bool, len(bf.Code)),
+		regions: 1,
+	}
+	for i := range bf.Code {
+		if bf.Code[i].Op == bcode.OpBarrier {
+			rp.regions++
+		}
+	}
+	nb := len(fn.Blocks)
+	if nb == 0 {
+		rp.prio = []int32{0}
+		return rp
+	}
+	for bi := 0; bi < nb; bi++ {
+		start := bf.BlockStart[bi]
+		end := int32(len(bf.Code))
+		if bi+1 < nb {
+			end = bf.BlockStart[bi+1]
+		}
+		for pc := start; pc < end; pc++ {
+			rp.blockOf[pc] = int32(bi)
+		}
+	}
+	cfg := analysis.NewCFG(fn)
+	// Reverse post-order places every block of a divergence region before
+	// the region's immediate post-dominator (for reducible CFGs), so the
+	// min-priority scheduler keeps divergent work-items inside the region
+	// until all of them arrive at the reconvergence point.
+	rp.prio = make([]int32, nb)
+	for i := range rp.prio {
+		rp.prio[i] = int32(nb) // unreachable blocks last; never executed
+	}
+	for i, b := range graph.ReversePostOrder(nb, cfg.Succ, 0) {
+		rp.prio[b] = int32(i)
+	}
+	if !root {
+		return rp
+	}
+	u := analysis.ComputeUniformity(cfg, analysis.ComputeReachingDefs(cfg))
+	for pc := range bf.Code {
+		rp.uniform[pc] = uniformInst(&bf.Code[pc], u)
+	}
+	return rp
+}
+
+// uniformInst reports whether one bytecode instruction is statically
+// work-group-uniform: its originating IR instruction produces the same
+// value for every work-item and sits in a control-uniform block. The
+// executor additionally requires a full active mask at runtime before
+// applying execute-once-and-broadcast.
+func uniformInst(in *bcode.Inst, u *analysis.Uniformity) bool {
+	switch in.Op {
+	case bcode.OpNop, bcode.OpJmp, bcode.OpCondBrI, bcode.OpCondBrF,
+		bcode.OpRet, bcode.OpRetI, bcode.OpRetF, bcode.OpRetVI, bcode.OpRetVF,
+		bcode.OpBarrier, bcode.OpCall, bcode.OpTrap:
+		// Control flow is handled by the scheduler; calls execute
+		// per-work-item so nested trace and retire accounting stay exact.
+		return false
+	}
+	src := in.In
+	if src == nil || src.Block == nil || u.DivergentBlock(src.Block) {
+		return false
+	}
+	if src.Op == ir.OpStore {
+		// A store is uniform when address and value are; for fused
+		// superinstructions Args[0] is the folded index instruction,
+		// whose divergence covers the address chain.
+		for _, a := range src.Args {
+			if u.Divergent(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if !src.Producing() {
+		return false
+	}
+	return !u.Divergent(src)
+}

@@ -35,6 +35,7 @@ import (
 	"grover/internal/lower"
 	"grover/internal/opt"
 	"grover/internal/vm"
+	_ "grover/internal/wgvec" // register the work-group-vectorized backend
 )
 
 // Platform enumerates the simulated devices.
@@ -105,7 +106,8 @@ func NewContext(d *Device) *Context {
 // Device returns the context's device.
 func (c *Context) Device() *Device { return c.dev }
 
-// SetBackend selects the VM execution backend ("interp", "bcode") for all
+// SetBackend selects the VM execution backend ("interp", "bcode",
+// "wgvec") for all
 // launches from this context's queues. The empty string restores the
 // default (the GROVER_BACKEND environment variable, else the interpreter).
 func (c *Context) SetBackend(name string) error {
