@@ -26,6 +26,8 @@ import (
 	"strings"
 
 	igrover "grover/internal/grover"
+	"grover/internal/telemetry/aiwc"
+	"grover/internal/vm"
 	"grover/opencl"
 )
 
@@ -45,6 +47,7 @@ func main() {
 		timed      = flag.Bool("time", false, "use the device cost model and report simulated time")
 		dump       = flag.String("dump", "", "print buffer contents after the run: ARGINDEX:COUNT")
 		backend    = flag.String("backend", "", "execution backend (interp, bcode, wgvec; default: $GROVER_BACKEND, else interp)")
+		profile    = flag.Bool("profile", false, "run one extra traced launch per kernel version and print its AIWC-style feature vector")
 	)
 	flag.Var(&args, "arg", "kernel argument spec (repeatable, in declaration order)")
 	flag.Parse()
@@ -53,14 +56,14 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *deviceName, *kernel, *globalStr, *localStr, args, *useGrover, *timed, *backend, *dump); err != nil {
+	if err := run(flag.Arg(0), *deviceName, *kernel, *globalStr, *localStr, args, *useGrover, *timed, *profile, *backend, *dump); err != nil {
 		fmt.Fprintln(os.Stderr, "clrun:", err)
 		os.Exit(1)
 	}
 }
 
 func run(file, deviceName, kernel, globalStr, localStr string, argSpecs []string,
-	useGrover, timed bool, backend, dump string) error {
+	useGrover, timed, profile bool, backend, dump string) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -131,14 +134,36 @@ func run(file, deviceName, kernel, globalStr, localStr string, argSpecs []string
 	if err := launch(prog, "with-LM"); err != nil {
 		return err
 	}
+	var noLM *opencl.Program
 	if useGrover {
-		noLM, rep, err := prog.WithLocalMemoryDisabled(kernel, igrover.Options{})
+		var rep *igrover.Report
+		noLM, rep, err = prog.WithLocalMemoryDisabled(kernel, igrover.Options{})
 		if err != nil {
 			return err
 		}
 		fmt.Print(rep)
 		if err := launch(noLM, "without-LM"); err != nil {
 			return err
+		}
+	}
+	if profile {
+		vargs, err := opencl.VMArgs(kargs...)
+		if err != nil {
+			return err
+		}
+		cfg := vm.Config{GlobalSize: nd.Global, LocalSize: nd.Local, Args: vargs, Backend: backend}
+		for _, v := range []struct {
+			label string
+			p     *opencl.Program
+		}{{"with-LM", prog}, {"without-LM", noLM}} {
+			if v.p == nil {
+				continue
+			}
+			f, err := aiwc.Characterize(v.p.VM(), kernel, cfg, ctx.Mem())
+			if err != nil {
+				return fmt.Errorf("profile %s: %w", v.label, err)
+			}
+			fmt.Printf("\n--- characterization (%s) ---\n%s", v.label, f.Table())
 		}
 	}
 	if dump != "" {

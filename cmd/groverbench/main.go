@@ -12,11 +12,13 @@
 //	groverbench -experiment table4          # gain/loss distribution
 //	groverbench -experiment all             # everything
 //	groverbench -experiment case -app NVD-MT -device SNB
-//	groverbench -experiment backends -format json   # backend wall-clock comparison
+//	groverbench -experiment backends -format json      # backend wall-clock comparison
+//	groverbench -experiment characterize -format json  # AIWC-style feature vectors
 //
 // -backend selects the execution backend (interp, bcode, or wgvec) and
 // -format json emits machine-readable measurements; the committed
 // BENCH_vm.json and BENCH_wgvec.json are outputs of the backends
+// experiment and BENCH_characterize.json of the characterize
 // experiment. -cpuprofile and -memprofile write pprof profiles of the
 // run for backend performance work.
 package main
@@ -32,14 +34,16 @@ import (
 	"time"
 
 	"grover/internal/apps"
+	igrover "grover/internal/grover"
 	"grover/internal/harness"
+	"grover/internal/telemetry/aiwc"
 	"grover/internal/vm"
 	"grover/opencl"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | all")
+		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | characterize | all")
 		app        = flag.String("app", "", "benchmark id for -experiment case (e.g. NVD-MT)")
 		device     = flag.String("device", "SNB", "device for -experiment case")
 		scale      = flag.Int("scale", 1, "dataset scale factor")
@@ -166,6 +170,8 @@ func run(experiment, appID, deviceName, format string, cfg harness.Config) error
 		return emitMeasurements("GPU sweep (paper future work) — all benchmarks on the GPU platforms", ms, format, true)
 	case "backends":
 		return runBackends(cfg, format)
+	case "characterize":
+		return runCharacterize(cfg, format)
 	case "table1":
 		fmt.Println("Table I — benchmarks and datasets")
 		fmt.Println(harness.Table1())
@@ -247,6 +253,87 @@ func runFig10(cfg harness.Config) error {
 		"Figure 10 — all benchmarks on the cache-only platforms", ms))
 	fmt.Println("Table IV — performance gain/loss distribution (5% threshold)")
 	fmt.Println(harness.MakeTable4(ms))
+	return nil
+}
+
+// appCharJSON pairs one benchmark app with the AIWC-style feature
+// vectors of its two kernel versions.
+type appCharJSON struct {
+	App    string         `json:"app"`
+	Kernel string         `json:"kernel"`
+	Base   *aiwc.Features `json:"base"`
+	// Grover is absent for apps the pass leaves alone (no local memory).
+	Grover *aiwc.Features `json:"grover,omitempty"`
+}
+
+// charBenchJSON is the characterize experiment output
+// (BENCH_characterize.json).
+type charBenchJSON struct {
+	Experiment string        `json:"experiment"`
+	Scale      int           `json:"scale"`
+	Apps       []appCharJSON `json:"apps"`
+}
+
+// runCharacterize runs one traced launch of every benchmark app — base
+// and Grover-transformed — and reports the feature vectors. The vectors
+// are backend-invariant, so -backend only changes the wall-clock of this
+// experiment, never its output.
+func runCharacterize(cfg harness.Config, format string) error {
+	plat := opencl.NewPlatform()
+	var out []appCharJSON
+	for _, app := range apps.All() {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "characterize: tracing %s\n", app.ID)
+		}
+		ctx := opencl.NewContext(plat.Devices()[0])
+		prog, err := ctx.CompileProgram(app.ID, app.Source, app.Defines)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app.ID, err)
+		}
+		inst, err := app.Setup(ctx, cfg.Scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app.ID, err)
+		}
+		vargs, err := opencl.VMArgs(inst.Args...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app.ID, err)
+		}
+		mem := ctx.Mem()
+		initial := append([]byte(nil), mem.Data...)
+		c := vm.Config{GlobalSize: inst.ND.Global, LocalSize: inst.ND.Local,
+			Args: vargs, Backend: cfg.Backend}
+		base, err := aiwc.Characterize(prog.VM(), app.Kernel, c, mem)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app.ID, err)
+		}
+		entry := appCharJSON{App: app.ID, Kernel: app.Kernel, Base: base}
+		noLM, _, err := prog.WithLocalMemoryDisabled(app.Kernel,
+			igrover.Options{Candidates: app.Candidates})
+		switch {
+		case err == igrover.ErrNoCandidates:
+			// No local memory to disable; the base vector stands alone.
+		case err != nil:
+			return fmt.Errorf("%s: transform: %w", app.ID, err)
+		default:
+			copy(mem.Data[:len(initial)], initial)
+			g, err := aiwc.Characterize(noLM.VM(), app.Kernel, c, mem)
+			if err != nil {
+				return fmt.Errorf("%s (grover): %w", app.ID, err)
+			}
+			entry.Grover = g
+		}
+		out = append(out, entry)
+	}
+	if format == "json" {
+		return emitJSON(&charBenchJSON{Experiment: "characterize", Scale: cfg.Scale, Apps: out})
+	}
+	for _, e := range out {
+		fmt.Printf("=== %s (base) ===\n%s", e.App, e.Base.Table())
+		if e.Grover != nil {
+			fmt.Printf("--- %s (grover) ---\n%s", e.App, e.Grover.Table())
+		}
+		fmt.Println()
+	}
 	return nil
 }
 

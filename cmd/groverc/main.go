@@ -5,11 +5,12 @@
 //
 // Usage:
 //
-//	groverc [-kernel name] [-candidates a,b] [-ir] [-keep-barriers] [-lint] file.cl
+//	groverc [-kernel name] [-candidates a,b] [-ir] [-keep-barriers] [-lint] [-timings] file.cl
 //	groverc -D TILE=16 -D N=1024 kernel.cl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 
 	"grover/internal/analysis"
 	igrover "grover/internal/grover"
+	"grover/internal/telemetry"
 	"grover/opencl"
 )
 
@@ -42,6 +44,7 @@ func main() {
 		cloneAll     = flag.Bool("clone-all", false, "duplicate the whole GL tree per load (disable subexpression reuse)")
 		strict       = flag.Bool("strict", false, "fail when any candidate is not reversible")
 		lint         = flag.Bool("lint", false, "run the static analyzers before transforming and print their findings")
+		timings      = flag.Bool("timings", false, "print per-stage compile pipeline timings to stderr")
 	)
 	flag.Var(defines, "D", "preprocessor define NAME[=VALUE] (repeatable)")
 	flag.Parse()
@@ -63,7 +66,13 @@ func main() {
 		fatal(err)
 	}
 	ctx := opencl.NewContext(dev)
-	prog, err := ctx.CompileProgram(file, string(src), defines)
+	// With -timings every pipeline stage records a span on tctx; the
+	// table is printed once all compiles and transforms are done.
+	tctx := context.Background()
+	if *timings {
+		tctx, _ = telemetry.WithTrace(tctx)
+	}
+	prog, err := ctx.CompileProgramCtx(tctx, file, string(src), defines)
 	if err != nil {
 		fatal(err)
 	}
@@ -103,7 +112,7 @@ func main() {
 		}
 	}
 	for _, k := range kernels {
-		noLM, rep, err := prog.WithLocalMemoryDisabled(k, opts)
+		noLM, rep, err := prog.WithLocalMemoryDisabledCtx(tctx, k, opts)
 		if err == igrover.ErrNoCandidates {
 			fmt.Printf("kernel %s: no local memory usage\n", k)
 			continue
@@ -118,6 +127,9 @@ func main() {
 			fmt.Printf("\n--- original IR (%s) ---\n%s", k, prog.IR())
 			fmt.Printf("\n--- transformed IR (%s) ---\n%s", k, noLM.IR())
 		}
+	}
+	if tr := telemetry.FromContext(tctx); tr != nil {
+		fmt.Fprint(os.Stderr, tr.Table())
 	}
 	os.Exit(exit)
 }

@@ -8,27 +8,30 @@
 // Usage:
 //
 //	groverd [-addr :8372] [-cache 256] [-workers 0] [-backend bcode]
+//	        [-log-format text|json] [-log-level info] [-pprof addr]
 //
 // Endpoints: POST /v1/compile, /v1/transform, /v1/autotune;
-// GET /v1/devices, /v1/stats, /healthz. See the README "Serving" section
-// for a curl walkthrough.
+// GET /v1/devices, /v1/stats, /metrics, /healthz. See the README
+// "Serving" and "Observability" sections for a curl walkthrough.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"grover/internal/service"
 	"grover/internal/vm"
 	"grover/opencl"
-	"strings"
 )
 
 func main() {
@@ -36,17 +39,35 @@ func main() {
 	cacheCap := flag.Int("cache", 0, "artifact cache capacity in entries (0 = default 256)")
 	workers := flag.Int("workers", 0, "max concurrent compile/tune jobs (0 = GOMAXPROCS)")
 	backend := flag.String("backend", "", "default execution backend (default: $GROVER_BACKEND, else interp)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	flag.Parse()
 
-	if *backend != "" && !vm.ValidBackend(*backend) {
-		log.Fatalf("groverd: unknown backend %q (available: %s)", *backend, strings.Join(vm.Backends(), ", "))
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "groverd:", err)
+		os.Exit(2)
 	}
-	srv := service.New(service.Config{CacheCapacity: *cacheCap, Workers: *workers, Backend: *backend})
+	if *backend != "" && !vm.ValidBackend(*backend) {
+		logger.Error("unknown backend", "backend", *backend, "available", strings.Join(vm.Backends(), ", "))
+		os.Exit(2)
+	}
+	srv := service.New(service.Config{
+		CacheCapacity: *cacheCap,
+		Workers:       *workers,
+		Backend:       *backend,
+		Logger:        logger,
+	})
 
-	log.Printf("groverd: listening on %s (%d workers, %s backend)",
-		*addr, srv.Pool().Snapshot().Workers, srv.Backend())
+	logger.Info("listening", "addr", *addr,
+		"workers", srv.Pool().Snapshot().Workers, "backend", srv.Backend())
 	for _, d := range opencl.NewPlatform().Devices() {
-		log.Printf("groverd: device %s", d.Profile())
+		logger.Debug("device", "profile", d.Profile())
+	}
+
+	if *pprofAddr != "" {
+		go serveDebug(logger, *pprofAddr)
 	}
 
 	httpSrv := &http.Server{
@@ -62,13 +83,47 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errc:
-		log.Fatalf("groverd: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
-		log.Print("groverd: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("groverd: shutdown: %v", err)
+			logger.Warn("shutdown", "err", err)
 		}
+	}
+}
+
+// newLogger builds the daemon's slog.Logger from the -log-format and
+// -log-level flags.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// serveDebug runs the pprof endpoints on their own listener so profiling
+// traffic never shares a port (or an accidental exposure) with the API.
+func serveDebug(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof serve failed", "err", err)
 	}
 }

@@ -25,6 +25,7 @@
 package grover
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -66,6 +67,12 @@ type TuneResult struct {
 	UseTransformed bool
 	// Kernel is the winning kernel.
 	Kernel *opencl.Kernel
+	// Original is the untransformed kernel; Transformed is the
+	// local-memory-free version (nil when the pass found no candidates).
+	// Both stay runnable so callers can profile or characterize either
+	// version after the verdict.
+	Original    *opencl.Kernel
+	Transformed *opencl.Kernel
 	// OriginalMS and TransformedMS are the average simulated times.
 	OriginalMS    float64
 	TransformedMS float64
@@ -93,10 +100,17 @@ func (r TuneResult) String() string {
 // profiling queue, returning the event.
 func AutoTune(prog *opencl.Program, kernel string, opts Options, runs int,
 	launch func(k *opencl.Kernel) (*opencl.Event, error)) (*TuneResult, error) {
+	return AutoTuneCtx(context.Background(), prog, kernel, opts, runs, launch)
+}
+
+// AutoTuneCtx is AutoTune with pipeline span recording (grover.transform
+// and the re-prepare stages) when ctx carries a telemetry trace.
+func AutoTuneCtx(ctx context.Context, prog *opencl.Program, kernel string, opts Options, runs int,
+	launch func(k *opencl.Kernel) (*opencl.Event, error)) (*TuneResult, error) {
 	if runs <= 0 {
 		runs = 1
 	}
-	transformed, rep, err := Disable(prog, kernel, opts)
+	transformed, rep, err := prog.WithLocalMemoryDisabledCtx(ctx, kernel, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +119,7 @@ func AutoTune(prog *opencl.Program, kernel string, opts Options, runs int,
 		if kerr != nil {
 			return nil, kerr
 		}
-		return &TuneResult{Kernel: k, Report: rep, Speedup: 1}, nil
+		return &TuneResult{Kernel: k, Original: k, Report: rep, Speedup: 1}, nil
 	}
 	orig, err := prog.Kernel(kernel)
 	if err != nil {
@@ -135,6 +149,8 @@ func AutoTune(prog *opencl.Program, kernel string, opts Options, runs int,
 		return nil, fmt.Errorf("grover: timing transformed: %w", err)
 	}
 	res := &TuneResult{
+		Original:      orig,
+		Transformed:   noLM,
 		OriginalMS:    origMS,
 		TransformedMS: noLMMS,
 		Report:        rep,

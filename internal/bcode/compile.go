@@ -1,17 +1,19 @@
 package bcode
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"grover/internal/clc"
 	"grover/internal/ir"
+	"grover/internal/telemetry"
 	"grover/internal/vm"
 )
 
 func init() {
-	vm.RegisterBackend(Name, func(p *vm.Program) (vm.Executor, error) {
-		return Compile(p)
+	vm.RegisterBackend(Name, func(ctx context.Context, p *vm.Program) (vm.Executor, error) {
+		return CompileCtx(ctx, p)
 	})
 }
 
@@ -25,6 +27,13 @@ type Machine struct {
 
 // Compile translates every function of a prepared program to bytecode.
 func Compile(p *vm.Program) (*Machine, error) {
+	return CompileCtx(context.Background(), p)
+}
+
+// CompileCtx is Compile recording a bcode.compile span into the trace
+// carried by ctx, if any.
+func CompileCtx(ctx context.Context, p *vm.Program) (*Machine, error) {
+	defer telemetry.StartSpan(ctx, "bcode.compile")()
 	m := &Machine{p: p, funcs: map[*ir.Function]*BFunc{}}
 	// Shells first so call sites can reference not-yet-compiled callees.
 	for _, f := range p.Module.Funcs {

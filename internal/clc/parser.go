@@ -1,8 +1,11 @@
 package clc
 
 import (
+	"context"
 	"strconv"
 	"strings"
+
+	"grover/internal/telemetry"
 )
 
 // Parser builds an AST from a token stream.
@@ -16,28 +19,43 @@ type Parser struct {
 // source string, returning the typed AST. defines are predefined macros
 // (may be nil).
 func Parse(file, src string, defines map[string]string) (*File, error) {
+	return ParseCtx(context.Background(), file, src, defines)
+}
+
+// ParseCtx is Parse with per-stage span recording when ctx carries a
+// telemetry trace (clc.pre, clc.lex, clc.parse, clc.sema).
+func ParseCtx(ctx context.Context, file, src string, defines map[string]string) (*File, error) {
 	all := PredefinedMacros()
 	for k, v := range defines {
 		all[k] = v
 	}
+	end := telemetry.StartSpan(ctx, "clc.pre")
 	pp, err := NewPreprocessor(all)
 	if err != nil {
 		return nil, err
 	}
 	expanded, err := pp.Process(file, src)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	end = telemetry.StartSpan(ctx, "clc.lex")
 	toks, err := LexAll(file, expanded)
+	end()
 	if err != nil {
 		return nil, err
 	}
+	end = telemetry.StartSpan(ctx, "clc.parse")
 	p := &Parser{toks: toks, file: file}
 	f, err := p.parseFile()
+	end()
 	if err != nil {
 		return nil, err
 	}
-	if err := Analyze(f); err != nil {
+	end = telemetry.StartSpan(ctx, "clc.sema")
+	err = Analyze(f)
+	end()
+	if err != nil {
 		return nil, err
 	}
 	return f, nil

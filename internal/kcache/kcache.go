@@ -99,6 +99,8 @@ type Stats struct {
 	Capacity int `json:"capacity"`
 	// InFlight counts computes currently running.
 	InFlight int `json:"in_flight"`
+	// HitRatio is Hits / (Hits + Misses + Dedups), 0 with no lookups.
+	HitRatio float64 `json:"hit_ratio"`
 }
 
 // DefaultCapacity bounds a Cache built with New(0).
@@ -228,10 +230,14 @@ func (c *Cache) Len() int {
 func (c *Cache) Snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits: c.hits, Misses: c.misses, Dedups: c.dedups,
 		Evictions: c.evictions,
 		Entries:   c.ll.Len(), Capacity: c.capacity,
 		InFlight: len(c.inflight),
 	}
+	if total := st.Hits + st.Misses + st.Dedups; total > 0 {
+		st.HitRatio = float64(st.Hits) / float64(total)
+	}
+	return st
 }

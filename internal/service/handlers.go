@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -13,6 +14,8 @@ import (
 	"grover/internal/ir"
 	"grover/internal/kcache"
 	"grover/internal/opt"
+	"grover/internal/telemetry"
+	"grover/internal/telemetry/aiwc"
 	"grover/internal/vm"
 	"grover/opencl"
 )
@@ -49,6 +52,9 @@ type verdictArtifact struct {
 	transMS        float64
 	speedup        float64
 	report         *igrover.Report
+	// char carries the kernel feature vectors when the request asked for
+	// characterization.
+	char *Characterization
 }
 
 func programName(name string) string {
@@ -59,25 +65,27 @@ func programName(name string) string {
 }
 
 // compile returns the cached compiled module for (source, defines),
-// compiling at most once across concurrent requests.
-func (s *Server) compile(name, source string, defines map[string]string) (*compiledArtifact, kcache.Outcome, error) {
+// compiling at most once across concurrent requests. On a miss the
+// compile runs under the requesting context, so its pipeline stages land
+// in that request's span list; hits and dedups record nothing.
+func (s *Server) compile(ctx context.Context, name, source string, defines map[string]string) (*compiledArtifact, kcache.Outcome, error) {
 	key := kcache.Key("compile", source, kcache.DefinesField(defines))
 	v, out, err := s.cache.Do(key, func() (interface{}, error) {
-		mod, err := opencl.CompileModule(programName(name), source, defines)
+		mod, err := opencl.CompileModuleCtx(ctx, programName(name), source, defines)
 		if err != nil {
 			return nil, err
 		}
 		// Prepare a shared execution program from a clone (preparation
 		// mutates the module; the artifact's module stays pristine for IR
 		// rendering and transform cloning).
-		prog, err := vm.Prepare(ir.CloneModule(mod))
+		prog, err := vm.PrepareCtx(ctx, ir.CloneModule(mod))
 		if err != nil {
 			return nil, err
 		}
 		if s.backend != vm.BackendInterp {
 			// Compile the default backend's bytecode now so it is cached
 			// with the artifact rather than rebuilt per request.
-			if _, err := prog.Executor(s.backend); err != nil {
+			if _, err := prog.ExecutorCtx(ctx, s.backend); err != nil {
 				return nil, err
 			}
 		}
@@ -104,23 +112,27 @@ func kernelIn(comp *compiledArtifact, kernel string) error {
 }
 
 // transform returns the cached Grover pass result for the request.
-func (s *Server) transform(req *TransformRequest) (*transformArtifact, kcache.Outcome, error) {
+func (s *Server) transform(ctx context.Context, req *TransformRequest) (*transformArtifact, kcache.Outcome, error) {
 	key := kcache.Key("transform", req.Source, kcache.DefinesField(req.Defines),
 		req.Kernel, req.Options.field())
 	v, out, err := s.cache.Do(key, func() (interface{}, error) {
-		comp, _, err := s.compile(req.Name, req.Source, req.Defines)
+		comp, _, err := s.compile(ctx, req.Name, req.Source, req.Defines)
 		if err != nil {
 			return nil, err
 		}
 		if err := kernelIn(comp, req.Kernel); err != nil {
 			return nil, err
 		}
+		end := telemetry.StartSpan(ctx, "grover.transform")
 		clone := ir.CloneModule(comp.mod)
 		rep, err := igrover.TransformKernel(clone, req.Kernel, req.Options.options())
+		end()
 		if err != nil {
 			return nil, err
 		}
+		end = telemetry.StartSpan(ctx, "opt")
 		opt.Optimize(clone)
+		end()
 		return &transformArtifact{report: rep, ir: clone.String()}, nil
 	})
 	if err != nil {
@@ -130,11 +142,11 @@ func (s *Server) transform(req *TransformRequest) (*transformArtifact, kcache.Ou
 }
 
 // lint returns the cached static-analysis result for the request.
-func (s *Server) lint(req *LintRequest) (*lintArtifact, kcache.Outcome, error) {
+func (s *Server) lint(ctx context.Context, req *LintRequest) (*lintArtifact, kcache.Outcome, error) {
 	key := kcache.Key("lint", req.Source, kcache.DefinesField(req.Defines),
 		req.Kernel, fmt.Sprintf("l=%v", req.Local))
 	v, out, err := s.cache.Do(key, func() (interface{}, error) {
-		comp, _, err := s.compile(req.Name, req.Source, req.Defines)
+		comp, _, err := s.compile(ctx, req.Name, req.Source, req.Defines)
 		if err != nil {
 			return nil, err
 		}
@@ -218,11 +230,12 @@ func fill(n int, seed uint32) []float32 {
 // requests. The backend is part of the key: the verdict is
 // backend-invariant by the VM contract, but keeping the entries separate
 // keeps the cache an honest record of what actually ran.
-func (s *Server) autotuneDevice(req *AutotuneRequest, devName, backend string) (*verdictArtifact, kcache.Outcome, error) {
+func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devName, backend string) (*verdictArtifact, kcache.Outcome, error) {
 	key := kcache.Key("autotune", req.Source, kcache.DefinesField(req.Defines),
-		req.Kernel, req.Options.field(), devName, backend, launchField(req))
+		req.Kernel, req.Options.field(), devName, backend, launchField(req),
+		fmt.Sprintf("char=%t", req.Characterize))
 	v, out, err := s.cache.Do(key, func() (interface{}, error) {
-		comp, _, err := s.compile(req.Name, req.Source, req.Defines)
+		comp, _, err := s.compile(rctx, req.Name, req.Source, req.Defines)
 		if err != nil {
 			return nil, err
 		}
@@ -247,25 +260,62 @@ func (s *Server) autotuneDevice(req *AutotuneRequest, devName, backend string) (
 			return nil, err
 		}
 		nd := opencl.NDRange{Global: req.Global, Local: req.Local}
-		res, err := grover.AutoTune(prog, req.Kernel, req.Options.options(), req.Runs,
+		res, err := grover.AutoTuneCtx(rctx, prog, req.Kernel, req.Options.options(), req.Runs,
 			func(k *opencl.Kernel) (*opencl.Event, error) {
 				return q.EnqueueNDRange(k, nd, args...)
 			})
 		if err != nil {
 			return nil, err
 		}
-		return &verdictArtifact{
+		art := &verdictArtifact{
 			useTransformed: res.UseTransformed,
 			origMS:         res.OriginalMS,
 			transMS:        res.TransformedMS,
 			speedup:        res.Speedup,
 			report:         res.Report,
-		}, nil
+		}
+		if req.Characterize {
+			art.char, err = characterizeVerdict(rctx, ctx, res, nd, args, backend)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return art, nil
 	})
 	if err != nil {
 		return nil, out, err
 	}
 	return v.(*verdictArtifact), out, nil
+}
+
+// characterizeVerdict runs one traced launch of each kernel version and
+// returns their AIWC-style feature vectors. The vectors are
+// backend-invariant, so they describe the kernels, not the backend the
+// tuning happened to run on.
+func characterizeVerdict(rctx context.Context, ctx *opencl.Context, res *grover.TuneResult,
+	nd opencl.NDRange, args []interface{}, backend string) (*Characterization, error) {
+	defer telemetry.StartSpan(rctx, "characterize")()
+	vargs, err := opencl.VMArgs(args...)
+	if err != nil {
+		return nil, err
+	}
+	cfg := vm.Config{GlobalSize: nd.Global, LocalSize: nd.Local, Args: vargs, Backend: backend}
+	char := &Characterization{}
+	for _, v := range []struct {
+		k    *opencl.Kernel
+		dest **aiwc.Features
+	}{{res.Original, &char.Original}, {res.Transformed, &char.Transformed}} {
+		if v.k == nil {
+			continue
+		}
+		prog := v.k.Program().VM()
+		f, err := aiwc.Characterize(prog, v.k.Name(), cfg, ctx.Mem())
+		if err != nil {
+			return nil, fmt.Errorf("characterize %s: %w", prog.Module.Name, err)
+		}
+		*v.dest = f
+	}
+	return char, nil
 }
 
 func (v *verdictArtifact) verdict(device string, outcome kcache.Outcome) TuneVerdict {
@@ -274,14 +324,15 @@ func (v *verdictArtifact) verdict(device string, outcome kcache.Outcome) TuneVer
 		text = "disable local memory"
 	}
 	return TuneVerdict{
-		Device:         device,
-		UseTransformed: v.useTransformed,
-		Verdict:        text,
-		OriginalMS:     v.origMS,
-		TransformedMS:  v.transMS,
-		Speedup:        v.speedup,
-		Report:         renderReport(v.report),
-		Cache:          outcome.String(),
+		Device:           device,
+		UseTransformed:   v.useTransformed,
+		Verdict:          text,
+		OriginalMS:       v.origMS,
+		TransformedMS:    v.transMS,
+		Speedup:          v.speedup,
+		Report:           renderReport(v.report),
+		Cache:            outcome.String(),
+		Characterization: v.char,
 	}
 }
 
@@ -291,12 +342,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req CompileRequest
 	if err := decode(r, &req); err != nil {
-		s.stats.record("compile", time.Since(start), true)
 		writeError(w, err)
 		return
 	}
 	if req.Source == "" {
-		s.stats.record("compile", time.Since(start), true)
 		writeError(w, badRequest("source is required"))
 		return
 	}
@@ -306,9 +355,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		err  error
 	)
 	s.pool.Run(func() {
-		comp, out, err = s.compile(req.Name, req.Source, req.Defines)
+		comp, out, err = s.compile(r.Context(), req.Name, req.Source, req.Defines)
 	})
-	s.stats.record("compile", time.Since(start), err != nil, out)
+	noteOutcome(r.Context(), out)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -318,6 +367,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Kernels:   comp.kernels,
 		Cache:     out.String(),
 		LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Spans:     telemetry.FromContext(r.Context()).JSON(),
 	}
 	if req.WantIR {
 		resp.IR = comp.ir
@@ -329,12 +379,10 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req TransformRequest
 	if err := decode(r, &req); err != nil {
-		s.stats.record("transform", time.Since(start), true)
 		writeError(w, err)
 		return
 	}
 	if req.Source == "" || req.Kernel == "" {
-		s.stats.record("transform", time.Since(start), true)
 		writeError(w, badRequest("source and kernel are required"))
 		return
 	}
@@ -344,9 +392,9 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	s.pool.Run(func() {
-		art, out, err = s.transform(&req)
+		art, out, err = s.transform(r.Context(), &req)
 	})
-	s.stats.record("transform", time.Since(start), err != nil, out)
+	noteOutcome(r.Context(), out)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -357,6 +405,7 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		Report:      renderReport(art.report),
 		Cache:       out.String(),
 		LatencyMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		Spans:       telemetry.FromContext(r.Context()).JSON(),
 	}
 	if req.WantIR {
 		resp.IR = art.ir
@@ -368,12 +417,10 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req AutotuneRequest
 	if err := decode(r, &req); err != nil {
-		s.stats.record("autotune", time.Since(start), true)
 		writeError(w, err)
 		return
 	}
 	if req.Source == "" || req.Kernel == "" {
-		s.stats.record("autotune", time.Since(start), true)
 		writeError(w, badRequest("source and kernel are required"))
 		return
 	}
@@ -382,7 +429,6 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		backend = s.backend
 	}
 	if !vm.ValidBackend(backend) {
-		s.stats.record("autotune", time.Since(start), true)
 		writeError(w, badRequest("unknown backend %q (available: %s)",
 			backend, strings.Join(vm.Backends(), ", ")))
 		return
@@ -396,7 +442,6 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		if _, err := s.plat.DeviceByName(req.Device); err != nil {
-			s.stats.record("autotune", time.Since(start), true)
 			writeError(w, notFound("%v", err))
 			return
 		}
@@ -414,7 +459,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(i int, name string) {
 				defer wg.Done()
-				v, out, err := s.autotuneDevice(&req, name, backend)
+				v, out, err := s.autotuneDevice(r.Context(), &req, name, backend)
 				outcomes[i] = out
 				if err != nil {
 					errs[i] = err
@@ -426,12 +471,11 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		}
 		wg.Wait()
 	})
+	noteOutcome(r.Context(), outcomes...)
+	s.stats.recordBackend(backend, int64(len(devices)))
 	// A single-device failure is the request's failure (with its original
 	// HTTP status); sweeps report per-device errors inline instead.
-	failed := len(devices) == 1 && errs[0] != nil
-	s.stats.record("autotune", time.Since(start), failed, outcomes...)
-	s.stats.recordBackend(backend, int64(len(devices)))
-	if failed {
+	if len(devices) == 1 && errs[0] != nil {
 		writeError(w, errs[0])
 		return
 	}
@@ -440,6 +484,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		Backend:   backend,
 		Results:   results,
 		LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Spans:     telemetry.FromContext(r.Context()).JSON(),
 	})
 }
 
@@ -447,12 +492,10 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req LintRequest
 	if err := decode(r, &req); err != nil {
-		s.stats.record("lint", time.Since(start), true)
 		writeError(w, err)
 		return
 	}
 	if req.Source == "" {
-		s.stats.record("lint", time.Since(start), true)
 		writeError(w, badRequest("source is required"))
 		return
 	}
@@ -462,9 +505,9 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	s.pool.Run(func() {
-		art, out, err = s.lint(&req)
+		art, out, err = s.lint(r.Context(), &req)
 	})
-	s.stats.record("lint", time.Since(start), err != nil, out)
+	noteOutcome(r.Context(), out)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -502,4 +545,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Backends:  s.stats.backendSnapshot(),
 		Endpoints: s.stats.snapshot(),
 	})
+}
+
+// handleMetrics serves the telemetry registry in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w)
+}
+
+// handleHealthz reports readiness: 200 while the worker pool can make
+// progress, 503 otherwise, with the pool and cache state either way.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := &HealthResponse{
+		Status: "ok",
+		Pool:   s.pool.Snapshot(),
+		Cache:  s.cache.Snapshot(),
+	}
+	code := http.StatusOK
+	if !s.pool.Healthy() {
+		resp.Status = "overloaded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }

@@ -1,0 +1,258 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	r, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content-type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// validateExposition asserts every line of a scrape is a well-formed
+// comment or sample and every sample belongs to a declared family — the
+// format contract a real Prometheus scraper depends on.
+func validateExposition(t *testing.T, out string) {
+	t.Helper()
+	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[-+]?Inf|[-+]?[0-9.eE+-]+)$`)
+	declared := map[string]string{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Errorf("malformed comment: %q", line)
+				continue
+			}
+			if parts[1] == "TYPE" {
+				declared[parts[2]] = parts[3]
+			}
+			continue
+		}
+		m := sample.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("malformed sample line: %q", line)
+			continue
+		}
+		base := m[1]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(m[1], suffix)
+			if trimmed != m[1] && declared[trimmed] == "histogram" {
+				base = trimmed
+			}
+		}
+		if _, ok := declared[base]; !ok {
+			t.Errorf("sample %q has no TYPE declaration", m[1])
+		}
+		if _, err := strconv.ParseFloat(strings.Replace(m[3], "+Inf", "Inf", 1), 64); err != nil {
+			t.Errorf("unparseable value in %q", line)
+		}
+	}
+}
+
+// TestMetricsEndpoint drives real traffic and scrapes /metrics, checking
+// the exposition parses line-by-line and the advertised series exist
+// with plausible values.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	source, tuneReq := nvdMT()
+
+	var comp CompileResponse
+	if code, body := postJSON(t, ts.URL+"/v1/compile",
+		CompileRequest{Source: source}, &comp); code != http.StatusOK {
+		t.Fatalf("compile: %d %s", code, body)
+	}
+	postJSON(t, ts.URL+"/v1/compile", CompileRequest{Source: source}, &comp)
+	var tune AutotuneResponse
+	if code, body := postJSON(t, ts.URL+"/v1/autotune", tuneReq, &tune); code != http.StatusOK {
+		t.Fatalf("autotune: %d %s", code, body)
+	}
+	// A failing request must count as an error.
+	postJSON(t, ts.URL+"/v1/compile", CompileRequest{Source: "__kernel broken("}, nil)
+
+	out := scrape(t, ts.URL)
+	validateExposition(t, out)
+
+	for _, want := range []string{
+		`groverd_requests_total{endpoint="compile"} 3`,
+		`groverd_requests_total{endpoint="autotune"} 1`,
+		`groverd_request_errors_total{endpoint="compile"} 1`,
+		`groverd_cache_outcomes_total{endpoint="compile",outcome="hit"} 1`,
+		// two misses: the first real compile plus the broken one (cache
+		// misses are recorded before the compile fails)
+		`groverd_cache_outcomes_total{endpoint="compile",outcome="miss"} 2`,
+		"groverd_pool_workers 4",
+		"groverd_backend_runs_total{backend=",
+		`groverd_request_duration_seconds_count{endpoint="autotune"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// Sampled cache counters agree with /v1/stats.
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	wantHits := "groverd_cache_hits_total " + strconv.FormatInt(stats.Cache.Hits, 10)
+	if !strings.Contains(out, wantHits) {
+		t.Errorf("scrape missing %q (cache stats: %+v)", wantHits, stats.Cache)
+	}
+}
+
+// TestRequestIDAndStatsQuantiles checks X-Request-ID propagation (echoed
+// when supplied, generated otherwise) and the histogram-backed latency
+// quantiles on /v1/stats.
+func TestRequestIDAndStatsQuantiles(t *testing.T) {
+	ts := newTestServer(t)
+	source, _ := nvdMT()
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/compile",
+		strings.NewReader(`{"source":`+strconv.Quote(source)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "test-req-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "test-req-42" {
+		t.Errorf("request id not echoed: %q", got)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/devices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Errorf("generated request id = %q, want 16 hex chars", got)
+	}
+
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	ep := stats.Endpoints["compile"]
+	if ep.Requests != 1 {
+		t.Fatalf("compile requests = %d, want 1", ep.Requests)
+	}
+	if ep.P50MS <= 0 || ep.P95MS < ep.P50MS || ep.P99MS < ep.P95MS {
+		t.Errorf("quantiles not monotone/positive: %+v", ep)
+	}
+	if stats.Cache.HitRatio != 0 {
+		t.Errorf("hit ratio = %g, want 0 after one miss", stats.Cache.HitRatio)
+	}
+}
+
+// TestCompileSpans checks that a cache-missing compile reports pipeline
+// spans that sum to no more than the request wall-clock, and that the
+// cached repeat omits them.
+func TestCompileSpans(t *testing.T) {
+	ts := newTestServer(t)
+	source, _ := nvdMT()
+
+	var first CompileResponse
+	if code, body := postJSON(t, ts.URL+"/v1/compile",
+		CompileRequest{Source: source}, &first); code != http.StatusOK {
+		t.Fatalf("compile: %d %s", code, body)
+	}
+	if len(first.Spans) == 0 {
+		t.Fatal("miss response has no spans")
+	}
+	seen := map[string]bool{}
+	var sum float64
+	for _, sp := range first.Spans {
+		seen[sp.Name] = true
+		sum += sp.DurMS
+		if sp.DurMS < 0 || sp.StartMS < 0 {
+			t.Errorf("negative span timing: %+v", sp)
+		}
+	}
+	for _, stage := range []string{"clc.pre", "clc.lex", "clc.parse", "clc.sema", "lower", "opt", "vm.prepare"} {
+		if !seen[stage] {
+			t.Errorf("missing pipeline stage %q in %v", stage, first.Spans)
+		}
+	}
+	if sum > first.LatencyMS {
+		t.Errorf("spans sum to %.3f ms > request latency %.3f ms", sum, first.LatencyMS)
+	}
+
+	var second CompileResponse
+	if code, _ := postJSON(t, ts.URL+"/v1/compile",
+		CompileRequest{Source: source}, &second); code != http.StatusOK || second.Cache != "hit" {
+		t.Fatalf("repeat compile: %d cache %q", code, second.Cache)
+	}
+	if len(second.Spans) != 0 {
+		t.Errorf("cached response should omit spans, got %v", second.Spans)
+	}
+}
+
+// TestAutotuneCharacterize checks the opt-in characterization on an
+// autotune verdict: the base transpose stages through local memory with
+// barriers, the Grover version must not.
+func TestAutotuneCharacterize(t *testing.T) {
+	ts := newTestServer(t)
+	_, req := nvdMT()
+	req.Characterize = true
+
+	var tune AutotuneResponse
+	if code, body := postJSON(t, ts.URL+"/v1/autotune", req, &tune); code != http.StatusOK {
+		t.Fatalf("autotune: %d %s", code, body)
+	}
+	if len(tune.Spans) == 0 {
+		t.Error("miss autotune response has no spans")
+	}
+	c := tune.Results[0].Characterization
+	if c == nil || c.Original == nil || c.Transformed == nil {
+		t.Fatalf("missing characterization: %+v", tune.Results[0])
+	}
+	if c.Original.LocalLoads == 0 || c.Original.Barriers == 0 {
+		t.Errorf("base transpose features lack local traffic: %+v", c.Original)
+	}
+	if c.Transformed.LocalLoads != 0 || c.Transformed.Barriers != 0 {
+		t.Errorf("grover transpose still uses local memory: %+v", c.Transformed)
+	}
+	// Transpose has no data reuse, so Grover trades local traffic for the
+	// same number of direct global loads — never fewer.
+	if c.Transformed.GlobalLoads < c.Original.GlobalLoads {
+		t.Errorf("grover version dropped global loads: %d vs %d",
+			c.Transformed.GlobalLoads, c.Original.GlobalLoads)
+	}
+
+	// Without the flag the same tuning is a separate cache entry with no
+	// characterization.
+	req.Characterize = false
+	var plain AutotuneResponse
+	if code, body := postJSON(t, ts.URL+"/v1/autotune", req, &plain); code != http.StatusOK {
+		t.Fatalf("plain autotune: %d %s", code, body)
+	}
+	if plain.Results[0].Characterization != nil {
+		t.Error("characterization returned without the flag")
+	}
+	if plain.Results[0].Cache != "miss" {
+		t.Errorf("characterize flag should be part of the cache key, got %q", plain.Results[0].Cache)
+	}
+}

@@ -57,6 +57,20 @@ type PoolStats struct {
 	Completed int64 `json:"completed"`
 }
 
+// Healthy reports readiness: either a slot is free right now, or the
+// pool is saturated but making progress (jobs are actively running, not
+// wedged). Only a pool whose slots are all taken with nothing running —
+// which cannot happen short of corruption — reports unhealthy.
+func (p *Pool) Healthy() bool {
+	select {
+	case p.sem <- struct{}{}:
+		<-p.sem
+		return true
+	default:
+		return p.active.Load() > 0
+	}
+}
+
 // Snapshot returns the current occupancy.
 func (p *Pool) Snapshot() PoolStats {
 	return PoolStats{

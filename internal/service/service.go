@@ -14,20 +14,36 @@
 //	POST /v1/lint       run the static analyzers, return findings + legality verdicts
 //	GET  /v1/devices    the six simulated platforms
 //	GET  /v1/stats      cache, pool, per-endpoint and per-backend counters
-//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition of the same counters
+//	GET  /healthz       readiness (pool and cache liveness)
+//
+// Every request is wrapped in observability middleware: an X-Request-ID
+// is propagated (or generated), a telemetry trace rides the request
+// context so compile-pipeline stages surface as spans on the response,
+// and each request emits one structured log line plus latency-histogram
+// and counter updates served on /metrics.
 package service
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"grover"
 	"grover/internal/analysis"
 	igrover "grover/internal/grover"
 	"grover/internal/kcache"
+	"grover/internal/telemetry"
+	"grover/internal/telemetry/aiwc"
 	"grover/internal/vm"
 	"grover/opencl"
 )
@@ -43,6 +59,9 @@ type Config struct {
 	// (requests may override per call). Empty or unknown names fall back
 	// to the VM default (GROVER_BACKEND, else the interpreter).
 	Backend string
+	// Logger receives one structured line per request; nil discards them
+	// (tests, embedded use). The daemon wires a real handler here.
+	Logger *slog.Logger
 }
 
 // Server holds the service state and implements http.Handler.
@@ -51,6 +70,8 @@ type Server struct {
 	cache   *kcache.Cache
 	pool    *Pool
 	stats   *registry
+	metrics *telemetry.Registry
+	logger  *slog.Logger
 	backend string
 	mux     *http.ServeMux
 }
@@ -61,29 +82,162 @@ func New(cfg Config) *Server {
 	if !vm.ValidBackend(backend) {
 		backend = vm.DefaultBackend()
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	metrics := telemetry.NewRegistry()
 	s := &Server{
 		plat:    opencl.NewPlatform(),
 		cache:   kcache.New(cfg.CacheCapacity),
 		pool:    NewPool(cfg.Workers),
-		stats:   newRegistry(),
+		stats:   newRegistry(metrics),
+		metrics: metrics,
+		logger:  logger,
 		backend: backend,
 		mux:     http.NewServeMux(),
 	}
+	s.registerGauges()
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
 	s.mux.HandleFunc("POST /v1/transform", s.handleTransform)
 	s.mux.HandleFunc("POST /v1/autotune", s.handleAutotune)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
-// ServeHTTP dispatches to the service mux.
+// registerGauges surfaces pool occupancy and cache state as sampled
+// gauges/counters: the existing snapshots are the single source of truth
+// and /metrics reads them at scrape time.
+func (s *Server) registerGauges() {
+	m := s.metrics
+	m.GaugeFunc("groverd_pool_workers", "worker pool slot count",
+		func() float64 { return float64(s.pool.Snapshot().Workers) })
+	m.GaugeFunc("groverd_pool_active", "jobs currently holding a pool slot",
+		func() float64 { return float64(s.pool.Snapshot().Active) })
+	m.GaugeFunc("groverd_pool_queued", "jobs waiting for a pool slot",
+		func() float64 { return float64(s.pool.Snapshot().Queued) })
+	m.CounterFunc("groverd_pool_completed_total", "finished pool jobs",
+		func() float64 { return float64(s.pool.Snapshot().Completed) })
+	m.CounterFunc("groverd_cache_hits_total", "artifact-cache hits",
+		func() float64 { return float64(s.cache.Snapshot().Hits) })
+	m.CounterFunc("groverd_cache_misses_total", "artifact-cache misses",
+		func() float64 { return float64(s.cache.Snapshot().Misses) })
+	m.CounterFunc("groverd_cache_dedups_total", "artifact-cache singleflight dedups",
+		func() float64 { return float64(s.cache.Snapshot().Dedups) })
+	m.CounterFunc("groverd_cache_evictions_total", "artifact-cache LRU evictions",
+		func() float64 { return float64(s.cache.Snapshot().Evictions) })
+	m.GaugeFunc("groverd_cache_entries", "resident artifact-cache entries",
+		func() float64 { return float64(s.cache.Snapshot().Entries) })
+}
+
+// reqState accumulates per-request observations (cache outcomes) that
+// handlers report and the middleware consumes when the request finishes.
+type reqState struct {
+	mu       sync.Mutex
+	outcomes []kcache.Outcome
+}
+
+type reqStateKey struct{}
+
+// noteOutcome appends one cache outcome to the request's state; a no-op
+// outside a request (direct handler tests, internal reuse).
+func noteOutcome(ctx context.Context, outs ...kcache.Outcome) {
+	st, _ := ctx.Value(reqStateKey{}).(*reqState)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.outcomes = append(st.outcomes, outs...)
+	st.mu.Unlock()
+}
+
+// statusWriter captures the response status for accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpointName maps a request path to its stats/metrics key ("compile",
+// "devices", "healthz", ...).
+func endpointName(path string) string {
+	p := strings.TrimPrefix(path, "/v1/")
+	p = strings.Trim(p, "/")
+	if p == "" {
+		return "root"
+	}
+	return p
+}
+
+// newRequestID generates a 16-hex-char request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ServeHTTP wraps the service mux in the observability middleware: it
+// propagates (or generates) the X-Request-ID, installs the request's
+// telemetry trace and outcome accumulator in the context, and on
+// completion records the latency histogram, per-endpoint counters and
+// one structured log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	endpoint := endpointName(r.URL.Path)
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = newRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+
+	st := &reqState{}
+	ctx := context.WithValue(r.Context(), reqStateKey{}, st)
+	ctx, _ = telemetry.WithTrace(ctx)
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r.WithContext(ctx))
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+
+	dur := time.Since(start)
+	st.mu.Lock()
+	outcomes := append([]kcache.Outcome(nil), st.outcomes...)
+	st.mu.Unlock()
+	s.stats.record(endpoint, dur, sw.status >= 400, outcomes...)
+
+	attrs := []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.status),
+		slog.Float64("duration_ms", float64(dur)/float64(time.Millisecond)),
+		slog.String("request_id", reqID),
+	}
+	if len(outcomes) > 0 {
+		parts := make([]string, len(outcomes))
+		for i, o := range outcomes {
+			parts[i] = o.String()
+		}
+		attrs = append(attrs, slog.String("cache", strings.Join(parts, ",")))
+	}
+	level := slog.LevelInfo
+	if sw.status >= 500 {
+		level = slog.LevelError
+	} else if sw.status >= 400 {
+		level = slog.LevelWarn
+	}
+	s.logger.LogAttrs(r.Context(), level, "request", attrs...)
 }
 
 // Pool exposes the worker pool (for daemon logging).
@@ -91,6 +245,10 @@ func (s *Server) Pool() *Pool { return s.pool }
 
 // Backend reports the server's default execution backend.
 func (s *Server) Backend() string { return s.backend }
+
+// Metrics exposes the server's telemetry registry (for embedding and
+// tests).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics }
 
 // ------------------------------------------------------------- JSON types
 
@@ -144,6 +302,9 @@ type CompileResponse struct {
 	// Cache is the artifact-cache outcome: "hit", "miss" or "dedup".
 	Cache     string  `json:"cache"`
 	LatencyMS float64 `json:"latency_ms"`
+	// Spans are the compile-pipeline stage timings recorded while serving
+	// this request; cached responses, which compile nothing, omit them.
+	Spans []telemetry.SpanJSON `json:"spans,omitempty"`
 }
 
 // TransformRequest runs the Grover pass on one kernel.
@@ -160,12 +321,13 @@ type TransformRequest struct {
 
 // TransformResponse carries the transformation report.
 type TransformResponse struct {
-	Kernel      string  `json:"kernel"`
-	Transformed bool    `json:"transformed"`
-	Report      *Report `json:"report"`
-	IR          string  `json:"ir,omitempty"`
-	Cache       string  `json:"cache"`
-	LatencyMS   float64 `json:"latency_ms"`
+	Kernel      string               `json:"kernel"`
+	Transformed bool                 `json:"transformed"`
+	Report      *Report              `json:"report"`
+	IR          string               `json:"ir,omitempty"`
+	Cache       string               `json:"cache"`
+	LatencyMS   float64              `json:"latency_ms"`
+	Spans       []telemetry.SpanJSON `json:"spans,omitempty"`
 }
 
 // Report is the JSON rendering of the pass report (the paper's Table III
@@ -259,6 +421,19 @@ type AutotuneRequest struct {
 	// request ("interp", "bcode", ...). Simulated timings are
 	// backend-invariant; this picks how fast the tuning itself runs.
 	Backend string `json:"backend,omitempty"`
+	// Characterize attaches an AIWC-style feature vector for both kernel
+	// versions to each device verdict (one extra traced launch per
+	// version). The flag is part of the cache key.
+	Characterize bool `json:"characterize,omitempty"`
+}
+
+// Characterization pairs the feature vectors of the two kernel versions:
+// the backend-invariant evidence behind a tuning verdict (how much local
+// traffic the base version has, how the rewritten global accesses
+// spread).
+type Characterization struct {
+	Original    *aiwc.Features `json:"original,omitempty"`
+	Transformed *aiwc.Features `json:"transformed,omitempty"`
 }
 
 // TuneVerdict is one device's auto-tuning outcome.
@@ -275,6 +450,9 @@ type TuneVerdict struct {
 	Speedup float64 `json:"speedup"`
 	Report  *Report `json:"report,omitempty"`
 	Cache   string  `json:"cache"`
+	// Characterization carries the kernel feature vectors when the
+	// request set characterize.
+	Characterization *Characterization `json:"characterization,omitempty"`
 	// Error reports a per-device failure during an "all" sweep.
 	Error string `json:"error,omitempty"`
 }
@@ -283,9 +461,10 @@ type TuneVerdict struct {
 type AutotuneResponse struct {
 	Kernel string `json:"kernel"`
 	// Backend is the execution backend the launches ran on.
-	Backend   string        `json:"backend"`
-	Results   []TuneVerdict `json:"results"`
-	LatencyMS float64       `json:"latency_ms"`
+	Backend   string               `json:"backend"`
+	Results   []TuneVerdict        `json:"results"`
+	LatencyMS float64              `json:"latency_ms"`
+	Spans     []telemetry.SpanJSON `json:"spans,omitempty"`
 }
 
 // LintRequest runs the static analysis suite over a program.
@@ -318,6 +497,16 @@ type DeviceInfo struct {
 	Kind         string `json:"kind"`
 	ComputeUnits int    `json:"compute_units"`
 	Profile      string `json:"profile"`
+}
+
+// HealthResponse is the readiness payload: overall status plus the pool
+// and cache state it was derived from.
+type HealthResponse struct {
+	// Status is "ok", or "overloaded" (503) when the pool can make no
+	// progress.
+	Status string       `json:"status"`
+	Pool   PoolStats    `json:"pool"`
+	Cache  kcache.Stats `json:"cache"`
 }
 
 // StatsResponse is the stats endpoint payload.

@@ -338,9 +338,15 @@ func TestDevicesEndpoint(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	ts := newTestServer(t)
-	var h map[string]string
-	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h["status"] != "ok" {
-		t.Fatalf("healthz = %d %v", code, h)
+	var h HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", code, h)
+	}
+	if h.Pool.Workers != 4 {
+		t.Errorf("healthz pool workers = %d, want 4", h.Pool.Workers)
+	}
+	if h.Cache.Capacity != 64 {
+		t.Errorf("healthz cache capacity = %d, want 64", h.Cache.Capacity)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"grover/internal/kcache"
+	"grover/internal/telemetry"
 )
 
 // EndpointStats aggregates per-endpoint request metrics.
@@ -16,32 +17,46 @@ type EndpointStats struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 	CacheDedups int64 `json:"cache_dedups"`
-	// Latency aggregates, in wall-clock milliseconds.
+	// Latency aggregates, in wall-clock milliseconds. The quantiles are
+	// estimated from the endpoint's latency histogram (the same series
+	// /metrics exposes), interpolated within the owning bucket.
 	TotalMS float64 `json:"total_ms"`
 	AvgMS   float64 `json:"avg_ms"`
 	MaxMS   float64 `json:"max_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
 }
 
 // registry collects EndpointStats keyed by endpoint name plus execution
-// counts keyed by backend name.
+// counts keyed by backend name, mirroring every tally into a telemetry
+// registry so /v1/stats and /metrics are two views of one set of
+// counters.
 type registry struct {
-	mu sync.Mutex
-	m  map[string]*EndpointStats
-	be map[string]int64
+	mu   sync.Mutex
+	m    map[string]*EndpointStats
+	hist map[string]*telemetry.Histogram
+	be   map[string]int64
+	prom *telemetry.Registry
 }
 
-func newRegistry() *registry {
+func newRegistry(prom *telemetry.Registry) *registry {
 	return &registry{
-		m:  make(map[string]*EndpointStats),
-		be: make(map[string]int64),
+		m:    make(map[string]*EndpointStats),
+		hist: make(map[string]*telemetry.Histogram),
+		be:   make(map[string]int64),
+		prom: prom,
 	}
 }
 
 // recordBackend tallies n device-runs executed on the named backend.
 func (r *registry) recordBackend(name string, n int64) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.be[name] += n
+	r.mu.Unlock()
+	r.prom.Counter("groverd_backend_runs_total",
+		"autotune device-runs per execution backend",
+		telemetry.Label{Name: "backend", Value: name}).Add(n)
 }
 
 // backendSnapshot copies the per-backend run counts.
@@ -59,12 +74,27 @@ func (r *registry) backendSnapshot() map[string]int64 {
 // cache outcomes it observed.
 func (r *registry) record(endpoint string, d time.Duration, failed bool, outcomes ...kcache.Outcome) {
 	ms := float64(d) / float64(time.Millisecond)
+	ep := telemetry.Label{Name: "endpoint", Value: endpoint}
+	r.prom.Counter("groverd_requests_total", "requests served per endpoint", ep).Inc()
+	if failed {
+		r.prom.Counter("groverd_request_errors_total", "requests answered with status >= 400", ep).Inc()
+	}
+	for _, o := range outcomes {
+		r.prom.Counter("groverd_cache_outcomes_total", "artifact-cache outcomes observed by requests",
+			ep, telemetry.Label{Name: "outcome", Value: o.String()}).Inc()
+	}
+
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	st := r.m[endpoint]
 	if st == nil {
 		st = &EndpointStats{}
 		r.m[endpoint] = st
+	}
+	h := r.hist[endpoint]
+	if h == nil {
+		h = r.prom.Histogram("groverd_request_duration_seconds",
+			"request wall-clock latency per endpoint", nil, ep)
+		r.hist[endpoint] = h
 	}
 	st.Requests++
 	if failed {
@@ -84,9 +114,12 @@ func (r *registry) record(endpoint string, d time.Duration, failed bool, outcome
 			st.CacheDedups++
 		}
 	}
+	r.mu.Unlock()
+	h.Observe(float64(d) / float64(time.Second))
 }
 
-// snapshot copies the per-endpoint stats with derived averages.
+// snapshot copies the per-endpoint stats with derived averages and
+// histogram quantiles.
 func (r *registry) snapshot() map[string]EndpointStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -95,6 +128,12 @@ func (r *registry) snapshot() map[string]EndpointStats {
 		cp := *st
 		if cp.Requests > 0 {
 			cp.AvgMS = cp.TotalMS / float64(cp.Requests)
+		}
+		if h := r.hist[k]; h != nil {
+			const sec = 1000 // histogram is in seconds, stats in ms
+			cp.P50MS = h.Quantile(0.50) * sec
+			cp.P95MS = h.Quantile(0.95) * sec
+			cp.P99MS = h.Quantile(0.99) * sec
 		}
 		out[k] = cp
 	}

@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// Span is one completed pipeline stage: its name, start offset from the
+// trace origin, and duration. Stages are recorded flat — the pipeline is
+// sequential, so top-level stage durations sum to (within scheduling
+// noise) the traced wall-clock.
+type Span struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// SpanJSON is the wire form of a Span (milliseconds, like the service's
+// latency fields).
+type SpanJSON struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+}
+
+// Trace collects spans for one logical operation (a request, a compile).
+// It is safe for concurrent use: the autotune fan-out records stages from
+// several goroutines into the request's trace.
+type Trace struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []Span
+}
+
+// NewTrace starts an empty trace anchored at now.
+func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+type traceKey struct{}
+
+// WithTrace returns a child context carrying a fresh trace, plus the
+// trace itself. If ctx already carries a trace, that trace is reused so
+// nested pipelines append to the request's span list.
+func WithTrace(ctx context.Context) (context.Context, *Trace) {
+	if t := FromContext(ctx); t != nil {
+		return ctx, t
+	}
+	t := NewTrace()
+	return context.WithValue(ctx, traceKey{}, t), t
+}
+
+// FromContext returns the trace carried by ctx, or nil. All recording
+// helpers are nil-safe, so pipeline code can call StartSpan
+// unconditionally: untraced paths (the hot execution loop, cached
+// requests) pay one context lookup and nothing else.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpan begins a stage and returns its completion function. With no
+// trace in ctx the returned function is a no-op.
+func StartSpan(ctx context.Context, name string) func() {
+	t := FromContext(ctx)
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{
+			Name:  name,
+			Start: start.Sub(t.t0),
+			Dur:   end.Sub(start),
+		})
+		t.mu.Unlock()
+	}
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Total sums the span durations — the traced portion of the wall-clock.
+func (t *Trace) Total() time.Duration {
+	var sum time.Duration
+	for _, s := range t.Spans() {
+		sum += s.Dur
+	}
+	return sum
+}
+
+// JSON renders the spans for a service response; nil when no spans were
+// recorded (so cached requests omit the field entirely).
+func (t *Trace) JSON() []SpanJSON {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanJSON, len(spans))
+	for i, s := range spans {
+		out[i] = SpanJSON{
+			Name:    s.Name,
+			StartMS: float64(s.Start) / float64(time.Millisecond),
+			DurMS:   float64(s.Dur) / float64(time.Millisecond),
+		}
+	}
+	return out
+}
+
+// Table renders the spans as an aligned text table with a total row — the
+// body of groverc -timings.
+func (t *Trace) Table() string {
+	spans := t.Spans()
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "stage\tstart ms\tdur ms\t")
+	total := time.Duration(0)
+	for _, s := range spans {
+		total += s.Dur
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t\n", s.Name,
+			float64(s.Start)/float64(time.Millisecond),
+			float64(s.Dur)/float64(time.Millisecond))
+	}
+	fmt.Fprintf(w, "total\t\t%.3f\t\n", float64(total)/float64(time.Millisecond))
+	w.Flush()
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpansRecordInOrder(t *testing.T) {
+	ctx, tr := WithTrace(context.Background())
+	end := StartSpan(ctx, "lex")
+	time.Sleep(time.Millisecond)
+	end()
+	end = StartSpan(ctx, "parse")
+	end()
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "lex" || spans[1].Name != "parse" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Dur <= 0 {
+		t.Errorf("lex duration = %v, want > 0", spans[0].Dur)
+	}
+	if spans[1].Start < spans[0].Start {
+		t.Errorf("parse starts before lex: %+v", spans)
+	}
+	if tr.Total() < spans[0].Dur {
+		t.Errorf("total %v < first span %v", tr.Total(), spans[0].Dur)
+	}
+}
+
+func TestWithTraceReusesExisting(t *testing.T) {
+	ctx, tr := WithTrace(context.Background())
+	ctx2, tr2 := WithTrace(ctx)
+	if tr2 != tr {
+		t.Fatal("nested WithTrace created a second trace")
+	}
+	StartSpan(ctx2, "stage")()
+	if len(tr.Spans()) != 1 {
+		t.Fatal("nested span did not land in the request trace")
+	}
+}
+
+func TestUntracedContextIsNoop(t *testing.T) {
+	// No trace in the context: StartSpan must be safe and free of effects.
+	StartSpan(context.Background(), "x")()
+	var nilCtx context.Context
+	StartSpan(nilCtx, "y")()
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext invented a trace")
+	}
+	var nilTrace *Trace
+	if got := nilTrace.Spans(); got != nil {
+		t.Fatalf("nil trace spans = %v", got)
+	}
+}
+
+func TestTraceJSONAndTable(t *testing.T) {
+	ctx, tr := WithTrace(context.Background())
+	StartSpan(ctx, "clc.parse")()
+	js := tr.JSON()
+	if len(js) != 1 || js[0].Name != "clc.parse" {
+		t.Fatalf("json = %+v", js)
+	}
+	table := tr.Table()
+	if !strings.Contains(table, "clc.parse") || !strings.Contains(table, "total") {
+		t.Fatalf("table missing rows:\n%s", table)
+	}
+	// Empty traces render no JSON so responses omit the field.
+	if (&Trace{}).JSON() != nil {
+		t.Error("empty trace should render nil JSON")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	ctx, tr := WithTrace(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				StartSpan(ctx, "stage")()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Spans()); n != 400 {
+		t.Fatalf("spans = %d, want 400", n)
+	}
+}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -26,12 +27,14 @@ type Executor interface {
 }
 
 var backendsMu sync.RWMutex
-var backendBuilders = map[string]func(*Program) (Executor, error){}
+var backendBuilders = map[string]func(context.Context, *Program) (Executor, error){}
 
 // RegisterBackend makes a backend available under the given name.
 // Backends register themselves from an init function; importing the
-// backend package is enough to enable it.
-func RegisterBackend(name string, build func(*Program) (Executor, error)) {
+// backend package is enough to enable it. The builder receives the
+// caller's context so backend compilation shows up as a span when the
+// request is traced.
+func RegisterBackend(name string, build func(context.Context, *Program) (Executor, error)) {
 	if name == BackendInterp {
 		panic("vm: cannot replace the interpreter backend")
 	}
@@ -80,6 +83,13 @@ func DefaultBackend() string {
 // Executor returns the named backend's executor for this program,
 // compiling it on first use and caching it alongside the program.
 func (p *Program) Executor(name string) (Executor, error) {
+	return p.ExecutorCtx(context.Background(), name)
+}
+
+// ExecutorCtx is Executor with the caller's context threaded into the
+// backend builder, so a first-use backend compile records its span into
+// the request trace. Cache hits never touch the context.
+func (p *Program) ExecutorCtx(ctx context.Context, name string) (Executor, error) {
 	backendsMu.RLock()
 	build, ok := backendBuilders[name]
 	backendsMu.RUnlock()
@@ -91,7 +101,7 @@ func (p *Program) Executor(name string) (Executor, error) {
 	if e, ok := p.execs[name]; ok {
 		return e, nil
 	}
-	e, err := build(p)
+	e, err := build(ctx, p)
 	if err != nil {
 		return nil, fmt.Errorf("vm: backend %q: %w", name, err)
 	}

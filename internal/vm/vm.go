@@ -1,12 +1,14 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"grover/internal/clc"
 	"grover/internal/ir"
+	"grover/internal/telemetry"
 )
 
 // rv is the runtime representation of one IR value: scalars use i or f
@@ -41,6 +43,13 @@ type Program struct {
 	// each program is compiled once and executed many times.
 	execMu sync.Mutex
 	execs  map[string]Executor
+}
+
+// PrepareCtx is Prepare recording a vm.prepare span into the trace
+// carried by ctx, if any.
+func PrepareCtx(ctx context.Context, m *ir.Module) (*Program, error) {
+	defer telemetry.StartSpan(ctx, "vm.prepare")()
+	return Prepare(m)
 }
 
 // Prepare lays out allocas and numbers instructions for execution.

@@ -31,10 +31,13 @@
 package wgvec
 
 import (
+	"context"
+
 	"grover/internal/analysis"
 	"grover/internal/analysis/graph"
 	"grover/internal/bcode"
 	"grover/internal/ir"
+	"grover/internal/telemetry"
 	"grover/internal/vm"
 )
 
@@ -42,8 +45,8 @@ import (
 const Name = "wgvec"
 
 func init() {
-	vm.RegisterBackend(Name, func(p *vm.Program) (vm.Executor, error) {
-		return Compile(p)
+	vm.RegisterBackend(Name, func(ctx context.Context, p *vm.Program) (vm.Executor, error) {
+		return CompileCtx(ctx, p)
 	})
 }
 
@@ -58,10 +61,18 @@ type Machine struct {
 // Compile lowers every function of a prepared program to a region
 // program over its bytecode.
 func Compile(p *vm.Program) (*Machine, error) {
-	bm, err := bcode.Compile(p)
+	return CompileCtx(context.Background(), p)
+}
+
+// CompileCtx is Compile with span recording: the embedded bytecode
+// compile reports as bcode.compile, the region lowering as
+// wgvec.compile.
+func CompileCtx(ctx context.Context, p *vm.Program) (*Machine, error) {
+	bm, err := bcode.CompileCtx(ctx, p)
 	if err != nil {
 		return nil, err
 	}
+	defer telemetry.StartSpan(ctx, "wgvec.compile")()
 	m := &Machine{bm: bm, progs: map[*ir.Function]*regionProgram{}}
 	// Uniform execute-once facts assume work-group-uniform parameters,
 	// which holds for launch arguments but not for call arguments; only

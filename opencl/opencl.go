@@ -22,6 +22,7 @@
 package opencl
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,6 +35,7 @@ import (
 	"grover/internal/ir"
 	"grover/internal/lower"
 	"grover/internal/opt"
+	"grover/internal/telemetry"
 	"grover/internal/vm"
 	_ "grover/internal/wgvec" // register the work-group-vectorized backend
 )
@@ -165,11 +167,17 @@ type Program struct {
 // CompileProgram compiles OpenCL C source (with optional preprocessor
 // defines) for this context's device.
 func (c *Context) CompileProgram(name, source string, defines map[string]string) (*Program, error) {
-	mod, err := CompileModule(name, source, defines)
+	return c.CompileProgramCtx(context.Background(), name, source, defines)
+}
+
+// CompileProgramCtx is CompileProgram with pipeline span recording when
+// ctx carries a telemetry trace.
+func (c *Context) CompileProgramCtx(ctx context.Context, name, source string, defines map[string]string) (*Program, error) {
+	mod, err := CompileModuleCtx(ctx, name, source, defines)
 	if err != nil {
 		return nil, err
 	}
-	return c.newProgramFromModule(name, mod)
+	return c.newProgramFromModule(ctx, name, mod)
 }
 
 // CompileModule compiles OpenCL C source to the optimized IR module
@@ -179,11 +187,20 @@ func (c *Context) CompileProgram(name, source string, defines map[string]string)
 // Context.NewProgramFromIR — the compile-once primitive behind
 // grover.AutoTuneAll and the groverd compilation cache.
 func CompileModule(name, source string, defines map[string]string) (*ir.Module, error) {
-	f, err := clc.Parse(name, source, defines)
+	return CompileModuleCtx(context.Background(), name, source, defines)
+}
+
+// CompileModuleCtx is CompileModule with per-stage span recording
+// (clc.pre, clc.lex, clc.parse, clc.sema, lower, opt) when ctx carries a
+// telemetry trace.
+func CompileModuleCtx(ctx context.Context, name, source string, defines map[string]string) (*ir.Module, error) {
+	f, err := clc.ParseCtx(ctx, name, source, defines)
 	if err != nil {
 		return nil, fmt.Errorf("opencl: build failed: %w", err)
 	}
+	end := telemetry.StartSpan(ctx, "lower")
 	mod, err := lower.Module(f)
+	end()
 	if err != nil {
 		return nil, fmt.Errorf("opencl: lowering failed: %w", err)
 	}
@@ -194,7 +211,9 @@ func CompileModule(name, source string, defines map[string]string) (*ir.Module, 
 	}
 	// Run the standard driver optimizations (CSE, LICM, DCE) so simulated
 	// timings reflect what a vendor compiler would execute.
+	end = telemetry.StartSpan(ctx, "opt")
 	opt.Optimize(mod)
+	end()
 	if debug.Verify {
 		if err := ir.Verify(mod); err != nil {
 			return nil, fmt.Errorf("opencl: optimization produced invalid IR: %w", err)
@@ -213,7 +232,7 @@ func CompileModule(name, source string, defines map[string]string) (*ir.Module, 
 // it — so a single compiled artifact may be shared and instantiated by
 // any number of contexts concurrently.
 func (c *Context) NewProgramFromIR(name string, mod *ir.Module) (*Program, error) {
-	return c.newProgramFromModule(name, ir.CloneModule(mod))
+	return c.newProgramFromModule(context.Background(), name, ir.CloneModule(mod))
 }
 
 // NewProgramFromPrepared wraps an already-prepared VM program on this
@@ -225,8 +244,8 @@ func (c *Context) NewProgramFromPrepared(name string, prog *vm.Program) *Program
 	return &Program{ctx: c, name: name, module: prog.Module, prog: prog}
 }
 
-func (c *Context) newProgramFromModule(name string, mod *ir.Module) (*Program, error) {
-	prog, err := vm.Prepare(mod)
+func (c *Context) newProgramFromModule(ctx context.Context, name string, mod *ir.Module) (*Program, error) {
+	prog, err := vm.PrepareCtx(ctx, mod)
 	if err != nil {
 		return nil, fmt.Errorf("opencl: preparing module: %w", err)
 	}
@@ -255,13 +274,24 @@ func (p *Program) VM() *vm.Program { return p.prog }
 // disabling local-memory usage in the named kernel, and returns the new
 // program plus the analysis report. The receiver is unchanged.
 func (p *Program) WithLocalMemoryDisabled(kernel string, opts igrover.Options) (*Program, *igrover.Report, error) {
+	return p.WithLocalMemoryDisabledCtx(context.Background(), kernel, opts)
+}
+
+// WithLocalMemoryDisabledCtx is WithLocalMemoryDisabled with span
+// recording (grover.transform, opt, vm.prepare) when ctx carries a
+// telemetry trace.
+func (p *Program) WithLocalMemoryDisabledCtx(ctx context.Context, kernel string, opts igrover.Options) (*Program, *igrover.Report, error) {
+	end := telemetry.StartSpan(ctx, "grover.transform")
 	clone := ir.CloneModule(p.module)
 	rep, err := igrover.TransformKernel(clone, kernel, opts)
+	end()
 	if err != nil {
 		return nil, rep, err
 	}
+	end = telemetry.StartSpan(ctx, "opt")
 	opt.Optimize(clone)
-	np, err := p.ctx.newProgramFromModule(p.name+"+grover", clone)
+	end()
+	np, err := p.ctx.newProgramFromModule(ctx, p.name+"+grover", clone)
 	if err != nil {
 		return nil, rep, err
 	}
