@@ -14,12 +14,15 @@
 //	groverbench -experiment case -app NVD-MT -device SNB
 //	groverbench -experiment backends -format json      # backend wall-clock comparison
 //	groverbench -experiment characterize -format json  # AIWC-style feature vectors
+//	groverbench -experiment rewrite -format json       # rewrite-plan search sweep
 //
 // -backend selects the execution backend (interp, bcode, or wgvec) and
 // -format json emits machine-readable measurements; the committed
 // BENCH_vm.json and BENCH_wgvec.json are outputs of the backends
-// experiment and BENCH_characterize.json of the characterize
-// experiment. -cpuprofile and -memprofile write pprof profiles of the
+// experiment, BENCH_characterize.json of the characterize experiment,
+// and BENCH_rewrite.json of the rewrite experiment (every app plus a
+// synthetic window-sum kernel, autotuned across the rewrite plan space
+// on all six platforms). -cpuprofile and -memprofile write pprof profiles of the
 // run for backend performance work.
 package main
 
@@ -43,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | characterize | all")
+		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | characterize | rewrite | all")
 		app        = flag.String("app", "", "benchmark id for -experiment case (e.g. NVD-MT)")
 		device     = flag.String("device", "SNB", "device for -experiment case")
 		scale      = flag.Int("scale", 1, "dataset scale factor")
@@ -172,6 +175,8 @@ func run(experiment, appID, deviceName, format string, cfg harness.Config) error
 		return runBackends(cfg, format)
 	case "characterize":
 		return runCharacterize(cfg, format)
+	case "rewrite":
+		return runRewrite(cfg, format)
 	case "table1":
 		fmt.Println("Table I — benchmarks and datasets")
 		fmt.Println(harness.Table1())

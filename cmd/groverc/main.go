@@ -7,6 +7,11 @@
 //
 //	groverc [-kernel name] [-candidates a,b] [-ir] [-keep-barriers] [-lint] [-timings] file.cl
 //	groverc -D TILE=16 -D N=1024 kernel.cl
+//	groverc -rewrite 'stage-local(ls=64),hoist-addr' -ir kernel.cl
+//
+// With -rewrite, an arbitrary rewrite plan (see the rewrite package's
+// plan syntax) replaces the default Grover pass; the per-step report is
+// printed instead of the Table III correspondence report.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"grover/internal/analysis"
 	igrover "grover/internal/grover"
+	"grover/internal/rewrite"
 	"grover/internal/telemetry"
 	"grover/opencl"
 )
@@ -45,6 +51,7 @@ func main() {
 		strict       = flag.Bool("strict", false, "fail when any candidate is not reversible")
 		lint         = flag.Bool("lint", false, "run the static analyzers before transforming and print their findings")
 		timings      = flag.Bool("timings", false, "print per-stage compile pipeline timings to stderr")
+		rewritePlan  = flag.String("rewrite", "", "apply a rewrite plan (e.g. 'grover', 'stage-local(ls=64),hoist-addr') instead of the Grover pass")
 	)
 	flag.Var(defines, "D", "preprocessor define NAME[=VALUE] (repeatable)")
 	flag.Parse()
@@ -110,6 +117,29 @@ func main() {
 		if res.MaxSeverity() == analysis.SeverityError {
 			exit = 1
 		}
+	}
+	if *rewritePlan != "" {
+		plan, err := rewrite.ParsePlan(*rewritePlan)
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range kernels {
+			rp, rep, err := prog.WithRewritePlanCtx(tctx, k, plan)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "groverc: kernel %s: %v\n", k, err)
+				exit = 1
+				continue
+			}
+			fmt.Print(rep)
+			if *dumpIR {
+				fmt.Printf("\n--- original IR (%s) ---\n%s", k, prog.IR())
+				fmt.Printf("\n--- rewritten IR (%s) ---\n%s", k, rp.IR())
+			}
+		}
+		if tr := telemetry.FromContext(tctx); tr != nil {
+			fmt.Fprint(os.Stderr, tr.Table())
+		}
+		os.Exit(exit)
 	}
 	for _, k := range kernels {
 		noLM, rep, err := prog.WithLocalMemoryDisabledCtx(tctx, k, opts)

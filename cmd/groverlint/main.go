@@ -7,6 +7,12 @@
 //	groverlint [-json] [-kernel name] [-local x,y,z] [-Werror] file.cl...
 //	groverlint -D TILE=16 kernel.cl
 //	groverlint -corpus
+//	groverlint -corpus -plan grover
+//
+// With -plan, each kernel is first rewritten by the given rewrite plan
+// (e.g. "grover" or "stage-local(ls=64),hoist-addr") and the analyzers
+// run over the rewrite-produced IR — the check CI uses to prove rewrite
+// plans introduce no new findings.
 //
 // The -local flag supplies the launch's work-group extents; without it
 // the bounds intervals stay unbounded and the race prover cannot
@@ -28,6 +34,7 @@ import (
 
 	"grover/internal/analysis"
 	"grover/internal/apps"
+	"grover/internal/rewrite"
 	"grover/opencl"
 )
 
@@ -52,6 +59,7 @@ func main() {
 		corpus  = flag.Bool("corpus", false, "lint the built-in benchmark applications instead of files")
 		wError  = flag.Bool("Werror", false, "treat warnings as errors for the exit status")
 		quietOK = flag.Bool("q", false, "suppress the per-file OK line and legality verdicts")
+		planStr = flag.String("plan", "", "apply a rewrite plan to every kernel before analysis")
 	)
 	flag.Var(defines, "D", "preprocessor define NAME[=VALUE] (repeatable)")
 	flag.Parse()
@@ -68,7 +76,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	l := &linter{json: *asJSON, werror: *wError, quiet: *quietOK, kernel: *kernel}
+	var plan *rewrite.Plan
+	if *planStr != "" {
+		if plan, err = rewrite.ParsePlan(*planStr); err != nil {
+			fmt.Fprintln(os.Stderr, "groverlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	l := &linter{json: *asJSON, werror: *wError, quiet: *quietOK, kernel: *kernel, plan: plan}
 	if *corpus {
 		for _, app := range apps.All() {
 			l.lintApp(app)
@@ -115,6 +131,7 @@ type linter struct {
 	werror bool
 	quiet  bool
 	kernel string
+	plan   *rewrite.Plan
 	exit   int
 }
 
@@ -144,6 +161,25 @@ func (l *linter) lint(file, source string, defines map[string]string, wg [3]int)
 	if err != nil {
 		l.fail(err)
 		return
+	}
+	if l.plan != nil {
+		// Rewrite every kernel under the plan first, so the analyzers see
+		// the rewrite-produced IR. A plan a rule rejects as illegal is a
+		// lint failure, not a crash.
+		var names []string
+		for _, fn := range mod.Kernels() {
+			if l.kernel == "" || fn.Name == l.kernel {
+				names = append(names, fn.Name)
+			}
+		}
+		for _, name := range names {
+			mod2, _, err := rewrite.Apply(mod, name, l.plan)
+			if err != nil {
+				l.fail(fmt.Errorf("%s: plan %s on kernel %s: %w", file, l.plan, name, err))
+				return
+			}
+			mod = mod2
+		}
 	}
 	var res *analysis.Result
 	if l.kernel != "" {

@@ -31,6 +31,7 @@ import (
 
 	igrover "grover/internal/grover"
 	"grover/internal/ir"
+	"grover/internal/rewrite"
 	"grover/opencl"
 )
 
@@ -81,10 +82,38 @@ type TuneResult struct {
 	Speedup float64
 	// Report is the transformation report.
 	Report *Report
+	// Plan is the winning plan's canonical string when plan search ran
+	// (AutoTunePlans); empty for the classic two-version AutoTune.
+	Plan string
+	// Rewrite is the winning plan's per-step report when plan search ran
+	// and a non-base plan won.
+	Rewrite *rewrite.Report
+	// PlanSearch holds one entry per evaluated plan when plan search ran.
+	PlanSearch []PlanTiming
+}
+
+// PlanTiming is one evaluated plan in a plan search.
+type PlanTiming struct {
+	// Plan is the canonical plan string.
+	Plan string
+	// MS is the average simulated time; meaningful only when timed.
+	MS float64
+	// Applied is true when the plan changed the kernel (base counts: it is
+	// the reference version). Unapplied plans are not timed.
+	Applied bool
+	// Err records why the plan was skipped: parse failure, illegal
+	// transform (a rule's safety analysis rejected it), or a launch error.
+	Err string
+	// Report is the plan's per-step rewrite report, when it ran.
+	Report *rewrite.Report
 }
 
 // String renders the decision.
 func (r TuneResult) String() string {
+	if r.Plan != "" {
+		return fmt.Sprintf("plan %s: base %.4f ms, best %.4f ms (np=%.2f, %d plans tried)",
+			r.Plan, r.OriginalMS, r.TransformedMS, r.Speedup, len(r.PlanSearch))
+	}
 	verdict := "keep local memory"
 	if r.UseTransformed {
 		verdict = "disable local memory"
@@ -165,6 +194,143 @@ func AutoTuneCtx(ctx context.Context, prog *opencl.Program, kernel string, opts 
 	return res, nil
 }
 
+// AutoTunePlans generalizes AutoTune from two versions to a plan space:
+// every plan in plans is applied (illegal or inapplicable plans are
+// recorded and skipped, not fatal), each resulting kernel is timed runs
+// times through the caller's launch function, and the fastest legal
+// variant wins. "base" — the unrewritten kernel — is always evaluated,
+// whether or not it is listed, and serves as the speedup reference.
+func AutoTunePlans(prog *opencl.Program, kernel string, plans []string, runs int,
+	launch func(k *opencl.Kernel) (*opencl.Event, error)) (*TuneResult, error) {
+	return AutoTunePlansCtx(context.Background(), prog, kernel, plans, runs, launch)
+}
+
+// AutoTunePlansCtx is AutoTunePlans with pipeline span recording when ctx
+// carries a telemetry trace.
+func AutoTunePlansCtx(ctx context.Context, prog *opencl.Program, kernel string, plans []string, runs int,
+	launch func(k *opencl.Kernel) (*opencl.Event, error)) (*TuneResult, error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	avg := func(k *opencl.Kernel) (float64, error) {
+		var total float64
+		for i := 0; i < runs; i++ {
+			evt, err := launch(k)
+			if err != nil {
+				return 0, err
+			}
+			total += evt.Duration()
+		}
+		return total / float64(runs), nil
+	}
+
+	hasBase := false
+	for _, ps := range plans {
+		if p, err := rewrite.ParsePlan(ps); err == nil && len(p.Steps) == 0 {
+			hasBase = true
+		}
+	}
+	if !hasBase {
+		plans = append([]string{rewrite.BasePlanName}, plans...)
+	}
+
+	orig, err := prog.Kernel(kernel)
+	if err != nil {
+		return nil, err
+	}
+	res := &TuneResult{Original: orig}
+	var bestK *opencl.Kernel
+	var bestRewrite *rewrite.Report
+	bestMS, bestPlan := 0.0, ""
+	for _, ps := range plans {
+		p, err := rewrite.ParsePlan(ps)
+		if err != nil {
+			res.PlanSearch = append(res.PlanSearch, PlanTiming{Plan: ps, Err: err.Error()})
+			continue
+		}
+		t := PlanTiming{Plan: p.String()}
+		k := orig
+		if len(p.Steps) > 0 {
+			rp, rep, err := prog.WithRewritePlanCtx(ctx, kernel, p)
+			t.Report = rep
+			if err != nil {
+				t.Err = err.Error()
+				res.PlanSearch = append(res.PlanSearch, t)
+				continue
+			}
+			if !rep.Changed() {
+				// Nothing matched: identical to base, skip the timing.
+				res.PlanSearch = append(res.PlanSearch, t)
+				continue
+			}
+			if k, err = rp.Kernel(kernel); err != nil {
+				t.Err = err.Error()
+				res.PlanSearch = append(res.PlanSearch, t)
+				continue
+			}
+		}
+		t.Applied = true
+		ms, err := avg(k)
+		if err != nil {
+			t.Applied = false
+			t.Err = fmt.Sprintf("timing: %v", err)
+			res.PlanSearch = append(res.PlanSearch, t)
+			continue
+		}
+		t.MS = ms
+		res.PlanSearch = append(res.PlanSearch, t)
+		if t.Plan == rewrite.BasePlanName {
+			res.OriginalMS = ms
+		}
+		if bestPlan == "" || ms < bestMS {
+			bestK, bestMS, bestPlan, bestRewrite = k, ms, t.Plan, t.Report
+		}
+	}
+	if bestPlan == "" {
+		return nil, fmt.Errorf("grover: no plan could be evaluated for kernel %q", kernel)
+	}
+	res.Plan = bestPlan
+	res.Kernel = bestK
+	res.TransformedMS = bestMS
+	if res.OriginalMS > 0 {
+		res.Speedup = res.OriginalMS / bestMS
+	}
+	if bestPlan != rewrite.BasePlanName {
+		res.UseTransformed = true
+		res.Transformed = bestK
+		res.Rewrite = bestRewrite
+		if bestRewrite != nil {
+			for _, s := range bestRewrite.Steps {
+				if s.Grover != nil {
+					res.Report = s.Grover
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// DefaultPlanSpace is the small plan space AutoTuneAll and the service
+// enumerate when asked to search: base, the Grover direction with and
+// without extra address hoisting, hoisting alone, a phase-order variant
+// (no LICM after the Grover rewrite), and — for 1D work-groups — the
+// inverse stage-local direction sized to the launch.
+func DefaultPlanSpace(local [3]int) []string {
+	plans := []string{
+		"base",
+		"grover",
+		"grover,hoist-addr",
+		"hoist-addr",
+		"grover,opt(passes=cse+load-forward+dse+peephole+dce)",
+	}
+	if local[0] > 1 && local[1] <= 1 && local[2] <= 1 {
+		plans = append(plans,
+			fmt.Sprintf("stage-local(ls=%d)", local[0]),
+			fmt.Sprintf("stage-local(ls=%d),hoist-addr", local[0]))
+	}
+	return plans
+}
+
 // LaunchSpec describes how to launch a kernel for timing on any device:
 // pass options, launch geometry, run count, and a builder that
 // materializes the kernel arguments. Buffers belong to a context and
@@ -183,6 +349,10 @@ type LaunchSpec struct {
 	// Args builds the kernel argument list (buffers, scalars, LocalMem)
 	// in the given context.
 	Args func(ctx *opencl.Context) ([]interface{}, error)
+	// Plans switches tuning from the classic two-version comparison to a
+	// rewrite-plan search over the listed plans (see AutoTunePlans). Use
+	// DefaultPlanSpace(ND.Local) for the standard small space.
+	Plans []string
 }
 
 // DeviceTuneResult is one device's outcome from AutoTuneAll.
@@ -242,8 +412,11 @@ func tuneOnDevice(dev *opencl.Device, mod *ir.Module, kernel string, spec Launch
 	if err != nil {
 		return nil, err
 	}
-	return AutoTune(prog, kernel, spec.Options, spec.Runs,
-		func(k *opencl.Kernel) (*opencl.Event, error) {
-			return q.EnqueueNDRange(k, spec.ND, args...)
-		})
+	launch := func(k *opencl.Kernel) (*opencl.Event, error) {
+		return q.EnqueueNDRange(k, spec.ND, args...)
+	}
+	if len(spec.Plans) > 0 {
+		return AutoTunePlans(prog, kernel, spec.Plans, spec.Runs, launch)
+	}
+	return AutoTune(prog, kernel, spec.Options, spec.Runs, launch)
 }

@@ -15,12 +15,16 @@ import (
 	"grover/internal/ir"
 )
 
-// passes is the standard pipeline, named so the debug verifier can say
-// which pass broke the IR.
-var passes = []struct {
+// pass is one named scalar optimization.
+type pass struct {
 	name string
 	run  func(*ir.Function) bool
-}{
+}
+
+// passes is the standard pipeline, named so the debug verifier can say
+// which pass broke the IR — and so rewrite plans can select and reorder
+// a subset by name (phase ordering as a tunable).
+var passes = []pass{
 	{"cse", CSE},
 	{"load-forward", LoadForward},
 	{"dse", DSE},
@@ -29,15 +33,56 @@ var passes = []struct {
 	{"dce", func(fn *ir.Function) bool { return DCE(fn) > 0 }},
 }
 
-// Optimize runs CSE, LICM and DCE to fixpoint over every function. With
+// PassNames returns the standard pipeline's pass names in order.
+func PassNames() []string {
+	out := make([]string, len(passes))
+	for i, p := range passes {
+		out[i] = p.name
+	}
+	return out
+}
+
+// Optimize runs the standard pipeline (CSE, store/load forwarding,
+// peephole, LICM and DCE) to fixpoint over every function. With
 // GROVER_DEBUG_VERIFY set, the IR is re-verified after every pass that
 // changed the function, and a violation panics naming the pass — an
 // internal invariant failure, not a user error.
 func Optimize(m *ir.Module) {
+	optimize(m, passes)
+}
+
+// OptimizeWith runs a caller-selected pass pipeline (names from
+// PassNames, in the given order, repeated names allowed) to fixpoint
+// over every function. An empty list runs the standard pipeline. Unknown
+// pass names are an error, reported before any function is touched.
+func OptimizeWith(m *ir.Module, names []string) error {
+	if len(names) == 0 {
+		Optimize(m)
+		return nil
+	}
+	pipeline := make([]pass, 0, len(names))
+	for _, n := range names {
+		found := false
+		for _, p := range passes {
+			if p.name == n {
+				pipeline = append(pipeline, p)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("opt: unknown pass %q (available: %v)", n, PassNames())
+		}
+	}
+	optimize(m, pipeline)
+	return nil
+}
+
+func optimize(m *ir.Module, pipeline []pass) {
 	for _, fn := range m.Funcs {
 		for i := 0; i < 32; i++ { // fixpoint, bounded
 			changed := false
-			for _, p := range passes {
+			for _, p := range pipeline {
 				if !p.run(fn) {
 					continue
 				}

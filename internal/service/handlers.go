@@ -14,6 +14,7 @@ import (
 	"grover/internal/ir"
 	"grover/internal/kcache"
 	"grover/internal/opt"
+	"grover/internal/rewrite"
 	"grover/internal/telemetry"
 	"grover/internal/telemetry/aiwc"
 	"grover/internal/vm"
@@ -34,10 +35,15 @@ type compiledArtifact struct {
 	ir      string
 }
 
-// transformArtifact is the cached result of a Grover pass run.
+// transformArtifact is the cached result of a Grover pass or rewrite-plan
+// run.
 type transformArtifact struct {
 	report *igrover.Report
-	ir     string
+	// rewrite is set for plan-based transforms; plan is the canonical plan
+	// string.
+	rewrite *rewrite.Report
+	plan    string
+	ir      string
 }
 
 // lintArtifact is the cached result of a static-analysis run.
@@ -52,6 +58,11 @@ type verdictArtifact struct {
 	transMS        float64
 	speedup        float64
 	report         *igrover.Report
+	// plan, search and rewriteRep are set when the tuning was a plan
+	// search.
+	plan       string
+	search     []grover.PlanTiming
+	rewriteRep *rewrite.Report
 	// char carries the kernel feature vectors when the request asked for
 	// characterization.
 	char *Characterization
@@ -111,10 +122,22 @@ func kernelIn(comp *compiledArtifact, kernel string) error {
 	return nil
 }
 
-// transform returns the cached Grover pass result for the request.
+// transform returns the cached Grover pass (or rewrite plan) result for
+// the request. The canonical plan string is a key field alongside the
+// full option set, so distinct plans — and a plan versus the classic
+// options path — can never collide on one artifact.
 func (s *Server) transform(ctx context.Context, req *TransformRequest) (*transformArtifact, kcache.Outcome, error) {
+	var plan *rewrite.Plan
+	planField := ""
+	if req.Plan != "" {
+		var err error
+		if plan, err = rewrite.ParsePlan(req.Plan); err != nil {
+			return nil, kcache.Miss, badRequest("%v", err)
+		}
+		planField = plan.String()
+	}
 	key := kcache.Key("transform", req.Source, kcache.DefinesField(req.Defines),
-		req.Kernel, req.Options.field())
+		req.Kernel, req.Options.field(), "plan="+planField)
 	v, out, err := s.cache.Do(key, func() (interface{}, error) {
 		comp, _, err := s.compile(ctx, req.Name, req.Source, req.Defines)
 		if err != nil {
@@ -122,6 +145,15 @@ func (s *Server) transform(ctx context.Context, req *TransformRequest) (*transfo
 		}
 		if err := kernelIn(comp, req.Kernel); err != nil {
 			return nil, err
+		}
+		if plan != nil {
+			end := telemetry.StartSpan(ctx, "rewrite.apply")
+			mod, rep, err := rewrite.Apply(comp.mod, req.Kernel, plan)
+			end()
+			if err != nil {
+				return nil, err
+			}
+			return &transformArtifact{rewrite: rep, plan: rep.Plan, ir: mod.String()}, nil
 		}
 		end := telemetry.StartSpan(ctx, "grover.transform")
 		clone := ir.CloneModule(comp.mod)
@@ -230,10 +262,10 @@ func fill(n int, seed uint32) []float32 {
 // requests. The backend is part of the key: the verdict is
 // backend-invariant by the VM contract, but keeping the entries separate
 // keeps the cache an honest record of what actually ran.
-func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devName, backend string) (*verdictArtifact, kcache.Outcome, error) {
+func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devName, backend string, plans []string) (*verdictArtifact, kcache.Outcome, error) {
 	key := kcache.Key("autotune", req.Source, kcache.DefinesField(req.Defines),
 		req.Kernel, req.Options.field(), devName, backend, launchField(req),
-		fmt.Sprintf("char=%t", req.Characterize))
+		fmt.Sprintf("char=%t", req.Characterize), "plans="+strings.Join(plans, "|"))
 	v, out, err := s.cache.Do(key, func() (interface{}, error) {
 		comp, _, err := s.compile(rctx, req.Name, req.Source, req.Defines)
 		if err != nil {
@@ -260,10 +292,15 @@ func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devN
 			return nil, err
 		}
 		nd := opencl.NDRange{Global: req.Global, Local: req.Local}
-		res, err := grover.AutoTuneCtx(rctx, prog, req.Kernel, req.Options.options(), req.Runs,
-			func(k *opencl.Kernel) (*opencl.Event, error) {
-				return q.EnqueueNDRange(k, nd, args...)
-			})
+		launch := func(k *opencl.Kernel) (*opencl.Event, error) {
+			return q.EnqueueNDRange(k, nd, args...)
+		}
+		var res *grover.TuneResult
+		if len(plans) > 0 {
+			res, err = grover.AutoTunePlansCtx(rctx, prog, req.Kernel, plans, req.Runs, launch)
+		} else {
+			res, err = grover.AutoTuneCtx(rctx, prog, req.Kernel, req.Options.options(), req.Runs, launch)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -273,6 +310,9 @@ func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devN
 			transMS:        res.TransformedMS,
 			speedup:        res.Speedup,
 			report:         res.Report,
+			plan:           res.Plan,
+			search:         res.PlanSearch,
+			rewriteRep:     res.Rewrite,
 		}
 		if req.Characterize {
 			art.char, err = characterizeVerdict(rctx, ctx, res, nd, args, backend)
@@ -323,7 +363,10 @@ func (v *verdictArtifact) verdict(device string, outcome kcache.Outcome) TuneVer
 	if v.useTransformed {
 		text = "disable local memory"
 	}
-	return TuneVerdict{
+	if v.plan != "" {
+		text = "plan " + v.plan
+	}
+	out := TuneVerdict{
 		Device:           device,
 		UseTransformed:   v.useTransformed,
 		Verdict:          text,
@@ -331,9 +374,15 @@ func (v *verdictArtifact) verdict(device string, outcome kcache.Outcome) TuneVer
 		TransformedMS:    v.transMS,
 		Speedup:          v.speedup,
 		Report:           renderReport(v.report),
+		Plan:             v.plan,
+		Rewrite:          renderRewrite(v.rewriteRep),
 		Cache:            outcome.String(),
 		Characterization: v.char,
 	}
+	for _, t := range v.search {
+		out.Plans = append(out.Plans, PlanResult{Plan: t.Plan, MS: t.MS, Applied: t.Applied, Error: t.Err})
+	}
+	return out
 }
 
 // ------------------------------------------------------------- handlers
@@ -400,12 +449,18 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := &TransformResponse{
-		Kernel:      req.Kernel,
-		Transformed: art.report.Transformed(),
-		Report:      renderReport(art.report),
-		Cache:       out.String(),
-		LatencyMS:   float64(time.Since(start)) / float64(time.Millisecond),
-		Spans:       telemetry.FromContext(r.Context()).JSON(),
+		Kernel:    req.Kernel,
+		Plan:      art.plan,
+		Rewrite:   renderRewrite(art.rewrite),
+		Cache:     out.String(),
+		LatencyMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Spans:     telemetry.FromContext(r.Context()).JSON(),
+	}
+	if art.rewrite != nil {
+		resp.Transformed = art.rewrite.Changed()
+	} else {
+		resp.Transformed = art.report.Transformed()
+		resp.Report = renderReport(art.report)
 	}
 	if req.WantIR {
 		resp.IR = art.ir
@@ -433,6 +488,23 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			backend, strings.Join(vm.Backends(), ", ")))
 		return
 	}
+	// Resolve the plan list up front: "search" enumerates the default
+	// space for this launch geometry, anything else is "|"-separated
+	// plans, each validated and canonicalized here so malformed plans are
+	// a 400 and the cache key is spelling-independent.
+	var plans []string
+	if req.Plan == "search" {
+		plans = grover.DefaultPlanSpace(req.Local)
+	} else if req.Plan != "" {
+		for _, ps := range strings.Split(req.Plan, "|") {
+			p, err := rewrite.ParsePlan(ps)
+			if err != nil {
+				writeError(w, badRequest("%v", err))
+				return
+			}
+			plans = append(plans, p.String())
+		}
+	}
 	// Resolve the device list up front so an unknown name is a 404 with
 	// the available devices, before any compile work is queued.
 	var devices []string
@@ -459,7 +531,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			wg.Add(1)
 			go func(i int, name string) {
 				defer wg.Done()
-				v, out, err := s.autotuneDevice(r.Context(), &req, name, backend)
+				v, out, err := s.autotuneDevice(r.Context(), &req, name, backend, plans)
 				outcomes[i] = out
 				if err != nil {
 					errs[i] = err

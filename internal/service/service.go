@@ -42,6 +42,7 @@ import (
 	"grover/internal/analysis"
 	igrover "grover/internal/grover"
 	"grover/internal/kcache"
+	"grover/internal/rewrite"
 	"grover/internal/telemetry"
 	"grover/internal/telemetry/aiwc"
 	"grover/internal/vm"
@@ -315,19 +316,61 @@ type TransformRequest struct {
 	// Kernel is the kernel to transform.
 	Kernel  string      `json:"kernel"`
 	Options OptionsSpec `json:"options"`
+	// Plan applies an arbitrary rewrite plan (e.g. "grover",
+	// "stage-local(ls=64),hoist-addr") instead of the default Grover pass;
+	// Options is ignored when set. The canonical plan string is part of the
+	// artifact cache key, so two plans never share a cached result.
+	Plan string `json:"plan,omitempty"`
 	// WantIR includes the transformed IR in the response.
 	WantIR bool `json:"want_ir,omitempty"`
 }
 
 // TransformResponse carries the transformation report.
 type TransformResponse struct {
-	Kernel      string               `json:"kernel"`
-	Transformed bool                 `json:"transformed"`
-	Report      *Report              `json:"report"`
-	IR          string               `json:"ir,omitempty"`
-	Cache       string               `json:"cache"`
-	LatencyMS   float64              `json:"latency_ms"`
-	Spans       []telemetry.SpanJSON `json:"spans,omitempty"`
+	Kernel      string  `json:"kernel"`
+	Transformed bool    `json:"transformed"`
+	Report      *Report `json:"report"`
+	// Plan and Rewrite describe the applied rewrite plan when the request
+	// set one.
+	Plan      string               `json:"plan,omitempty"`
+	Rewrite   *RewriteReport       `json:"rewrite,omitempty"`
+	IR        string               `json:"ir,omitempty"`
+	Cache     string               `json:"cache"`
+	LatencyMS float64              `json:"latency_ms"`
+	Spans     []telemetry.SpanJSON `json:"spans,omitempty"`
+}
+
+// RewriteReport is the JSON rendering of a rewrite plan application.
+type RewriteReport struct {
+	Kernel string        `json:"kernel"`
+	Plan   string        `json:"plan"`
+	Steps  []RewriteStep `json:"steps"`
+	// Text is the human-readable table render.
+	Text string `json:"text"`
+}
+
+// RewriteStep is one plan step's outcome.
+type RewriteStep struct {
+	Step    string `json:"step"`
+	Rule    string `json:"rule"`
+	Applied bool   `json:"applied"`
+	Detail  string `json:"detail,omitempty"`
+	// Grover carries the Table-III-style report for grover steps.
+	Grover *Report `json:"grover,omitempty"`
+}
+
+func renderRewrite(r *rewrite.Report) *RewriteReport {
+	if r == nil {
+		return nil
+	}
+	out := &RewriteReport{Kernel: r.Kernel, Plan: r.Plan, Text: r.String()}
+	for _, s := range r.Steps {
+		out.Steps = append(out.Steps, RewriteStep{
+			Step: s.Step, Rule: s.Rule, Applied: s.Applied,
+			Detail: s.Detail, Grover: renderReport(s.Grover),
+		})
+	}
+	return out
 }
 
 // Report is the JSON rendering of the pass report (the paper's Table III
@@ -425,6 +468,12 @@ type AutotuneRequest struct {
 	// versions to each device verdict (one extra traced launch per
 	// version). The flag is part of the cache key.
 	Characterize bool `json:"characterize,omitempty"`
+	// Plan switches tuning from the classic two-version comparison to a
+	// rewrite-plan search: "search" enumerates the default plan space for
+	// the launch geometry, anything else is a "|"-separated list of plans
+	// (plans use "," between steps). The canonical plan list is part of the
+	// cache key.
+	Plan string `json:"plan,omitempty"`
 }
 
 // Characterization pairs the feature vectors of the two kernel versions:
@@ -449,11 +498,29 @@ type TuneVerdict struct {
 	// performance; > 1 means disabling local memory helped.
 	Speedup float64 `json:"speedup"`
 	Report  *Report `json:"report,omitempty"`
-	Cache   string  `json:"cache"`
+	// Plan is the winning plan and Plans the per-plan timings when the
+	// request ran a plan search; Rewrite is the winner's per-step report.
+	Plan    string         `json:"plan,omitempty"`
+	Plans   []PlanResult   `json:"plans,omitempty"`
+	Rewrite *RewriteReport `json:"rewrite,omitempty"`
+	Cache   string         `json:"cache"`
 	// Characterization carries the kernel feature vectors when the
 	// request set characterize.
 	Characterization *Characterization `json:"characterization,omitempty"`
 	// Error reports a per-device failure during an "all" sweep.
+	Error string `json:"error,omitempty"`
+}
+
+// PlanResult is one evaluated plan in a plan-search verdict.
+type PlanResult struct {
+	Plan string `json:"plan"`
+	// MS is the average simulated time; present only when the plan was
+	// timed.
+	MS float64 `json:"ms,omitempty"`
+	// Applied is true when the plan changed the kernel and was timed.
+	Applied bool `json:"applied"`
+	// Error records why the plan was skipped (illegal, inapplicable, or a
+	// launch failure).
 	Error string `json:"error,omitempty"`
 }
 

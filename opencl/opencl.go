@@ -35,6 +35,7 @@ import (
 	"grover/internal/ir"
 	"grover/internal/lower"
 	"grover/internal/opt"
+	"grover/internal/rewrite"
 	"grover/internal/telemetry"
 	"grover/internal/vm"
 	_ "grover/internal/wgvec" // register the work-group-vectorized backend
@@ -292,6 +293,32 @@ func (p *Program) WithLocalMemoryDisabledCtx(ctx context.Context, kernel string,
 	opt.Optimize(clone)
 	end()
 	np, err := p.ctx.newProgramFromModule(ctx, p.name+"+grover", clone)
+	if err != nil {
+		return nil, rep, err
+	}
+	return np, rep, nil
+}
+
+// WithRewritePlan applies a rewrite plan to a copy of the program — any
+// ordered sequence of registered rewrite rules, e.g. "grover",
+// "stage-local(ls=64),hoist-addr" or "base" — and returns the rewritten
+// program plus the per-step report. The receiver is unchanged. The Grover
+// path (WithLocalMemoryDisabled) remains the direct entry point for the
+// paper's single transform; plans generalize it for autotune search.
+func (p *Program) WithRewritePlan(kernel string, plan *rewrite.Plan) (*Program, *rewrite.Report, error) {
+	return p.WithRewritePlanCtx(context.Background(), kernel, plan)
+}
+
+// WithRewritePlanCtx is WithRewritePlan with span recording
+// (rewrite.apply, vm.prepare) when ctx carries a telemetry trace.
+func (p *Program) WithRewritePlanCtx(ctx context.Context, kernel string, plan *rewrite.Plan) (*Program, *rewrite.Report, error) {
+	end := telemetry.StartSpan(ctx, "rewrite.apply")
+	mod, rep, err := rewrite.Apply(p.module, kernel, plan)
+	end()
+	if err != nil {
+		return nil, rep, err
+	}
+	np, err := p.ctx.newProgramFromModule(ctx, p.name+"+"+rep.Plan, mod)
 	if err != nil {
 		return nil, rep, err
 	}
