@@ -46,9 +46,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | characterize | rewrite | all")
+		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | characterize | rewrite | profit | all")
 		app        = flag.String("app", "", "benchmark id for -experiment case (e.g. NVD-MT)")
-		device     = flag.String("device", "SNB", "device for -experiment case")
+		device     = flag.String("device", "SNB", "device for -experiment case and -experiment profit (profit also accepts \"all\")")
 		scale      = flag.Int("scale", 1, "dataset scale factor")
 		runs       = flag.Int("runs", 1, "simulated executions to average per version")
 		validate   = flag.Bool("validate", false, "also validate both kernel versions against host references")
@@ -177,6 +177,8 @@ func run(experiment, appID, deviceName, format string, cfg harness.Config) error
 		return runCharacterize(cfg, format)
 	case "rewrite":
 		return runRewrite(cfg, format)
+	case "profit":
+		return runProfit(cfg, format, deviceName)
 	case "table1":
 		fmt.Println("Table I — benchmarks and datasets")
 		fmt.Println(harness.Table1())

@@ -8,10 +8,17 @@
 //	groverc [-kernel name] [-candidates a,b] [-ir] [-keep-barriers] [-lint] [-timings] file.cl
 //	groverc -D TILE=16 -D N=1024 kernel.cl
 //	groverc -rewrite 'stage-local(ls=64),hoist-addr' -ir kernel.cl
+//	groverc -access -local 64,1,1 kernel.cl
 //
 // With -rewrite, an arbitrary rewrite plan (see the rewrite package's
 // plan syntax) replaces the default Grover pass; the per-step report is
 // printed instead of the Table III correspondence report.
+//
+// With -access, groverc prints each kernel's static memory-access
+// summary — every global/local access with its affine offset, per-lane
+// and per-loop-iteration strides, loops with trip estimates, and
+// barriers — instead of transforming anything. -local supplies the
+// work-group extents the summary assumes (default 64,1,1).
 package main
 
 import (
@@ -19,9 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"grover/internal/analysis"
+	"grover/internal/analysis/memaccess"
 	igrover "grover/internal/grover"
 	"grover/internal/rewrite"
 	"grover/internal/telemetry"
@@ -52,6 +61,8 @@ func main() {
 		lint         = flag.Bool("lint", false, "run the static analyzers before transforming and print their findings")
 		timings      = flag.Bool("timings", false, "print per-stage compile pipeline timings to stderr")
 		rewritePlan  = flag.String("rewrite", "", "apply a rewrite plan (e.g. 'grover', 'stage-local(ls=64),hoist-addr') instead of the Grover pass")
+		accessDump   = flag.Bool("access", false, "print the static memory-access summary per kernel and exit")
+		localSize    = flag.String("local", "", "work-group size x[,y[,z]] assumed by -access (default 64,1,1)")
 	)
 	flag.Var(defines, "D", "preprocessor define NAME[=VALUE] (repeatable)")
 	flag.Parse()
@@ -99,6 +110,23 @@ func main() {
 	}
 	if *candidates != "" {
 		opts.Candidates = strings.Split(*candidates, ",")
+	}
+
+	if *accessDump {
+		wg := [3]int{}
+		if *localSize != "" {
+			if wg, err = parseLocal(*localSize); err != nil {
+				fatal(err)
+			}
+		}
+		for _, k := range kernels {
+			fn := prog.Module().Kernel(k)
+			if fn == nil {
+				fatal(fmt.Errorf("%s: no kernel %q", file, k))
+			}
+			fmt.Print(memaccess.Summarize(fn, memaccess.Options{WorkGroup: wg}).String())
+		}
+		os.Exit(0)
 	}
 
 	exit := 0
@@ -162,6 +190,24 @@ func main() {
 		fmt.Fprint(os.Stderr, tr.Table())
 	}
 	os.Exit(exit)
+}
+
+// parseLocal parses "x", "x,y" or "x,y,z" into work-group extents;
+// omitted trailing dimensions default to 1.
+func parseLocal(s string) ([3]int, error) {
+	wg := [3]int{1, 1, 1}
+	parts := strings.Split(s, ",")
+	if len(parts) > 3 {
+		return wg, fmt.Errorf("-local %q: at most three dimensions", s)
+	}
+	for d, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return wg, fmt.Errorf("-local %q: dimension %d is not a positive integer", s, d)
+		}
+		wg[d] = v
+	}
+	return wg, nil
 }
 
 func fatal(err error) {

@@ -1,6 +1,9 @@
 // Command groverlint runs the static analysis suite over OpenCL C kernel
 // files: barrier divergence, local-memory races, local-array bounds, and
-// the Grover rewrite-legality verdict for every __local buffer.
+// the Grover rewrite-legality verdict for every __local buffer. With
+// -access it also runs the performance detectors backed by the static
+// access summary: uncoalesced global accesses, bank-conflicted local
+// staging, and barriers that synchronize no cross-item communication.
 //
 // Usage:
 //
@@ -8,6 +11,7 @@
 //	groverlint -D TILE=16 kernel.cl
 //	groverlint -corpus
 //	groverlint -corpus -plan grover
+//	groverlint -access -local 64 kernel.cl
 //
 // With -plan, each kernel is first rewritten by the given rewrite plan
 // (e.g. "grover" or "stage-local(ls=64),hoist-addr") and the analyzers
@@ -60,6 +64,7 @@ func main() {
 		wError  = flag.Bool("Werror", false, "treat warnings as errors for the exit status")
 		quietOK = flag.Bool("q", false, "suppress the per-file OK line and legality verdicts")
 		planStr = flag.String("plan", "", "apply a rewrite plan to every kernel before analysis")
+		access  = flag.Bool("access", false, "enable the access-pattern performance detectors (coalescing, bank conflicts, barrier communication)")
 	)
 	flag.Var(defines, "D", "preprocessor define NAME[=VALUE] (repeatable)")
 	flag.Parse()
@@ -84,7 +89,7 @@ func main() {
 		}
 	}
 
-	l := &linter{json: *asJSON, werror: *wError, quiet: *quietOK, kernel: *kernel, plan: plan}
+	l := &linter{json: *asJSON, werror: *wError, quiet: *quietOK, kernel: *kernel, plan: plan, access: *access}
 	if *corpus {
 		for _, app := range apps.All() {
 			l.lintApp(app)
@@ -132,6 +137,7 @@ type linter struct {
 	quiet  bool
 	kernel string
 	plan   *rewrite.Plan
+	access bool
 	exit   int
 }
 
@@ -181,6 +187,7 @@ func (l *linter) lint(file, source string, defines map[string]string, wg [3]int)
 			mod = mod2
 		}
 	}
+	opts := analysis.Options{WorkGroupSize: wg, AccessChecks: l.access}
 	var res *analysis.Result
 	if l.kernel != "" {
 		fn := mod.Kernel(l.kernel)
@@ -188,9 +195,9 @@ func (l *linter) lint(file, source string, defines map[string]string, wg [3]int)
 			l.fail(fmt.Errorf("%s: no kernel %q", file, l.kernel))
 			return
 		}
-		res = analysis.AnalyzeKernel(fn, analysis.Options{WorkGroupSize: wg})
+		res = analysis.AnalyzeKernel(fn, opts)
 	} else {
-		res = analysis.AnalyzeModule(mod, analysis.Options{WorkGroupSize: wg})
+		res = analysis.AnalyzeModule(mod, opts)
 	}
 	l.report(file, res)
 }

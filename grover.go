@@ -31,6 +31,7 @@ import (
 
 	igrover "grover/internal/grover"
 	"grover/internal/ir"
+	"grover/internal/profit"
 	"grover/internal/rewrite"
 	"grover/opencl"
 )
@@ -106,6 +107,10 @@ type PlanTiming struct {
 	Err string
 	// Report is the plan's per-step rewrite report, when it ran.
 	Report *rewrite.Report
+	// Score is the static profitability estimate when prune mode ran.
+	Score *profit.Score
+	// Pruned marks plans the static ranking decided not to execute.
+	Pruned bool
 }
 
 // String renders the decision.
@@ -209,6 +214,31 @@ func AutoTunePlans(prog *opencl.Program, kernel string, plans []string, runs int
 // carries a telemetry trace.
 func AutoTunePlansCtx(ctx context.Context, prog *opencl.Program, kernel string, plans []string, runs int,
 	launch func(k *opencl.Kernel) (*opencl.Event, error)) (*TuneResult, error) {
+	return AutoTunePlansOpts(ctx, prog, kernel, plans, runs, launch, PlanSearchOptions{})
+}
+
+// PlanSearchOptions extend the plan search beyond exhaustive timing.
+type PlanSearchOptions struct {
+	// Prune > 0 enables static pre-ranking: every plan is scored with the
+	// profit cost model on this program's device and only the Prune most
+	// promising plans are executed; the rest appear in PlanSearch with
+	// Pruned set and their static Score, untimed. When base is pruned,
+	// OriginalMS and Speedup are left zero. 0 times every plan (the
+	// default exhaustive behavior).
+	Prune int
+	// WorkGroup and Global describe the launch shape for the static
+	// model; zero work-group entries default to 64×1×1.
+	WorkGroup [3]int
+	Global    [3]int
+	// ArgInts supplies known scalar argument values by parameter index,
+	// sharpening loop trip counts and guard decisions in the static model.
+	ArgInts map[int]int64
+}
+
+// AutoTunePlansOpts is AutoTunePlansCtx with search options (static
+// prune mode; see PlanSearchOptions).
+func AutoTunePlansOpts(ctx context.Context, prog *opencl.Program, kernel string, plans []string, runs int,
+	launch func(k *opencl.Kernel) (*opencl.Event, error), popts PlanSearchOptions) (*TuneResult, error) {
 	if runs <= 0 {
 		runs = 1
 	}
@@ -238,6 +268,37 @@ func AutoTunePlansCtx(ctx context.Context, prog *opencl.Program, kernel string, 
 	if err != nil {
 		return nil, err
 	}
+
+	// Static prune: rank the parseable plans with the profit model and
+	// keep only the top Prune for execution. A ranking failure falls back
+	// to exhaustive timing rather than aborting the tune.
+	var scores map[string]*profit.Score
+	var keep map[string]bool
+	if popts.Prune > 0 {
+		var canon []string
+		for _, ps := range plans {
+			if p, err := rewrite.ParsePlan(ps); err == nil {
+				canon = append(canon, p.String())
+			}
+		}
+		ranked, err := profit.RankPlans(prog.Module(), kernel, canon,
+			prog.Device().CostModel(), profit.Options{
+				WorkGroup: popts.WorkGroup,
+				Global:    popts.Global,
+				ArgInts:   popts.ArgInts,
+			})
+		if err == nil {
+			scores = make(map[string]*profit.Score, len(ranked))
+			keep = make(map[string]bool, popts.Prune)
+			for i, ps := range ranked {
+				scores[ps.Plan] = ps.Score
+				if i < popts.Prune {
+					keep[ps.Plan] = true
+				}
+			}
+		}
+	}
+
 	res := &TuneResult{Original: orig}
 	var bestK *opencl.Kernel
 	var bestRewrite *rewrite.Report
@@ -249,6 +310,14 @@ func AutoTunePlansCtx(ctx context.Context, prog *opencl.Program, kernel string, 
 			continue
 		}
 		t := PlanTiming{Plan: p.String()}
+		if scores != nil {
+			t.Score = scores[t.Plan]
+			if !keep[t.Plan] {
+				t.Pruned = true
+				res.PlanSearch = append(res.PlanSearch, t)
+				continue
+			}
+		}
 		k := orig
 		if len(p.Steps) > 0 {
 			rp, rep, err := prog.WithRewritePlanCtx(ctx, kernel, p)
@@ -353,6 +422,11 @@ type LaunchSpec struct {
 	// rewrite-plan search over the listed plans (see AutoTunePlans). Use
 	// DefaultPlanSpace(ND.Local) for the standard small space.
 	Plans []string
+	// Prune > 0 statically ranks Plans with the profit cost model and
+	// executes only the top Prune (see PlanSearchOptions.Prune). The
+	// launch shape and any integer scalar arguments are fed to the model
+	// automatically.
+	Prune int
 }
 
 // DeviceTuneResult is one device's outcome from AutoTuneAll.
@@ -416,7 +490,41 @@ func tuneOnDevice(dev *opencl.Device, mod *ir.Module, kernel string, spec Launch
 		return q.EnqueueNDRange(k, spec.ND, args...)
 	}
 	if len(spec.Plans) > 0 {
-		return AutoTunePlans(prog, kernel, spec.Plans, spec.Runs, launch)
+		return AutoTunePlansOpts(context.Background(), prog, kernel, spec.Plans, spec.Runs, launch,
+			PlanSearchOptions{
+				Prune:     spec.Prune,
+				WorkGroup: spec.ND.Local,
+				Global:    spec.ND.Global,
+				ArgInts:   IntArgs(args),
+			})
 	}
 	return AutoTune(prog, kernel, spec.Options, spec.Runs, launch)
+}
+
+// IntArgs extracts known integer scalar arguments by parameter index
+// from a kernel argument list, for the static profitability model.
+// Non-integer arguments (buffers, local reservations, floats) are
+// skipped; nil is returned when no integers are present.
+func IntArgs(args []interface{}) map[int]int64 {
+	var m map[int]int64
+	for i, a := range args {
+		var v int64
+		switch x := a.(type) {
+		case int:
+			v = int64(x)
+		case int32:
+			v = int64(x)
+		case int64:
+			v = x
+		case uint32:
+			v = int64(x)
+		default:
+			continue
+		}
+		if m == nil {
+			m = map[int]int64{}
+		}
+		m[i] = v
+	}
+	return m
 }

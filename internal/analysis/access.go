@@ -3,6 +3,7 @@ package analysis
 import (
 	"math/big"
 
+	"grover/internal/analysis/intervals"
 	"grover/internal/clc"
 	"grover/internal/exprtree"
 	"grover/internal/ir"
@@ -121,12 +122,7 @@ func bufferSize(alloca *ir.Instr) int {
 
 // ratInt64 extracts an int64 from an integral rational, reporting
 // whether the extraction is exact.
-func ratInt64(r *big.Rat) (int64, bool) {
-	if !r.IsInt() || !r.Num().IsInt64() {
-		return 0, false
-	}
-	return r.Num().Int64(), true
-}
+func ratInt64(r *big.Rat) (int64, bool) { return intervals.RatInt64(r) }
 
 // workItemCoeffs folds the affine's per-work-item coefficients by
 // dimension: get_global_id(d) varies with the work-item exactly like
@@ -158,17 +154,8 @@ func isWorkItemDimKey(key string) bool {
 }
 
 // stableTerm reports whether the registry term named key has the same
-// value every time one work-item evaluates it during a kernel run:
-// work-item queries and kernel parameters are stable, loads of mutable
-// variables (loop counters) and other opaque subtrees are not.
+// value every time one work-item evaluates it during a kernel run; see
+// intervals.StableTerm.
 func stableTerm(reg *exprtree.Registry, key string) bool {
-	t := reg.Term(key)
-	if t == nil {
-		return false
-	}
-	if t.WorkItemFn != "" {
-		return true
-	}
-	_, isParam := t.Rep.(*ir.Param)
-	return isParam
+	return intervals.StableTerm(reg, key)
 }

@@ -1,0 +1,138 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"grover/internal/analysis"
+	"grover/opencl"
+)
+
+// analyzeAccess runs the module analyzers with the opt-in access-pattern
+// detectors enabled.
+func analyzeAccess(t *testing.T, name, source string, wg [3]int) *analysis.Result {
+	t.Helper()
+	m, err := opencl.CompileModule(name, source, nil)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	return analysis.AnalyzeModule(m, analysis.Options{WorkGroupSize: wg, AccessChecks: true})
+}
+
+const stridedGlobalSrc = `__kernel void aos(__global float* out, __global float* in) {
+    int gid = get_global_id(0);
+    out[gid] = in[gid*8];
+}
+`
+
+func TestUncoalescedGlobalDetector(t *testing.T) {
+	res := analyzeAccess(t, "aos.cl", stridedGlobalSrc, [3]int{64, 1, 1})
+	fs := findingsFor(res, "uncoalesced-global")
+	if len(fs) != 1 {
+		t.Fatalf("uncoalesced-global findings = %d, want 1 (the in[gid*8] load):\n%+v", len(fs), res.Findings)
+	}
+	f := fs[0]
+	if f.Severity != analysis.SeverityWarning {
+		t.Errorf("severity = %s, want warning", f.Severity)
+	}
+	if f.Pos.Line != findLine(t, stridedGlobalSrc, "in[gid*8]") {
+		t.Errorf("finding at line %d, want the strided load line", f.Pos.Line)
+	}
+
+	// Off by default: the same source with AccessChecks unset is clean.
+	def := analyzeSource(t, "aos.cl", stridedGlobalSrc, [3]int{64, 1, 1})
+	if n := len(findingsFor(def, "uncoalesced-global")); n != 0 {
+		t.Errorf("detector fired without opt-in: %d findings", n)
+	}
+}
+
+const coalescedGlobalSrc = `__kernel void soa(__global float* out, __global float* in) {
+    int gid = get_global_id(0);
+    out[gid] = in[gid];
+}
+`
+
+func TestCoalescedGlobalIsClean(t *testing.T) {
+	res := analyzeAccess(t, "soa.cl", coalescedGlobalSrc, [3]int{64, 1, 1})
+	if fs := findingsFor(res, "uncoalesced-global"); len(fs) != 0 {
+		t.Errorf("unit-stride access flagged: %+v", fs)
+	}
+}
+
+const bankConflictSrc = `__kernel void bc(__global float* out, __global float* in) {
+    __local float tile[2048];
+    int lx = get_local_id(0);
+    tile[lx*32] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = tile[lx*32];
+}
+`
+
+func TestBankConflictDetector(t *testing.T) {
+	res := analyzeAccess(t, "bc.cl", bankConflictSrc, [3]int{64, 1, 1})
+	fs := findingsFor(res, "local-bank-conflict")
+	if len(fs) == 0 {
+		t.Fatalf("no local-bank-conflict finding for 32-element stride:\n%+v", res.Findings)
+	}
+	for _, f := range fs {
+		if f.Severity != analysis.SeverityWarning {
+			t.Errorf("severity = %s, want warning", f.Severity)
+		}
+	}
+}
+
+const paddedTileSrc = `__kernel void tr(__global float* out, __global float* in, int w) {
+    __local float tile[16][17];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    tile[ly][lx] = in[get_global_id(1)*w + get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)*w + get_global_id(1)] = tile[lx][ly];
+}
+`
+
+func TestPaddedTransposeIsConflictFree(t *testing.T) {
+	res := analyzeAccess(t, "tr.cl", paddedTileSrc, [3]int{16, 16, 1})
+	if fs := findingsFor(res, "local-bank-conflict"); len(fs) != 0 {
+		t.Errorf("padded (17-wide) transpose tile flagged: %+v", fs)
+	}
+	// Real cross-item communication: the barrier lint must stay quiet.
+	if fs := findingsFor(res, "barrier-no-comm"); len(fs) != 0 {
+		t.Errorf("communicating barrier flagged: %+v", fs)
+	}
+}
+
+const selfCommSrc = `__kernel void selfish(__global float* out, __global float* in) {
+    __local float tile[64];
+    int lx = get_local_id(0);
+    tile[lx] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = tile[lx];
+}
+`
+
+func TestBarrierNoCommDetector(t *testing.T) {
+	res := analyzeAccess(t, "selfish.cl", selfCommSrc, [3]int{64, 1, 1})
+	fs := findingsFor(res, "barrier-no-comm")
+	if len(fs) != 1 {
+		t.Fatalf("barrier-no-comm findings = %d, want 1 (each item reads its own slot):\n%+v", len(fs), res.Findings)
+	}
+	if fs[0].Pos.Line != findLine(t, selfCommSrc, "barrier") {
+		t.Errorf("finding at line %d, want the barrier line", fs[0].Pos.Line)
+	}
+}
+
+const writeOnlyLocalSrc = `__kernel void wo(__global float* out, __global float* in) {
+    __local float tile[64];
+    int lx = get_local_id(0);
+    tile[lx] = in[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = in[get_global_id(0)] * 2.0f;
+}
+`
+
+func TestBarrierWriteOnlyLocal(t *testing.T) {
+	res := analyzeAccess(t, "wo.cl", writeOnlyLocalSrc, [3]int{64, 1, 1})
+	if fs := findingsFor(res, "barrier-no-comm"); len(fs) != 1 {
+		t.Errorf("write-only local + barrier: findings = %d, want 1:\n%+v", len(fs), res.Findings)
+	}
+}

@@ -64,6 +64,12 @@ type Options struct {
 	// zero entries mean unknown. Extents tighten the bounds intervals
 	// and enable the injectivity reasoning of the race detector.
 	WorkGroupSize [3]int
+	// AccessChecks enables the opt-in performance detectors backed by
+	// the static access summary: uncoalesced global accesses,
+	// bank-conflicted local staging, and barriers that synchronize no
+	// cross-item communication. They judge efficiency rather than
+	// correctness, so the default detector set leaves them off.
+	AccessChecks bool
 }
 
 // Result is the full output for a module or kernel.
@@ -112,6 +118,9 @@ func AnalyzeKernel(fn *ir.Function, opts Options) *Result {
 	res.Findings = append(res.Findings, checkBarrierDivergence(cfg, uni)...)
 	res.Findings = append(res.Findings, checkRaces(cfg, uni, bufs, reg, opts.WorkGroupSize)...)
 	res.Findings = append(res.Findings, checkBounds(cfg, bufs, tb, reg, opts.WorkGroupSize)...)
+	if opts.AccessChecks {
+		res.Findings = append(res.Findings, checkAccessPatterns(fn, opts)...)
+	}
 	res.Legality = grover.ExplainKernel(fn)
 	sortFindings(res.Findings)
 	return res

@@ -2,105 +2,17 @@ package analysis
 
 import (
 	"fmt"
-	"math/big"
 
+	"grover/internal/analysis/intervals"
 	"grover/internal/exprtree"
 	"grover/internal/ir"
-	"grover/internal/linsolve"
 )
 
-// interval is a possibly-unbounded integer range [lo, hi].
-type interval struct {
-	lo, hi       int64
-	loInf, hiInf bool // true: unbounded on that side
-}
-
-func topInterval() interval               { return interval{loInf: true, hiInf: true} }
-func exactInterval(v int64) interval      { return interval{lo: v, hi: v} }
-func rangeInterval(lo, hi int64) interval { return interval{lo: lo, hi: hi} }
-func nonNegInterval() interval            { return interval{lo: 0, hiInf: true} }
-
-// add sums two intervals.
-func (a interval) add(b interval) interval {
-	return interval{
-		lo: a.lo + b.lo, loInf: a.loInf || b.loInf,
-		hi: a.hi + b.hi, hiInf: a.hiInf || b.hiInf,
-	}
-}
-
-// scale multiplies the interval by an integer constant.
-func (a interval) scale(c int64) interval {
-	if c == 0 {
-		return exactInterval(0)
-	}
-	if c < 0 {
-		a.lo, a.hi = a.hi, a.lo
-		a.loInf, a.hiInf = a.hiInf, a.loInf
-		a.lo *= c
-		a.hi *= c
-		return a
-	}
-	a.lo *= c
-	a.hi *= c
-	return a
-}
-
-// clampMax intersects with (-inf, v].
-func (a interval) clampMax(v int64) interval {
-	if a.hiInf || v < a.hi {
-		a.hi, a.hiInf = v, false
-	}
-	return a
-}
-
-// clampMin intersects with [v, +inf).
-func (a interval) clampMin(v int64) interval {
-	if a.loInf || v > a.lo {
-		a.lo, a.loInf = v, false
-	}
-	return a
-}
-
-func (a interval) String() string {
-	lo, hi := "-inf", "+inf"
-	if !a.loInf {
-		lo = fmt.Sprintf("%d", a.lo)
-	}
-	if !a.hiInf {
-		hi = fmt.Sprintf("%d", a.hi)
-	}
-	return fmt.Sprintf("[%s, %s]", lo, hi)
-}
-
-// termInterval is the base range of one symbolic term, seeded from the
-// work-group extents for the work-item identity queries.
-func termInterval(t *exprtree.Term, wg [3]int) interval {
-	if t == nil {
-		return topInterval()
-	}
-	if t.WorkItemFn == "" {
-		return topInterval() // parameter or opaque subexpression
-	}
-	d := t.Dim
-	switch t.WorkItemFn {
-	case "get_local_id":
-		if l := extent(wg, d); l > 0 {
-			return rangeInterval(0, l-1)
-		}
-		return nonNegInterval()
-	case "get_local_size":
-		if l := extent(wg, d); l > 0 {
-			return exactInterval(l)
-		}
-		return interval{lo: 1, hiInf: true}
-	case "get_work_dim":
-		return rangeInterval(1, 3)
-	default:
-		// Global ids, group ids, global sizes, group counts: unbounded
-		// above but never negative.
-		return nonNegInterval()
-	}
-}
+// The interval machinery (range arithmetic, work-item term seeding,
+// affine evaluation, branch-comparison constraints) lives in the shared
+// internal/analysis/intervals package so the memaccess summary pass can
+// reuse it; the aliases below keep the detector code reading naturally.
+type interval = intervals.Interval
 
 // checkBounds verifies every local-buffer access's byte offset against
 // the allocation: offset ∈ [0, size − accessBytes]. Intervals are seeded
@@ -130,7 +42,7 @@ func checkBounds(cfg *CFG, bufs []*localBuffer, tb *exprtree.Builder, reg *exprt
 				guards = guardBounds(cfg, bi, tb, reg)
 				guardCache[bi] = guards
 			}
-			iv, ok := evalAffine(a.aff, reg, wg, guards)
+			iv, ok := intervals.EvalAffine(a.aff, reg, wg, guards)
 			if !ok {
 				continue
 			}
@@ -139,33 +51,6 @@ func checkBounds(cfg *CFG, bufs []*localBuffer, tb *exprtree.Builder, reg *exprt
 		}
 	}
 	return out
-}
-
-// evalAffine evaluates the affine's value range. ok is false when a
-// coefficient or the constant is not an integer.
-func evalAffine(aff *linsolve.Affine, reg *exprtree.Registry, wg [3]int, guards map[string]interval) (interval, bool) {
-	k, ok := ratInt64(aff.Const)
-	if !ok {
-		return interval{}, false
-	}
-	total := exactInterval(k)
-	for _, key := range aff.Terms() {
-		c, ok := ratInt64(aff.Coeff(key))
-		if !ok {
-			return interval{}, false
-		}
-		iv := termInterval(reg.Term(key), wg)
-		if g, has := guards[key]; has {
-			if !g.loInf {
-				iv = iv.clampMin(g.lo)
-			}
-			if !g.hiInf {
-				iv = iv.clampMax(g.hi)
-			}
-		}
-		total = total.add(iv.scale(c))
-	}
-	return total, true
 }
 
 func boundsFindings(kernel, name string, a *access, iv interval, size, limit int64) []Finding {
@@ -185,15 +70,15 @@ func boundsFindings(kernel, name string, a *access, iv interval, size, limit int
 	}
 	var out []Finding
 	switch {
-	case !iv.loInf && iv.lo > limit:
+	case !iv.LoInf && iv.Lo > limit:
 		out = append(out, mk(SeverityError, "is always out of bounds"))
-	case !iv.hiInf && iv.hi > limit:
+	case !iv.HiInf && iv.Hi > limit:
 		out = append(out, mk(SeverityWarning, "may run past the end of the buffer"))
 	}
 	switch {
-	case !iv.hiInf && iv.hi < 0:
+	case !iv.HiInf && iv.Hi < 0:
 		out = append(out, mk(SeverityError, "is always before the start of the buffer"))
-	case !iv.loInf && iv.lo < 0:
+	case !iv.LoInf && iv.Lo < 0:
 		out = append(out, mk(SeverityWarning, "may precede the start of the buffer"))
 	}
 	return out
@@ -221,138 +106,16 @@ func guardBounds(cfg *CFG, bi int, tb *exprtree.Builder, reg *exprtree.Registry)
 			if !known || len(cfg.Pred[ti]) != 1 || !cfg.Dom.Dominates(ti, bi) {
 				continue
 			}
-			key, iv, ok := constraintFromCond(cond, side == 1, tb, reg)
+			key, iv, ok := intervals.ConstraintFromCond(cond, side == 1, tb, reg)
 			if !ok || !stableTerm(reg, key) {
 				continue
 			}
 			cur, has := out[key]
 			if !has {
-				cur = topInterval()
+				cur = intervals.Top()
 			}
-			if !iv.loInf {
-				cur = cur.clampMin(iv.lo)
-			}
-			if !iv.hiInf {
-				cur = cur.clampMax(iv.hi)
-			}
-			out[key] = cur
+			out[key] = cur.Refine(iv)
 		}
 	}
 	return out
-}
-
-// constraintFromCond turns a comparison (negated when the false edge was
-// taken) into a one-sided bound on a single term: lhs − rhs must be an
-// affine with exactly one term and integer coefficients.
-func constraintFromCond(cond *ir.Instr, negated bool, tb *exprtree.Builder, reg *exprtree.Registry) (string, interval, bool) {
-	op := cond.Op
-	switch op {
-	case ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe, ir.OpEq:
-	default:
-		return "", interval{}, false
-	}
-	if negated {
-		switch op {
-		case ir.OpLt:
-			op = ir.OpGe
-		case ir.OpLe:
-			op = ir.OpGt
-		case ir.OpGt:
-			op = ir.OpLe
-		case ir.OpGe:
-			op = ir.OpLt
-		case ir.OpEq:
-			return "", interval{}, false // != gives no interval
-		}
-	}
-	diff, ok := condDiff(cond, tb, reg)
-	if !ok {
-		return "", interval{}, false
-	}
-	terms := diff.Terms()
-	if len(terms) != 1 {
-		return "", interval{}, false
-	}
-	key := terms[0]
-	c, okC := ratInt64(diff.Coeff(key))
-	k, okK := ratInt64(diff.Const)
-	if !okC || !okK || c == 0 {
-		return "", interval{}, false
-	}
-	// diff = c·t + k; the comparison bounds diff, giving a bound on t.
-	var diffHi, diffLo int64
-	var hasHi, hasLo bool
-	switch op {
-	case ir.OpLt:
-		diffHi, hasHi = -1, true
-	case ir.OpLe:
-		diffHi, hasHi = 0, true
-	case ir.OpGt:
-		diffLo, hasLo = 1, true
-	case ir.OpGe:
-		diffLo, hasLo = 0, true
-	case ir.OpEq:
-		diffHi, hasHi = 0, true
-		diffLo, hasLo = 0, true
-	}
-	iv := topInterval()
-	if hasHi { // c·t ≤ diffHi − k
-		if c > 0 {
-			iv = iv.clampMax(floorDiv(diffHi-k, c))
-		} else {
-			iv = iv.clampMin(ceilDiv(diffHi-k, c))
-		}
-	}
-	if hasLo { // c·t ≥ diffLo − k
-		if c > 0 {
-			iv = iv.clampMin(ceilDiv(diffLo-k, c))
-		} else {
-			iv = iv.clampMax(floorDiv(diffLo-k, c))
-		}
-	}
-	return key, iv, true
-}
-
-// condDiff builds lhs − rhs of a comparison as an affine form.
-func condDiff(cond *ir.Instr, tb *exprtree.Builder, reg *exprtree.Registry) (*linsolve.Affine, bool) {
-	if len(cond.Args) != 2 {
-		return nil, false
-	}
-	ln, err := tb.Build(cond.Args[0])
-	if err != nil {
-		return nil, false
-	}
-	la, err := exprtree.ExtractAffine(ln, reg)
-	if err != nil {
-		return nil, false
-	}
-	rn, err := tb.Build(cond.Args[1])
-	if err != nil {
-		return nil, false
-	}
-	ra, err := exprtree.ExtractAffine(rn, reg)
-	if err != nil {
-		return nil, false
-	}
-	diff := la.Clone()
-	diff.AddScaled(ra, big.NewRat(-1, 1))
-	return diff, true
-}
-
-// floorDiv and ceilDiv are Euclidean-rounding divisions for guard
-// arithmetic (Go's / truncates toward zero).
-func floorDiv(a, b int64) int64 {
-	q := a / b
-	if (a%b != 0) && ((a < 0) != (b < 0)) {
-		q--
-	}
-	return q
-}
-
-func ceilDiv(a, b int64) int64 {
-	q := a / b
-	if (a%b != 0) && ((a < 0) == (b < 0)) {
-		q++
-	}
-	return q
 }

@@ -1,0 +1,238 @@
+package memaccess
+
+import (
+	"grover/internal/clc"
+	"grover/internal/ir"
+)
+
+// Synthetic address-space layout for replaying accesses against a cache
+// model. Global pointer parameters get widely spaced bases with a
+// non-power-of-two stagger (so distinct buffers do not all collide on
+// cache set 0 the way power-of-two bases would); local allocas share a
+// contiguous arena at LocalBase like the device simulator's per-core
+// scratch region.
+const (
+	GlobalSpacing = uint64(4<<20 + 3*64)
+	LocalBase     = uint64(1) << 40
+	PrivBase      = uint64(1) << 41
+)
+
+// Env is one work-item's evaluation environment: identities, the group
+// sample, loop-variable values, and known scalar arguments.
+type Env struct {
+	WG        [3]int
+	NumGroups [3]int64
+	Lid       [3]int64
+	Group     [3]int64
+	// Vars carries current induction-variable values by alloca.
+	Vars map[*ir.Instr]int64
+	// ArgInts are known scalar argument values by parameter index.
+	ArgInts map[int]int64
+	// DefaultParam substitutes for unknown scalar integer parameters.
+	DefaultParam int64
+}
+
+const maxEvalDepth = 256
+
+// Eval computes the integer value of v under env, walking use-def
+// chains; ok is false when the value depends on memory contents, float
+// math, or other state the static evaluator cannot see.
+func (s *Summary) Eval(v ir.Value, env *Env) (int64, bool) {
+	return s.eval(v, env, 0)
+}
+
+func (s *Summary) eval(v ir.Value, env *Env, depth int) (int64, bool) {
+	if depth > maxEvalDepth {
+		return 0, false
+	}
+	switch x := v.(type) {
+	case *ir.ConstInt:
+		return x.Val, true
+	case *ir.ConstFloat:
+		if x.Val == float64(int64(x.Val)) {
+			return int64(x.Val), true
+		}
+		return 0, false
+	case *ir.Param:
+		if _, isPtr := x.Typ.(*clc.PointerType); isPtr {
+			return 0, false
+		}
+		if val, ok := env.ArgInts[x.Index]; ok {
+			return val, true
+		}
+		if env.DefaultParam != 0 {
+			return env.DefaultParam, true
+		}
+		return 0, false
+	case *ir.Instr:
+		return s.evalInstr(x, env, depth)
+	default:
+		return 0, false
+	}
+}
+
+func (s *Summary) evalInstr(in *ir.Instr, env *Env, depth int) (int64, bool) {
+	switch in.Op {
+	case ir.OpWorkItem:
+		return evalWorkItem(in, env)
+	case ir.OpLoad:
+		src, ok := in.Args[0].(*ir.Instr)
+		if !ok || src.Op != ir.OpAlloca || src.Space != clc.ASPrivate {
+			return 0, false
+		}
+		if val, has := env.Vars[src]; has {
+			return val, true
+		}
+		if st := s.TB.SingleStore(src); st != nil {
+			return s.eval(st.Args[1], env, depth+1)
+		}
+		return 0, false
+	case ir.OpConvert:
+		return s.eval(in.Args[0], env, depth+1)
+	case ir.OpNeg:
+		a, ok := s.eval(in.Args[0], env, depth+1)
+		return -a, ok
+	case ir.OpNot:
+		a, ok := s.eval(in.Args[0], env, depth+1)
+		return ^a, ok
+	}
+	if len(in.Args) != 2 {
+		return 0, false
+	}
+	a, okA := s.eval(in.Args[0], env, depth+1)
+	if !okA {
+		return 0, false
+	}
+	b, okB := s.eval(in.Args[1], env, depth+1)
+	if !okB {
+		return 0, false
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case ir.OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a << uint(b), true
+	case ir.OpShr:
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a >> uint(b), true
+	case ir.OpEq:
+		return b2i(a == b), true
+	case ir.OpNe:
+		return b2i(a != b), true
+	case ir.OpLt:
+		return b2i(a < b), true
+	case ir.OpLe:
+		return b2i(a <= b), true
+	case ir.OpGt:
+		return b2i(a > b), true
+	case ir.OpGe:
+		return b2i(a >= b), true
+	default:
+		return 0, false
+	}
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func evalWorkItem(in *ir.Instr, env *Env) (int64, bool) {
+	d := 0
+	if len(in.Args) == 1 {
+		c, ok := in.Args[0].(*ir.ConstInt)
+		if !ok {
+			return 0, false
+		}
+		d = int(c.Val)
+	}
+	if d < 0 || d > 2 {
+		return 0, false
+	}
+	switch in.Func {
+	case "get_local_id":
+		return env.Lid[d], true
+	case "get_group_id":
+		return env.Group[d], true
+	case "get_global_id":
+		return env.Group[d]*int64(env.WG[d]) + env.Lid[d], true
+	case "get_local_size":
+		return int64(env.WG[d]), true
+	case "get_num_groups":
+		return env.NumGroups[d], true
+	case "get_global_size":
+		return env.NumGroups[d] * int64(env.WG[d]), true
+	case "get_work_dim":
+		dims := int64(1)
+		if env.WG[2] > 1 || env.NumGroups[2] > 1 {
+			dims = 3
+		} else if env.WG[1] > 1 || env.NumGroups[1] > 1 {
+			dims = 2
+		}
+		return dims, true
+	default:
+		return 0, false
+	}
+}
+
+// ParamBase is the synthetic base address of a global pointer
+// parameter's buffer.
+func ParamBase(index int) uint64 {
+	return uint64(index+1) * GlobalSpacing
+}
+
+// Addr computes the access's byte address under env. For local accesses
+// the address is arena-relative (the caller adds LocalBase when feeding
+// a unified hierarchy); for globals it includes the parameter's
+// synthetic base. ok is false when an index is not statically
+// evaluable.
+func (s *Summary) Addr(a *Access, env *Env) (uint64, bool) {
+	var base int64
+	switch v := a.Base.(type) {
+	case *ir.Param:
+		base = int64(ParamBase(v.Index))
+	case *ir.Instr:
+		if a.Space == clc.ASLocal {
+			base = s.LocalOffset[v]
+		}
+	}
+	for _, idx := range a.Chain {
+		step := int64(ir.PointeeSize(idx.Args[0].Type()))
+		ev, ok := s.Eval(idx.Args[1], env)
+		if !ok {
+			return 0, false
+		}
+		base += ev * step
+	}
+	if base < 0 {
+		return 0, false
+	}
+	return uint64(base), true
+}

@@ -1,0 +1,364 @@
+package memaccess
+
+import (
+	"math/big"
+	"sort"
+
+	"grover/internal/analysis/intervals"
+	"grover/internal/clc"
+	"grover/internal/exprtree"
+	"grover/internal/ir"
+	"grover/internal/linsolve"
+)
+
+// findLoops discovers natural loops from dominator back edges, nests
+// them, recognizes induction variables, and estimates trip counts.
+func (s *Summary) findLoops() {
+	byHeader := map[int]*Loop{}
+	var headers []int
+	for ui := range s.blocks {
+		if !s.dom.Reachable(ui) {
+			continue
+		}
+		for _, hi := range s.succ[ui] {
+			if !s.dom.Dominates(hi, ui) {
+				continue // not a back edge
+			}
+			l := byHeader[hi]
+			if l == nil {
+				l = &Loop{Header: s.blocks[hi], Blocks: map[*ir.Block]bool{s.blocks[hi]: true}}
+				byHeader[hi] = l
+				headers = append(headers, hi)
+			}
+			s.collectBody(l, ui, hi)
+		}
+	}
+	sort.Ints(headers)
+	for _, hi := range headers {
+		s.Loops = append(s.Loops, byHeader[hi])
+	}
+	// Nest: the parent is the smallest strict superset.
+	for _, l := range s.Loops {
+		for _, outer := range s.Loops {
+			if outer == l || len(outer.Blocks) <= len(l.Blocks) || !outer.Blocks[l.Header] {
+				continue
+			}
+			if l.Parent == nil || len(outer.Blocks) < len(l.Parent.Blocks) {
+				l.Parent = outer
+			}
+		}
+	}
+	for _, l := range s.Loops {
+		for p := l.Parent; p != nil; p = p.Parent {
+			l.Depth++
+		}
+	}
+	// Innermost loop per block: deeper wins.
+	for _, l := range s.Loops {
+		for b := range l.Blocks {
+			if cur := s.inLoop[b]; cur == nil || l.Depth > cur.Depth {
+				s.inLoop[b] = l
+			}
+		}
+	}
+	for _, l := range s.Loops {
+		s.analyzeLoop(l)
+	}
+}
+
+// collectBody adds to l every block that reaches the back edge source ui
+// without passing the header.
+func (s *Summary) collectBody(l *Loop, ui, hi int) {
+	stack := []int{ui}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := s.blocks[n]
+		if l.Blocks[b] {
+			continue
+		}
+		l.Blocks[b] = true
+		for _, p := range s.pred[n] {
+			if p != hi || n == hi {
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// analyzeLoop recognizes the induction variable from the loop's exit
+// comparison and estimates the trip count.
+func (s *Summary) analyzeLoop(l *Loop) {
+	l.Trip = s.Opts.DefaultTrip
+	cond, contSide, ok := s.exitBranch(l)
+	if !ok {
+		return
+	}
+	diff, ok := intervals.CondDiff(cond, s.TB, s.Reg)
+	if !ok {
+		return
+	}
+	// Find the induction term: a diff term keyed to an alloca that is
+	// stored inside the loop.
+	var indKey string
+	var indVar *ir.Instr
+	for _, key := range diff.Terms() {
+		t := s.Reg.Term(key)
+		if t == nil {
+			continue
+		}
+		ld, isInstr := t.Rep.(*ir.Instr)
+		if !isInstr || ld.Op != ir.OpLoad {
+			continue
+		}
+		alloca, isAlloca := ld.Args[0].(*ir.Instr)
+		if !isAlloca || alloca.Op != ir.OpAlloca || alloca.Space != clc.ASPrivate {
+			continue
+		}
+		if len(s.loopStores(l, alloca)) == 0 {
+			continue
+		}
+		if indVar != nil {
+			return // two mutating variables in the exit test: give up
+		}
+		indKey, indVar = key, alloca
+	}
+	if indVar == nil {
+		return
+	}
+	l.IndVar, l.Key = indVar, indKey
+	s.recurrence(l)
+	s.estimateTrip(l, cond, contSide, diff)
+}
+
+// exitBranch finds the loop's conditional exit: a block of the loop
+// whose CondBr has one target inside and one outside, preferring the
+// header. contSide is the Targets index that continues the loop.
+func (s *Summary) exitBranch(l *Loop) (cond *ir.Instr, contSide int, ok bool) {
+	try := func(b *ir.Block) (*ir.Instr, int, bool) {
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpCondBr || len(t.Targets) != 2 {
+			return nil, 0, false
+		}
+		in0, in1 := l.Blocks[t.Targets[0]], l.Blocks[t.Targets[1]]
+		if in0 == in1 {
+			return nil, 0, false
+		}
+		c, isInstr := t.Args[0].(*ir.Instr)
+		if !isInstr {
+			return nil, 0, false
+		}
+		side := 0
+		if in1 {
+			side = 1
+		}
+		return c, side, true
+	}
+	if c, side, found := try(l.Header); found {
+		return c, side, true
+	}
+	var idxs []int
+	for b := range l.Blocks {
+		idxs = append(idxs, s.index[b])
+	}
+	sort.Ints(idxs)
+	for _, bi := range idxs {
+		if c, side, found := try(s.blocks[bi]); found {
+			return c, side, true
+		}
+	}
+	return nil, 0, false
+}
+
+// recurrence proves the i = Init; i += Step shape: exactly one in-loop
+// store whose value is load(i) + Step, and a dominating out-of-loop
+// store of a resolvable initial value.
+func (s *Summary) recurrence(l *Loop) {
+	inStores := s.loopStores(l, l.IndVar)
+	if len(inStores) == 1 {
+		if aff := s.storeAffine(inStores[0]); aff != nil {
+			one := big.NewRat(1, 1)
+			if aff.Coeff(l.Key).Cmp(one) == 0 && len(aff.Terms()) == 1 {
+				if step, ok := intervals.RatInt64(aff.Const); ok && step != 0 {
+					l.Step, l.StepOK = step, true
+				}
+			}
+		}
+	}
+	// Initial value: the last dominating out-of-loop store.
+	hi := s.index[l.Header]
+	var init *ir.Instr
+	for _, st := range s.TB.Stores(l.IndVar) {
+		if l.Blocks[st.Block] {
+			continue
+		}
+		si, ok := s.index[st.Block]
+		if !ok || !s.dom.Dominates(si, hi) {
+			continue
+		}
+		init = st // stores are in block order; the last dominating one wins
+	}
+	if init != nil {
+		if aff := s.storeAffine(init); aff != nil {
+			if iv, ok := intervals.EvalAffine(aff, s.Reg, s.WG, s.argGuards()); ok && !iv.LoInf && !iv.HiInf && iv.Lo == iv.Hi {
+				l.Init, l.InitOK = iv.Lo, true
+			}
+		}
+	}
+}
+
+// loopStores returns the direct stores to alloca inside the loop.
+func (s *Summary) loopStores(l *Loop, alloca *ir.Instr) []*ir.Instr {
+	var out []*ir.Instr
+	for _, st := range s.TB.Stores(alloca) {
+		if l.Blocks[st.Block] {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// storeAffine extracts the affine form of a store's value.
+func (s *Summary) storeAffine(st *ir.Instr) *linsolve.Affine {
+	node, err := s.TB.Build(st.Args[1])
+	if err != nil {
+		return nil
+	}
+	aff, err := exprtree.ExtractAffine(node, s.Reg)
+	if err != nil {
+		return nil
+	}
+	return aff
+}
+
+// estimateTrip bounds the induction variable from the exit comparison:
+// the loop continues while c·i + rest OP 0, rest evaluated over
+// guard-refined intervals with known argument values substituted.
+func (s *Summary) estimateTrip(l *Loop, cond *ir.Instr, contSide int, diff *linsolve.Affine) {
+	c, ok := intervals.RatInt64(diff.Coeff(l.Key))
+	if !ok || c == 0 {
+		return
+	}
+	rest := diff.Clone()
+	rest.AddScaled(linsolve.TermAffine(l.Key), new(big.Rat).Neg(diff.Coeff(l.Key)))
+	restIv, ok := intervals.EvalAffine(rest, s.Reg, s.WG, s.argGuards())
+	if !ok {
+		return
+	}
+	op := cond.Op
+	if contSide == 1 {
+		switch op {
+		case ir.OpLt:
+			op = ir.OpGe
+		case ir.OpLe:
+			op = ir.OpGt
+		case ir.OpGt:
+			op = ir.OpLe
+		case ir.OpGe:
+			op = ir.OpLt
+		default:
+			return
+		}
+	}
+	// Continue while c·i + rest OP 0 with OP ∈ {<, ≤, >, ≥, ≠}.
+	// Normalize to a one-sided bound on c·i, taking the loosest value of
+	// rest's range (most iterations) when it is not a single point.
+	var bound int64
+	var upper bool
+	exact := restIv.Lo == restIv.Hi && !restIv.LoInf && !restIv.HiInf
+	switch op {
+	case ir.OpLt, ir.OpLe: // continue while c·i ≤ -rest (−1 for <)
+		if restIv.LoInf {
+			return
+		}
+		bound = -restIv.Lo
+		if op == ir.OpLt {
+			bound--
+		}
+		upper = true
+	case ir.OpGt, ir.OpGe: // continue while c·i ≥ -rest (+1 for >)
+		if restIv.HiInf {
+			return
+		}
+		bound = -restIv.Hi
+		if op == ir.OpGt {
+			bound++
+		}
+		upper = false
+	case ir.OpNe:
+		// i != bound with a recognized step lands exactly on the bound.
+		if !exact || !l.StepOK {
+			return
+		}
+		bound = -restIv.Lo
+		if l.Step > 0 {
+			bound--
+			upper = true
+		} else {
+			bound++
+			upper = false
+		}
+	default:
+		return
+	}
+	// bound is on c·i: translate to i.
+	var iMax, iMin int64
+	var haveMax, haveMin bool
+	if upper {
+		if c > 0 {
+			iMax, haveMax = intervals.FloorDiv(bound, c), true
+		} else {
+			iMin, haveMin = intervals.CeilDiv(bound, c), true
+		}
+	} else {
+		if c > 0 {
+			iMin, haveMin = intervals.CeilDiv(bound, c), true
+		} else {
+			iMax, haveMax = intervals.FloorDiv(bound, c), true
+		}
+	}
+	step := l.Step
+	if !l.StepOK {
+		step = 1
+	}
+	init := l.Init
+	if !l.InitOK {
+		init = 0
+	}
+	var trip int64
+	switch {
+	case step > 0 && haveMax:
+		trip = (iMax-init)/step + 1
+	case step < 0 && haveMin:
+		trip = (init-iMin)/(-step) + 1
+	default:
+		return
+	}
+	if trip < 0 {
+		trip = 0
+	}
+	if trip > MaxTrip {
+		trip = MaxTrip
+	}
+	l.Trip = trip
+	l.TripExact = exact && l.StepOK && l.InitOK
+}
+
+// argGuards turns known argument values into exact interval guards on
+// their parameter terms.
+func (s *Summary) argGuards() map[string]intervals.Interval {
+	out := map[string]intervals.Interval{}
+	if len(s.Opts.ArgInts) == 0 {
+		return out
+	}
+	for key, t := range s.Reg.Terms() {
+		p, ok := t.Rep.(*ir.Param)
+		if !ok {
+			continue
+		}
+		if v, has := s.Opts.ArgInts[p.Index]; has {
+			out[key] = intervals.Exact(v)
+		}
+	}
+	return out
+}

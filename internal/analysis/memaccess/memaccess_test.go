@@ -1,0 +1,249 @@
+// Tests live in an external package so fixtures can be compiled through
+// the opencl facade (which transitively imports the analysis packages).
+package memaccess_test
+
+import (
+	"strings"
+	"testing"
+
+	"grover/internal/analysis/memaccess"
+	"grover/internal/clc"
+	"grover/internal/ir"
+	"grover/opencl"
+)
+
+func summarize(t *testing.T, source, kernel string, opts memaccess.Options) *memaccess.Summary {
+	t.Helper()
+	m, err := opencl.CompileModule("t.cl", source, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	fn := m.Kernel(kernel)
+	if fn == nil {
+		t.Fatalf("no kernel %q", kernel)
+	}
+	return memaccess.Summarize(fn, opts)
+}
+
+const winsumSrc = `__kernel void winsum(__global float* out, __global float* a,
+                     __global float* b, int n) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int grp = get_group_id(0);
+    float acc = 0.0f;
+    for (int i = 0; i < n; i++) {
+        acc += a[gid*n + i] * b[grp*64 + lid];
+    }
+    out[gid] = acc;
+}
+`
+
+func TestLoopTripFromArg(t *testing.T) {
+	s := summarize(t, winsumSrc, "winsum", memaccess.Options{
+		WorkGroup: [3]int{64, 1, 1},
+		ArgInts:   map[int]int64{3: 96},
+	})
+	if len(s.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(s.Loops))
+	}
+	l := s.Loops[0]
+	if l.IndVar == nil || l.IndVar.VarName != "i" {
+		t.Fatalf("induction variable = %v, want i", l.IndVar)
+	}
+	if !l.StepOK || l.Step != 1 {
+		t.Errorf("step = %d (ok=%v), want 1", l.Step, l.StepOK)
+	}
+	if !l.InitOK || l.Init != 0 {
+		t.Errorf("init = %d (ok=%v), want 0", l.Init, l.InitOK)
+	}
+	if !l.TripExact || l.Trip != 96 {
+		t.Errorf("trip = %d (exact=%v), want exact 96", l.Trip, l.TripExact)
+	}
+}
+
+func TestLoopTripUnknownFallsBack(t *testing.T) {
+	s := summarize(t, winsumSrc, "winsum", memaccess.Options{WorkGroup: [3]int{64, 1, 1}})
+	if len(s.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(s.Loops))
+	}
+	l := s.Loops[0]
+	if l.TripExact {
+		t.Errorf("trip exact with unknown n")
+	}
+	if l.Trip != memaccess.DefaultTrip {
+		t.Errorf("trip = %d, want default %d", l.Trip, memaccess.DefaultTrip)
+	}
+}
+
+func TestLaneAndIterStrides(t *testing.T) {
+	s := summarize(t, winsumSrc, "winsum", memaccess.Options{
+		WorkGroup: [3]int{64, 1, 1},
+		ArgInts:   map[int]int64{3: 96},
+	})
+	var bLoad, outStore *memaccess.Access
+	for _, a := range s.Accesses {
+		if a.Space != clc.ASGlobal {
+			continue
+		}
+		switch {
+		case a.BaseName == "b" && !a.Store:
+			bLoad = a
+		case a.BaseName == "out" && a.Store:
+			outStore = a
+		}
+	}
+	if bLoad == nil || outStore == nil {
+		t.Fatalf("missing accesses: b=%v out=%v", bLoad, outStore)
+	}
+	if !bLoad.LaneOK || bLoad.Lane[0] != 4 {
+		t.Errorf("b lane stride = %v (ok=%v), want 4", bLoad.Lane, bLoad.LaneOK)
+	}
+	if bLoad.Loop == nil {
+		t.Fatalf("b load not inside the loop")
+	}
+	if st, ok := bLoad.IterStride[bLoad.Loop]; !ok || st != 0 {
+		// b[grp*64+lid] is loop-invariant; a zero stride may be recorded
+		// as absent.
+		if ok {
+			t.Errorf("b iter stride = %d, want 0/absent", st)
+		}
+	}
+	if !outStore.LaneOK || outStore.Lane[0] != 4 {
+		t.Errorf("out lane stride = %v (ok=%v), want 4", outStore.Lane, outStore.LaneOK)
+	}
+	if outStore.Loop != nil {
+		t.Errorf("out store inside loop, want top level")
+	}
+	// a[gid*n+i]: the lowered gid is group*ls+lid, so gid*n multiplies
+	// two non-constant terms involving lid — affine extraction must
+	// refuse (the numeric evaluator still handles the address).
+	var aLoad *memaccess.Access
+	for _, a := range s.Accesses {
+		if a.BaseName == "a" && !a.Store {
+			aLoad = a
+		}
+	}
+	if aLoad == nil {
+		t.Fatalf("missing a load")
+	}
+	if aLoad.Offset != nil {
+		t.Errorf("a load offset affine %v, want non-affine (lid inside a product)", aLoad.Offset)
+	}
+}
+
+const tileSrc = `__kernel void tr(__global float* out, __global float* in, int w) {
+    __local float tile[16][17];
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+    tile[ly][lx] = in[get_global_id(1)*w + get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)*w + get_global_id(1)] = tile[lx][ly];
+}
+`
+
+func TestLocalArenaAndBarrier(t *testing.T) {
+	s := summarize(t, tileSrc, "tr", memaccess.Options{WorkGroup: [3]int{16, 16, 1}})
+	if s.LocalBytes < 16*17*4 {
+		t.Errorf("local bytes = %d, want >= %d", s.LocalBytes, 16*17*4)
+	}
+	if len(s.Barriers) != 1 {
+		t.Fatalf("barriers = %d, want 1", len(s.Barriers))
+	}
+	var tileStore, tileLoad *memaccess.Access
+	for _, a := range s.Accesses {
+		if a.Space != clc.ASLocal {
+			continue
+		}
+		if a.Store {
+			tileStore = a
+		} else {
+			tileLoad = a
+		}
+	}
+	if tileStore == nil || tileLoad == nil {
+		t.Fatalf("missing local accesses")
+	}
+	// tile[ly][lx]: lane strides 4 bytes in x, 17*4 in y.
+	if !tileStore.LaneOK || tileStore.Lane[0] != 4 || tileStore.Lane[1] != 17*4 {
+		t.Errorf("store lane = %v (ok=%v), want (4,68,0)", tileStore.Lane, tileStore.LaneOK)
+	}
+	// tile[lx][ly]: transposed.
+	if !tileLoad.LaneOK || tileLoad.Lane[0] != 17*4 || tileLoad.Lane[1] != 4 {
+		t.Errorf("load lane = %v (ok=%v), want (68,4,0)", tileLoad.Lane, tileLoad.LaneOK)
+	}
+}
+
+const guardedSrc = `__kernel void g(__global float* out, __global float* in) {
+    int lx = get_local_id(0);
+    float v = in[get_global_id(0)];
+    if (lx < 16) {
+        out[get_global_id(0)] = v;
+    }
+}
+`
+
+func TestGuardWeight(t *testing.T) {
+	s := summarize(t, guardedSrc, "g", memaccess.Options{WorkGroup: [3]int{64, 1, 1}})
+	var store *memaccess.Access
+	for _, a := range s.Accesses {
+		if a.Store && a.Space == clc.ASGlobal {
+			store = a
+		}
+	}
+	if store == nil {
+		t.Fatalf("missing guarded store")
+	}
+	if store.Weight < 0.24 || store.Weight > 0.26 {
+		t.Errorf("guarded store weight = %g, want 0.25", store.Weight)
+	}
+}
+
+func TestEvalAddresses(t *testing.T) {
+	s := summarize(t, winsumSrc, "winsum", memaccess.Options{
+		WorkGroup: [3]int{64, 1, 1},
+		ArgInts:   map[int]int64{3: 96},
+	})
+	env := &memaccess.Env{
+		WG:        s.WG,
+		NumGroups: [3]int64{8, 1, 1},
+		Lid:       [3]int64{5, 0, 0},
+		Group:     [3]int64{0, 0, 0},
+		Vars:      map[*ir.Instr]int64{},
+		ArgInts:   map[int]int64{3: 96},
+	}
+	if len(s.Loops) == 1 && s.Loops[0].IndVar != nil {
+		env.Vars[s.Loops[0].IndVar] = 2
+	}
+	var aLoad *memaccess.Access
+	for _, a := range s.Accesses {
+		if a.BaseName == "a" && !a.Store {
+			aLoad = a
+		}
+	}
+	if aLoad == nil {
+		t.Fatalf("missing a load")
+	}
+	addr, ok := s.Addr(aLoad, env)
+	if !ok {
+		t.Fatalf("a address not evaluable")
+	}
+	// a[gid*96 + i] with gid=5, i=2 → element 482, byte 1928, plus the
+	// parameter base.
+	want := memaccess.ParamBase(1) + 482*4
+	if addr != want {
+		t.Errorf("a addr = %d, want %d", addr, want)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := summarize(t, winsumSrc, "winsum", memaccess.Options{
+		WorkGroup: [3]int{64, 1, 1},
+		ArgInts:   map[int]int64{3: 96},
+	})
+	str := s.String()
+	for _, want := range []string{"kernel winsum", "loop i", "trip =96", "global"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("summary dump missing %q:\n%s", want, str)
+		}
+	}
+}

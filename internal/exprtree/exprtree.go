@@ -87,6 +87,10 @@ func (b *Builder) SingleStore(alloca *ir.Instr) *ir.Instr {
 	return nil
 }
 
+// Stores returns every direct store to the alloca, in block order (the
+// order NewBuilder collected them).
+func (b *Builder) Stores(alloca *ir.Instr) []*ir.Instr { return b.stores[alloca] }
+
 const maxTreeDepth = 512
 
 // Build constructs the expression tree rooted at v. Loads of single-store
@@ -204,6 +208,13 @@ func NewRegistry() *Registry {
 
 // Term returns the registered term for key, or nil.
 func (r *Registry) Term(key string) *Term { return r.byKey[key] }
+
+// KeyOf returns the term key registered for identity v (e.g. a mutable
+// variable's alloca, which every load of the variable maps to), if any.
+func (r *Registry) KeyOf(v ir.Value) (string, bool) {
+	key, ok := r.byVal[v]
+	return key, ok
+}
 
 // Terms returns all registered terms.
 func (r *Registry) Terms() map[string]*Term { return r.byKey }

@@ -91,6 +91,63 @@ func TestVerifyCatchesNonPointerLoad(t *testing.T) {
 	}
 }
 
+// TestVerifyPointerChainShape exercises the chain-shape rule: pointer
+// values reaching an index base (or load/store address) must come from
+// a param, alloca, index, pointer convert, or pointer load — never from
+// arithmetic. The valid fixture already contains a param-rooted chain
+// used across blocks (alloca in entry, loads in the loop body), which
+// TestVerifyValid accepts; here we corrupt a base and expect rejection.
+func TestVerifyPointerChainShape(t *testing.T) {
+	m, fn := buildTestFunc()
+	ptrTy := &clc.PointerType{Elem: clc.TypeFloat, Space: clc.ASGlobal}
+	for _, b := range fn.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op != OpIndex {
+				continue
+			}
+			// Synthesize a pointer with integer arithmetic and slide it in
+			// as the index base, keeping defs-dominate-uses intact.
+			bad := &Instr{Op: OpAdd, Typ: ptrTy, Args: []Value{in.Args[0], in.Args[0]}, Block: b}
+			b.Instrs = append(b.Instrs[:i], append([]*Instr{bad}, b.Instrs[i:]...)...)
+			in.Args[0] = bad
+			err := Verify(m)
+			if err == nil {
+				t.Fatal("expected chain-shape error for arithmetic-produced pointer")
+			}
+			if !strings.Contains(err.Error(), "pointer produced by add") {
+				t.Fatalf("wrong error: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatal("fixture has no OpIndex")
+}
+
+// TestVerifyPointerConvertSource: a pointer-typed convert must consume a
+// pointer (pointer casts), never an integer.
+func TestVerifyPointerConvertSource(t *testing.T) {
+	m, fn := buildTestFunc()
+	ptrTy := &clc.PointerType{Elem: clc.TypeFloat, Space: clc.ASGlobal}
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpIndex {
+				cast := &Instr{Op: OpConvert, Typ: ptrTy, Args: []Value{IntConst(64)}, Block: b}
+				InsertBefore(in, cast)
+				in.Args[0] = cast
+				err := Verify(m)
+				if err == nil {
+					t.Fatal("expected pointer-convert-from-integer error")
+				}
+				if !strings.Contains(err.Error(), "pointer convert from non-pointer") {
+					t.Fatalf("wrong error: %v", err)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("fixture has no OpIndex")
+}
+
 func TestCloneModuleIndependence(t *testing.T) {
 	m, fn := buildTestFunc()
 	clone := CloneModule(m)

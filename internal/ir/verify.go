@@ -10,8 +10,10 @@ import (
 // Verify checks structural invariants of the module: every block ends in
 // exactly one terminator, branch targets belong to the same function,
 // memory ops have pointer operands, opcode-specific arity and type rules
-// hold (OpBarrier, OpAlloca, OpWorkItem, ...), and every use of an
-// instruction value is dominated by its definition.
+// hold (OpBarrier, OpAlloca, OpWorkItem, ...), every use of an
+// instruction value is dominated by its definition, and pointer values
+// feeding OpIndex and load/store addresses obey the chain-shape rule
+// (see verifyPointerProducer).
 func Verify(m *Module) error {
 	for _, f := range m.Funcs {
 		if err := VerifyFunc(f); err != nil {
@@ -96,6 +98,9 @@ func verifyInstr(in *Instr) error {
 		if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
 			return fmt.Errorf("load operand is not a pointer: %s", in.Args[0].Type())
 		}
+		if err := verifyPointerProducer(in.Args[0]); err != nil {
+			return fmt.Errorf("load address: %w", err)
+		}
 	case OpStore:
 		if len(in.Args) != 2 {
 			return fmt.Errorf("store needs 2 operands")
@@ -103,12 +108,27 @@ func verifyInstr(in *Instr) error {
 		if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
 			return fmt.Errorf("store target is not a pointer: %s", in.Args[0].Type())
 		}
+		if err := verifyPointerProducer(in.Args[0]); err != nil {
+			return fmt.Errorf("store address: %w", err)
+		}
 	case OpIndex:
 		if len(in.Args) != 2 {
 			return fmt.Errorf("index needs 2 operands")
 		}
 		if _, ok := in.Args[0].Type().(*clc.PointerType); !ok {
 			return fmt.Errorf("index base is not a pointer: %s", in.Args[0].Type())
+		}
+		if err := verifyPointerProducer(in.Args[0]); err != nil {
+			return fmt.Errorf("index base: %w", err)
+		}
+	case OpConvert:
+		if _, ok := in.Typ.(*clc.PointerType); ok {
+			if len(in.Args) != 1 {
+				return fmt.Errorf("convert needs 1 operand")
+			}
+			if _, src := in.Args[0].Type().(*clc.PointerType); !src {
+				return fmt.Errorf("pointer convert from non-pointer %s", in.Args[0].Type())
+			}
 		}
 	case OpAlloca:
 		if len(in.Args) != 0 {
@@ -162,6 +182,38 @@ func verifyInstr(in *Instr) error {
 		}
 	}
 	return nil
+}
+
+// verifyPointerProducer enforces the pointer chain-shape rule that the
+// static access collector (analysis/memaccess) and the Grover
+// correspondence solver rely on: every pointer value feeding an OpIndex
+// base or a load/store address must be produced by a pointer-typed
+// parameter, an OpAlloca, another OpIndex, a pointer-to-pointer
+// OpConvert, or an OpLoad (a pointer variable; chains rooted there are
+// opaque to the collector but legal IR). Pointer values synthesized by
+// any other opcode — integer arithmetic cast back to a pointer, vector
+// ops, calls — would make the collector's pointerRoot walk ill-founded,
+// so Verify rejects them structurally.
+//
+// Note this is a shape rule over value edges, not a block rule: a chain
+// link may live in a different block than its user (a loop-invariant
+// row pointer in an outer loop body, or a prefix hoisted to a preheader
+// by the hoist-addr rewrite), but only in a block that dominates the
+// use — verifyDominance establishes that, so together the two checks
+// guarantee every chain the collector walks is well-defined at its
+// access site.
+func verifyPointerProducer(v Value) error {
+	switch x := v.(type) {
+	case *Param:
+		return nil // pointer-ness is checked by the caller's opcode rule
+	case *Instr:
+		switch x.Op {
+		case OpAlloca, OpIndex, OpConvert, OpLoad:
+			return nil
+		}
+		return fmt.Errorf("pointer produced by %s (want param, alloca, index, convert, or load)", x.Op)
+	}
+	return fmt.Errorf("pointer produced by non-instruction %T", v)
 }
 
 // verifyDominance enforces defs-dominate-uses over the dominator tree:

@@ -182,6 +182,138 @@ func TestDecomposeNonIntegral(t *testing.T) {
 	}
 }
 
+// TestDecomposeNegativeStride: accesses walking a buffer backwards
+// (buf[base - i]) produce negative affine coefficients; decomposition
+// must place them exactly and recompose to the original (Quo truncates
+// toward zero, so both signs must round-trip).
+func TestDecomposeNegativeStride(t *testing.T) {
+	// offset = -68·i - 8 with strides [64, 4]:
+	// -68 = -1·64 + -1·4, const -8 = -2·4.
+	off := NewAffine()
+	off.AddScaled(TermAffine("i"), rat(-68, 1))
+	off.Const.SetInt64(-8)
+	dims, err := DecomposeByStrides(off, []int64{64, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dims[0].String(); got != "-1·i" && got != "-i" {
+		t.Errorf("dim0 = %s", got)
+	}
+	recomposed := dims[0].Clone().Scale(rat(64, 1)).AddScaled(dims[1], rat(4, 1))
+	if !recomposed.Equal(off) {
+		t.Errorf("recomposed %s != %s", recomposed, off)
+	}
+}
+
+// TestDecomposeNonUnitGCDStrides: element strides larger than one byte
+// with a shared factor (a 12-byte struct tiled 8 to a row → strides
+// [96, 12]) must decompose coefficients that are multiples of the GCD
+// but not of the row stride.
+func TestDecomposeNonUnitGCDStrides(t *testing.T) {
+	// offset = 36·i + 24: 36 = 0·96 + 3·12, 24 = 2·12.
+	off := NewAffine()
+	off.AddScaled(TermAffine("i"), rat(36, 1))
+	off.Const.SetInt64(24)
+	dims, err := DecomposeByStrides(off, []int64{96, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dims[0].IsZero() {
+		t.Errorf("dim0 = %s, want 0", dims[0])
+	}
+	if got := dims[1].String(); got != "3*i + 2" {
+		t.Errorf("dim1 = %s", got)
+	}
+	// A coefficient that is a multiple of the GCD of the strides but not
+	// of the element stride must still be rejected: 30 = 2·12 + 6.
+	bad := NewAffine()
+	bad.AddScaled(TermAffine("i"), rat(30, 1))
+	if _, err := DecomposeByStrides(bad, []int64{96, 12}); err == nil {
+		t.Fatal("expected non-integral decomposition error for coefficient 30 over stride 12")
+	}
+}
+
+// TestSolveNegativeAndRationalPivots: Gauss-Jordan over exact rationals
+// with negative pivots and a fractional inverse; the solution must be
+// exact, not merely close.
+func TestSolveNegativeAndRationalPivots(t *testing.T) {
+	// [-2  3] [x]   [GL0]
+	// [ 4 -5] [y] = [GL1]
+	a := [][]*big.Rat{
+		{rat(-2, 1), rat(3, 1)},
+		{rat(4, 1), rat(-5, 1)},
+	}
+	b := []*Affine{TermAffine("GL0"), TermAffine("GL1")}
+	sol, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// det = 10 - 12 = -2, so the inverse is [ 5/2 3/2 ; 2 1 ].
+	wantX := TermAffine("GL0").Scale(rat(5, 2)).AddScaled(TermAffine("GL1"), rat(3, 2))
+	wantY := TermAffine("GL0").Scale(rat(2, 1)).AddScaled(TermAffine("GL1"), rat(1, 1))
+	if !sol[0].Equal(wantX) || !sol[1].Equal(wantY) {
+		t.Errorf("sol = (%s; %s), want (%s; %s)", sol[0], sol[1], wantX, wantY)
+	}
+}
+
+// TestAffineBigCoefficientRoundTrip: coefficients far beyond int64 must
+// survive scale/unscale and solve/recompose exactly — the big.Rat
+// arithmetic may not silently saturate or round.
+func TestAffineBigCoefficientRoundTrip(t *testing.T) {
+	huge := new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), 96)) // 2^96
+	a := TermAffine("gx").Scale(huge)
+	a.Const.Add(a.Const, rat(1, 3))
+	back := a.Clone().Scale(new(big.Rat).Inv(huge))
+	if got := back.Coeff("gx"); got.Cmp(rat(1, 1)) != 0 {
+		t.Errorf("gx coefficient after round-trip = %s, want 1", got)
+	}
+	wantConst := new(big.Rat).Quo(rat(1, 3), huge)
+	if back.Const.Cmp(wantConst) != 0 {
+		t.Errorf("const after round-trip = %s, want %s", back.Const, wantConst)
+	}
+
+	// Solve a 2x2 with a 2^80 entry and verify by substitution.
+	big80 := new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), 80))
+	m := [][]*big.Rat{
+		{big80, rat(1, 1)},
+		{rat(1, 1), rat(1, 1)},
+	}
+	rhs := []*Affine{TermAffine("u"), TermAffine("v")}
+	sol, err := Solve(m, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		got := sol[0].Clone().Scale(m[i][0]).AddScaled(sol[1], m[i][1])
+		if !got.Equal(rhs[i]) {
+			t.Errorf("row %d: substitution = %s, want %s", i, got, rhs[i])
+		}
+	}
+}
+
+// TestDecomposeHugeStrideAndCoefficient: decomposition stays exact when
+// strides and coefficients approach and exceed the int64 range.
+func TestDecomposeHugeStrideAndCoefficient(t *testing.T) {
+	row := int64(1) << 40
+	off := NewAffine()
+	// 2^97·k decomposes over [2^40, 4] as 2^57·k rows + 0 elements.
+	c := new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), 97))
+	off.AddScaled(TermAffine("k"), c)
+	off.Const.SetInt64(row + 8) // one row plus two elements
+	dims, err := DecomposeByStrides(off, []int64{row, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := new(big.Rat).SetInt(new(big.Int).Lsh(big.NewInt(1), 57))
+	if got := dims[0].Coeff("k"); got.Cmp(wantRows) != 0 {
+		t.Errorf("dim0 k coefficient = %s, want 2^57", got)
+	}
+	recomposed := dims[0].Clone().Scale(rat(row, 1)).AddScaled(dims[1], rat(4, 1))
+	if !recomposed.Equal(off) {
+		t.Errorf("recomposed %s != %s", recomposed, off)
+	}
+}
+
 func TestDecomposeProperty(t *testing.T) {
 	// Property: recomposing Σ dims[d]*stride[d] recovers the original.
 	check := func(c0, c1, k int16) bool {

@@ -1,0 +1,176 @@
+// Tests live in an external package so fixtures can be compiled through
+// the opencl facade.
+package profit_test
+
+import (
+	"testing"
+
+	"grover/internal/device"
+	"grover/internal/ir"
+	"grover/internal/profit"
+	"grover/opencl"
+)
+
+func compile(t *testing.T, source string) *ir.Module {
+	t.Helper()
+	m, err := opencl.CompileModule("t.cl", source, nil)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func prof(t *testing.T, name string) *device.Profile {
+	t.Helper()
+	p := device.ByName(name)
+	if p == nil {
+		t.Fatalf("no device %q", name)
+	}
+	return p
+}
+
+const copySrc = `__kernel void unit(__global float* out, __global float* in) {
+    int gid = get_global_id(0);
+    out[gid] = in[gid];
+}
+__kernel void strided(__global float* out, __global float* in) {
+    int gid = get_global_id(0);
+    out[gid*33] = in[gid*33];
+}
+`
+
+func TestCoalescingSeparatesGPUScores(t *testing.T) {
+	m := compile(t, copySrc)
+	fermi := prof(t, "Fermi")
+	opts := profit.Options{WorkGroup: [3]int{64, 1, 1}}
+	unit, err := profit.ScoreKernel(m.Kernel("unit"), fermi, opts)
+	if err != nil {
+		t.Fatalf("unit: %v", err)
+	}
+	strided, err := profit.ScoreKernel(m.Kernel("strided"), fermi, opts)
+	if err != nil {
+		t.Fatalf("strided: %v", err)
+	}
+	if unit.Cycles <= 0 || strided.Cycles <= 0 {
+		t.Fatalf("non-positive cycles: unit=%v strided=%v", unit.Cycles, strided.Cycles)
+	}
+	if strided.Cycles <= unit.Cycles {
+		t.Errorf("strided cycles %.0f <= unit cycles %.0f; coalescing not modeled",
+			strided.Cycles, unit.Cycles)
+	}
+	if strided.Transactions <= unit.Transactions {
+		t.Errorf("strided transactions %.0f <= unit %.0f", strided.Transactions, unit.Transactions)
+	}
+	if unit.CoalesceEff <= strided.CoalesceEff {
+		t.Errorf("coalesce eff: unit %.3f <= strided %.3f", unit.CoalesceEff, strided.CoalesceEff)
+	}
+}
+
+const bankSrc = `__kernel void clean(__global float* out) {
+    __local float buf[2048];
+    int lx = get_local_id(0);
+    buf[lx] = (float)lx;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = buf[lx];
+}
+__kernel void conflicted(__global float* out) {
+    __local float buf[2048];
+    int lx = get_local_id(0);
+    buf[lx*32] = (float)lx;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[get_global_id(0)] = buf[lx*32];
+}
+`
+
+func TestBankConflictsSeparateGPUScores(t *testing.T) {
+	m := compile(t, bankSrc)
+	fermi := prof(t, "Fermi")
+	opts := profit.Options{WorkGroup: [3]int{64, 1, 1}}
+	clean, err := profit.ScoreKernel(m.Kernel("clean"), fermi, opts)
+	if err != nil {
+		t.Fatalf("clean: %v", err)
+	}
+	conf, err := profit.ScoreKernel(m.Kernel("conflicted"), fermi, opts)
+	if err != nil {
+		t.Fatalf("conflicted: %v", err)
+	}
+	if conf.BankConflict <= clean.BankConflict {
+		t.Errorf("bank conflict degree: conflicted %.2f <= clean %.2f",
+			conf.BankConflict, clean.BankConflict)
+	}
+	if conf.Local <= clean.Local {
+		t.Errorf("local cycles: conflicted %.0f <= clean %.0f", conf.Local, clean.Local)
+	}
+}
+
+const winsumSrc = `__kernel void winsum(__global float* out, __global float* a,
+                     __global float* b, int n) {
+    int gid = get_global_id(0);
+    float acc = 0.0f;
+    for (int i = 0; i < n; i++) {
+        acc += a[gid] * b[i];
+    }
+    out[gid] = acc;
+}
+`
+
+func TestScoreKernelCPU(t *testing.T) {
+	m := compile(t, winsumSrc)
+	snb := prof(t, "SNB")
+	sc, err := profit.ScoreKernel(m.Kernel("winsum"), snb, profit.Options{
+		WorkGroup: [3]int{64, 1, 1},
+		ArgInts:   map[int]int64{3: 96},
+	})
+	if err != nil {
+		t.Fatalf("score: %v", err)
+	}
+	if sc.Cycles <= 0 || sc.Mem <= 0 || sc.Issue <= 0 {
+		t.Errorf("degenerate CPU score: %+v", sc)
+	}
+	if sc.Transactions != 0 {
+		t.Errorf("CPU score reports GPU transactions: %+v", sc)
+	}
+}
+
+func TestRankPlansOrdersByCycles(t *testing.T) {
+	m := compile(t, winsumSrc)
+	fermi := prof(t, "Fermi")
+	plans := []string{"base", "stage-local(ls=64)", "hoist-addr"}
+	ranked, err := profit.RankPlans(m, "winsum", plans, fermi, profit.Options{
+		WorkGroup: [3]int{64, 1, 1},
+		ArgInts:   map[int]int64{3: 96},
+	})
+	if err != nil {
+		t.Fatalf("rank: %v", err)
+	}
+	if len(ranked) != len(plans) {
+		t.Fatalf("ranked %d plans, want %d", len(ranked), len(plans))
+	}
+	for i, ps := range ranked {
+		if ps.Err != "" {
+			t.Fatalf("plan %q error: %s", ps.Plan, ps.Err)
+		}
+		if ps.Score == nil {
+			t.Fatalf("plan %q missing score", ps.Plan)
+		}
+		if i > 0 && ranked[i-1].Score.Cycles > ps.Score.Cycles {
+			t.Errorf("ranking not ascending at %d: %.0f > %.0f",
+				i, ranked[i-1].Score.Cycles, ps.Score.Cycles)
+		}
+	}
+}
+
+func TestRankPlansUnknownKernel(t *testing.T) {
+	m := compile(t, winsumSrc)
+	if _, err := profit.RankPlans(m, "nope", []string{"base"}, prof(t, "Fermi"), profit.Options{}); err == nil {
+		t.Fatalf("expected error for unknown kernel")
+	}
+}
+
+func TestScorePlanBadPlan(t *testing.T) {
+	m := compile(t, winsumSrc)
+	ps := profit.ScorePlan(m, "winsum", "no-such-rule(", prof(t, "Fermi"), profit.Options{})
+	if ps.Err == "" {
+		t.Fatalf("expected parse error")
+	}
+}

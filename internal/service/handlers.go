@@ -265,7 +265,8 @@ func fill(n int, seed uint32) []float32 {
 func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devName, backend string, plans []string) (*verdictArtifact, kcache.Outcome, error) {
 	key := kcache.Key("autotune", req.Source, kcache.DefinesField(req.Defines),
 		req.Kernel, req.Options.field(), devName, backend, launchField(req),
-		fmt.Sprintf("char=%t", req.Characterize), "plans="+strings.Join(plans, "|"))
+		fmt.Sprintf("char=%t", req.Characterize), "plans="+strings.Join(plans, "|"),
+		fmt.Sprintf("prune=%d", req.Prune))
 	v, out, err := s.cache.Do(key, func() (interface{}, error) {
 		comp, _, err := s.compile(rctx, req.Name, req.Source, req.Defines)
 		if err != nil {
@@ -297,7 +298,13 @@ func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devN
 		}
 		var res *grover.TuneResult
 		if len(plans) > 0 {
-			res, err = grover.AutoTunePlansCtx(rctx, prog, req.Kernel, plans, req.Runs, launch)
+			res, err = grover.AutoTunePlansOpts(rctx, prog, req.Kernel, plans, req.Runs, launch,
+				grover.PlanSearchOptions{
+					Prune:     req.Prune,
+					WorkGroup: req.Local,
+					Global:    req.Global,
+					ArgInts:   grover.IntArgs(args),
+				})
 		} else {
 			res, err = grover.AutoTuneCtx(rctx, prog, req.Kernel, req.Options.options(), req.Runs, launch)
 		}
@@ -380,7 +387,10 @@ func (v *verdictArtifact) verdict(device string, outcome kcache.Outcome) TuneVer
 		Characterization: v.char,
 	}
 	for _, t := range v.search {
-		out.Plans = append(out.Plans, PlanResult{Plan: t.Plan, MS: t.MS, Applied: t.Applied, Error: t.Err})
+		out.Plans = append(out.Plans, PlanResult{
+			Plan: t.Plan, MS: t.MS, Applied: t.Applied, Error: t.Err,
+			Pruned: t.Pruned, Score: t.Score,
+		})
 	}
 	return out
 }
@@ -504,6 +514,14 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			}
 			plans = append(plans, p.String())
 		}
+	}
+	if req.Prune < 0 {
+		writeError(w, badRequest("prune must be >= 0"))
+		return
+	}
+	if req.Prune > 0 && len(plans) == 0 {
+		writeError(w, badRequest("prune requires a plan search (set plan)"))
+		return
 	}
 	// Resolve the device list up front so an unknown name is a 404 with
 	// the available devices, before any compile work is queued.

@@ -42,6 +42,7 @@ import (
 	"grover/internal/analysis"
 	igrover "grover/internal/grover"
 	"grover/internal/kcache"
+	"grover/internal/profit"
 	"grover/internal/rewrite"
 	"grover/internal/telemetry"
 	"grover/internal/telemetry/aiwc"
@@ -474,6 +475,11 @@ type AutotuneRequest struct {
 	// (plans use "," between steps). The canonical plan list is part of the
 	// cache key.
 	Plan string `json:"plan,omitempty"`
+	// Prune > 0 statically ranks the plan space with the profitability
+	// model and executes only the top Prune plans; the rest appear in the
+	// verdict's plan list untimed, with their static scores. Requires a
+	// plan search. Part of the cache key.
+	Prune int `json:"prune,omitempty"`
 }
 
 // Characterization pairs the feature vectors of the two kernel versions:
@@ -522,6 +528,11 @@ type PlanResult struct {
 	// Error records why the plan was skipped (illegal, inapplicable, or a
 	// launch failure).
 	Error string `json:"error,omitempty"`
+	// Pruned is true when the static ranking skipped this plan's timing
+	// (prune mode only).
+	Pruned bool `json:"pruned,omitempty"`
+	// Score is the static profitability estimate (prune mode only).
+	Score *profit.Score `json:"score,omitempty"`
 }
 
 // AutotuneResponse aggregates the requested devices' verdicts.

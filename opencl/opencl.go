@@ -92,6 +92,10 @@ func (d *Device) Profile() string {
 	return fmt.Sprintf("%s (%s, %d CUs, %.2f GHz)", d.prof.Name, d.prof.Kind, d.prof.Cores, d.prof.FreqGHz)
 }
 
+// CostModel exposes the device's cost-model profile for static
+// analyses (e.g. profitability scoring); treat it as read-only.
+func (d *Device) CostModel() *device.Profile { return d.prof }
+
 // Context owns device memory and compiled programs for one device.
 type Context struct {
 	dev  *Device
@@ -265,6 +269,16 @@ func (p *Program) KernelNames() []string {
 // IR renders the program's intermediate representation (useful for
 // inspecting what the Grover pass did).
 func (p *Program) IR() string { return p.module.String() }
+
+// Module exposes the program's compiled IR module for static analyses
+// (linting, access summaries, profitability scoring). The module is the
+// program's live representation — treat it as read-only; use
+// WithRewritePlan or WithLocalMemoryDisabled to obtain transformed
+// copies.
+func (p *Program) Module() *ir.Module { return p.module }
+
+// Device returns the device this program was prepared for.
+func (p *Program) Device() *Device { return p.ctx.dev }
 
 // VM exposes the prepared vm.Program behind this program, for harnesses
 // that drive launches directly (e.g. to run the same prepared program on
