@@ -15,6 +15,7 @@
 //	groverbench -experiment backends -format json      # backend wall-clock comparison
 //	groverbench -experiment characterize -format json  # AIWC-style feature vectors
 //	groverbench -experiment rewrite -format json       # rewrite-plan search sweep
+//	groverbench -experiment predict -device all -format json  # predictive-autotuning cross-validation
 //
 // -backend selects the execution backend (interp, bcode, or wgvec) and
 // -format json emits machine-readable measurements; the committed
@@ -22,7 +23,11 @@
 // experiment, BENCH_characterize.json of the characterize experiment,
 // and BENCH_rewrite.json of the rewrite experiment (every app plus a
 // synthetic window-sum kernel, autotuned across the rewrite plan space
-// on all six platforms). -cpuprofile and -memprofile write pprof profiles of the
+// on all six platforms). BENCH_profit.json comes from the profit
+// experiment (static-ranking validation) and BENCH_predict.json from
+// the predict experiment (leave-one-app-out cross-validation of the
+// feature-store verdict predictor), both with -device all.
+// -cpuprofile and -memprofile write pprof profiles of the
 // run for backend performance work.
 package main
 
@@ -46,9 +51,9 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | characterize | rewrite | profit | all")
+		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | characterize | rewrite | profit | predict | all")
 		app        = flag.String("app", "", "benchmark id for -experiment case (e.g. NVD-MT)")
-		device     = flag.String("device", "SNB", "device for -experiment case and -experiment profit (profit also accepts \"all\")")
+		device     = flag.String("device", "SNB", "device for -experiment case, profit and predict (profit/predict also accept \"all\")")
 		scale      = flag.Int("scale", 1, "dataset scale factor")
 		runs       = flag.Int("runs", 1, "simulated executions to average per version")
 		validate   = flag.Bool("validate", false, "also validate both kernel versions against host references")
@@ -179,6 +184,8 @@ func run(experiment, appID, deviceName, format string, cfg harness.Config) error
 		return runRewrite(cfg, format)
 	case "profit":
 		return runProfit(cfg, format, deviceName)
+	case "predict":
+		return runPredict(cfg, format, deviceName)
 	case "table1":
 		fmt.Println("Table I — benchmarks and datasets")
 		fmt.Println(harness.Table1())

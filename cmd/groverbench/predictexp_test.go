@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"grover/internal/predict"
+)
+
+// TestBenchPredictSchema strictly decodes the committed cross-validation
+// results and checks the invariants the issue's acceptance criteria pin:
+// the file must match the current schema (unknown fields fail, so a
+// schema change without regenerating the file fails CI), cover every
+// app × device case, and keep the confident-verdict accuracy at or
+// above the 80% bar with the default threshold.
+func TestBenchPredictSchema(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_predict.json")
+	if err != nil {
+		t.Skipf("committed benchmark missing: %v", err)
+	}
+	var bench predictBenchJSON
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&bench); err != nil {
+		t.Fatalf("BENCH_predict.json does not match the current schema (regenerate with groverbench -experiment predict -device all -format json): %v", err)
+	}
+	if bench.Experiment != "predict" {
+		t.Fatalf("experiment = %q, want predict", bench.Experiment)
+	}
+	if bench.MinConfidence != predict.DefaultMinConfidence {
+		t.Errorf("committed threshold %v, current default %v — regenerate",
+			bench.MinConfidence, predict.DefaultMinConfidence)
+	}
+	if bench.Cases != len(bench.Folds) || bench.Cases == 0 {
+		t.Fatalf("cases = %d but %d folds", bench.Cases, len(bench.Folds))
+	}
+	if bench.Cases%6 != 0 {
+		t.Errorf("cases = %d, want a multiple of the 6 devices", bench.Cases)
+	}
+	if bench.AccuracyConfident < 0.8 {
+		t.Errorf("confident-verdict accuracy %.3f below the 0.80 acceptance bar", bench.AccuracyConfident)
+	}
+	if bench.PredictedRuns >= bench.BaselineRuns {
+		t.Errorf("predict mode saved nothing: %d runs vs %d baseline",
+			bench.PredictedRuns, bench.BaselineRuns)
+	}
+	answered, correct := 0, 0
+	for _, f := range bench.Folds {
+		if f.Answered {
+			answered++
+			if f.Correct {
+				correct++
+			}
+		}
+	}
+	if answered != bench.Answered || correct != bench.AnsweredCorrect {
+		t.Errorf("summary says %d/%d answered correct, folds say %d/%d",
+			bench.AnsweredCorrect, bench.Answered, correct, answered)
+	}
+}

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	groverd [-addr :8372] [-cache 256] [-workers 0] [-backend bcode]
+//	        [-store grover.store] [-store-max 0] [-seed dir]
 //	        [-log-format text|json] [-log-level info] [-pprof addr]
 //
 // Endpoints: POST /v1/compile, /v1/transform, /v1/autotune;
@@ -39,6 +40,9 @@ func main() {
 	cacheCap := flag.Int("cache", 0, "artifact cache capacity in entries (0 = default 256)")
 	workers := flag.Int("workers", 0, "max concurrent compile/tune jobs (0 = GOMAXPROCS)")
 	backend := flag.String("backend", "", "default execution backend (default: $GROVER_BACKEND, else interp)")
+	storePath := flag.String("store", "", "persist the predictive-autotuning feature store at this path (empty = memory-only)")
+	storeMax := flag.Int("store-max", 0, "feature-store record bound (0 = unbounded)")
+	seedDir := flag.String("seed", "", "seed the feature store from the BENCH_*.json sweeps in this directory")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
@@ -54,11 +58,15 @@ func main() {
 		os.Exit(2)
 	}
 	srv := service.New(service.Config{
-		CacheCapacity: *cacheCap,
-		Workers:       *workers,
-		Backend:       *backend,
-		Logger:        logger,
+		CacheCapacity:   *cacheCap,
+		Workers:         *workers,
+		Backend:         *backend,
+		Logger:          logger,
+		StorePath:       *storePath,
+		StoreMaxRecords: *storeMax,
+		SeedDir:         *seedDir,
 	})
+	defer srv.Close()
 
 	logger.Info("listening", "addr", *addr,
 		"workers", srv.Pool().Snapshot().Workers, "backend", srv.Backend())

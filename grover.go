@@ -31,8 +31,10 @@ import (
 
 	igrover "grover/internal/grover"
 	"grover/internal/ir"
+	"grover/internal/predict"
 	"grover/internal/profit"
 	"grover/internal/rewrite"
+	"grover/internal/telemetry/aiwc"
 	"grover/opencl"
 )
 
@@ -91,6 +93,13 @@ type TuneResult struct {
 	Rewrite *rewrite.Report
 	// PlanSearch holds one entry per evaluated plan when plan search ran.
 	PlanSearch []PlanTiming
+	// Prediction is the predictor's answer when predict mode ran. When it
+	// decided the tune (confidence cleared the threshold), OriginalMS and
+	// TransformedMS are zero — nothing was timed — and Speedup carries the
+	// predicted normalized performance. Fallback marks that the prediction
+	// was below threshold and the verdict above came from measurement.
+	Prediction *Prediction
+	Fallback   bool
 }
 
 // PlanTiming is one evaluated plan in a plan search.
@@ -233,6 +242,36 @@ type PlanSearchOptions struct {
 	// ArgInts supplies known scalar argument values by parameter index,
 	// sharpening loop trip counts and guard decisions in the static model.
 	ArgInts map[int]int64
+
+	// Predict answers the search from the feature store instead of timing
+	// every plan: one characterization run (zero on an ExactKey hit)
+	// yields an AIWC vector, the predictor proposes a plan with a
+	// calibrated confidence, and only predictions below MinConfidence
+	// fall back to measurement — which is then recorded into the store so
+	// the predictor improves under traffic.
+	Predict bool
+	// Predictor supplies the feature store; nil uses the process-wide
+	// DefaultPredictor (memory-only).
+	Predictor *predict.Predictor
+	// MinConfidence is the measured-fallback threshold; 0 means
+	// DefaultMinConfidence.
+	MinConfidence float64
+	// Characterize runs one traced launch of the base kernel and returns
+	// its AIWC features. Required for predict mode (tuneOnDevice and the
+	// service wire it automatically); without it every request falls back
+	// to measurement.
+	Characterize func() (*aiwc.Features, error)
+	// Device names the store neighborhood; empty uses the program's
+	// device name.
+	Device string
+	// ExactKey is a content address of the entire request (source,
+	// defines, kernel, device, launch). When set, a repeat request
+	// answers from the store with zero runs, and measured fallbacks are
+	// recorded under it.
+	ExactKey string
+	// Label names the workload in records written by measured fallback
+	// (defaults to the kernel name).
+	Label string
 }
 
 // AutoTunePlansOpts is AutoTunePlansCtx with search options (static
@@ -267,6 +306,18 @@ func AutoTunePlansOpts(ctx context.Context, prog *opencl.Program, kernel string,
 	orig, err := prog.Kernel(kernel)
 	if err != nil {
 		return nil, err
+	}
+
+	// Predict mode: try to answer from the feature store before running
+	// anything. A confident prediction returns here; otherwise pending
+	// carries the characterization into the measured fallback below.
+	var pending *pendingPredict
+	if popts.Predict {
+		var answered *TuneResult
+		answered, pending = predictTune(ctx, prog, kernel, plans, popts)
+		if answered != nil {
+			return answered, nil
+		}
 	}
 
 	// Static prune: rank the parseable plans with the profit model and
@@ -376,6 +427,17 @@ func AutoTunePlansOpts(ctx context.Context, prog *opencl.Program, kernel string,
 			}
 		}
 	}
+	if pending != nil {
+		// Measured fallback under predict mode: report the shaky
+		// prediction and teach the store the measured outcome.
+		res.Fallback = true
+		res.Prediction = pending.prediction
+		device := popts.Device
+		if device == "" {
+			device = prog.Device().Name()
+		}
+		recordMeasurement(popts, device, pending.features, res)
+	}
 	return res, nil
 }
 
@@ -427,6 +489,18 @@ type LaunchSpec struct {
 	// launch shape and any integer scalar arguments are fed to the model
 	// automatically.
 	Prune int
+	// Predict answers the plan search from the feature store (one
+	// characterization run, measured fallback below MinConfidence — see
+	// PlanSearchOptions.Predict). Requires Plans.
+	Predict bool
+	// Predictor supplies the feature store for predict mode; nil uses
+	// DefaultPredictor.
+	Predictor *predict.Predictor
+	// MinConfidence is predict mode's fallback threshold (0 means
+	// DefaultMinConfidence).
+	MinConfidence float64
+	// Label names the workload in records written by measured fallback.
+	Label string
 }
 
 // DeviceTuneResult is one device's outcome from AutoTuneAll.
@@ -490,13 +564,21 @@ func tuneOnDevice(dev *opencl.Device, mod *ir.Module, kernel string, spec Launch
 		return q.EnqueueNDRange(k, spec.ND, args...)
 	}
 	if len(spec.Plans) > 0 {
-		return AutoTunePlansOpts(context.Background(), prog, kernel, spec.Plans, spec.Runs, launch,
-			PlanSearchOptions{
-				Prune:     spec.Prune,
-				WorkGroup: spec.ND.Local,
-				Global:    spec.ND.Global,
-				ArgInts:   IntArgs(args),
-			})
+		popts := PlanSearchOptions{
+			Prune:         spec.Prune,
+			WorkGroup:     spec.ND.Local,
+			Global:        spec.ND.Global,
+			ArgInts:       IntArgs(args),
+			Predict:       spec.Predict,
+			Predictor:     spec.Predictor,
+			MinConfidence: spec.MinConfidence,
+			Label:         spec.Label,
+			Device:        dev.Name(),
+		}
+		if spec.Predict {
+			popts.Characterize = CharacterizeLaunch(prog, kernel, spec.ND, args)
+		}
+		return AutoTunePlansOpts(context.Background(), prog, kernel, spec.Plans, spec.Runs, launch, popts)
 	}
 	return AutoTune(prog, kernel, spec.Options, spec.Runs, launch)
 }

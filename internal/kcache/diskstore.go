@@ -1,0 +1,339 @@
+package kcache
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DiskStore is a persistent, versioned key→record store: the durable
+// sibling of the in-memory artifact Cache. Records are JSON values in an
+// append-only log (one line per Put), replayed into an in-memory index on
+// Open, so lookups never touch the disk. The store is bounded: past
+// MaxRecords the oldest record is evicted (and counted), and the log is
+// compacted in place once dead lines outnumber live ones. A store opened
+// with a different schema version is rejected, never silently migrated —
+// the caller decides whether to rebuild.
+//
+// The zero path ("") is a memory-only store with identical semantics
+// minus durability, for tests and embedded use.
+type DiskStore struct {
+	mu      sync.Mutex
+	path    string
+	version int
+	max     int
+
+	recs  map[string]json.RawMessage
+	order []string // insertion order, oldest first (for eviction)
+	bytes int64    // resident value bytes across live records
+
+	dead int // replaced/evicted lines still in the log
+
+	puts, lookups, hits, evictions int64
+
+	// onEvict, when set, observes every eviction (outside no lock is
+	// held on the caller's structures; the store's own lock is held).
+	onEvict func(key string)
+
+	f *os.File
+}
+
+// DiskStats is a snapshot of a DiskStore's occupancy and counters.
+type DiskStats struct {
+	// Records and Bytes describe the live index (bytes are the JSON
+	// value sizes, an honest lower bound on disk usage).
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+	// MaxRecords is the eviction bound (0 = unbounded).
+	MaxRecords int `json:"max_records"`
+	// Puts, Lookups, Hits and Evictions are lifetime counters for this
+	// process (not persisted).
+	Puts      int64 `json:"puts"`
+	Lookups   int64 `json:"lookups"`
+	Hits      int64 `json:"hits"`
+	Evictions int64 `json:"evictions"`
+}
+
+// ErrVersionMismatch reports a store written with a different schema
+// version than the one requested on Open.
+var ErrVersionMismatch = errors.New("kcache: store schema version mismatch")
+
+// diskHeader is the first line of every store file.
+type diskHeader struct {
+	Magic   string `json:"kcache_store"`
+	Version int    `json:"version"`
+}
+
+// diskLine is one Put in the log.
+type diskLine struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+const diskMagic = "v1"
+
+// OpenDiskStore opens (or creates) the store at path with the given
+// schema version and record bound (maxRecords <= 0 means unbounded).
+// An existing file written with a different version is rejected with
+// ErrVersionMismatch. An empty path opens a memory-only store.
+func OpenDiskStore(path string, version, maxRecords int) (*DiskStore, error) {
+	s := &DiskStore{
+		path:    path,
+		version: version,
+		max:     maxRecords,
+		recs:    make(map[string]json.RawMessage),
+	}
+	if path == "" {
+		return s, nil
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	// Replaying the log can leave dead lines (replaced keys, over-bound
+	// evictions); start each process from a compact file.
+	if err := s.compact(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.f = f
+	return s, nil
+}
+
+// load replays an existing log into the index.
+func (s *DiskStore) load() error {
+	f, err := os.Open(s.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 64<<20)
+	if !sc.Scan() {
+		return sc.Err() // empty file: treat as fresh
+	}
+	var hdr diskHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Magic != diskMagic {
+		return fmt.Errorf("kcache: %s is not a store file", s.path)
+	}
+	if hdr.Version != s.version {
+		return fmt.Errorf("%w: %s has version %d, want %d",
+			ErrVersionMismatch, s.path, hdr.Version, s.version)
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var dl diskLine
+		if err := json.Unmarshal(line, &dl); err != nil {
+			return fmt.Errorf("kcache: corrupt record in %s: %v", s.path, err)
+		}
+		s.insert(dl.Key, dl.Value)
+	}
+	return sc.Err()
+}
+
+// insert places one record in the index (no disk I/O), enforcing the
+// bound. Callers hold the lock (or own the store exclusively, as load
+// does).
+func (s *DiskStore) insert(key string, val json.RawMessage) {
+	if old, ok := s.recs[key]; ok {
+		s.bytes -= int64(len(old))
+		s.dead++
+		// Keep the original insertion slot: replacing a record refreshes
+		// the value, not its eviction age.
+	} else {
+		s.order = append(s.order, key)
+	}
+	s.recs[key] = val
+	s.bytes += int64(len(val))
+	for s.max > 0 && len(s.recs) > s.max {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		if v, ok := s.recs[oldest]; ok {
+			s.bytes -= int64(len(v))
+			delete(s.recs, oldest)
+			s.dead++
+			s.evictions++
+			if s.onEvict != nil {
+				s.onEvict(oldest)
+			}
+		}
+	}
+}
+
+// OnEvict registers a callback observing every evicted key (called with
+// the store lock held; the callback must not call back into the store).
+func (s *DiskStore) OnEvict(f func(key string)) {
+	s.mu.Lock()
+	s.onEvict = f
+	s.mu.Unlock()
+}
+
+// Put stores value under key (marshalled to JSON), replacing any
+// existing record and appending to the log.
+func (s *DiskStore) Put(key string, value interface{}) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	s.insert(key, raw)
+	if s.f != nil {
+		line, err := json.Marshal(&diskLine{Key: key, Value: raw})
+		if err != nil {
+			return err
+		}
+		if _, err := s.f.Write(append(line, '\n')); err != nil {
+			return err
+		}
+		// Compact once dead lines dominate, so the log stays within a
+		// small factor of the live set.
+		if s.dead > len(s.recs) && s.dead > 64 {
+			return s.compactLocked()
+		}
+	}
+	return nil
+}
+
+// Get unmarshals the record for key into value, reporting whether it
+// exists.
+func (s *DiskStore) Get(key string, value interface{}) (bool, error) {
+	s.mu.Lock()
+	raw, ok := s.recs[key]
+	s.lookups++
+	if ok {
+		s.hits++
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if value == nil {
+		return true, nil
+	}
+	return true, json.Unmarshal(raw, value)
+}
+
+// Range calls f for every live record until f returns false. The
+// iteration order is insertion order (oldest first). The raw value must
+// not be mutated.
+func (s *DiskStore) Range(f func(key string, value json.RawMessage) bool) {
+	s.mu.Lock()
+	keys := append([]string(nil), s.order...)
+	recs := make(map[string]json.RawMessage, len(s.recs))
+	for k, v := range s.recs {
+		recs[k] = v
+	}
+	s.mu.Unlock()
+	for _, k := range keys {
+		if v, ok := recs[k]; ok {
+			if !f(k, v) {
+				return
+			}
+		}
+	}
+}
+
+// Len returns the number of live records.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Stats snapshots occupancy and counters.
+func (s *DiskStore) Stats() DiskStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return DiskStats{
+		Records: len(s.recs), Bytes: s.bytes, MaxRecords: s.max,
+		Puts: s.puts, Lookups: s.lookups, Hits: s.hits, Evictions: s.evictions,
+	}
+}
+
+// compact rewrites the log to hold exactly the live records.
+func (s *DiskStore) compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *DiskStore) compactLocked() error {
+	if s.path == "" {
+		s.dead = 0
+		return nil
+	}
+	tmp := s.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	hdr, _ := json.Marshal(&diskHeader{Magic: diskMagic, Version: s.version})
+	w.Write(append(hdr, '\n'))
+	for _, k := range s.order {
+		v, ok := s.recs[k]
+		if !ok {
+			continue
+		}
+		line, err := json.Marshal(&diskLine{Key: k, Value: v})
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		w.Write(append(line, '\n'))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Swap the live file handle to the compacted log.
+	hadFile := s.f != nil
+	if hadFile {
+		s.f.Close()
+		s.f = nil
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		return err
+	}
+	s.dead = 0
+	if hadFile {
+		nf, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		s.f = nf
+	}
+	return nil
+}
+
+// Close flushes and releases the log file. The store must not be used
+// afterwards.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,212 @@
+package kcache
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type testRec struct {
+	Name string  `json:"name"`
+	N    int     `json:"n"`
+	F    float64 `json:"f"`
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := OpenDiskStore(path, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]testRec{
+		"a": {Name: "alpha", N: 1, F: 0.5},
+		"b": {Name: "beta", N: 2, F: -1.25},
+	}
+	for k, v := range want {
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replace a record: round-trip must see the latest value.
+	want["a"] = testRec{Name: "alpha2", N: 11, F: 2}
+	if err := s.Put("a", want["a"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the process-restart half of the round trip.
+	s2, err := OpenDiskStore(path, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != len(want) {
+		t.Fatalf("reopened store has %d records, want %d", s2.Len(), len(want))
+	}
+	for k, w := range want {
+		var got testRec
+		ok, err := s2.Get(k, &got)
+		if err != nil || !ok {
+			t.Fatalf("Get(%q) = %v, %v", k, ok, err)
+		}
+		if got != w {
+			t.Errorf("Get(%q) = %+v, want %+v", k, got, w)
+		}
+	}
+	if ok, _ := s2.Get("missing", nil); ok {
+		t.Error("Get(missing) reported a record")
+	}
+}
+
+func TestDiskStoreVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := OpenDiskStore(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", testRec{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if _, err := OpenDiskStore(path, 2, 0); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("open with version 2 = %v, want ErrVersionMismatch", err)
+	}
+	// The original version still opens.
+	s3, err := OpenDiskStore(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 1 {
+		t.Fatalf("reopen after rejected open lost records: %d", s3.Len())
+	}
+}
+
+func TestDiskStoreEvictionAccounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := OpenDiskStore(path, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evicted []string
+	s.OnEvict(func(k string) { evicted = append(evicted, k) })
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), testRec{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Records != 3 {
+		t.Errorf("Records = %d, want 3", st.Records)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("Evictions = %d, want 2", st.Evictions)
+	}
+	if got := fmt.Sprint(evicted); got != "[k0 k1]" {
+		t.Errorf("evicted keys = %s, want [k0 k1] (oldest first)", got)
+	}
+	if ok, _ := s.Get("k0", nil); ok {
+		t.Error("evicted record k0 still resident")
+	}
+	// Bytes must account exactly for the live records.
+	var sum int64
+	s.Range(func(_ string, v json.RawMessage) bool { sum += int64(len(v)); return true })
+	if st.Bytes != sum {
+		t.Errorf("Bytes = %d, want %d (sum of live values)", st.Bytes, sum)
+	}
+	s.Close()
+
+	// The bound and the eviction survive the restart; evictions are
+	// process-lifetime counters and reset.
+	s2, err := OpenDiskStore(path, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 3 {
+		t.Fatalf("reopened store has %d records, want 3", s2.Len())
+	}
+	if ok, _ := s2.Get("k4", nil); !ok {
+		t.Error("newest record k4 missing after reopen")
+	}
+}
+
+func TestDiskStoreCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := OpenDiskStore(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite one key far past the compaction threshold: the log must
+	// not grow without bound and every reopen still sees the latest.
+	for i := 0; i < 500; i++ {
+		if err := s.Put("hot", testRec{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	s2, err := OpenDiskStore(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var got testRec
+	if ok, err := s2.Get("hot", &got); !ok || err != nil {
+		t.Fatalf("Get(hot) = %v, %v", ok, err)
+	}
+	if got.N != 499 {
+		t.Errorf("hot.N = %d, want 499", got.N)
+	}
+}
+
+func TestDiskStoreConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := OpenDiskStore(path, 1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i%10)
+				if err := s.Put(key, testRec{N: i}); err != nil {
+					t.Error(err)
+					return
+				}
+				var r testRec
+				if _, err := s.Get(key, &r); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Range(func(string, json.RawMessage) bool { return false })
+				s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestDiskStoreMemoryOnly(t *testing.T) {
+	s, err := OpenDiskStore("", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), testRec{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 || s.Stats().Evictions != 1 {
+		t.Errorf("memory-only store: len %d evictions %d, want 2 and 1", s.Len(), s.Stats().Evictions)
+	}
+}

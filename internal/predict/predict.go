@@ -1,0 +1,300 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"grover/internal/telemetry/aiwc"
+)
+
+// Config tunes the predictor. The zero value selects the defaults below.
+type Config struct {
+	// K is the neighborhood size (default 3).
+	K int
+	// Tau is the distance scale: a neighbor at distance Tau carries
+	// weight 1/e relative to an identical workload (default 0.18).
+	Tau float64
+	// PriorWeight blends the static profitability prior into the
+	// predicted ratios: 0 = pure k-NN, 1 = pure static (default 0.25).
+	PriorWeight float64
+}
+
+const (
+	defaultK           = 3
+	defaultTau         = 0.18
+	defaultPriorWeight = 0.25
+
+	// DefaultMinConfidence is the measured-fallback threshold used when a
+	// caller enables predict mode without choosing one.
+	DefaultMinConfidence = 0.6
+
+	// divergenceGuard is the normalized divergence level above which a
+	// workload enters the static model's documented blind spot
+	// (data-dependent early exits); guardCap bounds confidence when the
+	// neighborhood cannot vouch for such a workload.
+	divergenceGuard = 0.5
+	guardCap        = 0.35
+)
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = defaultK
+	}
+	if c.Tau <= 0 {
+		c.Tau = defaultTau
+	}
+	if c.PriorWeight < 0 {
+		c.PriorWeight = 0
+	} else if c.PriorWeight == 0 {
+		c.PriorWeight = defaultPriorWeight
+	} else if c.PriorWeight > 1 {
+		c.PriorWeight = 1
+	}
+	return c
+}
+
+// Query is one prediction request: a characterized workload, the device
+// to predict for, and the candidate plan shapes under consideration.
+type Query struct {
+	// Features is the workload's characterization; Vector and Hash are
+	// derived from it when unset.
+	Features *aiwc.Features
+	Vector   []float64
+	Hash     string
+	// Device names the device profile to predict for.
+	Device string
+	// Shapes lists the candidate plan shapes ("base" is implied).
+	Shapes []string
+	// Prior maps plan shapes to the static model's predicted
+	// cycles-per-group ratio against base (optional; from profit.RankPlans).
+	Prior map[string]float64
+	// Exclude drops records with these labels from the neighborhood, and
+	// ExcludeHashes drops records by feature hash — leave-one-out
+	// cross-validation must hold out behavioral twins (workloads whose
+	// dynamic features are identical to the held-out one), not just the
+	// label.
+	Exclude       map[string]bool
+	ExcludeHashes map[string]bool
+}
+
+// Neighbor is one store record consulted for a prediction.
+type Neighbor struct {
+	Label    string  `json:"label,omitempty"`
+	Hash     string  `json:"hash"`
+	Distance float64 `json:"distance"`
+	Weight   float64 `json:"weight"`
+	Best     string  `json:"best"`
+}
+
+// Prediction is the predictor's answer: a verdict (the plan shape
+// expected to win, "base" meaning "keep local memory"), the predicted
+// time ratio for it, and a calibrated confidence in [0, 1].
+type Prediction struct {
+	Device string `json:"device"`
+	Hash   string `json:"hash"`
+	// Verdict is the predicted best plan shape; Plan is the concrete
+	// measured plan when the prediction comes from an exact store hit.
+	Verdict string `json:"verdict"`
+	Plan    string `json:"plan,omitempty"`
+	// Ratio is the predicted ms/base for the verdict shape (< 1 means it
+	// beats base); Ratios covers every predictable candidate shape.
+	Ratio  float64            `json:"ratio"`
+	Ratios map[string]float64 `json:"ratios,omitempty"`
+	// Confidence calibrates how much to trust the verdict; Exact marks a
+	// feature-hash store hit (the workload itself was measured before).
+	Confidence float64 `json:"confidence"`
+	Exact      bool    `json:"exact"`
+	// Neighbors lists the consulted records, nearest first.
+	Neighbors []Neighbor `json:"neighbors,omitempty"`
+	// Note explains a capped confidence.
+	Note string `json:"note,omitempty"`
+}
+
+// Predictor answers autotune queries from the feature store.
+type Predictor struct {
+	store *Store
+	cfg   Config
+}
+
+// NewPredictor wraps a store with the given configuration.
+func NewPredictor(store *Store, cfg Config) *Predictor {
+	return &Predictor{store: store, cfg: cfg.withDefaults()}
+}
+
+// Store returns the underlying feature store.
+func (p *Predictor) Store() *Store { return p.store }
+
+// Predict answers one query. It never fails: with an empty neighborhood
+// it returns a zero-confidence "base" verdict, which any sane
+// MinConfidence routes to measured fallback.
+func (p *Predictor) Predict(q Query) *Prediction {
+	if q.Vector == nil && q.Features != nil {
+		q.Vector = Vector(q.Features)
+	}
+	if q.Hash == "" && q.Features != nil {
+		q.Hash = Hash(q.Features)
+	}
+	pr := &Prediction{Device: q.Device, Hash: q.Hash, Verdict: "base", Ratio: 1}
+
+	// Exact feature-hash hit: this very workload was measured on this
+	// device — answer from the record.
+	if q.Hash != "" && !q.ExcludeHashes[q.Hash] {
+		if rec, ok := p.store.Lookup(q.Hash, q.Device); ok && !q.Exclude[rec.Label] {
+			pr.Exact = true
+			pr.Confidence = 1
+			pr.Verdict = rec.BestShape
+			pr.Plan = rec.Best
+			if r, ok := rec.ShapeRatio(rec.BestShape); ok {
+				pr.Ratio = r
+			}
+			pr.Neighbors = []Neighbor{{
+				Label: rec.Label, Hash: rec.Hash, Distance: 0, Weight: 1, Best: rec.BestShape,
+			}}
+			return pr
+		}
+	}
+	if len(q.Vector) == 0 {
+		pr.Note = "no feature vector"
+		return pr
+	}
+
+	neighbors := p.nearest(q)
+	if len(neighbors) == 0 {
+		pr.Note = "empty neighborhood"
+		return pr
+	}
+
+	// Predict each candidate shape's ms/base ratio: a distance-weighted
+	// mean of the neighbors' measured ratios, blended with the static
+	// prior when available.
+	shapes := map[string]bool{"base": true}
+	for _, s := range q.Shapes {
+		shapes[PlanShape(s)] = true
+	}
+	ratios := map[string]float64{"base": 1}
+	for shape := range shapes {
+		if shape == "base" || shape == "" {
+			continue
+		}
+		var sum, wsum float64
+		for _, n := range neighbors {
+			if r, ok := n.rec.ShapeRatio(shape); ok {
+				sum += n.weight * r
+				wsum += n.weight
+			}
+		}
+		knn, hasKNN := 0.0, wsum > 0
+		if hasKNN {
+			knn = sum / wsum
+		}
+		prior, hasPrior := q.Prior[shape]
+		switch {
+		case hasKNN && hasPrior && prior > 0:
+			w := p.cfg.PriorWeight
+			ratios[shape] = (1-w)*knn + w*prior
+		case hasKNN:
+			ratios[shape] = knn
+		case hasPrior && prior > 0:
+			ratios[shape] = prior
+		}
+	}
+	pr.Ratios = ratios
+
+	best, bestRatio := "base", 1.0
+	for shape, r := range ratios {
+		if r < bestRatio || (r == bestRatio && shape < best && r < 1) {
+			best, bestRatio = shape, r
+		}
+	}
+	pr.Verdict = best
+	pr.Ratio = bestRatio
+
+	// Confidence: how close the nearest evidence is, times how unanimous
+	// the neighborhood is about the verdict.
+	var wsum, agree float64
+	for _, n := range neighbors {
+		wsum += n.weight
+		bests := n.rec.BestShapes()
+		if bests[best] || (best == "base" && len(bests) == 0) {
+			agree += n.weight
+		}
+		pr.Neighbors = append(pr.Neighbors, Neighbor{
+			Label: n.rec.Label, Hash: n.rec.Hash,
+			Distance: n.dist, Weight: n.weight, Best: n.rec.BestShape,
+		})
+	}
+	proximity := math.Exp(-neighbors[0].dist / p.cfg.Tau)
+	agreement := agree / wsum
+	pr.Confidence = agreement * (0.4 + 0.6*proximity)
+
+	// Early-exit guard: highly divergent workloads are where both the
+	// static model and smooth feature interpolation break down. Unless a
+	// comparably divergent neighbor vouches for the verdict, cap the
+	// confidence so the caller measures instead.
+	if div := divergenceSignal(q.Vector); div >= divergenceGuard {
+		vouched := false
+		for _, n := range neighbors {
+			if divergenceSignal(n.rec.Vector) >= divergenceGuard &&
+				n.dist <= p.cfg.Tau*2 && n.rec.BestShapes()[best] {
+				vouched = true
+				break
+			}
+		}
+		if !vouched && pr.Confidence > guardCap {
+			pr.Confidence = guardCap
+			pr.Note = fmt.Sprintf("divergence %.2f ≥ %.2f with no divergence-similar neighbor vouching for %q",
+				div, divergenceGuard, best)
+		}
+	}
+	return pr
+}
+
+// scored pairs a record with its query distance.
+type scored struct {
+	rec    *Record
+	dist   float64
+	weight float64
+}
+
+// nearest returns the k nearest records on the query device, nearest
+// first, with exp(-d/τ) weights.
+func (p *Predictor) nearest(q Query) []scored {
+	recs := p.store.Neighborhood(q.Device)
+	out := make([]scored, 0, len(recs))
+	for _, r := range recs {
+		if len(r.Vector) != len(q.Vector) || q.Exclude[r.Label] || q.ExcludeHashes[r.Hash] {
+			continue
+		}
+		d := Distance(q.Vector, r.Vector)
+		out = append(out, scored{rec: r, dist: d, weight: math.Exp(-d / p.cfg.Tau)})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].dist < out[j].dist })
+	if len(out) > p.cfg.K {
+		out = out[:p.cfg.K]
+	}
+	return out
+}
+
+// divergenceSignal reads the divergence coordinates out of a normalized
+// vector: the larger of branch divergence and instruction-spread CV.
+func divergenceSignal(vec []float64) float64 {
+	bd, cv := dimValue(vec, "branch_divergence"), dimValue(vec, "item_instr_cv")
+	return math.Max(bd, cv)
+}
+
+var dimIndex = func() map[string]int {
+	m := make(map[string]int, len(dims))
+	for i, d := range dims {
+		m[d.Name] = i
+	}
+	return m
+}()
+
+func dimValue(vec []float64, name string) float64 {
+	i, ok := dimIndex[name]
+	if !ok || i >= len(vec) {
+		return 0
+	}
+	return vec[i]
+}

@@ -1,0 +1,406 @@
+package predict
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"grover/internal/kcache"
+	"grover/internal/telemetry/aiwc"
+)
+
+// synthFeatures builds a plausible feature vector: a tiled kernel with
+// heavy local reuse, or (divergent=true) an early-exit search kernel.
+func synthFeatures(kernel string, localShare, divergence float64) *aiwc.Features {
+	const accesses = 100000
+	local := int64(localShare * accesses)
+	global := int64(accesses) - local
+	f := &aiwc.Features{
+		Kernel:            kernel,
+		Groups:            64,
+		WorkItems:         4096,
+		Instructions:      400000,
+		GlobalLoads:       global * 3 / 4,
+		GlobalStores:      global / 4,
+		LocalLoads:        local * 7 / 8,
+		LocalStores:       local / 8,
+		PrivateLoads:      50000,
+		PrivateStores:     20000,
+		LoadBytes:         800000,
+		StoreBytes:        200000,
+		UniqueGlobalAddrs: global / 2,
+		UniqueLocalAddrs:  256,
+		GlobalEntropy:     14,
+		LocalEntropy:      7,
+		Barriers:          128,
+		BarriersPerGroup:  2,
+		BranchDivergence:  divergence,
+		DivergentGroups:   int64(divergence * 64),
+		MinItemInstrs:     90,
+		MaxItemInstrs:     110,
+		MeanItemInstrs:    100,
+		ItemInstrCV:       divergence / 10,
+	}
+	if local == 0 {
+		// No local memory means no staging barriers and no local address
+		// stream — the structural signature of a Grover-rewritten (or
+		// never-staged) kernel.
+		f.UniqueLocalAddrs = 0
+		f.LocalEntropy = 0
+		f.Barriers = 0
+		f.BarriersPerGroup = 0
+	}
+	return f
+}
+
+func record(label, device string, f *aiwc.Features, baseMS float64, planMS map[string]float64) *Record {
+	rec := &Record{
+		Hash: Hash(f), Device: device, Label: label, Kernel: f.Kernel,
+		Features: f, Vector: Vector(f), BaseMS: baseMS, Source: "seed",
+	}
+	best, bestMS := "base", baseMS
+	rec.Plans = append(rec.Plans, PlanOutcome{Plan: "base", Shape: "base", MS: baseMS, Applied: true})
+	for plan, ms := range planMS {
+		rec.Plans = append(rec.Plans, PlanOutcome{Plan: plan, Shape: PlanShape(plan), MS: ms, Applied: true})
+		if ms < bestMS {
+			best, bestMS = plan, ms
+		}
+	}
+	rec.Best = best
+	rec.BestShape = PlanShape(best)
+	return rec
+}
+
+func TestVectorProperties(t *testing.T) {
+	f := synthFeatures("k", 0.3, 0.2)
+	v := Vector(f)
+	if len(v) != len(FeatureNames()) {
+		t.Fatalf("vector has %d dims, names %d", len(v), len(FeatureNames()))
+	}
+	for i, x := range v {
+		if x < 0 || x > 1 || math.IsNaN(x) {
+			t.Errorf("dim %s = %v out of [0,1]", FeatureNames()[i], x)
+		}
+	}
+	if d := Distance(v, v); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	// The hash identifies the workload, not the kernel name.
+	g := synthFeatures("renamed", 0.3, 0.2)
+	if Hash(f) != Hash(g) {
+		t.Error("hash depends on kernel name")
+	}
+	h := synthFeatures("k", 0.6, 0.2)
+	if Hash(f) == Hash(h) {
+		t.Error("distinct workloads collide")
+	}
+	if d := Distance(v, Vector(h)); d <= 0 {
+		t.Errorf("distance between distinct workloads = %v", d)
+	}
+}
+
+func TestPlanShape(t *testing.T) {
+	cases := map[string]string{
+		"base":                           "base",
+		"grover(cands=As+Bs),hoist-addr": "grover,hoist-addr",
+		"stage-local(ls=64),hoist-addr":  "stage-local,hoist-addr",
+		"grover,opt(passes=cse+dce)":     "grover,opt",
+	}
+	for in, want := range cases {
+		if got := PlanShape(in); got != want {
+			t.Errorf("PlanShape(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := OpenStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := synthFeatures("mm", 0.4, 0)
+	rec := record("MM", "Fermi", f, 2.0, map[string]float64{"grover(cands=As)": 1.5})
+	if err := s.Put(rec, "exactkey123"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.Lookup(Hash(f), "Fermi")
+	if !ok {
+		t.Fatal("record lost across restart")
+	}
+	if got.Label != "MM" || got.Best != "grover(cands=As)" || got.BestShape != "grover" {
+		t.Errorf("reopened record = %+v", got)
+	}
+	if len(got.Vector) != len(FeatureNames()) {
+		t.Errorf("vector not persisted: %d dims", len(got.Vector))
+	}
+	if ali, ok := s2.LookupAlias("exactkey123"); !ok || ali.Label != "MM" {
+		t.Errorf("alias lost across restart: %v %v", ali, ok)
+	}
+	if _, ok := s2.LookupAlias("nope"); ok {
+		t.Error("unknown alias resolved")
+	}
+	if devs := s2.Devices(); len(devs) != 1 || devs[0] != "Fermi" {
+		t.Errorf("Devices = %v", devs)
+	}
+}
+
+func TestStoreVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	ds, err := kcache.OpenDiskStore(path, StoreVersion+1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Put("rec/x/y", map[string]int{"v": 1})
+	ds.Close()
+	if _, err := OpenStore(path, 0); !errors.Is(err, kcache.ErrVersionMismatch) {
+		t.Fatalf("OpenStore on future-version file = %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestStoreEvictionDropsIndexes(t *testing.T) {
+	s, err := OpenStore("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var feats []*aiwc.Features
+	for i := 0; i < 3; i++ {
+		f := synthFeatures("k", 0.1+0.2*float64(i), 0)
+		feats = append(feats, f)
+		if err := s.Put(record(fmt.Sprintf("app%d", i), "SNB", f, 1, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d after bound-2 eviction", s.Len())
+	}
+	if _, ok := s.Lookup(Hash(feats[0]), "SNB"); ok {
+		t.Error("evicted record still resolvable by hash")
+	}
+	if n := len(s.Neighborhood("SNB")); n != 2 {
+		t.Errorf("neighborhood holds %d records, want 2", n)
+	}
+	if s.Stats().Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", s.Stats().Evictions)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.jsonl")
+	s, err := OpenStore(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				f := synthFeatures("k", float64(w)/10, float64(i%4)/4)
+				rec := record(fmt.Sprintf("w%d", w), "Kepler", f, 1, map[string]float64{"grover": 0.8})
+				if err := s.Put(rec, fmt.Sprintf("alias-w%d-%d", w, i)); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Lookup(rec.Hash, "Kepler")
+				s.LookupAlias(fmt.Sprintf("alias-w%d-%d", w, i))
+				s.Neighborhood("Kepler")
+				s.Len()
+				s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestPredictExactHit(t *testing.T) {
+	s, _ := OpenStore("", 0)
+	defer s.Close()
+	f := synthFeatures("mm", 0.4, 0)
+	s.Put(record("MM", "Fermi", f, 2.0, map[string]float64{"grover(cands=As)": 1.0}))
+
+	p := NewPredictor(s, Config{})
+	pr := p.Predict(Query{Features: f, Device: "Fermi", Shapes: []string{"grover(cands=As)"}})
+	if !pr.Exact || pr.Confidence != 1 {
+		t.Fatalf("exact hit: exact=%v confidence=%v", pr.Exact, pr.Confidence)
+	}
+	if pr.Verdict != "grover" || pr.Plan != "grover(cands=As)" {
+		t.Errorf("verdict %q plan %q", pr.Verdict, pr.Plan)
+	}
+	if math.Abs(pr.Ratio-0.5) > 1e-9 {
+		t.Errorf("ratio = %v, want 0.5", pr.Ratio)
+	}
+	// Same workload, different device: no exact hit there.
+	pr2 := p.Predict(Query{Features: f, Device: "SNB"})
+	if pr2.Exact {
+		t.Error("exact hit leaked across devices")
+	}
+	if pr2.Confidence != 0 || pr2.Note == "" {
+		t.Errorf("empty-neighborhood prediction: confidence=%v note=%q", pr2.Confidence, pr2.Note)
+	}
+}
+
+func TestPredictKNNTransfer(t *testing.T) {
+	s, _ := OpenStore("", 0)
+	defer s.Close()
+	// A family of similar low-divergence tiled kernels where dropping
+	// local memory loses, and one where it wins, on the same device.
+	for i, share := range []float64{0.38, 0.40, 0.42} {
+		f := synthFeatures(fmt.Sprintf("mm%d", i), share, 0)
+		s.Put(record(fmt.Sprintf("MM%d", i), "Fermi", f, 2.0,
+			map[string]float64{"grover(cands=X)": 3.0, "stage-local(ls=64)": 2.0}))
+	}
+	fWin := synthFeatures("ss", 0, 0.05)
+	s.Put(record("WIN", "Fermi", fWin, 2.0, map[string]float64{"grover(cands=Y)": 1.0}))
+
+	p := NewPredictor(s, Config{})
+
+	// A new kernel near the MM family must predict "base" confidently.
+	q := synthFeatures("new-mm", 0.41, 0)
+	pr := p.Predict(Query{Features: q, Device: "Fermi",
+		Shapes: []string{"grover(cands=Z)", "stage-local(ls=128)"}})
+	if pr.Exact {
+		t.Fatal("unexpected exact hit")
+	}
+	if pr.Verdict != "base" {
+		t.Errorf("verdict = %q, want base (ratios %v)", pr.Verdict, pr.Ratios)
+	}
+	if pr.Confidence < DefaultMinConfidence {
+		t.Errorf("confidence = %v, want >= %v for a tight unanimous neighborhood",
+			pr.Confidence, DefaultMinConfidence)
+	}
+	if len(pr.Neighbors) == 0 || pr.Neighbors[0].Label != "MM1" {
+		t.Errorf("neighbors = %+v, want MM1 nearest", pr.Neighbors)
+	}
+
+	// A new kernel near WIN must predict grover with ratio < 1.
+	// Slightly different divergence so this is a near-neighbor of WIN,
+	// not a hash-identical exact hit.
+	q2 := synthFeatures("new-ss", 0, 0.04)
+	pr2 := p.Predict(Query{Features: q2, Device: "Fermi", Shapes: []string{"grover(cands=W)"}})
+	if pr2.Verdict != "grover" || pr2.Ratio >= 1 {
+		t.Errorf("verdict %q ratio %v, want grover < 1 (ratios %v)", pr2.Verdict, pr2.Ratio, pr2.Ratios)
+	}
+
+	// Exclude drops labels from the neighborhood (LOOCV support).
+	pr3 := p.Predict(Query{Features: q2, Device: "Fermi", Shapes: []string{"grover(cands=W)"},
+		Exclude: map[string]bool{"WIN": true}})
+	for _, n := range pr3.Neighbors {
+		if n.Label == "WIN" {
+			t.Error("excluded label still in neighborhood")
+		}
+	}
+}
+
+func TestPredictPriorBlend(t *testing.T) {
+	s, _ := OpenStore("", 0)
+	defer s.Close()
+	f := synthFeatures("a", 0.4, 0)
+	s.Put(record("A", "SNB", f, 2.0, map[string]float64{"grover": 1.6})) // measured ratio 0.8
+
+	p := NewPredictor(s, Config{PriorWeight: 0.5})
+	q := synthFeatures("b", 0.39, 0)
+	pr := p.Predict(Query{Features: q, Device: "SNB", Shapes: []string{"grover"},
+		Prior: map[string]float64{"grover": 1.2}})
+	want := 0.5*0.8 + 0.5*1.2
+	if math.Abs(pr.Ratios["grover"]-want) > 1e-9 {
+		t.Errorf("blended ratio = %v, want %v", pr.Ratios["grover"], want)
+	}
+	// A shape the neighborhood never measured falls back to the prior.
+	pr2 := p.Predict(Query{Features: q, Device: "SNB", Shapes: []string{"hoist-addr"},
+		Prior: map[string]float64{"hoist-addr": 0.7}})
+	if math.Abs(pr2.Ratios["hoist-addr"]-0.7) > 1e-9 {
+		t.Errorf("prior-only ratio = %v, want 0.7", pr2.Ratios["hoist-addr"])
+	}
+}
+
+func TestPredictDivergenceGuard(t *testing.T) {
+	s, _ := OpenStore("", 0)
+	defer s.Close()
+	// Neighborhood of low-divergence kernels only.
+	for i, share := range []float64{0.3, 0.35, 0.4} {
+		f := synthFeatures(fmt.Sprintf("k%d", i), share, 0)
+		s.Put(record(fmt.Sprintf("K%d", i), "Tahiti", f, 2.0, map[string]float64{"grover": 1.0}))
+	}
+	p := NewPredictor(s, Config{})
+
+	// A fully divergent early-exit workload: nobody similar has been
+	// measured, so confidence must be capped below the default threshold.
+	q := synthFeatures("search", 0.3, 1.0)
+	pr := p.Predict(Query{Features: q, Device: "Tahiti", Shapes: []string{"grover"}})
+	if pr.Confidence > guardCap {
+		t.Errorf("divergent workload confidence = %v, want <= %v", pr.Confidence, guardCap)
+	}
+	if pr.Confidence >= DefaultMinConfidence {
+		t.Errorf("divergent workload confidence %v not below fallback threshold %v",
+			pr.Confidence, DefaultMinConfidence)
+	}
+	if pr.Note == "" {
+		t.Error("capped prediction carries no note")
+	}
+
+	// Once a divergence-similar neighbor vouches for the verdict, the cap
+	// lifts.
+	fv := synthFeatures("search-twin", 0.3, 0.95)
+	s.Put(record("TWIN", "Tahiti", fv, 2.0, map[string]float64{"grover": 1.0}))
+	pr2 := p.Predict(Query{Features: q, Device: "Tahiti", Shapes: []string{"grover"}})
+	if pr2.Confidence <= guardCap {
+		t.Errorf("vouched divergent workload still capped: %v", pr2.Confidence)
+	}
+}
+
+func TestSeedFromBench(t *testing.T) {
+	s, _ := OpenStore("", 0)
+	defer s.Close()
+	n, err := SeedFromBench(s,
+		filepath.Join("..", "..", "BENCH_characterize.json"),
+		filepath.Join("..", "..", "BENCH_rewrite.json"),
+		filepath.Join("..", "..", "BENCH_profit.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11 characterized apps × 6 devices, deduped across the two sweeps.
+	if n != 66 {
+		t.Errorf("seeded %d records, want 66", n)
+	}
+	// Behavioral twins collapse to one record per device: NVD-MT ≡ AMD-RG
+	// and NVD-MM-A ≡ NVD-MM-B ≡ NVD-MM-AB have byte-identical dynamic
+	// features (and, reassuringly, identical measured verdicts), leaving
+	// 8 distinct workloads × 6 devices.
+	if got := s.Len(); got != 48 {
+		t.Errorf("store holds %d records, want 48", got)
+	}
+	devs := s.Devices()
+	if len(devs) != 6 {
+		t.Errorf("devices = %v, want 6", devs)
+	}
+	// Spot-check a known verdict: AMD-SS wins with grover on Fermi.
+	for _, rec := range s.Neighborhood("Fermi") {
+		if rec.Label == "AMD-SS" {
+			if rec.BestShape != "grover" {
+				t.Errorf("AMD-SS Fermi best shape = %q", rec.BestShape)
+			}
+			if r, ok := rec.ShapeRatio("grover"); !ok || r >= 1 {
+				t.Errorf("AMD-SS Fermi grover ratio = %v, %v", r, ok)
+			}
+			if len(rec.Vector) != len(FeatureNames()) {
+				t.Errorf("seeded vector has %d dims", len(rec.Vector))
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package predict
+
+import (
+	"os"
+	"testing"
+)
+
+// The PR-7 profitability-model validation recorded three prune misses —
+// cases where the static top-k window dropped every measured-best plan:
+// AMD-SS on Fermi and Kepler, and ROD-SC on Tahiti. Both kernels are
+// data-dependent early-exit shapes (string search bails on mismatch,
+// streamcluster's membership test skips most of its work), the static
+// model's documented blind spot. The predictor cannot be expected to
+// get these right from feature neighbors either — but it must KNOW it
+// doesn't know: held out of the store, each of these cases must come
+// back under the default confidence threshold so predict mode routes
+// it to measured fallback instead of shipping a guess.
+
+// pruneMisses are the (app, device) cases BENCH_profit.json records
+// with prune_hit=false.
+var pruneMisses = []struct {
+	app    string
+	device string
+}{
+	{"AMD-SS", "Fermi"},
+	{"AMD-SS", "Kepler"},
+	{"ROD-SC", "Tahiti"},
+}
+
+// seededStore builds a store from the committed benchmark sweeps,
+// skipping the test when they are absent (fresh checkout without the
+// BENCH files).
+func seededStore(t *testing.T) *Store {
+	t.Helper()
+	const char = "../../BENCH_characterize.json"
+	if _, err := os.Stat(char); err != nil {
+		t.Skipf("committed sweeps missing: %v", err)
+	}
+	store, err := OpenStore("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	if _, err := SeedFromBench(store, char,
+		"../../BENCH_rewrite.json", "../../BENCH_profit.json"); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// recordFor finds the seeded record for an app on a device.
+func recordFor(t *testing.T, store *Store, app, device string) *Record {
+	t.Helper()
+	for _, r := range store.Neighborhood(device) {
+		if r.Label == app {
+			return r
+		}
+	}
+	t.Fatalf("no seeded record for %s on %s", app, device)
+	return nil
+}
+
+// TestPruneMissesFlaggedLowConfidence holds each recorded prune-miss
+// case out of the store (by feature hash, so behavioral twins leave
+// too) and checks the predictor refuses to answer it confidently.
+func TestPruneMissesFlaggedLowConfidence(t *testing.T) {
+	store := seededStore(t)
+	pred := NewPredictor(store, Config{})
+	for _, m := range pruneMisses {
+		rec := recordFor(t, store, m.app, m.device)
+		var shapes []string
+		for _, p := range rec.Plans {
+			shapes = append(shapes, p.Plan)
+		}
+		pr := pred.Predict(Query{
+			Features:      rec.Features,
+			Device:        m.device,
+			Shapes:        shapes,
+			ExcludeHashes: map[string]bool{rec.Hash: true},
+		})
+		if pr.Exact {
+			t.Errorf("%s on %s: exclusion failed, predictor answered exactly", m.app, m.device)
+		}
+		if pr.Confidence >= DefaultMinConfidence {
+			t.Errorf("%s on %s: confidence %.2f ≥ %.2f — an early-exit kernel the model misranked would be answered without measuring (verdict %q, best %v)",
+				m.app, m.device, pr.Confidence, DefaultMinConfidence, pr.Verdict, rec.BestShapes())
+		}
+	}
+}
+
+// TestPruneMissesDivergent double-checks the fixtures stay what they
+// claim to be: both kernels characterize as highly divergent (the
+// early-exit signature the confidence guard keys on). If a future
+// characterization change flattens this signal, this test fails before
+// the guard silently stops covering them.
+func TestPruneMissesDivergent(t *testing.T) {
+	store := seededStore(t)
+	for _, app := range []string{"AMD-SS", "ROD-SC"} {
+		rec := recordFor(t, store, app, "Fermi")
+		if div := divergenceSignal(rec.Vector); div < divergenceGuard {
+			t.Errorf("%s divergence signal %.2f below the %.2f guard threshold — regression fixture no longer exercises the early-exit blind spot",
+				app, div, divergenceGuard)
+		}
+	}
+}

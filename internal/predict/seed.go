@@ -1,0 +1,105 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"grover/internal/telemetry/aiwc"
+)
+
+// benchApps is the slice of BENCH_characterize.json this package needs:
+// one base feature vector per app.
+type benchApps struct {
+	Apps []struct {
+		App    string         `json:"app"`
+		Kernel string         `json:"kernel"`
+		Base   *aiwc.Features `json:"base"`
+	} `json:"apps"`
+}
+
+// benchCases is the shared shape of BENCH_rewrite.json and
+// BENCH_profit.json: measured plan sweeps per app × device.
+type benchCases struct {
+	Cases []struct {
+		App    string  `json:"app"`
+		Device string  `json:"device"`
+		Best   string  `json:"best"`
+		BaseMS float64 `json:"base_ms"`
+		Plans  []struct {
+			Plan    string  `json:"plan"`
+			MS      float64 `json:"ms"`
+			Applied bool    `json:"applied"`
+		} `json:"plans"`
+	} `json:"cases"`
+}
+
+// SeedFromBench populates the store from committed benchmark sweeps: the
+// characterize file supplies each app's feature vector, and each sweep
+// file (BENCH_rewrite.json, BENCH_profit.json) supplies measured plan
+// outcomes per app × device. Apps without a characterization (or cases
+// already seeded by an earlier file) are skipped. Returns the number of
+// records written.
+func SeedFromBench(store *Store, characterizePath string, sweepPaths ...string) (int, error) {
+	charRaw, err := os.ReadFile(characterizePath)
+	if err != nil {
+		return 0, err
+	}
+	var apps benchApps
+	if err := json.Unmarshal(charRaw, &apps); err != nil {
+		return 0, fmt.Errorf("predict: %s: %v", characterizePath, err)
+	}
+	features := map[string]*aiwc.Features{}
+	kernels := map[string]string{}
+	for _, a := range apps.Apps {
+		if a.Base != nil {
+			features[a.App] = a.Base
+			kernels[a.App] = a.Kernel
+		}
+	}
+
+	n := 0
+	seeded := map[string]bool{}
+	for _, path := range sweepPaths {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return n, err
+		}
+		var sweep benchCases
+		if err := json.Unmarshal(raw, &sweep); err != nil {
+			return n, fmt.Errorf("predict: %s: %v", path, err)
+		}
+		for _, c := range sweep.Cases {
+			f := features[c.App]
+			if f == nil {
+				continue
+			}
+			key := c.App + "/" + c.Device
+			if seeded[key] {
+				continue
+			}
+			seeded[key] = true
+			rec := &Record{
+				Hash:     Hash(f),
+				Device:   c.Device,
+				Label:    c.App,
+				Kernel:   kernels[c.App],
+				Vector:   Vector(f),
+				BaseMS:   c.BaseMS,
+				Best:     c.Best,
+				Source:   "seed",
+				Features: f,
+			}
+			for _, p := range c.Plans {
+				rec.Plans = append(rec.Plans, PlanOutcome{
+					Plan: p.Plan, Shape: PlanShape(p.Plan), MS: p.MS, Applied: p.Applied,
+				})
+			}
+			if err := store.Put(rec); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}

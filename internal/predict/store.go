@@ -1,0 +1,358 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"grover/internal/kcache"
+	"grover/internal/telemetry/aiwc"
+)
+
+// StoreVersion is the feature-store schema version. Bumping it rejects
+// (never silently migrates) stores written by older builds.
+const StoreVersion = 1
+
+// PlanOutcome is one measured plan in a Record.
+type PlanOutcome struct {
+	// Plan is the canonical plan string as measured; Shape its
+	// option-free rule sequence (the cross-kernel transfer key).
+	Plan  string `json:"plan"`
+	Shape string `json:"shape"`
+	// MS is the measured mean simulated time; Applied is false for plans
+	// that did not change the kernel (they carry no timing).
+	MS      float64 `json:"ms,omitempty"`
+	Applied bool    `json:"applied"`
+}
+
+// Record is one committed measurement: a workload (feature vector) on a
+// device, with every measured plan outcome.
+type Record struct {
+	// Hash is the feature-vector content address; Device the profile
+	// name the timings were measured on.
+	Hash   string `json:"hash"`
+	Device string `json:"device"`
+	// Label names the workload for humans ("NVD-MT", a request ID);
+	// Kernel is the entry point.
+	Label  string `json:"label,omitempty"`
+	Kernel string `json:"kernel,omitempty"`
+	// Features is the raw characterization; Vector the normalized form
+	// (stored so lookups need no recomputation, recomputed on version
+	// drift).
+	Features *aiwc.Features `json:"features,omitempty"`
+	Vector   []float64      `json:"vector"`
+	// BaseMS is the measured base-plan time; Best the measured-best
+	// plan; BestShape its shape; Plans every evaluated plan.
+	BaseMS    float64       `json:"base_ms"`
+	Best      string        `json:"best"`
+	BestShape string        `json:"best_shape"`
+	Plans     []PlanOutcome `json:"plans"`
+	// Source records provenance: "seed" (committed benchmark sweeps) or
+	// "measured" (a fallback measurement recorded under traffic).
+	Source string `json:"source,omitempty"`
+}
+
+// BestShapes returns the shapes of every plan tying the record's best
+// measured time (within tieEps relative tolerance).
+func (r *Record) BestShapes() map[string]bool {
+	best := 0.0
+	for _, p := range r.Plans {
+		if p.Applied && p.MS > 0 && (best == 0 || p.MS < best) {
+			best = p.MS
+		}
+	}
+	out := map[string]bool{}
+	if best == 0 {
+		return out
+	}
+	for _, p := range r.Plans {
+		if p.Applied && p.MS > 0 && p.MS <= best*(1+tieEps) {
+			out[p.Shape] = true
+		}
+	}
+	return out
+}
+
+// ShapeRatio returns the record's measured ms ratio for a plan shape
+// against its base plan (np⁻¹: < 1 means the shape beat base), and
+// whether the shape was measured.
+func (r *Record) ShapeRatio(shape string) (float64, bool) {
+	if r.BaseMS <= 0 {
+		return 0, false
+	}
+	best := 0.0
+	found := false
+	for _, p := range r.Plans {
+		if p.Shape != shape || !p.Applied || p.MS <= 0 {
+			continue
+		}
+		if !found || p.MS < best {
+			best, found = p.MS, true
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	return best / r.BaseMS, true
+}
+
+// tieEps is the relative tolerance treating two measured times as tied.
+const tieEps = 1e-9
+
+// Store is the persistent feature→outcome store: records keyed by
+// feature-vector hash + device on a kcache.DiskStore, with an alias
+// index mapping exact request keys (content address of source, kernel,
+// device, launch) to records so repeat requests answer with zero runs —
+// not even the characterization one.
+type Store struct {
+	mu       sync.Mutex
+	ds       *kcache.DiskStore
+	byDevice map[string][]*Record          // device → records, insertion order
+	byKey    map[string]map[string]*Record // device → hash → record
+	aliases  map[string]string             // exact key → record key
+}
+
+const (
+	recPrefix   = "rec/"
+	aliasPrefix = "key/"
+)
+
+func recordKey(hash, device string) string { return recPrefix + hash + "/" + device }
+
+// OpenStore opens (or creates) the feature store at path, bounded to
+// maxRecords records (<= 0 means unbounded). An empty path yields a
+// memory-only store. A store written by a different schema version is
+// rejected with kcache.ErrVersionMismatch.
+func OpenStore(path string, maxRecords int) (*Store, error) {
+	ds, err := kcache.OpenDiskStore(path, StoreVersion, maxRecords)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		ds:       ds,
+		byDevice: map[string][]*Record{},
+		byKey:    map[string]map[string]*Record{},
+		aliases:  map[string]string{},
+	}
+	ds.OnEvict(s.evicted)
+	// Rebuild the in-memory neighborhoods from the persisted log.
+	var loadErr error
+	ds.Range(func(key string, raw json.RawMessage) bool {
+		switch {
+		case strings.HasPrefix(key, recPrefix):
+			var rec Record
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				loadErr = fmt.Errorf("predict: corrupt record %s: %v", key, err)
+				return false
+			}
+			s.index(&rec)
+		case strings.HasPrefix(key, aliasPrefix):
+			var ref string
+			if err := json.Unmarshal(raw, &ref); err != nil {
+				loadErr = fmt.Errorf("predict: corrupt alias %s: %v", key, err)
+				return false
+			}
+			s.aliases[strings.TrimPrefix(key, aliasPrefix)] = ref
+		}
+		return true
+	})
+	if loadErr != nil {
+		ds.Close()
+		return nil, loadErr
+	}
+	return s, nil
+}
+
+// evicted drops an evicted disk record from the in-memory indexes. The
+// DiskStore calls it under its own lock; Store state is guarded by s.mu,
+// which every path into the DiskStore already holds.
+func (s *Store) evicted(key string) {
+	switch {
+	case strings.HasPrefix(key, recPrefix):
+		rest := strings.TrimPrefix(key, recPrefix)
+		i := strings.LastIndexByte(rest, '/')
+		if i < 0 {
+			return
+		}
+		hash, device := rest[:i], rest[i+1:]
+		if m := s.byKey[device]; m != nil {
+			delete(m, hash)
+		}
+		recs := s.byDevice[device]
+		for j, r := range recs {
+			if r.Hash == hash {
+				s.byDevice[device] = append(recs[:j:j], recs[j+1:]...)
+				break
+			}
+		}
+	case strings.HasPrefix(key, aliasPrefix):
+		delete(s.aliases, strings.TrimPrefix(key, aliasPrefix))
+	}
+}
+
+// index adds rec to the in-memory neighborhoods (caller holds s.mu or
+// owns the store exclusively).
+func (s *Store) index(rec *Record) {
+	if len(rec.Vector) != len(dims) && rec.Features != nil {
+		// Recompute vectors persisted by an older dimension basis; the
+		// raw features are the durable truth.
+		rec.Vector = Vector(rec.Features)
+	}
+	if m := s.byKey[rec.Device]; m != nil {
+		if old, ok := m[rec.Hash]; ok {
+			// Replace in place, keeping neighborhood order.
+			*old = *rec
+			return
+		}
+	} else {
+		s.byKey[rec.Device] = map[string]*Record{}
+	}
+	s.byKey[rec.Device][rec.Hash] = rec
+	s.byDevice[rec.Device] = append(s.byDevice[rec.Device], rec)
+}
+
+// Put records one measurement, persisting it and updating the device
+// neighborhood. aliasKeys (exact request content addresses) become
+// zero-run lookup handles for the record.
+func (s *Store) Put(rec *Record, aliasKeys ...string) error {
+	if rec.Hash == "" || rec.Device == "" {
+		return fmt.Errorf("predict: record needs a feature hash and a device")
+	}
+	if len(rec.Vector) == 0 && rec.Features != nil {
+		rec.Vector = Vector(rec.Features)
+	}
+	if rec.BestShape == "" && rec.Best != "" {
+		rec.BestShape = PlanShape(rec.Best)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := recordKey(rec.Hash, rec.Device)
+	if err := s.ds.Put(key, rec); err != nil {
+		return err
+	}
+	cp := *rec
+	s.index(&cp)
+	for _, ak := range aliasKeys {
+		if ak == "" {
+			continue
+		}
+		if err := s.ds.Put(aliasPrefix+ak, key); err != nil {
+			return err
+		}
+		s.aliases[ak] = key
+	}
+	return nil
+}
+
+// Alias points an exact request key at an existing record, so future
+// identical requests resolve with zero runs (no characterization).
+func (s *Store) Alias(key, hash, device string) error {
+	if key == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref := recordKey(hash, device)
+	if err := s.ds.Put(aliasPrefix+key, ref); err != nil {
+		return err
+	}
+	s.aliases[key] = ref
+	return nil
+}
+
+// Lookup returns the record for a feature hash on a device.
+func (s *Store) Lookup(hash, device string) (*Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.byKey[device]
+	if m == nil {
+		return nil, false
+	}
+	rec, ok := m[hash]
+	if !ok {
+		return nil, false
+	}
+	cp := *rec
+	return &cp, true
+}
+
+// LookupAlias resolves an exact request key to its record, if one was
+// recorded. This is the zero-run path: no characterization needed.
+func (s *Store) LookupAlias(key string) (*Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref, ok := s.aliases[key]
+	if !ok {
+		return nil, false
+	}
+	rest := strings.TrimPrefix(ref, recPrefix)
+	i := strings.LastIndexByte(rest, '/')
+	if i < 0 {
+		return nil, false
+	}
+	m := s.byKey[rest[i+1:]]
+	if m == nil {
+		return nil, false
+	}
+	rec, ok := m[rest[:i]]
+	if !ok {
+		return nil, false
+	}
+	cp := *rec
+	return &cp, true
+}
+
+// Neighborhood returns the records measured on a device (copies, in
+// insertion order).
+func (s *Store) Neighborhood(device string) []*Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.byDevice[device]
+	out := make([]*Record, len(recs))
+	for i, r := range recs {
+		cp := *r
+		out[i] = &cp
+	}
+	return out
+}
+
+// Devices lists the devices with at least one record, sorted.
+func (s *Store) Devices() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byDevice))
+	for d, recs := range s.byDevice {
+		if len(recs) > 0 {
+			out = append(out, d)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len counts live records (aliases excluded).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, recs := range s.byDevice {
+		n += len(recs)
+	}
+	return n
+}
+
+// Stats exposes the underlying disk-store counters.
+func (s *Store) Stats() kcache.DiskStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ds.Stats()
+}
+
+// Close releases the underlying log file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ds.Close()
+}

@@ -1,0 +1,190 @@
+// Package predict turns the repository's measured auto-tuning history
+// into answers: a persistent feature→outcome store (layered on
+// kcache.DiskStore) keyed by AIWC feature-vector hash and device, and a
+// distance-weighted k-nearest-neighbor predictor over normalized feature
+// vectors, blended with the static profitability model as a prior. Given
+// one cheap characterization run — or none, on an exact store hit — it
+// answers the autotuner's question ("Grover or not, and which plan?")
+// with a predicted best plan and a calibrated confidence, so the serving
+// layer only falls back to measurement when the prediction is shaky.
+//
+// The design follows Chilukuri & Milthorpe (PAPERS.md):
+// architecture-independent workload features predict memory-optimization
+// benefit across devices; and Han & Abdelrahman: a learned model replaces
+// exhaustive local-memory autotuning. The features come from
+// telemetry/aiwc, which is backend-invariant by construction, so a
+// vector computed anywhere identifies the same workload everywhere.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+
+	"grover/internal/kcache"
+	"grover/internal/telemetry/aiwc"
+)
+
+// Dim is one normalized feature dimension: a name, a bounded value
+// extractor, and the weight it carries in the distance metric.
+type Dim struct {
+	Name   string
+	Weight float64
+	f      func(*aiwc.Features) float64
+}
+
+// squash maps an unbounded non-negative rate into [0, 1).
+func squash(x float64) float64 { return x / (x + 1) }
+
+// ratio returns a/b, 0 when b is 0.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// dims is the fixed normalized feature basis. Every dimension is in
+// [0, 1] so the weighted Euclidean distance is scale-free: two kernels
+// with the same access *structure* at different dataset sizes sit at
+// distance ~0. The divergence dimensions carry double weight — they are
+// the static model's documented blind spot (data-dependent early exits),
+// so the neighborhood must separate along them.
+var dims = []Dim{
+	{"local_share", 2.0, func(f *aiwc.Features) float64 {
+		return ratio(float64(f.LocalLoads+f.LocalStores), float64(accesses(f)))
+	}},
+	{"local_load_ratio", 1.0, func(f *aiwc.Features) float64 {
+		return ratio(float64(f.LocalLoads), float64(f.LocalLoads+f.LocalStores))
+	}},
+	{"store_share", 1.0, func(f *aiwc.Features) float64 {
+		return ratio(float64(f.GlobalStores+f.LocalStores+f.PrivateStores), float64(accesses(f)))
+	}},
+	{"mem_intensity", 1.0, func(f *aiwc.Features) float64 {
+		return ratio(float64(accesses(f)), float64(f.Instructions))
+	}},
+	{"global_reuse", 1.5, func(f *aiwc.Features) float64 {
+		ga := f.GlobalLoads + f.GlobalStores
+		if ga == 0 {
+			return 0
+		}
+		return 1 - ratio(float64(f.UniqueGlobalAddrs), float64(ga))
+	}},
+	{"local_reuse", 1.5, func(f *aiwc.Features) float64 {
+		la := f.LocalLoads + f.LocalStores
+		if la == 0 {
+			return 0
+		}
+		return 1 - ratio(float64(f.UniqueLocalAddrs), float64(la))
+	}},
+	{"global_entropy", 1.0, func(f *aiwc.Features) float64 {
+		return normEntropy(f.GlobalEntropy, f.UniqueGlobalAddrs)
+	}},
+	{"local_entropy", 1.0, func(f *aiwc.Features) float64 {
+		return normEntropy(f.LocalEntropy, f.UniqueLocalAddrs)
+	}},
+	{"barrier_rate", 1.0, func(f *aiwc.Features) float64 {
+		// Barriers each work-item observes per retired instruction,
+		// scaled so one barrier per ~50 instructions reads as ~0.5.
+		return squash(50 * ratio(f.BarriersPerGroup, f.MeanItemInstrs))
+	}},
+	{"branch_divergence", 2.0, func(f *aiwc.Features) float64 {
+		return f.BranchDivergence
+	}},
+	{"item_instr_cv", 2.0, func(f *aiwc.Features) float64 {
+		return squash(5 * f.ItemInstrCV)
+	}},
+	{"bytes_per_access", 0.5, func(f *aiwc.Features) float64 {
+		b := ratio(float64(f.LoadBytes+f.StoreBytes), float64(accesses(f)))
+		return math.Min(1, b/16)
+	}},
+	{"private_share", 0.5, func(f *aiwc.Features) float64 {
+		return ratio(float64(f.PrivateLoads+f.PrivateStores), float64(accesses(f)))
+	}},
+}
+
+func accesses(f *aiwc.Features) int64 {
+	return f.GlobalLoads + f.GlobalStores + f.LocalLoads + f.LocalStores +
+		f.PrivateLoads + f.PrivateStores
+}
+
+// normEntropy normalizes Shannon entropy by its maximum for the observed
+// address count, yielding "how uniformly spread" in [0, 1].
+func normEntropy(bits float64, unique int64) float64 {
+	if unique < 2 {
+		return 0
+	}
+	return math.Min(1, bits/math.Log2(float64(unique)))
+}
+
+// FeatureNames lists the normalized dimensions in vector order.
+func FeatureNames() []string {
+	out := make([]string, len(dims))
+	for i, d := range dims {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Vector computes the normalized feature vector for one characterization.
+func Vector(f *aiwc.Features) []float64 {
+	out := make([]float64, len(dims))
+	for i, d := range dims {
+		out[i] = d.f(f)
+	}
+	return out
+}
+
+// Distance is the weighted Euclidean distance between two normalized
+// vectors, scaled by the total weight so it stays in [0, 1].
+func Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return 1
+	}
+	var sum, wsum float64
+	for i, d := range dims {
+		if i >= len(a) {
+			break
+		}
+		diff := a[i] - b[i]
+		sum += d.Weight * diff * diff
+		wsum += d.Weight
+	}
+	if wsum == 0 {
+		return 1
+	}
+	return math.Sqrt(sum / wsum)
+}
+
+// Hash derives the feature-store identity of a characterization: a
+// content address over every raw dynamic count, excluding the kernel's
+// name (two identically-behaving kernels are the same workload). Feature
+// vectors are backend- and worker-count-invariant, so the hash is too.
+func Hash(f *aiwc.Features) string {
+	fields := []string{
+		"aiwc-v1",
+		fmt.Sprintf("%d/%d", f.Groups, f.WorkItems),
+		fmt.Sprintf("%d", f.Instructions),
+		fmt.Sprintf("%d/%d/%d/%d/%d/%d", f.GlobalLoads, f.GlobalStores,
+			f.LocalLoads, f.LocalStores, f.PrivateLoads, f.PrivateStores),
+		fmt.Sprintf("%d/%d", f.LoadBytes, f.StoreBytes),
+		fmt.Sprintf("%d/%d", f.UniqueGlobalAddrs, f.UniqueLocalAddrs),
+		fmt.Sprintf("%.12g/%.12g", f.GlobalEntropy, f.LocalEntropy),
+		fmt.Sprintf("%d/%d", f.Barriers, f.DivergentGroups),
+		fmt.Sprintf("%d/%d/%.12g", f.MinItemInstrs, f.MaxItemInstrs, f.ItemInstrCV),
+	}
+	return kcache.Key(fields...)
+}
+
+var planOpts = regexp.MustCompile(`\([^)]*\)`)
+
+// PlanShape reduces a canonical plan string to its rule sequence,
+// dropping per-step options ("grover(cands=As+Bs),hoist-addr" →
+// "grover,hoist-addr"). Options are kernel-specific (candidate names,
+// tile sizes), so outcome transfer between kernels happens at shape
+// granularity.
+func PlanShape(plan string) string {
+	s := planOpts.ReplaceAllString(plan, "")
+	return strings.TrimSpace(s)
+}

@@ -14,6 +14,7 @@ import (
 	"grover/internal/ir"
 	"grover/internal/kcache"
 	"grover/internal/opt"
+	"grover/internal/predict"
 	"grover/internal/rewrite"
 	"grover/internal/telemetry"
 	"grover/internal/telemetry/aiwc"
@@ -66,6 +67,12 @@ type verdictArtifact struct {
 	// char carries the kernel feature vectors when the request asked for
 	// characterization.
 	char *Characterization
+	// predictMode, prediction and fallback record how predict mode
+	// answered (predictMode is true whenever the request set predict, even
+	// if characterization failed and no prediction was formed).
+	predictMode bool
+	prediction  *grover.Prediction
+	fallback    bool
 }
 
 func programName(name string) string {
@@ -266,7 +273,8 @@ func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devN
 	key := kcache.Key("autotune", req.Source, kcache.DefinesField(req.Defines),
 		req.Kernel, req.Options.field(), devName, backend, launchField(req),
 		fmt.Sprintf("char=%t", req.Characterize), "plans="+strings.Join(plans, "|"),
-		fmt.Sprintf("prune=%d", req.Prune))
+		fmt.Sprintf("prune=%d", req.Prune),
+		fmt.Sprintf("predict=%t;minconf=%g", req.Predict, req.MinConfidence))
 	v, out, err := s.cache.Do(key, func() (interface{}, error) {
 		comp, _, err := s.compile(rctx, req.Name, req.Source, req.Defines)
 		if err != nil {
@@ -298,13 +306,27 @@ func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devN
 		}
 		var res *grover.TuneResult
 		if len(plans) > 0 {
-			res, err = grover.AutoTunePlansOpts(rctx, prog, req.Kernel, plans, req.Runs, launch,
-				grover.PlanSearchOptions{
-					Prune:     req.Prune,
-					WorkGroup: req.Local,
-					Global:    req.Global,
-					ArgInts:   grover.IntArgs(args),
-				})
+			popts := grover.PlanSearchOptions{
+				Prune:     req.Prune,
+				WorkGroup: req.Local,
+				Global:    req.Global,
+				ArgInts:   grover.IntArgs(args),
+			}
+			if req.Predict {
+				popts.Predict = true
+				popts.Predictor = s.predictor
+				popts.MinConfidence = req.MinConfidence
+				popts.Device = devName
+				// The artifact-cache key is a full content address of the
+				// request on this device — exactly what the store's alias
+				// index wants, so a repeat request after a cache eviction
+				// (or restart, with a persistent store) still answers with
+				// zero runs.
+				popts.ExactKey = key
+				popts.Label = programName(req.Name) + "/" + req.Kernel
+				popts.Characterize = grover.CharacterizeLaunch(prog, req.Kernel, nd, args)
+			}
+			res, err = grover.AutoTunePlansOpts(rctx, prog, req.Kernel, plans, req.Runs, launch, popts)
 		} else {
 			res, err = grover.AutoTuneCtx(rctx, prog, req.Kernel, req.Options.options(), req.Runs, launch)
 		}
@@ -320,6 +342,15 @@ func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devN
 			plan:           res.Plan,
 			search:         res.PlanSearch,
 			rewriteRep:     res.Rewrite,
+			predictMode:    req.Predict,
+			prediction:     res.Prediction,
+			fallback:       res.Fallback,
+		}
+		if req.Predict {
+			correct := res.Fallback && res.Prediction != nil &&
+				res.Prediction.Verdict == predict.PlanShape(res.Plan)
+			s.stats.recordPredict(!res.Fallback,
+				res.Prediction != nil && res.Prediction.Exact, correct)
 		}
 		if req.Characterize {
 			art.char, err = characterizeVerdict(rctx, ctx, res, nd, args, backend)
@@ -385,6 +416,13 @@ func (v *verdictArtifact) verdict(device string, outcome kcache.Outcome) TuneVer
 		Rewrite:          renderRewrite(v.rewriteRep),
 		Cache:            outcome.String(),
 		Characterization: v.char,
+	}
+	if v.predictMode {
+		pr := &PredictionResult{Fallback: v.fallback}
+		if v.prediction != nil {
+			pr.Prediction = *v.prediction
+		}
+		out.Prediction = pr
 	}
 	for _, t := range v.search {
 		out.Plans = append(out.Plans, PlanResult{
@@ -523,6 +561,18 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("prune requires a plan search (set plan)"))
 		return
 	}
+	if req.MinConfidence < 0 || req.MinConfidence > 1 {
+		writeError(w, badRequest("min_confidence must be within [0, 1]"))
+		return
+	}
+	if req.MinConfidence > 0 && !req.Predict {
+		writeError(w, badRequest("min_confidence requires predict"))
+		return
+	}
+	if req.Predict && len(plans) == 0 {
+		writeError(w, badRequest("predict requires a plan search (set plan)"))
+		return
+	}
 	// Resolve the device list up front so an unknown name is a 404 with
 	// the available devices, before any compile work is queued.
 	var devices []string
@@ -628,12 +678,15 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ps := s.stats.predictSnapshot()
+	ps.Store = s.store.Stats()
 	writeJSON(w, http.StatusOK, &StatsResponse{
 		Cache:     s.cache.Snapshot(),
 		Pool:      s.pool.Snapshot(),
 		Backend:   s.backend,
 		Backends:  s.stats.backendSnapshot(),
 		Endpoints: s.stats.snapshot(),
+		Predict:   ps,
 	})
 }
 

@@ -1,0 +1,169 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestAutotunePredict drives predict mode over HTTP: the first request
+// falls back to measurement (empty store) and records the outcome, a
+// near-identical request (different runs, so a different cache and
+// request key but the same workload) is answered from the store with
+// zero timed runs, and the stats/metrics endpoints account for both.
+func TestAutotunePredict(t *testing.T) {
+	ts := newTestServer(t)
+	_, req := nvdMT()
+	req.Plan = "search"
+	req.Predict = true
+
+	var resp AutotuneResponse
+	code, body := postJSON(t, ts.URL+"/v1/autotune", req, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("predict autotune: %d\n%s", code, body)
+	}
+	v := resp.Results[0]
+	if v.Prediction == nil {
+		t.Fatalf("predict verdict carries no prediction object:\n%s", body)
+	}
+	if !v.Prediction.Fallback {
+		t.Errorf("empty store should fall back to measurement: %+v", v.Prediction)
+	}
+	if v.OriginalMS <= 0 {
+		t.Errorf("fallback verdict has no measured base time: %+v", v)
+	}
+	if v.Plan == "" {
+		t.Errorf("fallback verdict names no winning plan")
+	}
+	measuredPlan := v.Plan
+
+	// Same workload, one more averaging run: different artifact-cache key
+	// and request key, identical feature vector — the store answers
+	// exactly, with no timed runs (the zero timings prove it).
+	req2 := req
+	req2.Runs = 2
+	var resp2 AutotuneResponse
+	code, body = postJSON(t, ts.URL+"/v1/autotune", req2, &resp2)
+	if code != http.StatusOK {
+		t.Fatalf("second predict autotune: %d\n%s", code, body)
+	}
+	v2 := resp2.Results[0]
+	if v2.Prediction == nil || v2.Prediction.Fallback || !v2.Prediction.Exact {
+		t.Fatalf("repeat workload not answered from the store: %+v\n%s", v2.Prediction, body)
+	}
+	if v2.Prediction.Confidence != 1 {
+		t.Errorf("exact hit confidence = %v, want 1", v2.Prediction.Confidence)
+	}
+	if v2.OriginalMS != 0 || v2.TransformedMS != 0 {
+		t.Errorf("store answer carries measured timings: %+v", v2)
+	}
+	if v2.Plan != measuredPlan {
+		t.Errorf("store answer plan %q, measured winner was %q", v2.Plan, measuredPlan)
+	}
+
+	// Exact repeat of the first request: served by the artifact cache, the
+	// recorded prediction replayed verbatim.
+	var resp3 AutotuneResponse
+	code, _ = postJSON(t, ts.URL+"/v1/autotune", req, &resp3)
+	if code != http.StatusOK {
+		t.Fatalf("repeat predict autotune: %d", code)
+	}
+	if resp3.Results[0].Cache != "hit" {
+		t.Errorf("identical repeat was %q, want artifact-cache hit", resp3.Results[0].Cache)
+	}
+
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	p := stats.Predict
+	if p.Requests != 2 || p.Answered != 1 || p.Exact != 1 || p.Fallbacks != 1 {
+		t.Errorf("predict stats = %+v, want requests=2 answered=1 exact=1 fallbacks=1", p)
+	}
+	if p.Store.Records == 0 || p.Store.Puts == 0 {
+		t.Errorf("feature store shows no occupancy: %+v", p.Store)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	metrics := readAll(t, mr)
+	for _, want := range []string{
+		"groverd_store_records",
+		"groverd_store_evictions_total",
+		"groverd_predict_fallbacks_total 1",
+		"groverd_predict_answered_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestAutotunePredictValidation rejects malformed predict requests.
+func TestAutotunePredictValidation(t *testing.T) {
+	ts := newTestServer(t)
+	_, base := nvdMT()
+
+	cases := []struct {
+		name string
+		mut  func(*AutotuneRequest)
+		want string
+	}{
+		{"predict without plans", func(r *AutotuneRequest) { r.Predict = true }, "predict requires a plan search"},
+		{"min_confidence out of range", func(r *AutotuneRequest) {
+			r.Plan = "search"
+			r.Predict = true
+			r.MinConfidence = 1.5
+		}, "min_confidence must be within"},
+		{"min_confidence without predict", func(r *AutotuneRequest) {
+			r.Plan = "search"
+			r.MinConfidence = 0.5
+		}, "min_confidence requires predict"},
+	}
+	for _, tc := range cases {
+		req := base
+		tc.mut(&req)
+		code, body := postJSON(t, ts.URL+"/v1/autotune", req, nil)
+		if code != http.StatusBadRequest || !strings.Contains(body, tc.want) {
+			t.Errorf("%s: got %d %q, want 400 containing %q", tc.name, code, body, tc.want)
+		}
+	}
+}
+
+// TestServerSeedsStore boots a server seeded from the repo's committed
+// benchmark sweeps and checks the store is populated.
+func TestServerSeedsStore(t *testing.T) {
+	if _, err := os.Stat("../../BENCH_characterize.json"); err != nil {
+		t.Skip("committed benchmark sweeps not present")
+	}
+	srv := New(Config{SeedDir: "../.."})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	var stats StatsResponse
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if stats.Predict.Store.Records == 0 {
+		t.Fatalf("seeded store is empty: %+v", stats.Predict.Store)
+	}
+}
+
+func readAll(t *testing.T, r *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := r.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}

@@ -28,16 +28,39 @@ type EndpointStats struct {
 	P99MS   float64 `json:"p99_ms"`
 }
 
+// PredictStats tallies predictive-autotuning outcomes: how often the
+// feature store answered without measuring, and how the below-threshold
+// predictions fared against the measurements that overrode them.
+type PredictStats struct {
+	// Requests counts predict-mode device-tunes that actually ran (cache
+	// hits replay a stored verdict and consult no predictor).
+	Requests int64 `json:"requests"`
+	// Answered counts tunes served from the store without a timed run;
+	// Exact of those came from an exact feature or request-key hit rather
+	// than a nearest-neighbor prediction.
+	Answered int64 `json:"answered"`
+	Exact    int64 `json:"exact"`
+	// Fallbacks counts tunes measured because the prediction's confidence
+	// was below the threshold; FallbackCorrect of those had nonetheless
+	// predicted the shape the measurement confirmed — the live accuracy
+	// signal on the predictions the service did not trust.
+	Fallbacks       int64 `json:"fallbacks"`
+	FallbackCorrect int64 `json:"fallback_correct"`
+	// Store is the feature store's occupancy and churn.
+	Store kcache.DiskStats `json:"store"`
+}
+
 // registry collects EndpointStats keyed by endpoint name plus execution
 // counts keyed by backend name, mirroring every tally into a telemetry
 // registry so /v1/stats and /metrics are two views of one set of
 // counters.
 type registry struct {
-	mu   sync.Mutex
-	m    map[string]*EndpointStats
-	hist map[string]*telemetry.Histogram
-	be   map[string]int64
-	prom *telemetry.Registry
+	mu      sync.Mutex
+	m       map[string]*EndpointStats
+	hist    map[string]*telemetry.Histogram
+	be      map[string]int64
+	predict PredictStats
+	prom    *telemetry.Registry
 }
 
 func newRegistry(prom *telemetry.Registry) *registry {
@@ -57,6 +80,49 @@ func (r *registry) recordBackend(name string, n int64) {
 	r.prom.Counter("groverd_backend_runs_total",
 		"autotune device-runs per execution backend",
 		telemetry.Label{Name: "backend", Value: name}).Add(n)
+}
+
+// recordPredict tallies one predict-mode device-tune outcome.
+func (r *registry) recordPredict(answered, exact, correct bool) {
+	r.mu.Lock()
+	r.predict.Requests++
+	if answered {
+		r.predict.Answered++
+		if exact {
+			r.predict.Exact++
+		}
+	} else {
+		r.predict.Fallbacks++
+		if correct {
+			r.predict.FallbackCorrect++
+		}
+	}
+	r.mu.Unlock()
+	r.prom.Counter("groverd_predict_requests_total",
+		"predict-mode device-tunes served").Inc()
+	if answered {
+		r.prom.Counter("groverd_predict_answered_total",
+			"device-tunes answered from the feature store without measuring").Inc()
+		if exact {
+			r.prom.Counter("groverd_predict_exact_total",
+				"store answers from an exact feature or request-key hit").Inc()
+		}
+	} else {
+		r.prom.Counter("groverd_predict_fallbacks_total",
+			"predict-mode device-tunes that fell back to measurement").Inc()
+		if correct {
+			r.prom.Counter("groverd_predict_fallback_correct_total",
+				"measured fallbacks whose untrusted prediction matched the measured winner").Inc()
+		}
+	}
+}
+
+// predictSnapshot copies the predict tallies (the caller fills in the
+// live store stats).
+func (r *registry) predictSnapshot() PredictStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.predict
 }
 
 // backendSnapshot copies the per-backend run counts.

@@ -280,6 +280,10 @@ func (p *Program) Module() *ir.Module { return p.module }
 // Device returns the device this program was prepared for.
 func (p *Program) Device() *Device { return p.ctx.dev }
 
+// Context returns the context this program was compiled in (its global
+// memory holds the program's buffers).
+func (p *Program) Context() *Context { return p.ctx }
+
 // VM exposes the prepared vm.Program behind this program, for harnesses
 // that drive launches directly (e.g. to run the same prepared program on
 // several execution backends with pointer-identical traced instructions).

@@ -1,0 +1,137 @@
+package grover_test
+
+import (
+	"context"
+	"testing"
+
+	"grover"
+	"grover/internal/predict"
+	"grover/internal/telemetry/aiwc"
+	"grover/opencl"
+)
+
+// TestPredictMode walks predict mode through its whole lifecycle on one
+// program: empty store → measured fallback (recorded), repeat workload →
+// exact feature hit with zero timed runs, repeat request key → zero-run
+// alias answer without even a characterization.
+func TestPredictMode(t *testing.T) {
+	ctx, prog := setup(t, "SNB")
+	const n = 64
+	in := ctx.NewBuffer(n * n * 4)
+	out := ctx.NewBuffer(n * n * 4)
+	q, err := ctx.NewProfilingQueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := opencl.NDRange{Global: [3]int{n, n, 1}, Local: [3]int{16, 16, 1}}
+	args := []interface{}{out, in, int32(n), int32(n)}
+
+	launches := 0
+	launch := func(k *opencl.Kernel) (*opencl.Event, error) {
+		launches++
+		return q.EnqueueNDRange(k, nd, args...)
+	}
+
+	store, err := predict.OpenStore("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	pred := predict.NewPredictor(store, predict.Config{})
+	plans := grover.DefaultPlanSpace(nd.Local)
+	popts := grover.PlanSearchOptions{
+		WorkGroup:    nd.Local,
+		Global:       nd.Global,
+		ArgInts:      grover.IntArgs(args),
+		Predict:      true,
+		Predictor:    pred,
+		Characterize: grover.CharacterizeLaunch(prog, "transpose", nd, args),
+		Device:       "SNB",
+		ExactKey:     "req-mt-snb",
+		Label:        "MT-test",
+	}
+
+	// 1. Empty store: the prediction cannot clear the threshold, so the
+	// search falls back to measurement and records the outcome.
+	res, err := grover.AutoTunePlansOpts(context.Background(), prog, "transpose",
+		plans, 1, launch, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fallback {
+		t.Fatalf("empty store did not fall back: %+v", res.Prediction)
+	}
+	if res.Prediction == nil || res.Prediction.Confidence >= grover.DefaultMinConfidence {
+		t.Errorf("fallback prediction = %+v, want confidence below threshold", res.Prediction)
+	}
+	if res.OriginalMS <= 0 || launches == 0 {
+		t.Errorf("fallback did not measure: originalMS=%v launches=%d", res.OriginalMS, launches)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("measured fallback recorded %d records, want 1", store.Len())
+	}
+	measuredPlan := res.Plan
+	recs := store.Neighborhood("SNB")
+	if recs[0].Label != "MT-test" || recs[0].Source != "measured" {
+		t.Errorf("recorded %+v", recs[0])
+	}
+
+	// 2. Same workload again (no ExactKey): the characterization hashes to
+	// the stored record — exact hit, zero timed runs.
+	launches = 0
+	popts2 := popts
+	popts2.ExactKey = ""
+	res2, err := grover.AutoTunePlansOpts(context.Background(), prog, "transpose",
+		plans, 1, launch, popts2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Fallback || res2.Prediction == nil || !res2.Prediction.Exact {
+		t.Fatalf("repeat workload not answered exactly: fallback=%v prediction=%+v",
+			res2.Fallback, res2.Prediction)
+	}
+	if launches != 0 {
+		t.Errorf("exact hit executed %d timed runs, want 0", launches)
+	}
+	if res2.Plan != measuredPlan {
+		t.Errorf("predicted plan %q, measured winner was %q", res2.Plan, measuredPlan)
+	}
+	if res2.OriginalMS != 0 || res2.TransformedMS != 0 {
+		t.Errorf("prediction carries timings: %v %v", res2.OriginalMS, res2.TransformedMS)
+	}
+	if res2.Kernel == nil {
+		t.Error("prediction returned no runnable kernel")
+	}
+
+	// 3. Same request key: answered from the alias with zero runs and zero
+	// characterizations. (Step 2 ran with no ExactKey, so the alias written
+	// by step 1's fallback is still the resolving entry.)
+	launches = 0
+	characterized := 0
+	inner := popts.Characterize
+	res3opts := popts
+	res3opts.Characterize = func() (*aiwc.Features, error) {
+		characterized++
+		return inner()
+	}
+	res3, err := grover.AutoTunePlansOpts(context.Background(), prog, "transpose",
+		plans, 1, launch, res3opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Fallback {
+		t.Fatal("alias-keyed repeat request fell back to measurement")
+	}
+	if res3.Prediction == nil || !res3.Prediction.Exact || res3.Prediction.Confidence != 1 {
+		t.Errorf("alias prediction = %+v", res3.Prediction)
+	}
+	if launches != 0 {
+		t.Errorf("alias hit executed %d runs, want 0", launches)
+	}
+	if characterized != 0 {
+		t.Errorf("alias hit characterized %d times, want 0", characterized)
+	}
+	if res3.Plan != measuredPlan {
+		t.Errorf("alias answer plan %q, want %q", res3.Plan, measuredPlan)
+	}
+}
