@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	igrover "grover/internal/grover"
+	"grover/internal/jit"
 	"grover/internal/telemetry/aiwc"
 	"grover/internal/vm"
 	"grover/opencl"
@@ -46,11 +47,15 @@ func main() {
 		useGrover  = flag.Bool("grover", false, "run the Grover-transformed kernel as well and compare times")
 		timed      = flag.Bool("time", false, "use the device cost model and report simulated time")
 		dump       = flag.String("dump", "", "print buffer contents after the run: ARGINDEX:COUNT")
-		backend    = flag.String("backend", "", "execution backend (interp, bcode, wgvec; default: $GROVER_BACKEND, else interp)")
+		backend    = flag.String("backend", "", "execution backend (interp, bcode, wgvec, jit; default: $GROVER_BACKEND, else interp)")
+		jitNative  = flag.Bool("jit-native", false, "enable the jit backend's native code generation (also: GROVER_JIT=native)")
 		profile    = flag.Bool("profile", false, "run one extra traced launch per kernel version and print its AIWC-style feature vector")
 	)
 	flag.Var(&args, "arg", "kernel argument spec (repeatable, in declaration order)")
 	flag.Parse()
+	if *jitNative {
+		jit.SetNative(true)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: clrun [flags] kernel.cl")
 		flag.PrintDefaults()

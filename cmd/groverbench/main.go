@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -44,6 +45,7 @@ import (
 	"grover/internal/apps"
 	igrover "grover/internal/grover"
 	"grover/internal/harness"
+	"grover/internal/jit"
 	"grover/internal/telemetry/aiwc"
 	"grover/internal/vm"
 	"grover/opencl"
@@ -57,13 +59,17 @@ func main() {
 		scale      = flag.Int("scale", 1, "dataset scale factor")
 		runs       = flag.Int("runs", 1, "simulated executions to average per version")
 		validate   = flag.Bool("validate", false, "also validate both kernel versions against host references")
-		backend    = flag.String("backend", "", "execution backend (interp, bcode, wgvec; default: $GROVER_BACKEND, else interp)")
+		backend    = flag.String("backend", "", "execution backend (interp, bcode, wgvec, jit; default: $GROVER_BACKEND, else interp)")
+		jitNative  = flag.Bool("jit-native", false, "enable the jit backend's native code generation (also: GROVER_JIT=native)")
 		format     = flag.String("format", "text", "output format: text | json")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+	if *jitNative {
+		jit.SetNative(true)
+	}
 
 	var logW io.Writer = os.Stderr
 	if *quiet {
@@ -368,10 +374,36 @@ type appRunJSON struct {
 	Backend   string  `json:"backend"`
 	WallMS    float64 `json:"wall_ms"`
 	NsPerItem float64 `json:"ns_per_item"`
+	// Per-launch statistics over the -runs repetitions (the buffer reset
+	// between launches is excluded from every number).
+	MinMS    float64 `json:"min_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+	StddevMS float64 `json:"stddev_ms"`
 	// SpeedupInterp and SpeedupBcode are this backend's speedup over
 	// the interpreter and the bytecode backend on the same app.
 	SpeedupInterp float64 `json:"speedup_vs_interp"`
 	SpeedupBcode  float64 `json:"speedup_vs_bcode"`
+}
+
+// launchStats summarizes repeated launch times: total, fastest, mean,
+// and population standard deviation, all in milliseconds.
+func launchStats(per []time.Duration) (total time.Duration, minMS, meanMS, stddevMS float64) {
+	const ms = float64(time.Millisecond)
+	minMS = float64(per[0]) / ms
+	for _, d := range per {
+		total += d
+		if v := float64(d) / ms; v < minMS {
+			minMS = v
+		}
+	}
+	meanMS = float64(total) / ms / float64(len(per))
+	var sq float64
+	for _, d := range per {
+		dev := float64(d)/ms - meanMS
+		sq += dev * dev
+	}
+	stddevMS = math.Sqrt(sq / float64(len(per)))
+	return total, minMS, meanMS, stddevMS
 }
 
 // appBenchJSON is the functional (untraced) comparison for one app.
@@ -446,17 +478,23 @@ func runFunctional(cfg harness.Config) ([]appBenchJSON, error) {
 		items := int64(runs) * int64(inst.ND.Global[0]) *
 			int64(inst.ND.Global[1]) * int64(inst.ND.Global[2])
 		walls := make([]time.Duration, len(backends))
+		perRun := make([][]time.Duration, len(backends))
 		for bi, b := range backends {
 			c := vm.Config{GlobalSize: inst.ND.Global, LocalSize: inst.ND.Local,
 				Args: vargs, Backend: b}
-			start := time.Now()
+			per := make([]time.Duration, runs)
 			for r := 0; r < runs; r++ {
 				copy(mem.Data[:len(initial)], initial)
+				start := time.Now()
 				if err := prog.VM().Launch(app.Kernel, c, mem, nil); err != nil {
 					return nil, fmt.Errorf("%s on %s: %w", app.ID, b, err)
 				}
+				per[r] = time.Since(start)
 			}
-			walls[bi] = time.Since(start)
+			perRun[bi] = per
+			for _, d := range per {
+				walls[bi] += d
+			}
 		}
 		bcodeWall := walls[0]
 		for bi, b := range backends {
@@ -466,10 +504,14 @@ func runFunctional(cfg harness.Config) ([]appBenchJSON, error) {
 		}
 		entry := appBenchJSON{App: app.ID}
 		for bi, b := range backends {
+			_, minMS, meanMS, stddevMS := launchStats(perRun[bi])
 			entry.Backends = append(entry.Backends, appRunJSON{
 				Backend:       b,
 				WallMS:        float64(walls[bi]) / float64(time.Millisecond),
 				NsPerItem:     float64(walls[bi].Nanoseconds()) / float64(items),
+				MinMS:         minMS,
+				MeanMS:        meanMS,
+				StddevMS:      stddevMS,
 				SpeedupInterp: float64(walls[0]) / float64(walls[bi]),
 				SpeedupBcode:  float64(bcodeWall) / float64(walls[bi]),
 			})

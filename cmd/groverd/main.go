@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"grover/internal/jit"
 	"grover/internal/service"
 	"grover/internal/vm"
 	"grover/opencl"
@@ -40,6 +41,7 @@ func main() {
 	cacheCap := flag.Int("cache", 0, "artifact cache capacity in entries (0 = default 256)")
 	workers := flag.Int("workers", 0, "max concurrent compile/tune jobs (0 = GOMAXPROCS)")
 	backend := flag.String("backend", "", "default execution backend (default: $GROVER_BACKEND, else interp)")
+	jitNative := flag.Bool("jit-native", false, "enable the jit backend's native code generation (also: GROVER_JIT=native)")
 	storePath := flag.String("store", "", "persist the predictive-autotuning feature store at this path (empty = memory-only)")
 	storeMax := flag.Int("store-max", 0, "feature-store record bound (0 = unbounded)")
 	seedDir := flag.String("seed", "", "seed the feature store from the BENCH_*.json sweeps in this directory")
@@ -56,6 +58,9 @@ func main() {
 	if *backend != "" && !vm.ValidBackend(*backend) {
 		logger.Error("unknown backend", "backend", *backend, "available", strings.Join(vm.Backends(), ", "))
 		os.Exit(2)
+	}
+	if *jitNative {
+		jit.SetNative(true)
 	}
 	srv := service.New(service.Config{
 		CacheCapacity:   *cacheCap,

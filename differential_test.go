@@ -13,7 +13,7 @@ import (
 )
 
 // planDiffBackends are the backends every rewrite plan must agree on.
-var planDiffBackends = []string{"interp", "bcode", "wgvec"}
+var planDiffBackends = []string{"interp", "bcode", "wgvec", "jit"}
 
 // planSpace is the differential plan list for one app: the Grover
 // direction pinned to the app's candidate set, address hoisting alone and

@@ -16,13 +16,14 @@ import (
 	"grover/internal/bcode"
 	"grover/internal/device"
 	igrover "grover/internal/grover"
+	"grover/internal/jit"
 	"grover/internal/vm"
 	"grover/internal/wgvec"
 	"grover/opencl"
 )
 
 // backends under comparison; the interpreter is the reference.
-var backends = []string{vm.BackendInterp, bcode.Name, wgvec.Name}
+var backends = []string{vm.BackendInterp, bcode.Name, wgvec.Name, jit.Name}
 
 func TestBackendDifferentialApps(t *testing.T) {
 	profiles := device.All()

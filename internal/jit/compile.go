@@ -1,0 +1,321 @@
+package jit
+
+import (
+	"errors"
+	"fmt"
+
+	"grover/internal/analysis"
+	"grover/internal/analysis/graph"
+	"grover/internal/bcode"
+	"grover/internal/ir"
+)
+
+// stepFn is one pre-bound step of a closure-threaded program: it
+// executes the instruction run starting at its pc for the masked lanes
+// and returns the next pc to thread to, or stepDone when the masked
+// lanes left the segment (divergence, return, barrier) with fr.pcs
+// already updated.
+type stepFn func(g *groupState, depth int, fr *frame, mask []int32) (int32, error)
+
+// opFn is one pre-bound non-control instruction. full is true when mask
+// is the identity permutation of all lanes, letting the closure take a
+// dense bounds-check-eliminated loop instead of a masked sweep.
+type opFn func(g *groupState, fr *frame, mask []int32, full bool) error
+
+// program is one function compiled to a closure-threaded region
+// program: a step closure per pc plus the scheduling metadata the
+// reconvergence scheduler shares with wgvec.
+type program struct {
+	bf      *bcode.BFunc
+	blockOf []int32 // pc → block index
+	prio    []int32 // block index → scheduling priority (RPO position)
+	steps   []stepFn
+}
+
+var errBarrierInCall = errors.New("vm: barrier inside a function call is unsupported")
+
+// lane0Mask is the shared single-lane mask for uniform execute-once.
+var lane0Mask = []int32{0}
+
+// isControl reports whether the opcode ends a straight-line run: the
+// scheduler and step terminators handle these, never opFns.
+func isControl(op bcode.Opcode) bool {
+	switch op {
+	case bcode.OpJmp, bcode.OpCondBrI, bcode.OpCondBrF,
+		bcode.OpRet, bcode.OpRetI, bcode.OpRetF, bcode.OpRetVI, bcode.OpRetVF,
+		bcode.OpBarrier, bcode.OpCall, bcode.OpTrap:
+		return true
+	}
+	return false
+}
+
+// newProgram compiles one function to a closure-threaded program. root
+// marks functions whose parameters are work-group-uniform (kernels
+// never called as functions); only those get uniform execute-once
+// treatment, mirroring wgvec so the two backends broadcast in exactly
+// the same cases.
+func newProgram(bf *bcode.BFunc, root bool) *program {
+	fn := bf.Fn
+	pr := &program{
+		bf:      bf,
+		blockOf: make([]int32, len(bf.Code)),
+	}
+	nb := len(fn.Blocks)
+	if nb == 0 {
+		pr.prio = []int32{0}
+	} else {
+		for bi := 0; bi < nb; bi++ {
+			start := bf.BlockStart[bi]
+			end := int32(len(bf.Code))
+			if bi+1 < nb {
+				end = bf.BlockStart[bi+1]
+			}
+			for pc := start; pc < end; pc++ {
+				pr.blockOf[pc] = int32(bi)
+			}
+		}
+		cfg := analysis.NewCFG(fn)
+		// Reverse post-order places every block of a divergence region
+		// before the region's immediate post-dominator (for reducible
+		// CFGs), so the min-priority scheduler keeps divergent work-items
+		// inside the region until all of them arrive at the reconvergence
+		// point.
+		pr.prio = make([]int32, nb)
+		for i := range pr.prio {
+			pr.prio[i] = int32(nb) // unreachable blocks last; never executed
+		}
+		for i, b := range graph.ReversePostOrder(nb, cfg.Succ, 0) {
+			pr.prio[b] = int32(i)
+		}
+	}
+
+	uniform := make([]bool, len(bf.Code))
+	if root && nb > 0 {
+		cfg := analysis.NewCFG(fn)
+		u := analysis.ComputeUniformity(cfg, analysis.ComputeReachingDefs(cfg))
+		for pc := range bf.Code {
+			uniform[pc] = uniformInst(&bf.Code[pc], u)
+		}
+	}
+
+	pr.compileSteps(uniform)
+	return pr
+}
+
+// compileSteps lowers the bytecode to one step closure per pc. Steps
+// are built back to front so a straight-line run can capture its
+// terminator step directly. A compare feeding an immediately following
+// conditional branch is fused into one closure that writes the compare
+// column and splits the mask in a single sweep.
+func (pr *program) compileSteps(uniform []bool) {
+	bf := pr.bf
+	code := bf.Code
+	n := len(code)
+	pr.steps = make([]stepFn, n)
+
+	// Fused compare+branch sites: the compare pc acts as a run
+	// terminator. The compare column is still written, so any other
+	// reader of the register sees the same value as under wgvec.
+	fused := make([]bool, n)
+	for pc := 0; pc+1 < n; pc++ {
+		if code[pc+1].Op == bcode.OpCondBrI && code[pc+1].A == code[pc].A &&
+			isFusableCmp(code[pc].Op) && pr.blockOf[pc] == pr.blockOf[pc+1] {
+			fused[pc] = true
+		}
+	}
+
+	// Pre-compile every non-control instruction to its opFn.
+	ops := make([]opFn, n)
+	for pc := 0; pc < n; pc++ {
+		in := &code[pc]
+		if isControl(in.Op) || fused[pc] {
+			continue
+		}
+		ops[pc] = pr.compileOp(in, uniform[pc])
+	}
+
+	for pc := n - 1; pc >= 0; pc-- {
+		in := &code[pc]
+		switch {
+		case fused[pc]:
+			pr.steps[pc] = makeCmpBr(in, &code[pc+1])
+		case isControl(in.Op):
+			pr.steps[pc] = pr.compileControl(int32(pc), in)
+		default:
+			// Straight-line run: all opFns up to the next terminator,
+			// then the terminator step itself.
+			end := pc + 1
+			for end < n && ops[end] != nil {
+				end++
+			}
+			var term stepFn
+			if end < n {
+				term = pr.steps[end]
+			} else {
+				// bcode functions always end in a terminator; defend
+				// against a malformed program anyway.
+				term = func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+					return stepDone, laneErr(mask[0], errors.New("jit: fell off end of code"))
+				}
+			}
+			pr.steps[pc] = makeRun(ops[pc:end], term)
+		}
+	}
+}
+
+// makeRun chains a straight-line run of pre-bound ops into one step.
+func makeRun(run []opFn, term stepFn) stepFn {
+	if len(run) == 1 {
+		op := run[0]
+		return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+			if err := op(g, fr, mask, len(mask) == fr.n); err != nil {
+				return stepDone, err
+			}
+			return term(g, depth, fr, mask)
+		}
+	}
+	return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+		full := len(mask) == fr.n
+		for _, op := range run {
+			if err := op(g, fr, mask, full); err != nil {
+				return stepDone, err
+			}
+		}
+		return term(g, depth, fr, mask)
+	}
+}
+
+// compileControl builds the step for one control instruction.
+func (pr *program) compileControl(pc int32, in *bcode.Inst) stepFn {
+	switch in.Op {
+	case bcode.OpJmp:
+		tgt := int32(in.Imm)
+		return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+			return tgt, nil
+		}
+
+	case bcode.OpCondBrI:
+		a, t, f := in.A, int32(in.Imm), in.N
+		return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+			x := fr.ri[a]
+			segT, segF := g.maskT[:0], g.maskF[:0]
+			for _, l := range mask {
+				if x[l] != 0 {
+					segT = append(segT, l)
+				} else {
+					segF = append(segF, l)
+				}
+			}
+			g.maskT, g.maskF = segT, segF
+			return branchOutcome(fr, segT, segF, t, f)
+		}
+
+	case bcode.OpCondBrF:
+		a, t, f := in.A, int32(in.Imm), in.N
+		return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+			x := fr.rf[a]
+			segT, segF := g.maskT[:0], g.maskF[:0]
+			for _, l := range mask {
+				if x[l] != 0 {
+					segT = append(segT, l)
+				} else {
+					segF = append(segF, l)
+				}
+			}
+			g.maskT, g.maskF = segT, segF
+			return branchOutcome(fr, segT, segF, t, f)
+		}
+
+	case bcode.OpRet, bcode.OpRetI, bcode.OpRetF, bcode.OpRetVI, bcode.OpRetVF:
+		op, b := in.Op, in.B
+		return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+			if depth == 0 {
+				for _, l := range mask {
+					fr.pcs[l] = -1
+				}
+				return stepDone, nil
+			}
+			retLanes(fr, op, b, mask)
+			return stepDone, nil
+		}
+
+	case bcode.OpBarrier:
+		irIn := in.In
+		resume := pc + 1
+		return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+			if depth != 0 {
+				return stepDone, laneErr(mask[0], errBarrierInCall)
+			}
+			for _, l := range mask {
+				fr.pcs[l] = -2
+				g.barInstr[l] = irIn
+				g.resumePC[l] = resume
+			}
+			return stepDone, nil
+		}
+
+	case bcode.OpTrap:
+		err := errors.New(pr.bf.Aux[in.Imm].Name)
+		return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+			return stepDone, laneErr(mask[0], err)
+		}
+
+	case bcode.OpCall:
+		inst := in
+		next := pc + 1
+		return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+			if err := g.callStep(depth, fr, inst, mask); err != nil {
+				return stepDone, err
+			}
+			return next, nil
+		}
+	}
+	panic(fmt.Sprintf("jit: compileControl on non-control opcode %d", in.Op))
+}
+
+// branchOutcome resolves a conditional branch after the mask split: a
+// branch all active lanes agree on continues the segment inline; only
+// genuine divergence parks the lanes and returns to the scheduler.
+func branchOutcome(fr *frame, segT, segF []int32, t, f int32) (int32, error) {
+	if len(segF) == 0 {
+		return t, nil
+	}
+	if len(segT) == 0 {
+		return f, nil
+	}
+	for _, l := range segT {
+		fr.pcs[l] = t
+	}
+	for _, l := range segF {
+		fr.pcs[l] = f
+	}
+	return stepDone, nil
+}
+
+// uniformInst mirrors wgvec's uniform-instruction predicate exactly:
+// the two backends must broadcast in the same cases to stay
+// bit-identical even where the uniformity analysis is conservative.
+func uniformInst(in *bcode.Inst, u *analysis.Uniformity) bool {
+	switch in.Op {
+	case bcode.OpNop, bcode.OpJmp, bcode.OpCondBrI, bcode.OpCondBrF,
+		bcode.OpRet, bcode.OpRetI, bcode.OpRetF, bcode.OpRetVI, bcode.OpRetVF,
+		bcode.OpBarrier, bcode.OpCall, bcode.OpTrap:
+		return false
+	}
+	src := in.In
+	if src == nil || src.Block == nil || u.DivergentBlock(src.Block) {
+		return false
+	}
+	if src.Op == ir.OpStore {
+		for _, a := range src.Args {
+			if u.Divergent(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if !src.Producing() {
+		return false
+	}
+	return !u.Divergent(src)
+}

@@ -1,0 +1,7 @@
+package jit
+
+// Test-only exports for the external native_test package.
+var (
+	ResetNativeForTest = resetNativeForTest
+	NativeCacheDirFor  = nativeCacheDir
+)

@@ -1,0 +1,376 @@
+package jit
+
+import (
+	"fmt"
+	"math"
+
+	"grover/internal/bcode"
+	"grover/internal/clc"
+	"grover/internal/ir"
+	"grover/internal/vm"
+)
+
+// execGeneric is the shared sweep for the long tail of non-control,
+// non-memory opcodes — vector arithmetic, shapes, conversions, and
+// runtime-dimension queries. Semantics match wgvec's execOp case for
+// case; the hot scalar opcodes never reach here (compileScalar gives
+// them dedicated closures), but every opcode stays covered so a
+// compiler change cannot silently produce an unexecutable program.
+func (g *groupState) execGeneric(fr *frame, in *bcode.Inst, mask []int32) error {
+	ri, rf := fr.ri, fr.rf
+	switch in.Op {
+	case bcode.OpNop:
+
+	case bcode.OpWIQ:
+		d, dim := ri[in.A], ri[in.B]
+		for _, l := range mask {
+			d[l] = g.wiQueryLane(l, in.N, dim[l])
+		}
+
+	case bcode.OpVNegF:
+		ld := fr.bf.VecFLens[in.A]
+		d, s := fr.vf[in.A], fr.vf[in.B]
+		for _, l := range mask {
+			o := int(l) * ld
+			for i := 0; i < ld; i++ {
+				d[o+i] = -s[o+i]
+			}
+		}
+	case bcode.OpVNegI:
+		ld := fr.bf.VecILens[in.A]
+		d, s := fr.vi[in.A], fr.vi[in.B]
+		k := clc.ScalarKind(in.Kind)
+		for _, l := range mask {
+			o := int(l) * ld
+			for i := 0; i < ld; i++ {
+				d[o+i] = vm.NormInt(-s[o+i], k)
+			}
+		}
+	case bcode.OpVNotI:
+		ld := fr.bf.VecILens[in.A]
+		d, s := fr.vi[in.A], fr.vi[in.B]
+		k := clc.ScalarKind(in.Kind)
+		for _, l := range mask {
+			o := int(l) * ld
+			for i := 0; i < ld; i++ {
+				d[o+i] = vm.NormInt(^s[o+i], k)
+			}
+		}
+
+	case bcode.OpVConv:
+		g.vconvCol(fr, in, mask)
+
+	case bcode.OpVAddF:
+		ld := fr.bf.VecFLens[in.A]
+		d, x, y := fr.vf[in.A], fr.vf[in.B], fr.vf[in.C]
+		if in.Kind == kF32 {
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					d[o+i] = float64(float32(x[o+i] + y[o+i]))
+				}
+			}
+		} else {
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					d[o+i] = x[o+i] + y[o+i]
+				}
+			}
+		}
+	case bcode.OpVSubF:
+		ld := fr.bf.VecFLens[in.A]
+		d, x, y := fr.vf[in.A], fr.vf[in.B], fr.vf[in.C]
+		if in.Kind == kF32 {
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					d[o+i] = float64(float32(x[o+i] - y[o+i]))
+				}
+			}
+		} else {
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					d[o+i] = x[o+i] - y[o+i]
+				}
+			}
+		}
+	case bcode.OpVMulF:
+		ld := fr.bf.VecFLens[in.A]
+		d, x, y := fr.vf[in.A], fr.vf[in.B], fr.vf[in.C]
+		if in.Kind == kF32 {
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					d[o+i] = float64(float32(x[o+i] * y[o+i]))
+				}
+			}
+		} else {
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					d[o+i] = x[o+i] * y[o+i]
+				}
+			}
+		}
+	case bcode.OpVDivF:
+		ld := fr.bf.VecFLens[in.A]
+		d, x, y := fr.vf[in.A], fr.vf[in.B], fr.vf[in.C]
+		if in.Kind == kF32 {
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					d[o+i] = float64(float32(x[o+i] / y[o+i]))
+				}
+			}
+		} else {
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					d[o+i] = x[o+i] / y[o+i]
+				}
+			}
+		}
+	case bcode.OpVBinF:
+		ld := fr.bf.VecFLens[in.A]
+		d, x, y := fr.vf[in.A], fr.vf[in.B], fr.vf[in.C]
+		op, k := ir.Op(in.Sub), clc.ScalarKind(in.Kind)
+		for _, l := range mask {
+			o := int(l) * ld
+			for i := 0; i < ld; i++ {
+				v, err := vm.FloatBin(op, k, x[o+i], y[o+i])
+				if err != nil {
+					return laneErr(l, err)
+				}
+				d[o+i] = v
+			}
+		}
+	case bcode.OpVBinI:
+		ld := fr.bf.VecILens[in.A]
+		d, x, y := fr.vi[in.A], fr.vi[in.B], fr.vi[in.C]
+		op, k := ir.Op(in.Sub), clc.ScalarKind(in.Kind)
+		for _, l := range mask {
+			o := int(l) * ld
+			for i := 0; i < ld; i++ {
+				v, err := vm.IntBin(op, k, x[o+i], y[o+i])
+				if err != nil {
+					return laneErr(l, err)
+				}
+				d[o+i] = v
+			}
+		}
+
+	case bcode.OpExtI:
+		ls := fr.bf.VecILens[in.B]
+		d, s := ri[in.A], fr.vi[in.B]
+		for _, l := range mask {
+			d[l] = s[int(l)*ls+int(in.Imm)]
+		}
+	case bcode.OpExtF:
+		ls := fr.bf.VecFLens[in.B]
+		d, s := rf[in.A], fr.vf[in.B]
+		for _, l := range mask {
+			d[l] = s[int(l)*ls+int(in.Imm)]
+		}
+	case bcode.OpInsI:
+		ld, ls := fr.bf.VecILens[in.A], fr.bf.VecILens[in.B]
+		m := min(ld, ls)
+		d, s, v := fr.vi[in.A], fr.vi[in.B], ri[in.C]
+		for _, l := range mask {
+			copy(d[int(l)*ld:int(l)*ld+m], s[int(l)*ls:int(l)*ls+m])
+			d[int(l)*ld+int(in.Imm)] = v[l]
+		}
+	case bcode.OpInsF:
+		ld, ls := fr.bf.VecFLens[in.A], fr.bf.VecFLens[in.B]
+		m := min(ld, ls)
+		d, s, v := fr.vf[in.A], fr.vf[in.B], rf[in.C]
+		for _, l := range mask {
+			copy(d[int(l)*ld:int(l)*ld+m], s[int(l)*ls:int(l)*ls+m])
+			d[int(l)*ld+int(in.Imm)] = v[l]
+		}
+	case bcode.OpShufI:
+		ld, ls := fr.bf.VecILens[in.A], fr.bf.VecILens[in.B]
+		comps := fr.bf.Aux[in.Imm].Comps
+		d, s := fr.vi[in.A], fr.vi[in.B]
+		for _, l := range mask {
+			od, os := int(l)*ld, int(l)*ls
+			for i, c := range comps {
+				d[od+i] = s[os+int(c)]
+			}
+		}
+	case bcode.OpShufF:
+		ld, ls := fr.bf.VecFLens[in.A], fr.bf.VecFLens[in.B]
+		comps := fr.bf.Aux[in.Imm].Comps
+		d, s := fr.vf[in.A], fr.vf[in.B]
+		for _, l := range mask {
+			od, os := int(l)*ld, int(l)*ls
+			for i, c := range comps {
+				d[od+i] = s[os+int(c)]
+			}
+		}
+	case bcode.OpBuildI:
+		ld := fr.bf.VecILens[in.A]
+		refs := fr.bf.Aux[in.Imm].Refs
+		d := fr.vi[in.A]
+		for _, l := range mask {
+			o := int(l) * ld
+			for i, r := range refs {
+				d[o+i] = ri[r.Idx][l]
+			}
+		}
+	case bcode.OpBuildF:
+		ld := fr.bf.VecFLens[in.A]
+		refs := fr.bf.Aux[in.Imm].Refs
+		d := fr.vf[in.A]
+		for _, l := range mask {
+			o := int(l) * ld
+			for i, r := range refs {
+				d[o+i] = rf[r.Idx][l]
+			}
+		}
+
+	case bcode.OpDotVF:
+		ls := fr.bf.VecFLens[in.B]
+		d, x, y := rf[in.A], fr.vf[in.B], fr.vf[in.C]
+		k := clc.ScalarKind(in.Kind)
+		for _, l := range mask {
+			o := int(l) * ls
+			var sum float64
+			for i := 0; i < ls; i++ {
+				sum += x[o+i] * y[o+i]
+			}
+			d[l] = vm.Round32(k, sum)
+		}
+	case bcode.OpLenVF:
+		ls := fr.bf.VecFLens[in.B]
+		d, x := rf[in.A], fr.vf[in.B]
+		k := clc.ScalarKind(in.Kind)
+		for _, l := range mask {
+			o := int(l) * ls
+			var sum float64
+			for i := 0; i < ls; i++ {
+				sum += x[o+i] * x[o+i]
+			}
+			d[l] = vm.Round32(k, math.Sqrt(sum))
+		}
+
+	case bcode.OpVMathF:
+		ax := &fr.bf.Aux[in.Imm]
+		ld := fr.bf.VecFLens[in.A]
+		d := fr.vf[in.A]
+		fa := g.scratchF(len(ax.Refs))
+		k := clc.ScalarKind(in.Kind)
+		for _, l := range mask {
+			o := int(l) * ld
+			for j := 0; j < ld; j++ {
+				for i, r := range ax.Refs {
+					fa[i] = fr.vf[r.Idx][o+j]
+				}
+				v, err := vm.MathF(ax.Name, k, fa)
+				if err != nil {
+					return laneErr(l, err)
+				}
+				d[o+j] = v
+			}
+		}
+	case bcode.OpVMathI:
+		ax := &fr.bf.Aux[in.Imm]
+		ld := fr.bf.VecILens[in.A]
+		d := fr.vi[in.A]
+		ia := g.scratchI(len(ax.Refs))
+		k := clc.ScalarKind(in.Kind)
+		for _, l := range mask {
+			o := int(l) * ld
+			for j := 0; j < ld; j++ {
+				for i, r := range ax.Refs {
+					ia[i] = fr.vi[r.Idx][o+j]
+				}
+				v, err := vm.MathI(ax.Name, k, ia)
+				if err != nil {
+					return laneErr(l, err)
+				}
+				d[o+j] = v
+			}
+		}
+
+	default:
+		return laneErr(mask[0], fmt.Errorf("jit: invalid opcode %d", in.Op))
+	}
+	return nil
+}
+
+// vconvCol performs a lane-wise vector conversion for all masked lanes.
+// The source and destination lane counts match (the compiler traps
+// mismatched conversions), so one offset walks both columns.
+func (g *groupState) vconvCol(fr *frame, in *bcode.Inst, mask []int32) {
+	from := clc.ScalarKind(in.Sub)
+	to := clc.ScalarKind(in.Kind)
+	if from.IsFloat() {
+		s := fr.vf[in.B]
+		if to.IsFloat() {
+			ld := fr.bf.VecFLens[in.A]
+			d := fr.vf[in.A]
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					_, d[o+i] = vm.ConvertKind(0, s[o+i], from, to)
+				}
+			}
+		} else {
+			ld := fr.bf.VecILens[in.A]
+			d := fr.vi[in.A]
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					d[o+i], _ = vm.ConvertKind(0, s[o+i], from, to)
+				}
+			}
+		}
+	} else {
+		s := fr.vi[in.B]
+		if to.IsFloat() {
+			ld := fr.bf.VecFLens[in.A]
+			d := fr.vf[in.A]
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					_, d[o+i] = vm.ConvertKind(s[o+i], 0, from, to)
+				}
+			}
+		} else {
+			ld := fr.bf.VecILens[in.A]
+			d := fr.vi[in.A]
+			for _, l := range mask {
+				o := int(l) * ld
+				for i := 0; i < ld; i++ {
+					d[o+i], _ = vm.ConvertKind(s[o+i], 0, from, to)
+				}
+			}
+		}
+	}
+}
+
+// wiQueryLane answers a runtime-dimension work-item query for one lane.
+func (g *groupState) wiQueryLane(l int32, q int32, d int64) int64 {
+	if d < 0 || d > 2 {
+		return 0
+	}
+	switch q {
+	case bcode.QGlobalID:
+		return g.gidCol[d][l]
+	case bcode.QLocalID:
+		return g.lidCol[d][l]
+	case bcode.QGroupID:
+		return g.grp[d]
+	case bcode.QGlobalSize:
+		return g.gsz[d]
+	case bcode.QLocalSize:
+		return g.lsz[d]
+	case bcode.QNumGroups:
+		return g.ngrp[d]
+	case bcode.QWorkDim:
+		return 3
+	}
+	return 0
+}

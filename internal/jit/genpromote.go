@@ -1,0 +1,507 @@
+package jit
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"grover/internal/bcode"
+	"grover/internal/clc"
+	"grover/internal/ir"
+)
+
+// Private-slot promotion.
+//
+// Work-item private memory is unobservable: the host never reads the
+// private arena back, and no other lane can address it. Kernels still
+// pay real memory traffic for it — accumulators and loop counters
+// compiled from addressable locals round-trip through the byte arena
+// (decode + bounds check + encode) on every loop iteration, and that
+// traffic dominates the flat profile of the accumulator-heavy apps
+// (n-body is ~9 private round-trips per inner iteration).
+//
+// When every private access in a kernel hits a statically known,
+// in-frame, non-overlapping byte range, those ranges are promoted to Go
+// locals and the arena traffic disappears. The promotion is still
+// observationally exact, including the one way private memory *can*
+// leak across executions — a later launch or group reusing the same
+// arena buffer and reading bytes a previous kernel left behind:
+//
+//   - on fresh entry each promoted slot is decoded from its arena bytes
+//     (reproducing whatever a previous occupant left there, zero or
+//     stale), and
+//   - on kernel return each slot is encoded back to its arena bytes.
+//
+// Int slots hold the zero-extended stored bits, so differently-signed
+// loads of one slot each apply their own decode; float slots hold the
+// decoded float64 (for 4-byte slots that value is exactly
+// float64(float32(x)) — the same double rounding the arena round-trip
+// performs). Anything the analysis cannot prove — a call (callees
+// address the frame through fb), a fused or vector-indexed private
+// access, an address register that is not a compile-time constant, an
+// access whose address space is not statically known — disables
+// promotion for the whole kernel, never just one slot: a single
+// untracked private access could alias a promoted range.
+
+// pmSlot is one promoted private-frame byte range held in Go locals.
+type pmSlot struct {
+	idx   int   // local name is pm<idx>
+	off   int64 // frame byte offset
+	es    int   // element size in bytes
+	lanes int   // 1 for scalar slots, else a vector register's lane count
+	flt   bool  // float bank (decoded float64) vs int bank (zero-extended bits)
+}
+
+func (s *pmSlot) name() string { return fmt.Sprintf("pm%d", s.idx) }
+func (s *pmSlot) size() int64  { return int64(s.es * s.lanes) }
+
+// elem is the Go lvalue for lane j of the slot.
+func (s *pmSlot) elem(j int) string {
+	if s.lanes == 1 {
+		return s.name()
+	}
+	return fmt.Sprintf("%s[%d]", s.name(), j)
+}
+
+// pmAccess is one classified private-memory access.
+type pmAccess struct {
+	pc    int
+	off   int64
+	es    int
+	lanes int
+	flt   bool
+}
+
+// scalarMemClass classifies the plain (unfused) scalar memory opcodes:
+// element size, bank, the element decode kind, and store-ness.
+func scalarMemClass(op bcode.Opcode) (es int, flt bool, k clc.ScalarKind, store, ok bool) {
+	switch op {
+	case bcode.OpLdI8:
+		return 1, false, clc.KChar, false, true
+	case bcode.OpLdU8:
+		return 1, false, clc.KUChar, false, true
+	case bcode.OpLdI16:
+		return 2, false, clc.KShort, false, true
+	case bcode.OpLdU16:
+		return 2, false, clc.KUShort, false, true
+	case bcode.OpLdI32:
+		return 4, false, clc.KInt, false, true
+	case bcode.OpLdU32:
+		return 4, false, clc.KUInt, false, true
+	case bcode.OpLdI64:
+		return 8, false, clc.KLong, false, true
+	case bcode.OpLdF32:
+		return 4, true, clc.KFloat, false, true
+	case bcode.OpLdF64:
+		return 8, true, clc.KDouble, false, true
+	case bcode.OpStI8:
+		return 1, false, clc.KChar, true, true
+	case bcode.OpStI16:
+		return 2, false, clc.KShort, true, true
+	case bcode.OpStI32:
+		return 4, false, clc.KInt, true, true
+	case bcode.OpStI64:
+		return 8, false, clc.KLong, true, true
+	case bcode.OpStF32:
+		return 4, true, clc.KFloat, true, true
+	case bcode.OpStF64:
+		return 8, true, clc.KDouble, true, true
+	}
+	return 0, false, 0, false, false
+}
+
+// isMemOp reports whether the opcode addresses memory at all (scalar or
+// vector, plain or fused).
+func isMemOp(op bcode.Opcode) bool {
+	if _, _, _, _, ok := scalarMemClass(op); ok {
+		return true
+	}
+	if fusedMem(op) {
+		return true
+	}
+	switch op {
+	case bcode.OpLdVI, bcode.OpLdVF, bcode.OpStVI, bcode.OpStVF:
+		return true
+	}
+	return false
+}
+
+// memSpace returns the access's statically known address space from
+// its IR operand; known=false when the operand is unavailable (the
+// codegen then falls back to the runtime tag decode).
+func memSpace(in *bcode.Inst) (clc.AddrSpace, bool) {
+	if in.In != nil && len(in.In.Args) > 0 {
+		t := in.In.Args[0].Type()
+		if _, ok := t.(*clc.PointerType); ok {
+			return ir.PointerSpace(t), true
+		}
+	}
+	return 0, false
+}
+
+// writeLine matches an int-register assignment at the start of an
+// emitted line; emitInst produces every int-register write in exactly
+// this shape (there are no compound assignments), so scanning the dry
+// render recovers each instruction's destination set without a
+// per-opcode operand table.
+var writeLine = regexp.MustCompile(`(?m)^r([0-9]+) = `)
+
+// computePromote decides the kernel's promoted private slots. It must
+// run after scan (barrier sites are needed by the dry render) and
+// before computeBarLive (the liveness render must see the promoted
+// emission, so promoted slots spill across barriers and dropped
+// address registers do not).
+func (fe *fnEmit) computePromote() {
+	bf := fe.bf
+	code := bf.Code
+	for pc := range code {
+		// Callees reach the frame through fb with their own bounds
+		// discipline; promotion cannot see those accesses.
+		if code[pc].Op == bcode.OpCall {
+			return
+		}
+	}
+
+	// Per-register write sites, from a dry render of the unpromoted code.
+	var sb strings.Builder
+	fe.buf, fe.dry = &sb, true
+	writes := make(map[int][]int)
+	for pc := range code {
+		sb.Reset()
+		fe.emitInst(pc, &code[pc])
+		seen := map[int]bool{}
+		for _, m := range writeLine.FindAllStringSubmatch(sb.String(), -1) {
+			r, _ := strconv.Atoi(m[1])
+			if !seen[r] {
+				seen[r] = true
+				writes[r] = append(writes[r], pc)
+			}
+		}
+	}
+	fe.buf, fe.dry = nil, false
+
+	// Stable int registers: registers whose value is the same
+	// compile-time constant at every point after their (unique)
+	// definition. Seeds are never-written constant-region registers;
+	// the closure follows single-write const/alloca/move/index chains.
+	// Dominance (defs execute before uses) makes the single write's
+	// value the register's value at every use.
+	isParam := map[int]bool{}
+	for _, p := range bf.Params {
+		if p.Bank == bcode.BankInt {
+			isParam[int(p.Idx)] = true
+		}
+	}
+	stable := make(map[int]int64)
+	for r, v := range bf.IntConsts {
+		if len(writes[r]) == 0 && !isParam[r] {
+			stable[r] = v
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for r := 0; r < bf.NInt; r++ {
+			if _, ok := stable[r]; ok {
+				continue
+			}
+			ws := writes[r]
+			if len(ws) != 1 || isParam[r] {
+				continue
+			}
+			in := &code[ws[0]]
+			if int(in.A) != r {
+				continue
+			}
+			var v int64
+			switch in.Op {
+			case bcode.OpConstI, bcode.OpAllocaP:
+				// Kernel AllocaP yields the raw frame offset (private
+				// tag is 0); the callee form is excluded by the no-call
+				// check above.
+				v = in.Imm
+			case bcode.OpZeroI:
+				v = 0
+			case bcode.OpMovI:
+				b, ok := stable[int(in.B)]
+				if !ok {
+					continue
+				}
+				v = b
+			case bcode.OpIndexC:
+				b, ok := stable[int(in.B)]
+				if !ok {
+					continue
+				}
+				v = b + in.Imm
+			case bcode.OpIndex:
+				b, okB := stable[int(in.B)]
+				c, okC := stable[int(in.C)]
+				if !okB || !okC {
+					continue
+				}
+				v = b + c*in.Imm
+			default:
+				continue
+			}
+			stable[r] = v
+			changed = true
+		}
+	}
+
+	// Classify every private access; any access the analysis cannot pin
+	// to a constant in-frame range disables promotion for the kernel.
+	var accs []pmAccess
+	for pc := range code {
+		in := &code[pc]
+		if !isMemOp(in.Op) {
+			continue
+		}
+		sp, known := memSpace(in)
+		if !known {
+			return // runtime tag decode could select the private arena
+		}
+		if sp != clc.ASPrivate {
+			continue
+		}
+		if fusedMem(in.Op) {
+			return // dynamically indexed private access
+		}
+		a := pmAccess{pc: pc}
+		switch in.Op {
+		case bcode.OpLdVI, bcode.OpStVI:
+			k := clc.ScalarKind(in.Kind)
+			a.es, a.lanes, a.flt = k.Size(), int(in.Sub), false
+		case bcode.OpLdVF, bcode.OpStVF:
+			k := clc.ScalarKind(in.Kind)
+			a.es, a.lanes, a.flt = k.Size(), int(in.Sub), true
+		default:
+			es, flt, _, _, ok := scalarMemClass(in.Op)
+			if !ok || es != int(in.N) {
+				return
+			}
+			a.es, a.lanes, a.flt = es, 1, flt
+		}
+		v, ok := stable[int(in.B)]
+		if !ok || v < 0 || v>>62 != 0 {
+			return
+		}
+		a.off = v
+		if a.off+int64(a.es*a.lanes) > int64(bf.FrameSize) {
+			return
+		}
+		accs = append(accs, a)
+	}
+	if len(accs) == 0 {
+		return
+	}
+
+	// Group by offset; an offset is promotable when every access agrees
+	// on shape, and survives only if no access at another offset
+	// overlaps its range (an overlapping arena access would see the
+	// slot's stale bytes mid-kernel).
+	byOff := make(map[int64][]pmAccess)
+	for _, a := range accs {
+		byOff[a.off] = append(byOff[a.off], a)
+	}
+	var slots []*pmSlot
+	for off, as := range byOff {
+		base := as[0]
+		ok := true
+		for _, a := range as[1:] {
+			if a.es != base.es || a.lanes != base.lanes || a.flt != base.flt {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		s := &pmSlot{off: off, es: base.es, lanes: base.lanes, flt: base.flt}
+		overlap := false
+		for _, a := range accs {
+			if a.off != off && a.off < off+s.size() && off < a.off+int64(a.es*a.lanes) {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
+			slots = append(slots, s)
+		}
+	}
+	if len(slots) == 0 {
+		return
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i].off < slots[j].off })
+	bySlotOff := make(map[int64]*pmSlot, len(slots))
+	for i, s := range slots {
+		s.idx = i
+		bySlotOff[s.off] = s
+	}
+	fe.promList = slots
+	fe.promAt = make(map[int]*pmSlot)
+	for _, a := range accs {
+		if s := bySlotOff[a.off]; s != nil {
+			fe.promAt[a.pc] = s
+		}
+	}
+}
+
+// pmIntDecode is the register value of an int slot element (the
+// zero-extended stored bits) under the load's kind — the same result
+// the arena decode of the stored bytes produces.
+func pmIntDecode(k clc.ScalarKind, x string) string {
+	switch k {
+	case clc.KBool, clc.KUChar:
+		return fmt.Sprintf("int64(uint8(%s))", x)
+	case clc.KChar:
+		return fmt.Sprintf("int64(int8(%s))", x)
+	case clc.KShort:
+		return fmt.Sprintf("int64(int16(%s))", x)
+	case clc.KUShort:
+		return fmt.Sprintf("int64(uint16(%s))", x)
+	case clc.KInt:
+		return fmt.Sprintf("int64(int32(%s))", x)
+	case clc.KUInt:
+		return fmt.Sprintf("int64(uint32(%s))", x)
+	}
+	return x
+}
+
+// pmIntEncode zero-extends a stored register value to the slot's
+// element width — the bits the arena encode would have written.
+func pmIntEncode(es int, x string) string {
+	switch es {
+	case 1:
+		return fmt.Sprintf("int64(uint8(%s))", x)
+	case 2:
+		return fmt.Sprintf("int64(uint16(%s))", x)
+	case 4:
+		return fmt.Sprintf("int64(uint32(%s))", x)
+	}
+	return x
+}
+
+// pmFltEncode is the decoded float64 a store leaves in a float slot:
+// 4-byte slots keep the float32 double rounding the arena round-trip
+// performs.
+func pmFltEncode(es int, x string) string {
+	if es == 4 {
+		return fmt.Sprintf("float64(float32(%s))", x)
+	}
+	return x
+}
+
+// emitPromAccess lowers a promoted private access: no address
+// computation, no bounds check, no arena traffic.
+func (fe *fnEmit) emitPromAccess(in *bcode.Inst, s *pmSlot) {
+	A := in.A
+	k := clc.ScalarKind(in.Kind)
+	switch in.Op {
+	case bcode.OpLdVI:
+		for j := 0; j < s.lanes; j++ {
+			fe.wl("v%d[%d] = %s", A, j, pmIntDecode(k, s.elem(j)))
+		}
+	case bcode.OpLdVF:
+		for j := 0; j < s.lanes; j++ {
+			fe.wl("w%d[%d] = %s", A, j, s.elem(j))
+		}
+	case bcode.OpStVI:
+		for j := 0; j < s.lanes; j++ {
+			fe.wl("%s = %s", s.elem(j), pmIntEncode(s.es, fmt.Sprintf("v%d[%d]", A, j)))
+		}
+	case bcode.OpStVF:
+		for j := 0; j < s.lanes; j++ {
+			fe.wl("%s = %s", s.elem(j), pmFltEncode(s.es, fmt.Sprintf("w%d[%d]", A, j)))
+		}
+	default:
+		_, flt, kind, store, _ := scalarMemClass(in.Op)
+		switch {
+		case !store && flt:
+			fe.wl("f%d = %s", A, s.elem(0))
+		case !store:
+			fe.wl("r%d = %s", A, pmIntDecode(kind, s.elem(0)))
+		case flt:
+			fe.wl("%s = %s", s.elem(0), pmFltEncode(s.es, fmt.Sprintf("f%d", A)))
+		default:
+			fe.wl("%s = %s", s.elem(0), pmIntEncode(s.es, fmt.Sprintf("r%d", A)))
+		}
+	}
+}
+
+// emitPmInit decodes every promoted slot from its arena bytes on fresh
+// kernel entry, reproducing exactly what the first arena load of each
+// element would have seen (zero-filled or stale from a previous
+// occupant of the buffer). In-frame offsets make the slice bounds
+// checks unfailing: the private arena is at least FrameSize bytes.
+func (fe *fnEmit) emitPmInit() {
+	for _, s := range fe.promList {
+		for j := 0; j < s.lanes; j++ {
+			off := s.off + int64(j*s.es)
+			fe.wl("%s = %s", s.elem(j), pmMemDecode(s, off))
+		}
+	}
+}
+
+// emitPmWriteback encodes every promoted slot back to its arena bytes;
+// emitted before each kernel return so a later kernel reusing the
+// buffer sees exactly the bytes the arena stores would have left.
+func (fe *fnEmit) emitPmWriteback() {
+	for _, s := range fe.promList {
+		for j := 0; j < s.lanes; j++ {
+			off := s.off + int64(j*s.es)
+			fe.wl("%s", pmMemEncode(s, off, s.elem(j)))
+		}
+	}
+}
+
+func pmMemDecode(s *pmSlot, off int64) string {
+	if s.flt {
+		if s.es == 4 {
+			return fmt.Sprintf("float64(math.Float32frombits(binary.LittleEndian.Uint32(e.pmem[%d:])))", off)
+		}
+		return fmt.Sprintf("math.Float64frombits(binary.LittleEndian.Uint64(e.pmem[%d:]))", off)
+	}
+	switch s.es {
+	case 1:
+		return fmt.Sprintf("int64(e.pmem[%d])", off)
+	case 2:
+		return fmt.Sprintf("int64(binary.LittleEndian.Uint16(e.pmem[%d:]))", off)
+	case 4:
+		return fmt.Sprintf("int64(binary.LittleEndian.Uint32(e.pmem[%d:]))", off)
+	}
+	return fmt.Sprintf("int64(binary.LittleEndian.Uint64(e.pmem[%d:]))", off)
+}
+
+func pmMemEncode(s *pmSlot, off int64, x string) string {
+	if s.flt {
+		if s.es == 4 {
+			return fmt.Sprintf("binary.LittleEndian.PutUint32(e.pmem[%d:], math.Float32bits(float32(%s)))", off, x)
+		}
+		return fmt.Sprintf("binary.LittleEndian.PutUint64(e.pmem[%d:], math.Float64bits(%s))", off, x)
+	}
+	switch s.es {
+	case 1:
+		return fmt.Sprintf("e.pmem[%d] = byte(%s)", off, x)
+	case 2:
+		return fmt.Sprintf("binary.LittleEndian.PutUint16(e.pmem[%d:], uint16(%s))", off, x)
+	case 4:
+		return fmt.Sprintf("binary.LittleEndian.PutUint32(e.pmem[%d:], uint32(%s))", off, x)
+	}
+	return fmt.Sprintf("binary.LittleEndian.PutUint64(e.pmem[%d:], uint64(%s))", off, x)
+}
+
+// spillNeeds sizes the per-lane barrier spill arrays including the
+// promoted slots (which append after the vector lanes in both banks).
+func (fe *fnEmit) spillNeeds() (nI, nF int) {
+	nI, nF = spillSlots(fe.bf)
+	for _, s := range fe.promList {
+		if s.flt {
+			nF += s.lanes
+		} else {
+			nI += s.lanes
+		}
+	}
+	return nI, nF
+}

@@ -1,0 +1,119 @@
+// Package jit is a code-generating execution backend for the kernel VM.
+// Where bcode interprets register bytecode and wgvec sweeps it over
+// columnar lanes, jit eliminates the fetch/decode loop entirely: every
+// bcode region program is lowered at compile time into chains of
+// pre-bound Go closures — one specialized closure per instruction, with
+// operand registers, immediates, scalar kinds, and branch targets all
+// resolved before the first launch. Straight-line instruction runs
+// execute as a flat closure slice with no per-op program-counter
+// bookkeeping, full-mask segments take dense bounds-check-eliminated
+// loops instead of mask-indirected sweeps, and the fused GEP+load /
+// GEP+store superinstructions resolve the address, decode the arena tag,
+// bounds-check, and access memory in a single pass per lane.
+//
+// The backend reuses wgvec's execution structure wholesale: barrier-
+// delimited rounds, per-work-item active masks, and a reconvergence
+// scheduler that always runs the pending program point with minimal
+// (reverse-post-order block priority, pc). Results, error behavior, and
+// memory contents are bit-identical to the other backends.
+//
+// Traced launches (profiling queues, memsim) delegate to the wgvec
+// executor for the same program: trace streams and simulated counters
+// stay backend-invariant by construction, while the untraced hot path —
+// the one the Fig. 10 wall-clock sweep times — always runs generated
+// code. See EXPERIMENTS.md for the invariance argument.
+//
+// Stage 2, gated behind GROVER_JIT=native (or the -jit-native flag on
+// the CLIs), goes one step further: it emits real Go source per kernel,
+// builds it with `go build -buildmode=plugin` (with a subprocess worker
+// as fallback transport), and content-addresses the built artifact in a
+// kcache.DiskStore so a fleet of groverd processes compiles each
+// kernel×plan once. When no Go toolchain is available, or the build
+// fails for any reason, the closure-threaded stage remains the floor.
+//
+// The backend registers itself with the VM under the name "jit";
+// importing the package (a blank import suffices) enables it.
+package jit
+
+import (
+	"context"
+
+	"grover/internal/bcode"
+	"grover/internal/ir"
+	"grover/internal/telemetry"
+	"grover/internal/vm"
+	"grover/internal/wgvec"
+)
+
+// Name is the backend's registration name.
+const Name = "jit"
+
+func init() {
+	vm.RegisterBackend(Name, func(ctx context.Context, p *vm.Program) (vm.Executor, error) {
+		return CompileCtx(ctx, p)
+	})
+}
+
+// Machine is a prepared program compiled to closure-threaded code: one
+// program of pre-bound step closures per function, plus (in native mode)
+// the natively compiled kernels. It implements vm.Executor; the vm
+// caches one Machine per program, and a Machine is safe for concurrent
+// launches from many workers.
+type Machine struct {
+	bm    *bcode.Machine
+	progs map[*ir.Function]*program
+
+	// native holds the stage-2 module when GROVER_JIT=native produced
+	// one; nil means closure-threaded execution only.
+	native *nativeModule
+}
+
+// Compile lowers every function of a prepared program to closure chains.
+func Compile(p *vm.Program) (*Machine, error) {
+	return CompileCtx(context.Background(), p)
+}
+
+// CompileCtx is Compile with span recording: the embedded bytecode
+// compile reports as bcode.compile, the closure lowering (and, in
+// native mode, the source emission and plugin build) as jit.compile.
+func CompileCtx(ctx context.Context, p *vm.Program) (*Machine, error) {
+	bm, err := bcode.CompileCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	defer telemetry.StartSpan(ctx, "jit.compile")()
+	m := &Machine{bm: bm, progs: map[*ir.Function]*program{}}
+	// Uniform execute-once facts assume work-group-uniform parameters,
+	// which holds for launch arguments but not for call arguments; only
+	// kernels that are never themselves called qualify.
+	called := map[*ir.Function]bool{}
+	for _, f := range p.Module.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpCall && in.Callee != nil {
+					called[in.Callee] = true
+				}
+			}
+		}
+	}
+	for _, f := range p.Module.Funcs {
+		m.progs[f] = newProgram(bm.Func(f), f.IsKernel && !called[f])
+	}
+	if NativeEnabled() {
+		// Native compilation is best-effort: any failure (no toolchain,
+		// incompatible host build, unsupported kernel) leaves the
+		// closure-threaded programs as the executable floor.
+		m.native = buildNative(ctx, m)
+	}
+	return m, nil
+}
+
+// Program returns the prepared program this machine executes.
+func (m *Machine) Program() *vm.Program { return m.bm.Program() }
+
+// traceDelegate returns the wgvec executor for the same program. It
+// goes through the program's executor cache, so a traced jit launch and
+// a direct wgvec launch share one compiled wgvec machine.
+func (m *Machine) traceDelegate() (vm.Executor, error) {
+	return m.bm.Program().Executor(wgvec.Name)
+}

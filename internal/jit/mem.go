@@ -1,0 +1,747 @@
+package jit
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"grover/internal/bcode"
+	"grover/internal/clc"
+	"grover/internal/vm"
+)
+
+// Address-space tags, mirroring the vm pointer encoding (top 2 bits; see
+// vm.MakeAddr). Decoded locally so hotArena stays within the inlining
+// budget of the per-lane memory loops.
+const (
+	tagPrivate uint64 = 0
+	tagGlobal  uint64 = 1
+	tagLocal   uint64 = 2
+	tagShift          = 62
+	offMask           = (uint64(1) << tagShift) - 1
+)
+
+// hotArena resolves a lane address with a combined tag decode and bounds
+// check and no error construction, so it inlines into the per-lane load
+// and store loops. ok=false sends the access down the checked resolvers,
+// which produce the canonical out-of-bounds diagnostics.
+func (g *groupState) hotArena(addr uint64, l int32, sz int) ([]byte, uint64, bool) {
+	off := addr & offMask
+	var a []byte
+	switch addr >> tagShift {
+	case tagGlobal:
+		a = g.gmem
+	case tagLocal:
+		a = g.local
+	default:
+		a = g.priv[l]
+	}
+	if int(off)+sz > len(a) {
+		return nil, 0, false
+	}
+	return a, off, true
+}
+
+// arenaLane resolves a tagged address against one lane's arenas, with
+// the interpreter's exact bounds diagnostics.
+func (g *groupState) arenaLane(addr uint64, l int32) ([]byte, uint64, error) {
+	space, off := vm.SplitAddr(addr)
+	switch space {
+	case clc.ASGlobal:
+		if int(off) >= len(g.gmem) {
+			return nil, 0, fmt.Errorf("vm: global access at %d out of bounds (%d)", off, len(g.gmem))
+		}
+		return g.gmem, off, nil
+	case clc.ASLocal:
+		if int(off) >= len(g.local) {
+			return nil, 0, fmt.Errorf("vm: local access at %d out of bounds (%d)", off, len(g.local))
+		}
+		return g.local, off, nil
+	default:
+		p := g.priv[l]
+		if int(off) >= len(p) {
+			return nil, 0, fmt.Errorf("vm: private access at %d out of bounds (%d)", off, len(p))
+		}
+		return p, off, nil
+	}
+}
+
+// ldArena is arenaLane plus the load-width bounds check, with errors
+// already attributed to the lane.
+func (g *groupState) ldArena(addr uint64, l int32, sz int) ([]byte, uint64, error) {
+	a, off, err := g.arenaLane(addr, l)
+	if err != nil {
+		return nil, 0, laneErr(l, err)
+	}
+	if int(off)+sz > len(a) {
+		return nil, 0, laneErr(l, fmt.Errorf("vm: load of %d bytes at %d overruns arena (%d)", sz, off, len(a)))
+	}
+	return a, off, nil
+}
+
+// stArena is arenaLane plus the store-width bounds check.
+func (g *groupState) stArena(addr uint64, l int32, sz int) ([]byte, uint64, error) {
+	a, off, err := g.arenaLane(addr, l)
+	if err != nil {
+		return nil, 0, laneErr(l, err)
+	}
+	if int(off)+sz > len(a) {
+		return nil, 0, laneErr(l, fmt.Errorf("vm: store of %d bytes at %d overruns arena (%d)", sz, off, len(a)))
+	}
+	return a, off, nil
+}
+
+// fusedMem reports whether the opcode is a fused GEP+access
+// superinstruction (base register + index register × element size).
+func fusedMem(op bcode.Opcode) bool {
+	switch op {
+	case bcode.OpLdXI8, bcode.OpLdXU8, bcode.OpLdXI16, bcode.OpLdXU16,
+		bcode.OpLdXI32, bcode.OpLdXU32, bcode.OpLdXI64, bcode.OpLdXF32, bcode.OpLdXF64,
+		bcode.OpStXI8, bcode.OpStXI16, bcode.OpStXI32, bcode.OpStXI64,
+		bcode.OpStXF32, bcode.OpStXF64,
+		bcode.OpLdXVI, bcode.OpLdXVF, bcode.OpStXVI, bcode.OpStXVF:
+		return true
+	}
+	return false
+}
+
+// compileMem lowers a memory instruction to a single-pass closure that
+// resolves the address, decodes the arena tag, bounds-checks, and
+// performs the access per lane — no separate address pass and no trace
+// bookkeeping on the untraced hot path. Returns nil for non-memory ops.
+func (pr *program) compileMem(in *bcode.Inst, uni bool) opFn {
+	switch in.Op {
+	case bcode.OpLdI8, bcode.OpLdXI8, bcode.OpLdU8, bcode.OpLdXU8,
+		bcode.OpLdI16, bcode.OpLdXI16, bcode.OpLdU16, bcode.OpLdXU16,
+		bcode.OpLdI32, bcode.OpLdXI32, bcode.OpLdU32, bcode.OpLdXU32,
+		bcode.OpLdI64, bcode.OpLdXI64, bcode.OpLdF32, bcode.OpLdXF32,
+		bcode.OpLdF64, bcode.OpLdXF64:
+		return compileLoad(in, uni)
+	case bcode.OpStI8, bcode.OpStXI8, bcode.OpStI16, bcode.OpStXI16,
+		bcode.OpStI32, bcode.OpStXI32, bcode.OpStI64, bcode.OpStXI64,
+		bcode.OpStF32, bcode.OpStXF32, bcode.OpStF64, bcode.OpStXF64:
+		return compileStore(in, uni)
+	case bcode.OpLdVI, bcode.OpLdXVI, bcode.OpLdVF, bcode.OpLdXVF:
+		return compileLoadVec(in)
+	case bcode.OpStVI, bcode.OpStXVI, bcode.OpStVF, bcode.OpStXVF:
+		return compileStoreVec(in)
+	}
+	return nil
+}
+
+// uniformLoadWrap applies wgvec's uniform load treatment: under a full
+// mask a statically uniform, non-private load executes once on lane 0
+// and broadcasts. Private memory is per-lane storage even at a uniform
+// address, so those fall through to the per-lane path.
+func uniformLoadWrap(base opFn, flt bool, a, b, c int32, m int64, fused bool) opFn {
+	return func(g *groupState, fr *frame, mask []int32, full bool) error {
+		if full {
+			addr := uint64(fr.ri[b][0])
+			if fused {
+				addr = uint64(fr.ri[b][0] + fr.ri[c][0]*m)
+			}
+			if sp, _ := vm.SplitAddr(addr); sp != clc.ASPrivate {
+				if err := base(g, fr, lane0Mask, false); err != nil {
+					return err
+				}
+				if flt {
+					broadcastLaneF(fr.rf[a])
+				} else {
+					broadcastLaneI(fr.ri[a])
+				}
+				return nil
+			}
+		}
+		return base(g, fr, mask, full)
+	}
+}
+
+// uniformStoreWrap applies wgvec's uniform store treatment: under a full
+// mask a statically uniform, non-private store writes once (the write is
+// idempotent across lanes).
+func uniformStoreWrap(base opFn, b, c int32, m int64, fused bool) opFn {
+	return func(g *groupState, fr *frame, mask []int32, full bool) error {
+		if full {
+			addr := uint64(fr.ri[b][0])
+			if fused {
+				addr = uint64(fr.ri[b][0] + fr.ri[c][0]*m)
+			}
+			if sp, _ := vm.SplitAddr(addr); sp != clc.ASPrivate {
+				return base(g, fr, mask[:1], false)
+			}
+		}
+		return base(g, fr, mask, full)
+	}
+}
+
+// compileLoad builds the scalar load closure for one width.
+func compileLoad(in *bcode.Inst, uni bool) opFn {
+	a, b, c, m := in.A, in.B, in.C, in.Imm
+	sz := int(in.N)
+	fused := fusedMem(in.Op)
+	var base opFn
+	switch in.Op {
+	case bcode.OpLdI8, bcode.OpLdXI8:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.ldArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				d[l] = int64(int8(arr[off]))
+			}
+			return nil
+		}
+	case bcode.OpLdU8, bcode.OpLdXU8:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.ldArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				d[l] = int64(arr[off])
+			}
+			return nil
+		}
+	case bcode.OpLdI16, bcode.OpLdXI16:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.ldArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				d[l] = int64(int16(binary.LittleEndian.Uint16(arr[off:])))
+			}
+			return nil
+		}
+	case bcode.OpLdU16, bcode.OpLdXU16:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.ldArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				d[l] = int64(binary.LittleEndian.Uint16(arr[off:]))
+			}
+			return nil
+		}
+	case bcode.OpLdI32, bcode.OpLdXI32:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.ldArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				d[l] = int64(int32(binary.LittleEndian.Uint32(arr[off:])))
+			}
+			return nil
+		}
+	case bcode.OpLdU32, bcode.OpLdXU32:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.ldArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				d[l] = int64(binary.LittleEndian.Uint32(arr[off:]))
+			}
+			return nil
+		}
+	case bcode.OpLdI64, bcode.OpLdXI64:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.ldArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				d[l] = int64(binary.LittleEndian.Uint64(arr[off:]))
+			}
+			return nil
+		}
+	case bcode.OpLdF32, bcode.OpLdXF32:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, pb := fr.rf[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.ldArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				d[l] = float64(math.Float32frombits(binary.LittleEndian.Uint32(arr[off:])))
+			}
+			return nil
+		}
+	case bcode.OpLdF64, bcode.OpLdXF64:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, pb := fr.rf[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.ldArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				d[l] = math.Float64frombits(binary.LittleEndian.Uint64(arr[off:]))
+			}
+			return nil
+		}
+	}
+	if uni {
+		flt := in.Op == bcode.OpLdF32 || in.Op == bcode.OpLdXF32 ||
+			in.Op == bcode.OpLdF64 || in.Op == bcode.OpLdXF64
+		return uniformLoadWrap(base, flt, a, b, c, m, fused)
+	}
+	return base
+}
+
+// compileStore builds the scalar store closure for one width.
+func compileStore(in *bcode.Inst, uni bool) opFn {
+	a, b, c, m := in.A, in.B, in.C, in.Imm
+	sz := int(in.N)
+	fused := fusedMem(in.Op)
+	var base opFn
+	switch in.Op {
+	case bcode.OpStI8, bcode.OpStXI8:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			src, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.stArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				arr[off] = byte(src[l])
+			}
+			return nil
+		}
+	case bcode.OpStI16, bcode.OpStXI16:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			src, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.stArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				binary.LittleEndian.PutUint16(arr[off:], uint16(src[l]))
+			}
+			return nil
+		}
+	case bcode.OpStI32, bcode.OpStXI32:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			src, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.stArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				binary.LittleEndian.PutUint32(arr[off:], uint32(src[l]))
+			}
+			return nil
+		}
+	case bcode.OpStI64, bcode.OpStXI64:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			src, pb := fr.ri[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.stArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				binary.LittleEndian.PutUint64(arr[off:], uint64(src[l]))
+			}
+			return nil
+		}
+	case bcode.OpStF32, bcode.OpStXF32:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			src, pb := fr.rf[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.stArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				binary.LittleEndian.PutUint32(arr[off:], math.Float32bits(float32(src[l])))
+			}
+			return nil
+		}
+	case bcode.OpStF64, bcode.OpStXF64:
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			src, pb := fr.rf[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				arr, off, ok := g.hotArena(addr, l, sz)
+				if !ok {
+					var err error
+					if arr, off, err = g.stArena(addr, l, sz); err != nil {
+						return err
+					}
+				}
+				binary.LittleEndian.PutUint64(arr[off:], math.Float64bits(src[l]))
+			}
+			return nil
+		}
+	}
+	if uni {
+		return uniformStoreWrap(base, b, c, m, fused)
+	}
+	return base
+}
+
+// compileLoadVec builds the vector load closure: whole-vector fast path
+// when the vector sits in one arena, per-element checked slow path with
+// the interpreter's error attribution otherwise.
+func compileLoadVec(in *bcode.Inst) opFn {
+	a, b, c, m := in.A, in.B, in.C, in.Imm
+	k := clc.ScalarKind(in.Kind)
+	es := k.Size()
+	lanes := int(in.Sub)
+	fused := fusedMem(in.Op)
+	if in.Op == bcode.OpLdVF || in.Op == bcode.OpLdXVF {
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			ld := fr.bf.VecFLens[a]
+			d, pb := fr.vf[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				o := int(l) * ld
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				if arr, off, ok := g.hotArena(addr, l, lanes*es); ok {
+					v := arr[off:]
+					if k == clc.KFloat {
+						for i := 0; i < lanes; i++ {
+							d[o+i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(v[i*4:])))
+						}
+					} else {
+						for i := 0; i < lanes; i++ {
+							d[o+i] = math.Float64frombits(binary.LittleEndian.Uint64(v[i*8:]))
+						}
+					}
+					continue
+				}
+				for i := 0; i < lanes; i++ {
+					arr, off, err := g.ldArena(addr+uint64(i*es), l, es)
+					if err != nil {
+						return err
+					}
+					if k == clc.KFloat {
+						d[o+i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(arr[off:])))
+					} else {
+						d[o+i] = math.Float64frombits(binary.LittleEndian.Uint64(arr[off:]))
+					}
+				}
+			}
+			return nil
+		}
+	}
+	return func(g *groupState, fr *frame, mask []int32, full bool) error {
+		ld := fr.bf.VecILens[a]
+		d, pb := fr.vi[a], fr.ri[b]
+		px := pb
+		if fused {
+			px = fr.ri[c]
+		}
+		for _, l := range mask {
+			o := int(l) * ld
+			addr := uint64(pb[l])
+			if fused {
+				addr = uint64(pb[l] + px[l]*m)
+			}
+			if arr, off, ok := g.hotArena(addr, l, lanes*es); ok {
+				v := arr[off:]
+				for i := 0; i < lanes; i++ {
+					d[o+i] = loadIntLane(v, uint64(i*es), k)
+				}
+				continue
+			}
+			for i := 0; i < lanes; i++ {
+				arr, off, err := g.ldArena(addr+uint64(i*es), l, es)
+				if err != nil {
+					return err
+				}
+				d[o+i] = loadIntLane(arr, off, k)
+			}
+		}
+		return nil
+	}
+}
+
+// compileStoreVec builds the vector store closure, mirroring
+// compileLoadVec's fast/slow split.
+func compileStoreVec(in *bcode.Inst) opFn {
+	a, b, c, m := in.A, in.B, in.C, in.Imm
+	k := clc.ScalarKind(in.Kind)
+	es := k.Size()
+	lanes := int(in.Sub)
+	fused := fusedMem(in.Op)
+	if in.Op == bcode.OpStVF || in.Op == bcode.OpStXVF {
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			ls := fr.bf.VecFLens[a]
+			s, pb := fr.vf[a], fr.ri[b]
+			px := pb
+			if fused {
+				px = fr.ri[c]
+			}
+			for _, l := range mask {
+				o := int(l) * ls
+				addr := uint64(pb[l])
+				if fused {
+					addr = uint64(pb[l] + px[l]*m)
+				}
+				if arr, off, ok := g.hotArena(addr, l, lanes*es); ok {
+					v := arr[off:]
+					if k == clc.KFloat {
+						for i := 0; i < lanes; i++ {
+							binary.LittleEndian.PutUint32(v[i*4:], math.Float32bits(float32(s[o+i])))
+						}
+					} else {
+						for i := 0; i < lanes; i++ {
+							binary.LittleEndian.PutUint64(v[i*8:], math.Float64bits(s[o+i]))
+						}
+					}
+					continue
+				}
+				for i := 0; i < lanes; i++ {
+					arr, off, err := g.stArena(addr+uint64(i*es), l, es)
+					if err != nil {
+						return err
+					}
+					if k == clc.KFloat {
+						binary.LittleEndian.PutUint32(arr[off:], math.Float32bits(float32(s[o+i])))
+					} else {
+						binary.LittleEndian.PutUint64(arr[off:], math.Float64bits(s[o+i]))
+					}
+				}
+			}
+			return nil
+		}
+	}
+	return func(g *groupState, fr *frame, mask []int32, full bool) error {
+		ls := fr.bf.VecILens[a]
+		s, pb := fr.vi[a], fr.ri[b]
+		px := pb
+		if fused {
+			px = fr.ri[c]
+		}
+		for _, l := range mask {
+			o := int(l) * ls
+			addr := uint64(pb[l])
+			if fused {
+				addr = uint64(pb[l] + px[l]*m)
+			}
+			if arr, off, ok := g.hotArena(addr, l, lanes*es); ok {
+				v := arr[off:]
+				for i := 0; i < lanes; i++ {
+					storeIntLane(v, uint64(i*es), k, s[o+i])
+				}
+				continue
+			}
+			for i := 0; i < lanes; i++ {
+				arr, off, err := g.stArena(addr+uint64(i*es), l, es)
+				if err != nil {
+					return err
+				}
+				storeIntLane(arr, off, k, s[o+i])
+			}
+		}
+		return nil
+	}
+}
+
+func loadIntLane(a []byte, off uint64, k clc.ScalarKind) int64 {
+	switch k {
+	case clc.KBool, clc.KUChar:
+		return int64(a[off])
+	case clc.KChar:
+		return int64(int8(a[off]))
+	case clc.KShort:
+		return int64(int16(binary.LittleEndian.Uint16(a[off:])))
+	case clc.KUShort:
+		return int64(binary.LittleEndian.Uint16(a[off:]))
+	case clc.KInt:
+		return int64(int32(binary.LittleEndian.Uint32(a[off:])))
+	case clc.KUInt:
+		return int64(binary.LittleEndian.Uint32(a[off:]))
+	default: // KLong, KULong
+		return int64(binary.LittleEndian.Uint64(a[off:]))
+	}
+}
+
+func storeIntLane(a []byte, off uint64, k clc.ScalarKind, v int64) {
+	switch k {
+	case clc.KBool, clc.KChar, clc.KUChar:
+		a[off] = byte(v)
+	case clc.KShort, clc.KUShort:
+		binary.LittleEndian.PutUint16(a[off:], uint16(v))
+	case clc.KInt, clc.KUInt:
+		binary.LittleEndian.PutUint32(a[off:], uint32(v))
+	default: // KLong, KULong
+		binary.LittleEndian.PutUint64(a[off:], uint64(v))
+	}
+}

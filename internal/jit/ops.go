@@ -1,0 +1,1081 @@
+package jit
+
+import (
+	"math"
+
+	"grover/internal/bcode"
+	"grover/internal/clc"
+	"grover/internal/ir"
+	"grover/internal/vm"
+)
+
+const kF32 = uint8(clc.KFloat)
+
+// destBank maps an opcode to its scalar destination bank for the
+// uniform execute-once path — an exact mirror of wgvec's table, so both
+// backends broadcast in the same cases.
+func destBank(op bcode.Opcode) (bcode.Bank, bool) {
+	switch op {
+	case bcode.OpConstI, bcode.OpZeroI, bcode.OpMovI, bcode.OpGRP, bcode.OpGSZ,
+		bcode.OpLSZ, bcode.OpNGRP, bcode.OpWIQ, bcode.OpAllocaP, bcode.OpAllocaL,
+		bcode.OpIndex, bcode.OpIndexC,
+		bcode.OpAddI, bcode.OpSubI, bcode.OpMulI, bcode.OpAndI, bcode.OpOrI, bcode.OpXorI,
+		bcode.OpAddI32, bcode.OpSubI32, bcode.OpMulI32,
+		bcode.OpAddU32, bcode.OpSubU32, bcode.OpMulU32,
+		bcode.OpIntBin, bcode.OpNegI, bcode.OpNotI,
+		bcode.OpEqI, bcode.OpNeI, bcode.OpLtI, bcode.OpLeI, bcode.OpGtI, bcode.OpGeI,
+		bcode.OpLtU, bcode.OpLeU, bcode.OpGtU, bcode.OpGeU,
+		bcode.OpEqF, bcode.OpNeF, bcode.OpLtF, bcode.OpLeF, bcode.OpGtF, bcode.OpGeF,
+		bcode.OpConvI, bcode.OpF2I, bcode.OpExtI, bcode.OpMathI:
+		return bcode.BankInt, true
+	case bcode.OpZeroF, bcode.OpMovF,
+		bcode.OpAddF, bcode.OpSubF, bcode.OpMulF, bcode.OpDivF,
+		bcode.OpAddF32, bcode.OpSubF32, bcode.OpMulF32, bcode.OpDivF32,
+		bcode.OpFltBin, bcode.OpNegF, bcode.OpI2F, bcode.OpU2F, bcode.OpF2F32,
+		bcode.OpExtF, bcode.OpDotVF, bcode.OpDotSS, bcode.OpLenVF, bcode.OpLenSS,
+		bcode.OpMathF:
+		return bcode.BankFlt, true
+	}
+	return 0, false
+}
+
+// uniformWrapI runs the base op on lane 0 only and broadcasts its int
+// destination column when the mask is full, exactly like wgvec's
+// execute-once path (retire accounting is a traced concern and traced
+// launches delegate, so only the value semantics matter here).
+func uniformWrapI(base opFn, a int32) opFn {
+	return func(g *groupState, fr *frame, mask []int32, full bool) error {
+		if full {
+			if err := base(g, fr, lane0Mask, false); err != nil {
+				return err
+			}
+			broadcastLaneI(fr.ri[a])
+			return nil
+		}
+		return base(g, fr, mask, full)
+	}
+}
+
+func uniformWrapF(base opFn, a int32) opFn {
+	return func(g *groupState, fr *frame, mask []int32, full bool) error {
+		if full {
+			if err := base(g, fr, lane0Mask, false); err != nil {
+				return err
+			}
+			broadcastLaneF(fr.rf[a])
+			return nil
+		}
+		return base(g, fr, mask, full)
+	}
+}
+
+// compileOp lowers one non-control instruction to its pre-bound
+// closure: memory ops get fused single-pass closures, the hot scalar
+// ops get dense specialized loops, and the long tail (vector arithmetic
+// and shapes) shares a generic sweep equivalent to wgvec's.
+func (pr *program) compileOp(in *bcode.Inst, uni bool) opFn {
+	if f := pr.compileMem(in, uni); f != nil {
+		return f
+	}
+	base := pr.compileScalar(in)
+	if base == nil {
+		inst := in
+		base = func(g *groupState, fr *frame, mask []int32, full bool) error {
+			return g.execGeneric(fr, inst, mask)
+		}
+	}
+	if uni {
+		if bank, ok := destBank(in.Op); ok {
+			if bank == bcode.BankInt {
+				return uniformWrapI(base, in.A)
+			}
+			return uniformWrapF(base, in.A)
+		}
+	}
+	return base
+}
+
+// compileScalar builds the dense specialized closure for one scalar
+// instruction, or nil when the opcode has no dedicated form.
+func (pr *program) compileScalar(in *bcode.Inst) opFn {
+	a, b, c := in.A, in.B, in.C
+	switch in.Op {
+	case bcode.OpConstI:
+		v := in.Imm
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d := fr.ri[a]
+			if full {
+				for l := range d {
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = v
+			}
+			return nil
+		}
+	case bcode.OpZeroI:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d := fr.ri[a]
+			if full {
+				for l := range d {
+					d[l] = 0
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = 0
+			}
+			return nil
+		}
+	case bcode.OpZeroF:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d := fr.rf[a]
+			if full {
+				for l := range d {
+					d[l] = 0
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = 0
+			}
+			return nil
+		}
+	case bcode.OpMovI:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.ri[a], fr.ri[b]
+			if full {
+				copy(d, s)
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = s[l]
+			}
+			return nil
+		}
+	case bcode.OpMovF:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.rf[a], fr.rf[b]
+			if full {
+				copy(d, s)
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = s[l]
+			}
+			return nil
+		}
+
+	case bcode.OpGID:
+		dim := in.Imm
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.ri[a], g.gidCol[dim]
+			if full {
+				copy(d, s)
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = s[l]
+			}
+			return nil
+		}
+	case bcode.OpLID:
+		dim := in.Imm
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.ri[a], g.lidCol[dim]
+			if full {
+				copy(d, s)
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = s[l]
+			}
+			return nil
+		}
+	case bcode.OpGRP:
+		dim := in.Imm
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, v := fr.ri[a], g.grp[dim]
+			if full {
+				for l := range d {
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = v
+			}
+			return nil
+		}
+	case bcode.OpGSZ:
+		dim := in.Imm
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, v := fr.ri[a], g.gsz[dim]
+			if full {
+				for l := range d {
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = v
+			}
+			return nil
+		}
+	case bcode.OpLSZ:
+		dim := in.Imm
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, v := fr.ri[a], g.lsz[dim]
+			if full {
+				for l := range d {
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = v
+			}
+			return nil
+		}
+	case bcode.OpNGRP:
+		dim := in.Imm
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, v := fr.ri[a], g.ngrp[dim]
+			if full {
+				for l := range d {
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = v
+			}
+			return nil
+		}
+
+	case bcode.OpAllocaP:
+		// Private allocas resolve against the lane's own arena, so the
+		// tagged address itself is uniform across the group; frameBase is
+		// bound at activation time, not compile time.
+		imm := uint64(in.Imm)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, v := fr.ri[a], int64(vm.MakeAddr(clc.ASPrivate, uint64(fr.frameBase)+imm))
+			if full {
+				for l := range d {
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = v
+			}
+			return nil
+		}
+	case bcode.OpAllocaL:
+		v := in.Imm
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d := fr.ri[a]
+			if full {
+				for l := range d {
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = v
+			}
+			return nil
+		}
+
+	case bcode.OpIndex:
+		m := in.Imm
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] + y[l]*m
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] + y[l]*m
+			}
+			return nil
+		}
+	case bcode.OpIndexC:
+		m := in.Imm
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x := fr.ri[a], fr.ri[b]
+			if full {
+				x = x[:len(d)]
+				for l := range d {
+					d[l] = x[l] + m
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] + m
+			}
+			return nil
+		}
+
+	case bcode.OpAddI:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] + y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] + y[l]
+			}
+			return nil
+		}
+	case bcode.OpSubI:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] - y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] - y[l]
+			}
+			return nil
+		}
+	case bcode.OpMulI:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] * y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] * y[l]
+			}
+			return nil
+		}
+	case bcode.OpAndI:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] & y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] & y[l]
+			}
+			return nil
+		}
+	case bcode.OpOrI:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] | y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] | y[l]
+			}
+			return nil
+		}
+	case bcode.OpXorI:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] ^ y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] ^ y[l]
+			}
+			return nil
+		}
+	case bcode.OpAddI32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = int64(int32(x[l] + y[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = int64(int32(x[l] + y[l]))
+			}
+			return nil
+		}
+	case bcode.OpSubI32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = int64(int32(x[l] - y[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = int64(int32(x[l] - y[l]))
+			}
+			return nil
+		}
+	case bcode.OpMulI32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = int64(int32(x[l] * y[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = int64(int32(x[l] * y[l]))
+			}
+			return nil
+		}
+	case bcode.OpAddU32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = int64(uint32(x[l] + y[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = int64(uint32(x[l] + y[l]))
+			}
+			return nil
+		}
+	case bcode.OpSubU32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = int64(uint32(x[l] - y[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = int64(uint32(x[l] - y[l]))
+			}
+			return nil
+		}
+	case bcode.OpMulU32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = int64(uint32(x[l] * y[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = int64(uint32(x[l] * y[l]))
+			}
+			return nil
+		}
+	case bcode.OpIntBin:
+		op, k := ir.Op(in.Sub), clc.ScalarKind(in.Kind)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					v, err := vm.IntBin(op, k, x[l], y[l])
+					if err != nil {
+						return laneErr(int32(l), err)
+					}
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				v, err := vm.IntBin(op, k, x[l], y[l])
+				if err != nil {
+					return laneErr(l, err)
+				}
+				d[l] = v
+			}
+			return nil
+		}
+
+	case bcode.OpAddF:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.rf[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] + y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] + y[l]
+			}
+			return nil
+		}
+	case bcode.OpSubF:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.rf[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] - y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] - y[l]
+			}
+			return nil
+		}
+	case bcode.OpMulF:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.rf[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] * y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] * y[l]
+			}
+			return nil
+		}
+	case bcode.OpDivF:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.rf[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] / y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] / y[l]
+			}
+			return nil
+		}
+	case bcode.OpAddF32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.rf[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = float64(float32(x[l] + y[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = float64(float32(x[l] + y[l]))
+			}
+			return nil
+		}
+	case bcode.OpSubF32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.rf[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = float64(float32(x[l] - y[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = float64(float32(x[l] - y[l]))
+			}
+			return nil
+		}
+	case bcode.OpMulF32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.rf[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = float64(float32(x[l] * y[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = float64(float32(x[l] * y[l]))
+			}
+			return nil
+		}
+	case bcode.OpDivF32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.rf[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = float64(float32(x[l] / y[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = float64(float32(x[l] / y[l]))
+			}
+			return nil
+		}
+	case bcode.OpFltBin:
+		op, k := ir.Op(in.Sub), clc.ScalarKind(in.Kind)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.rf[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					v, err := vm.FloatBin(op, k, x[l], y[l])
+					if err != nil {
+						return laneErr(int32(l), err)
+					}
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				v, err := vm.FloatBin(op, k, x[l], y[l])
+				if err != nil {
+					return laneErr(l, err)
+				}
+				d[l] = v
+			}
+			return nil
+		}
+
+	case bcode.OpNegF:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.rf[a], fr.rf[b]
+			if full {
+				s = s[:len(d)]
+				for l := range d {
+					d[l] = -s[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = -s[l]
+			}
+			return nil
+		}
+	case bcode.OpNegI:
+		k := clc.ScalarKind(in.Kind)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.ri[a], fr.ri[b]
+			if full {
+				s = s[:len(d)]
+				for l := range d {
+					d[l] = vm.NormInt(-s[l], k)
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = vm.NormInt(-s[l], k)
+			}
+			return nil
+		}
+	case bcode.OpNotI:
+		k := clc.ScalarKind(in.Kind)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.ri[a], fr.ri[b]
+			if full {
+				s = s[:len(d)]
+				for l := range d {
+					d[l] = vm.NormInt(^s[l], k)
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = vm.NormInt(^s[l], k)
+			}
+			return nil
+		}
+
+	case bcode.OpEqI, bcode.OpNeI, bcode.OpLtI, bcode.OpLeI, bcode.OpGtI, bcode.OpGeI,
+		bcode.OpLtU, bcode.OpLeU, bcode.OpGtU, bcode.OpGeU:
+		cmp := intCmp(in.Op)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = cmp(x[l], y[l])
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = cmp(x[l], y[l])
+			}
+			return nil
+		}
+
+	case bcode.OpEqF, bcode.OpNeF, bcode.OpLtF, bcode.OpLeF, bcode.OpGtF, bcode.OpGeF:
+		cmp := fltCmp(in.Op)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.ri[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = cmp(x[l], y[l])
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = cmp(x[l], y[l])
+			}
+			return nil
+		}
+
+	case bcode.OpConvI:
+		k := clc.ScalarKind(in.Kind)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.ri[a], fr.ri[b]
+			if full {
+				s = s[:len(d)]
+				for l := range d {
+					d[l] = vm.NormInt(s[l], k)
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = vm.NormInt(s[l], k)
+			}
+			return nil
+		}
+	case bcode.OpI2F:
+		k := clc.ScalarKind(in.Kind)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.rf[a], fr.ri[b]
+			if full {
+				s = s[:len(d)]
+				for l := range d {
+					d[l] = vm.Round32(k, float64(s[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = vm.Round32(k, float64(s[l]))
+			}
+			return nil
+		}
+	case bcode.OpU2F:
+		k := clc.ScalarKind(in.Kind)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.rf[a], fr.ri[b]
+			if full {
+				s = s[:len(d)]
+				for l := range d {
+					d[l] = vm.Round32(k, float64(uint64(s[l])))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = vm.Round32(k, float64(uint64(s[l])))
+			}
+			return nil
+		}
+	case bcode.OpF2I:
+		k := clc.ScalarKind(in.Kind)
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.ri[a], fr.rf[b]
+			if full {
+				s = s[:len(d)]
+				for l := range d {
+					f := s[l]
+					if math.IsNaN(f) {
+						d[l] = 0
+					} else {
+						d[l] = vm.NormInt(int64(f), k)
+					}
+				}
+				return nil
+			}
+			for _, l := range mask {
+				f := s[l]
+				if math.IsNaN(f) {
+					d[l] = 0
+				} else {
+					d[l] = vm.NormInt(int64(f), k)
+				}
+			}
+			return nil
+		}
+	case bcode.OpF2F32:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.rf[a], fr.rf[b]
+			if full {
+				s = s[:len(d)]
+				for l := range d {
+					d[l] = float64(float32(s[l]))
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = float64(float32(s[l]))
+			}
+			return nil
+		}
+
+	case bcode.OpDotSS:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, x, y := fr.rf[a], fr.rf[b], fr.rf[c]
+			if full {
+				x = x[:len(d)]
+				y = y[:len(d)]
+				for l := range d {
+					d[l] = x[l] * y[l]
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = x[l] * y[l]
+			}
+			return nil
+		}
+	case bcode.OpLenSS:
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d, s := fr.rf[a], fr.rf[b]
+			if full {
+				s = s[:len(d)]
+				for l := range d {
+					d[l] = math.Abs(s[l])
+				}
+				return nil
+			}
+			for _, l := range mask {
+				d[l] = math.Abs(s[l])
+			}
+			return nil
+		}
+
+	case bcode.OpMathF:
+		ax := &pr.bf.Aux[in.Imm]
+		name, k := ax.Name, clc.ScalarKind(in.Kind)
+		refs := ax.Refs
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d := fr.rf[a]
+			fa := g.scratchF(len(refs))
+			if full {
+				for l := range d {
+					for i, r := range refs {
+						fa[i] = fr.rf[r.Idx][l]
+					}
+					v, err := vm.MathF(name, k, fa)
+					if err != nil {
+						return laneErr(int32(l), err)
+					}
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				for i, r := range refs {
+					fa[i] = fr.rf[r.Idx][l]
+				}
+				v, err := vm.MathF(name, k, fa)
+				if err != nil {
+					return laneErr(l, err)
+				}
+				d[l] = v
+			}
+			return nil
+		}
+	case bcode.OpMathI:
+		ax := &pr.bf.Aux[in.Imm]
+		name, k := ax.Name, clc.ScalarKind(in.Kind)
+		refs := ax.Refs
+		return func(g *groupState, fr *frame, mask []int32, full bool) error {
+			d := fr.ri[a]
+			ia := g.scratchI(len(refs))
+			if full {
+				for l := range d {
+					for i, r := range refs {
+						ia[i] = fr.ri[r.Idx][l]
+					}
+					v, err := vm.MathI(name, k, ia)
+					if err != nil {
+						return laneErr(int32(l), err)
+					}
+					d[l] = v
+				}
+				return nil
+			}
+			for _, l := range mask {
+				for i, r := range refs {
+					ia[i] = fr.ri[r.Idx][l]
+				}
+				v, err := vm.MathI(name, k, ia)
+				if err != nil {
+					return laneErr(l, err)
+				}
+				d[l] = v
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// intCmp returns the 0/1 comparison function for an integer compare
+// opcode.
+func intCmp(op bcode.Opcode) func(x, y int64) int64 {
+	switch op {
+	case bcode.OpEqI:
+		return func(x, y int64) int64 { return b2i(x == y) }
+	case bcode.OpNeI:
+		return func(x, y int64) int64 { return b2i(x != y) }
+	case bcode.OpLtI:
+		return func(x, y int64) int64 { return b2i(x < y) }
+	case bcode.OpLeI:
+		return func(x, y int64) int64 { return b2i(x <= y) }
+	case bcode.OpGtI:
+		return func(x, y int64) int64 { return b2i(x > y) }
+	case bcode.OpGeI:
+		return func(x, y int64) int64 { return b2i(x >= y) }
+	case bcode.OpLtU:
+		return func(x, y int64) int64 { return b2i(uint64(x) < uint64(y)) }
+	case bcode.OpLeU:
+		return func(x, y int64) int64 { return b2i(uint64(x) <= uint64(y)) }
+	case bcode.OpGtU:
+		return func(x, y int64) int64 { return b2i(uint64(x) > uint64(y)) }
+	default: // OpGeU
+		return func(x, y int64) int64 { return b2i(uint64(x) >= uint64(y)) }
+	}
+}
+
+// fltCmp returns the 0/1 comparison function for a float compare opcode.
+func fltCmp(op bcode.Opcode) func(x, y float64) int64 {
+	switch op {
+	case bcode.OpEqF:
+		return func(x, y float64) int64 { return b2i(x == y) }
+	case bcode.OpNeF:
+		return func(x, y float64) int64 { return b2i(x != y) }
+	case bcode.OpLtF:
+		return func(x, y float64) int64 { return b2i(x < y) }
+	case bcode.OpLeF:
+		return func(x, y float64) int64 { return b2i(x <= y) }
+	case bcode.OpGtF:
+		return func(x, y float64) int64 { return b2i(x > y) }
+	default: // OpGeF
+		return func(x, y float64) int64 { return b2i(x >= y) }
+	}
+}
+
+// isFusableCmp reports whether a compare opcode can fuse into an
+// immediately following conditional branch.
+func isFusableCmp(op bcode.Opcode) bool {
+	switch op {
+	case bcode.OpEqI, bcode.OpNeI, bcode.OpLtI, bcode.OpLeI, bcode.OpGtI, bcode.OpGeI,
+		bcode.OpLtU, bcode.OpLeU, bcode.OpGtU, bcode.OpGeU,
+		bcode.OpEqF, bcode.OpNeF, bcode.OpLtF, bcode.OpLeF, bcode.OpGtF, bcode.OpGeF:
+		return true
+	}
+	return false
+}
+
+// makeCmpBr fuses a compare and the conditional branch reading it into
+// one step: the compare column is written (any other reader sees the
+// same value as under wgvec) and the mask splits in the same sweep,
+// saving the branch's separate re-read of the column.
+func makeCmpBr(cmp, br *bcode.Inst) stepFn {
+	a, t, f := cmp.A, int32(br.Imm), br.N
+	if fc := fltCmpOrNil(cmp.Op); fc != nil {
+		b, c := cmp.B, cmp.C
+		return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+			d, x, y := fr.ri[a], fr.rf[b], fr.rf[c]
+			segT, segF := g.maskT[:0], g.maskF[:0]
+			for _, l := range mask {
+				v := fc(x[l], y[l])
+				d[l] = v
+				if v != 0 {
+					segT = append(segT, l)
+				} else {
+					segF = append(segF, l)
+				}
+			}
+			g.maskT, g.maskF = segT, segF
+			return branchOutcome(fr, segT, segF, t, f)
+		}
+	}
+	ic := intCmp(cmp.Op)
+	b, c := cmp.B, cmp.C
+	return func(g *groupState, depth int, fr *frame, mask []int32) (int32, error) {
+		d, x, y := fr.ri[a], fr.ri[b], fr.ri[c]
+		segT, segF := g.maskT[:0], g.maskF[:0]
+		for _, l := range mask {
+			v := ic(x[l], y[l])
+			d[l] = v
+			if v != 0 {
+				segT = append(segT, l)
+			} else {
+				segF = append(segF, l)
+			}
+		}
+		g.maskT, g.maskF = segT, segF
+		return branchOutcome(fr, segT, segF, t, f)
+	}
+}
+
+// fltCmpOrNil returns the float comparison for op, or nil when op is an
+// integer compare.
+func fltCmpOrNil(op bcode.Opcode) func(x, y float64) int64 {
+	switch op {
+	case bcode.OpEqF, bcode.OpNeF, bcode.OpLtF, bcode.OpLeF, bcode.OpGtF, bcode.OpGeF:
+		return fltCmp(op)
+	}
+	return nil
+}

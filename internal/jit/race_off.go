@@ -1,0 +1,5 @@
+//go:build !race
+
+package jit
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package jit
+
+// raceEnabled forces the subprocess worker transport: a race-instrumented
+// host cannot load a plugin built without -race.
+const raceEnabled = true

@@ -12,6 +12,7 @@ import (
 	"grover/internal/analysis"
 	igrover "grover/internal/grover"
 	"grover/internal/ir"
+	"grover/internal/jit"
 	"grover/internal/kcache"
 	"grover/internal/opt"
 	"grover/internal/predict"
@@ -680,6 +681,7 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	ps := s.stats.predictSnapshot()
 	ps.Store = s.store.Stats()
+	jb, jh := jit.NativeStats()
 	writeJSON(w, http.StatusOK, &StatsResponse{
 		Cache:     s.cache.Snapshot(),
 		Pool:      s.pool.Snapshot(),
@@ -687,6 +689,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Backends:  s.stats.backendSnapshot(),
 		Endpoints: s.stats.snapshot(),
 		Predict:   ps,
+		JIT:       JITStats{Native: jit.NativeEnabled(), Compiles: jb, CacheHits: jh},
 	})
 }
 

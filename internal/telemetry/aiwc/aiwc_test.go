@@ -12,13 +12,14 @@ import (
 	"grover/internal/apps"
 	"grover/internal/bcode"
 	igrover "grover/internal/grover"
+	"grover/internal/jit"
 	"grover/internal/telemetry/aiwc"
 	"grover/internal/vm"
 	"grover/internal/wgvec"
 	"grover/opencl"
 )
 
-var backends = []string{vm.BackendInterp, bcode.Name, wgvec.Name}
+var backends = []string{vm.BackendInterp, bcode.Name, wgvec.Name, jit.Name}
 
 func characterize(t *testing.T, p *opencl.Program, kernel string, cfg vm.Config,
 	mem *vm.GlobalMem, initial []byte, workers int) []byte {

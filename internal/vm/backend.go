@@ -80,6 +80,22 @@ func DefaultBackend() string {
 	return BackendInterp
 }
 
+// ResolveBackend validates a requested backend name eagerly, before any
+// launch work happens: the empty string resolves through DefaultBackend
+// (so a bad GROVER_BACKEND value is caught here too), and an unknown
+// name errors immediately, listing every registered backend.
+func ResolveBackend(name string) (string, error) {
+	src := "backend"
+	if name == "" {
+		name = DefaultBackend()
+		src = EnvBackend
+	}
+	if !ValidBackend(name) {
+		return "", fmt.Errorf("vm: unknown %s %q (available: %v)", src, name, Backends())
+	}
+	return name, nil
+}
+
 // Executor returns the named backend's executor for this program,
 // compiling it on first use and caching it alongside the program.
 func (p *Program) Executor(name string) (Executor, error) {

@@ -1,0 +1,91 @@
+package vm
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want substring %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestRegisterBackendDuplicatePanics(t *testing.T) {
+	build := func(context.Context, *Program) (Executor, error) { return nil, nil }
+	RegisterBackend("backend-test-dup", build)
+	t.Cleanup(func() {
+		backendsMu.Lock()
+		delete(backendBuilders, "backend-test-dup")
+		backendsMu.Unlock()
+	})
+	mustPanic(t, `duplicate backend "backend-test-dup"`, func() {
+		RegisterBackend("backend-test-dup", build)
+	})
+}
+
+func TestRegisterBackendInterpPanics(t *testing.T) {
+	mustPanic(t, "cannot replace the interpreter backend", func() {
+		RegisterBackend(BackendInterp, nil)
+	})
+}
+
+func TestResolveBackendUnknown(t *testing.T) {
+	_, err := ResolveBackend("no-such-backend")
+	if err == nil {
+		t.Fatal("expected error for unknown backend")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"no-such-backend"`) {
+		t.Errorf("error %q does not name the offending backend", msg)
+	}
+	// The error must list every registered backend so the user can fix
+	// the name without consulting the source.
+	for _, b := range Backends() {
+		if !strings.Contains(msg, b) {
+			t.Errorf("error %q does not list registered backend %q", msg, b)
+		}
+	}
+}
+
+func TestResolveBackendEnvValidation(t *testing.T) {
+	t.Setenv(EnvBackend, "garbage-backend")
+	_, err := ResolveBackend("")
+	if err == nil {
+		t.Fatal("expected error for invalid GROVER_BACKEND")
+	}
+	if !strings.Contains(err.Error(), EnvBackend) || !strings.Contains(err.Error(), "garbage-backend") {
+		t.Errorf("error %q should blame %s=garbage-backend", err, EnvBackend)
+	}
+}
+
+func TestResolveBackendDefaults(t *testing.T) {
+	t.Setenv(EnvBackend, "")
+	name, err := ResolveBackend("")
+	if err != nil || name != BackendInterp {
+		t.Fatalf("ResolveBackend(\"\") = %q, %v; want interp, nil", name, err)
+	}
+	if name, err := ResolveBackend(BackendInterp); err != nil || name != BackendInterp {
+		t.Fatalf("ResolveBackend(interp) = %q, %v", name, err)
+	}
+}
+
+func TestLaunchUnknownBackendEager(t *testing.T) {
+	// An unknown Config.Backend must fail before any kernel lookup or
+	// argument checking happens: the error mentions the backend, not a
+	// missing kernel.
+	p := &Program{}
+	err := p.Launch("nope", Config{Backend: "no-such-backend"}, NewGlobalMem(64), nil)
+	if err == nil || !strings.Contains(err.Error(), "no-such-backend") {
+		t.Fatalf("Launch error = %v, want unknown-backend report", err)
+	}
+}

@@ -197,9 +197,9 @@ type LaunchOpts struct {
 // order, so traced streams are deterministic regardless of backend;
 // untraced launches balance groups dynamically (see GroupSchedule).
 func (p *Program) Launch(kernel string, cfg Config, gmem *GlobalMem, opts *LaunchOpts) error {
-	backend := cfg.Backend
-	if backend == "" {
-		backend = DefaultBackend()
+	backend, err := ResolveBackend(cfg.Backend)
+	if err != nil {
+		return err
 	}
 	if backend != BackendInterp {
 		ex, err := p.Executor(backend)

@@ -10,12 +10,13 @@ import (
 
 	"grover/internal/bcode"
 	"grover/internal/ir"
+	"grover/internal/jit"
 	"grover/internal/vm"
 	"grover/internal/wgvec"
 	"grover/opencl"
 )
 
-var backends = []string{vm.BackendInterp, bcode.Name, wgvec.Name}
+var backends = []string{vm.BackendInterp, bcode.Name, wgvec.Name, jit.Name}
 
 // nestedSrc: both loop trip counts depend on the work-item id, so lanes
 // leave the inner and outer loops at different iterations and must

@@ -33,6 +33,7 @@ import (
 	"grover/internal/device"
 	igrover "grover/internal/grover"
 	"grover/internal/ir"
+	_ "grover/internal/jit" // register the closure-threaded/native JIT backend
 	"grover/internal/lower"
 	"grover/internal/opt"
 	"grover/internal/rewrite"
@@ -114,7 +115,7 @@ func NewContext(d *Device) *Context {
 func (c *Context) Device() *Device { return c.dev }
 
 // SetBackend selects the VM execution backend ("interp", "bcode",
-// "wgvec") for all
+// "wgvec", "jit") for all
 // launches from this context's queues. The empty string restores the
 // default (the GROVER_BACKEND environment variable, else the interpreter).
 func (c *Context) SetBackend(name string) error {
