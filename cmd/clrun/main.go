@@ -19,6 +19,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,7 @@ import (
 
 	igrover "grover/internal/grover"
 	"grover/internal/jit"
+	"grover/internal/telemetry"
 	"grover/internal/telemetry/aiwc"
 	"grover/internal/vm"
 	"grover/opencl"
@@ -50,6 +53,8 @@ func main() {
 		backend    = flag.String("backend", "", "execution backend (interp, bcode, wgvec, jit; default: $GROVER_BACKEND, else interp)")
 		jitNative  = flag.Bool("jit-native", false, "enable the jit backend's native code generation (also: GROVER_JIT=native)")
 		profile    = flag.Bool("profile", false, "run one extra traced launch per kernel version and print its AIWC-style feature vector")
+		kprofile   = flag.Bool("kernel-profile", false, "attribute each launch's wall time and retire/traffic counters to its barrier-delimited regions")
+		traceOut   = flag.String("trace-out", "", "append this run's telemetry trace (compile stages, launches) to a JSONL file")
 	)
 	flag.Var(&args, "arg", "kernel argument spec (repeatable, in declaration order)")
 	flag.Parse()
@@ -61,18 +66,21 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *deviceName, *kernel, *globalStr, *localStr, args, *useGrover, *timed, *profile, *backend, *dump); err != nil {
+	if err := run(flag.Arg(0), *deviceName, *kernel, *globalStr, *localStr, args, *useGrover, *timed, *profile, *kprofile, *backend, *dump, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "clrun:", err)
 		os.Exit(1)
 	}
 }
 
 func run(file, deviceName, kernel, globalStr, localStr string, argSpecs []string,
-	useGrover, timed, profile bool, backend, dump string) error {
+	useGrover, timed, profile, kprofile bool, backend, dump, traceOut string) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
 	}
+	// The whole run records into one trace; -trace-out exports it.
+	rctx, tr := telemetry.WithTrace(context.Background())
+	tr.SetName("clrun " + file)
 	plat := opencl.NewPlatform()
 	dev, err := plat.DeviceByName(deviceName)
 	if err != nil {
@@ -84,7 +92,7 @@ func run(file, deviceName, kernel, globalStr, localStr string, argSpecs []string
 			return err
 		}
 	}
-	prog, err := ctx.CompileProgram(file, string(src), nil)
+	prog, err := ctx.CompileProgramCtx(rctx, file, string(src), nil)
 	if err != nil {
 		return err
 	}
@@ -118,9 +126,19 @@ func run(file, deviceName, kernel, globalStr, localStr string, argSpecs []string
 		} else {
 			q = ctx.NewQueue()
 		}
+		var prof *vm.Profiler
+		if kprofile {
+			prof = vm.NewProfiler()
+			q.SetKernelProfiler(prof)
+		}
+		end := telemetry.StartSpan(rctx, "launch:"+label)
 		evt, err := q.EnqueueNDRange(k, nd, kargs...)
+		end()
 		if err != nil {
 			return fmt.Errorf("%s: %w", label, err)
+		}
+		if prof != nil {
+			fmt.Printf("\n--- kernel profile (%s) ---\n%s\n", label, prof.Report().Text())
 		}
 		if timed {
 			fmt.Printf("%-12s %.4f ms (simulated on %s)\n", label, evt.Duration(), dev.Name())
@@ -142,7 +160,7 @@ func run(file, deviceName, kernel, globalStr, localStr string, argSpecs []string
 	var noLM *opencl.Program
 	if useGrover {
 		var rep *igrover.Report
-		noLM, rep, err = prog.WithLocalMemoryDisabled(kernel, igrover.Options{})
+		noLM, rep, err = prog.WithLocalMemoryDisabledCtx(rctx, kernel, igrover.Options{})
 		if err != nil {
 			return err
 		}
@@ -184,7 +202,30 @@ func run(file, deviceName, kernel, globalStr, localStr string, argSpecs []string
 		}
 		fmt.Printf("arg %d: %v\n", idx, b.ReadFloat32(cnt))
 	}
+	if traceOut != "" {
+		tr.Finish()
+		if err := appendTrace(traceOut, tr.Export()); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+	}
 	return nil
+}
+
+// appendTrace appends one trace export as a JSONL line, the same format
+// groverd's -trace-log writes.
+func appendTrace(path string, exp telemetry.TraceExport) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	line, err := json.Marshal(exp)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	_, err = f.Write(line)
+	return err
 }
 
 func parseND(globalStr, localStr string) (opencl.NDRange, error) {

@@ -16,6 +16,7 @@
 //	groverbench -experiment characterize -format json  # AIWC-style feature vectors
 //	groverbench -experiment rewrite -format json       # rewrite-plan search sweep
 //	groverbench -experiment predict -device all -format json  # predictive-autotuning cross-validation
+//	groverbench -experiment service -format json       # groverd load harness (open-loop)
 //
 // -backend selects the execution backend (interp, bcode, or wgvec) and
 // -format json emits machine-readable measurements; the committed
@@ -27,6 +28,9 @@
 // experiment (static-ranking validation) and BENCH_predict.json from
 // the predict experiment (leave-one-app-out cross-validation of the
 // feature-store verdict predictor), both with -device all.
+// BENCH_service.json comes from the service experiment: open-loop
+// synthetic traffic against an in-process groverd, with per-endpoint
+// latency quantiles, saturation throughput, and queue-wait readings.
 // -cpuprofile and -memprofile write pprof profiles of the
 // run for backend performance work.
 package main
@@ -53,7 +57,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | characterize | rewrite | profit | predict | all")
+		experiment = flag.String("experiment", "all", "fig2 | fig10 | figgpu | table1 | table2 | table3 | table4 | case | backends | characterize | rewrite | profit | predict | service | all")
 		app        = flag.String("app", "", "benchmark id for -experiment case (e.g. NVD-MT)")
 		device     = flag.String("device", "SNB", "device for -experiment case, profit and predict (profit/predict also accept \"all\")")
 		scale      = flag.Int("scale", 1, "dataset scale factor")
@@ -65,6 +69,10 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		qps        = flag.Float64("qps", 0, "-experiment service: open-loop arrival rate (0 = default 150)")
+		loadSec    = flag.Float64("load-seconds", 0, "-experiment service: mixed-phase duration in seconds (0 = default 3)")
+		reuse      = flag.Float64("reuse", 0.75, "-experiment service: cache key-reuse ratio in [0, 1]")
+		loadWork   = flag.Int("load-workers", 0, "-experiment service: saturation-probe concurrency (0 = 2 x GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *jitNative {
@@ -91,8 +99,9 @@ func main() {
 		}
 	}
 	cfg := harness.Config{Scale: *scale, Runs: *runs, Validate: *validate, Backend: *backend, Log: logW}
+	lc := serviceLoadConfig{QPS: *qps, Seconds: *loadSec, Reuse: *reuse, Workers: *loadWork}
 
-	err := run(*experiment, *app, *device, *format, cfg)
+	err := run(*experiment, *app, *device, *format, cfg, lc)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -162,7 +171,7 @@ func emitMeasurements(title string, ms []*harness.Measurement, format string, ta
 	return nil
 }
 
-func run(experiment, appID, deviceName, format string, cfg harness.Config) error {
+func run(experiment, appID, deviceName, format string, cfg harness.Config, lc serviceLoadConfig) error {
 	switch experiment {
 	case "fig2":
 		ms, err := harness.Fig2(cfg)
@@ -192,6 +201,8 @@ func run(experiment, appID, deviceName, format string, cfg harness.Config) error
 		return runProfit(cfg, format, deviceName)
 	case "predict":
 		return runPredict(cfg, format, deviceName)
+	case "service":
+		return runService(cfg, format, lc)
 	case "table1":
 		fmt.Println("Table I — benchmarks and datasets")
 		fmt.Println(harness.Table1())

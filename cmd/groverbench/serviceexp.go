@@ -1,0 +1,441 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"grover/internal/harness"
+	"grover/internal/service"
+)
+
+// serviceLoadConfig sizes the service load experiment.
+type serviceLoadConfig struct {
+	// QPS is the open-loop arrival rate of the mixed phase.
+	QPS float64
+	// Seconds is the mixed-phase duration; the per-endpoint saturation
+	// probes each run for a fraction of it.
+	Seconds float64
+	// Reuse is the key-reuse ratio: the probability a request draws its
+	// cache key from a small warm pool (an artifact-cache hit after
+	// warmup) instead of a fresh key (a miss that compiles).
+	Reuse float64
+	// Workers is the closed-loop concurrency of the per-endpoint
+	// saturation probes (0 = 2 x GOMAXPROCS).
+	Workers int
+}
+
+// serviceKernelSrc is the synthetic workload kernel: a local-memory
+// staging pattern, so transform/autotune requests exercise the Grover
+// pass and the simulator, not just the front-end.
+const serviceKernelSrc = `__kernel void stage(__global float* out, __global const float* in) {
+	__local float tile[16];
+	int l = get_local_id(0);
+	int g = get_global_id(0);
+	tile[l] = in[g] * 2.0f;
+	barrier(CLK_LOCAL_MEM_FENCE);
+	out[g] = tile[(l + 1) % 16];
+}`
+
+// latencySummaryJSON summarizes one latency population in milliseconds.
+type latencySummaryJSON struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// endpointLoadJSON is one endpoint's row: open-loop latency under the
+// mixed phase plus the closed-loop saturation throughput.
+type endpointLoadJSON struct {
+	Endpoint string             `json:"endpoint"`
+	OpenLoop latencySummaryJSON `json:"open_loop"`
+	// MaxQPS is the cache-warm closed-loop throughput of the saturation
+	// probe — the service-overhead ceiling for this endpoint.
+	MaxQPS float64 `json:"max_qps"`
+}
+
+// serviceBenchJSON is the service experiment output (BENCH_service.json).
+type serviceBenchJSON struct {
+	Experiment  string  `json:"experiment"`
+	Workers     int     `json:"workers"`
+	Backend     string  `json:"backend"`
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	DurationSec float64 `json:"duration_sec"`
+	ReuseRatio  float64 `json:"reuse_ratio"`
+	// Queue-wait quantiles come from the server's own histogram — the
+	// portion of request latency spent waiting for a worker slot.
+	QueueWaitP50MS float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP95MS float64 `json:"queue_wait_p95_ms"`
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
+	// MaxQueued and MaxActive are the saturation high-water marks sampled
+	// from the pool during the run; Shed counts 503-refused jobs.
+	MaxQueued int64 `json:"max_queued"`
+	MaxActive int64 `json:"max_active"`
+	Shed      int64 `json:"shed"`
+	// TraceCount is how many traces /v1/traces returned after the run;
+	// ScrapeOK reports that the /metrics exposition carried the expected
+	// build-info and saturation series.
+	TraceCount int                `json:"trace_count"`
+	ScrapeOK   bool               `json:"scrape_ok"`
+	Endpoints  []endpointLoadJSON `json:"endpoints"`
+}
+
+// loadSample is one completed request observation.
+type loadSample struct {
+	endpoint string
+	ms       float64
+	failed   bool
+}
+
+// loadClient issues the synthetic workload against a base URL.
+type loadClient struct {
+	base   string
+	client *http.Client
+	fresh  atomic.Int64
+}
+
+// warmPoolSize is how many distinct cache keys the reuse side of the
+// workload draws from.
+const warmPoolSize = 4
+
+// body builds one request body for the endpoint; variant selects the
+// cache key (the UNIQ define is part of the content address).
+func (c *loadClient) body(endpoint string, variant int) interface{} {
+	defines := map[string]string{"UNIQ": strconv.Itoa(variant)}
+	switch endpoint {
+	case "compile":
+		return &service.CompileRequest{Source: serviceKernelSrc, Defines: defines}
+	case "lint":
+		return &service.LintRequest{Source: serviceKernelSrc, Defines: defines, Local: [3]int{16, 1, 1}}
+	case "autotune":
+		return &service.AutotuneRequest{
+			Source: serviceKernelSrc, Defines: defines, Kernel: "stage",
+			Device: "SNB",
+			Global: [3]int{64, 1, 1}, Local: [3]int{16, 1, 1},
+			Args: []service.ArgSpec{
+				{Kind: "buffer", Size: 256},
+				{Kind: "buffer", Size: 256},
+			},
+			Runs: 1,
+		}
+	}
+	panic("unknown endpoint " + endpoint)
+}
+
+// variant picks a cache key: a warm-pool member with probability reuse,
+// a fresh never-seen key otherwise.
+func (c *loadClient) variant(rng *rand.Rand, reuse float64) int {
+	if rng.Float64() < reuse {
+		return rng.Intn(warmPoolSize)
+	}
+	return warmPoolSize + int(c.fresh.Add(1))
+}
+
+// post sends one request and reports whether it succeeded.
+func (c *loadClient) post(endpoint string, payload interface{}) bool {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Post(c.base+"/v1/"+endpoint, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// summarize computes exact quantiles over a sample population.
+func summarize(samples []loadSample) latencySummaryJSON {
+	var out latencySummaryJSON
+	var ok []float64
+	var sum float64
+	for _, s := range samples {
+		out.Count++
+		if s.failed {
+			out.Errors++
+			continue
+		}
+		ok = append(ok, s.ms)
+		sum += s.ms
+	}
+	if len(ok) == 0 {
+		return out
+	}
+	sort.Float64s(ok)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(ok)))
+		if i >= len(ok) {
+			i = len(ok) - 1
+		}
+		return ok[i]
+	}
+	out.P50MS = q(0.50)
+	out.P95MS = q(0.95)
+	out.P99MS = q(0.99)
+	out.MeanMS = sum / float64(len(ok))
+	out.MaxMS = ok[len(ok)-1]
+	return out
+}
+
+// loadEndpoints is the workload mix: weights out of 10 arrivals.
+var loadEndpoints = []struct {
+	name   string
+	weight int
+}{
+	{"compile", 5},
+	{"lint", 3},
+	{"autotune", 2},
+}
+
+// pickEndpoint maps an arrival index onto the mix deterministically.
+func pickEndpoint(i int) string {
+	slot := i % 10
+	for _, e := range loadEndpoints {
+		if slot < e.weight {
+			return e.name
+		}
+		slot -= e.weight
+	}
+	return loadEndpoints[0].name
+}
+
+// runService drives an in-process groverd with open-loop synthetic
+// traffic and emits the latency/saturation report (BENCH_service.json
+// with -format json).
+//
+// Open loop means arrivals follow a fixed schedule that does not slow
+// down when the service does, and each request's latency is measured
+// from its *scheduled* send time — so time spent blocked behind a slow
+// server counts against it (no coordinated omission).
+func runService(cfg harness.Config, format string, lc serviceLoadConfig) error {
+	if lc.QPS <= 0 {
+		lc.QPS = 150
+	}
+	if lc.Seconds <= 0 {
+		lc.Seconds = 3
+	}
+	if lc.Reuse < 0 || lc.Reuse > 1 {
+		return fmt.Errorf("reuse ratio must be within [0, 1], got %g", lc.Reuse)
+	}
+
+	srv := service.New(service.Config{
+		Backend:  cfg.Backend,
+		MaxQueue: 512,
+		Version:  "bench",
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &loadClient{base: ts.URL, client: ts.Client()}
+
+	// Warm the reuse pool so the mixed phase's reuse side actually hits.
+	for _, e := range loadEndpoints {
+		for v := 0; v < warmPoolSize; v++ {
+			client.post(e.name, client.body(e.name, v))
+		}
+	}
+
+	// Sample pool occupancy during the run for saturation high-water
+	// marks.
+	var maxQueued, maxActive int64
+	stopSampling := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			case <-tick.C:
+				ps := srv.Pool().Snapshot()
+				if ps.Queued > maxQueued {
+					maxQueued = ps.Queued
+				}
+				if ps.Active > maxActive {
+					maxActive = ps.Active
+				}
+			}
+		}
+	}()
+
+	// Mixed open-loop phase.
+	if cfg.Log != nil {
+		fmt.Fprintf(cfg.Log, "service: open-loop %.0f qps for %.1fs (reuse %.2f)\n",
+			lc.QPS, lc.Seconds, lc.Reuse)
+	}
+	interval := time.Duration(float64(time.Second) / lc.QPS)
+	total := int(lc.QPS * lc.Seconds)
+	samples := make([]loadSample, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		sched := start.Add(time.Duration(i) * interval)
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, sched time.Time) {
+			defer wg.Done()
+			// Each arrival gets its own RNG so the schedule goroutine
+			// never blocks on a shared lock.
+			rng := rand.New(rand.NewSource(int64(i)))
+			endpoint := pickEndpoint(i)
+			ok := client.post(endpoint, client.body(endpoint, client.variant(rng, lc.Reuse)))
+			samples[i] = loadSample{
+				endpoint: endpoint,
+				ms:       float64(time.Since(sched)) / float64(time.Millisecond),
+				failed:   !ok,
+			}
+		}(i, sched)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Per-endpoint saturation probes: closed-loop, cache-warm hammering
+	// to find the service-overhead throughput ceiling.
+	satDur := time.Duration(lc.Seconds * 0.25 * float64(time.Second))
+	if satDur < 300*time.Millisecond {
+		satDur = 300 * time.Millisecond
+	}
+	workers := lc.Workers
+	if workers <= 0 {
+		workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	maxQPS := map[string]float64{}
+	for _, e := range loadEndpoints {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "service: saturating %s with %d workers for %s\n",
+				e.name, workers, satDur)
+		}
+		var done atomic.Int64
+		deadline := time.Now().Add(satDur)
+		var sw sync.WaitGroup
+		satStart := time.Now()
+		for w := 0; w < workers; w++ {
+			sw.Add(1)
+			go func(w int) {
+				defer sw.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for time.Now().Before(deadline) {
+					if client.post(e.name, client.body(e.name, rng.Intn(warmPoolSize))) {
+						done.Add(1)
+					}
+				}
+			}(w)
+		}
+		sw.Wait()
+		maxQPS[e.name] = float64(done.Load()) / time.Since(satStart).Seconds()
+	}
+	close(stopSampling)
+	samplerWG.Wait()
+
+	// Server-side readings: queue-wait histogram quantiles (same series
+	// the /metrics scrape exposes), pool shed count, trace ring, scrape.
+	qw := srv.Metrics().Histogram("groverd_queue_wait_seconds",
+		"time jobs spent waiting for a worker-pool slot", nil)
+	pool := srv.Pool().Snapshot()
+
+	traceResp, err := http.Get(ts.URL + "/v1/traces?n=1000")
+	if err != nil {
+		return fmt.Errorf("traces: %w", err)
+	}
+	var traces service.TracesResponse
+	err = json.NewDecoder(traceResp.Body).Decode(&traces)
+	traceResp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("traces: %w", err)
+	}
+
+	scrapeResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	var scrape bytes.Buffer
+	_, err = scrape.ReadFrom(scrapeResp.Body)
+	scrapeResp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	scrapeOK := true
+	for _, want := range []string{
+		"groverd_build_info{",
+		"groverd_queue_depth",
+		"groverd_inflight_requests",
+		"groverd_queue_wait_seconds_count",
+		"groverd_shed_total",
+	} {
+		if !strings.Contains(scrape.String(), want) {
+			scrapeOK = false
+		}
+	}
+
+	byEndpoint := map[string][]loadSample{}
+	for _, s := range samples {
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s)
+	}
+	var okCount int64
+	for _, s := range samples {
+		if !s.failed {
+			okCount++
+		}
+	}
+	out := &serviceBenchJSON{
+		Experiment:     "service",
+		Workers:        pool.Workers,
+		Backend:        srv.Backend(),
+		TargetQPS:      lc.QPS,
+		AchievedQPS:    float64(okCount) / elapsed.Seconds(),
+		DurationSec:    lc.Seconds,
+		ReuseRatio:     lc.Reuse,
+		QueueWaitP50MS: qw.Quantile(0.50) * 1000,
+		QueueWaitP95MS: qw.Quantile(0.95) * 1000,
+		QueueWaitP99MS: qw.Quantile(0.99) * 1000,
+		MaxQueued:      maxQueued,
+		MaxActive:      maxActive,
+		Shed:           pool.Shed,
+		TraceCount:     traces.Count,
+		ScrapeOK:       scrapeOK,
+	}
+	for _, e := range loadEndpoints {
+		out.Endpoints = append(out.Endpoints, endpointLoadJSON{
+			Endpoint: e.name,
+			OpenLoop: summarize(byEndpoint[e.name]),
+			MaxQPS:   maxQPS[e.name],
+		})
+	}
+
+	if format == "json" {
+		return emitJSON(out)
+	}
+	fmt.Printf("Service load — %d workers, %.0f qps open-loop for %.1fs (reuse %.2f, achieved %.1f qps)\n",
+		out.Workers, out.TargetQPS, out.DurationSec, out.ReuseRatio, out.AchievedQPS)
+	for _, e := range out.Endpoints {
+		fmt.Printf("  %-9s %5d reqs  p50 %8.2f ms  p95 %8.2f ms  p99 %8.2f ms  max-qps %8.1f  errors %d\n",
+			e.Endpoint, e.OpenLoop.Count, e.OpenLoop.P50MS, e.OpenLoop.P95MS, e.OpenLoop.P99MS,
+			e.MaxQPS, e.OpenLoop.Errors)
+	}
+	fmt.Printf("  queue wait p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max queued %d  max active %d  shed %d\n",
+		out.QueueWaitP50MS, out.QueueWaitP95MS, out.QueueWaitP99MS,
+		out.MaxQueued, out.MaxActive, out.Shed)
+	fmt.Printf("  traces buffered %d  scrape ok %v\n", out.TraceCount, out.ScrapeOK)
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchServiceSchema strictly decodes the committed service load
+// results and checks the invariants that matter: the file must match
+// the current schema (unknown fields fail, so a schema change without
+// regenerating the file fails CI), cover every workload endpoint with
+// ordered quantiles, and show the scrape/trace validation passed.
+func TestBenchServiceSchema(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_service.json")
+	if err != nil {
+		t.Skipf("committed benchmark missing: %v", err)
+	}
+	var bench serviceBenchJSON
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&bench); err != nil {
+		t.Fatalf("BENCH_service.json does not match the current schema (regenerate with groverbench -experiment service -format json): %v", err)
+	}
+	if bench.Experiment != "service" {
+		t.Fatalf("experiment = %q, want service", bench.Experiment)
+	}
+	if bench.Workers <= 0 || bench.TargetQPS <= 0 || bench.DurationSec <= 0 {
+		t.Fatalf("config not recorded: workers=%d target_qps=%g duration=%g",
+			bench.Workers, bench.TargetQPS, bench.DurationSec)
+	}
+	if bench.ReuseRatio < 0 || bench.ReuseRatio > 1 {
+		t.Errorf("reuse ratio %g outside [0, 1]", bench.ReuseRatio)
+	}
+	if bench.AchievedQPS <= 0 {
+		t.Errorf("achieved qps %g, want > 0", bench.AchievedQPS)
+	}
+	if !bench.ScrapeOK {
+		t.Errorf("scrape validation failed in the committed run")
+	}
+	if bench.TraceCount == 0 {
+		t.Errorf("no traces buffered — /v1/traces validation failed")
+	}
+	if bench.QueueWaitP50MS > bench.QueueWaitP95MS || bench.QueueWaitP95MS > bench.QueueWaitP99MS {
+		t.Errorf("queue-wait quantiles out of order: p50 %g p95 %g p99 %g",
+			bench.QueueWaitP50MS, bench.QueueWaitP95MS, bench.QueueWaitP99MS)
+	}
+	want := map[string]bool{"compile": false, "lint": false, "autotune": false}
+	for _, e := range bench.Endpoints {
+		if _, ok := want[e.Endpoint]; !ok {
+			t.Errorf("unexpected endpoint %q", e.Endpoint)
+			continue
+		}
+		want[e.Endpoint] = true
+		l := e.OpenLoop
+		if l.Count == 0 {
+			t.Errorf("%s: no open-loop samples", e.Endpoint)
+		}
+		if l.Errors != 0 {
+			t.Errorf("%s: %d errors in the committed run", e.Endpoint, l.Errors)
+		}
+		if !(l.P50MS <= l.P95MS && l.P95MS <= l.P99MS && l.P99MS <= l.MaxMS) {
+			t.Errorf("%s: quantiles out of order: p50 %g p95 %g p99 %g max %g",
+				e.Endpoint, l.P50MS, l.P95MS, l.P99MS, l.MaxMS)
+		}
+		if l.P50MS <= 0 || l.MeanMS <= 0 {
+			t.Errorf("%s: non-positive latency summary: p50 %g mean %g",
+				e.Endpoint, l.P50MS, l.MeanMS)
+		}
+		if e.MaxQPS <= 0 {
+			t.Errorf("%s: saturation max-qps %g, want > 0", e.Endpoint, e.MaxQPS)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("endpoint %q missing from the committed run", name)
+		}
+	}
+}
+
+// TestPickEndpoint pins the workload mix: weights must cover all ten
+// slots of the arrival cycle in declaration order.
+func TestPickEndpoint(t *testing.T) {
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		counts[pickEndpoint(i)]++
+	}
+	for _, e := range loadEndpoints {
+		if counts[e.name] != e.weight {
+			t.Errorf("%s: %d arrivals per 10, want %d", e.name, counts[e.name], e.weight)
+		}
+	}
+}
+
+// TestSummarize checks the exact-quantile summary on a tiny population,
+// including error exclusion.
+func TestSummarize(t *testing.T) {
+	var samples []loadSample
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, loadSample{endpoint: "compile", ms: float64(i)})
+	}
+	samples = append(samples, loadSample{endpoint: "compile", failed: true})
+	s := summarize(samples)
+	if s.Count != 101 || s.Errors != 1 {
+		t.Fatalf("count=%d errors=%d, want 101/1", s.Count, s.Errors)
+	}
+	if s.P50MS != 51 || s.P95MS != 96 || s.P99MS != 100 || s.MaxMS != 100 {
+		t.Errorf("quantiles p50=%g p95=%g p99=%g max=%g", s.P50MS, s.P95MS, s.P99MS, s.MaxMS)
+	}
+	if s.MeanMS != 50.5 {
+		t.Errorf("mean=%g, want 50.5", s.MeanMS)
+	}
+	empty := summarize(nil)
+	if empty.Count != 0 || empty.P50MS != 0 {
+		t.Errorf("empty population should be all zero, got %+v", empty)
+	}
+}

@@ -9,11 +9,13 @@
 //
 //	groverd [-addr :8372] [-cache 256] [-workers 0] [-backend bcode]
 //	        [-store grover.store] [-store-max 0] [-seed dir]
+//	        [-max-queue 0] [-trace-log path] [-trace-cap 256]
 //	        [-log-format text|json] [-log-level info] [-pprof addr]
 //
 // Endpoints: POST /v1/compile, /v1/transform, /v1/autotune;
-// GET /v1/devices, /v1/stats, /metrics, /healthz. See the README
-// "Serving" and "Observability" sections for a curl walkthrough.
+// GET /v1/devices, /v1/stats, /v1/traces, /metrics, /healthz. See the
+// README "Serving", "Observability" and "Load & tracing" sections for a
+// curl walkthrough.
 package main
 
 import (
@@ -36,6 +38,10 @@ import (
 	"grover/opencl"
 )
 
+// version labels the groverd_build_info metric; release builds can
+// override it with -ldflags "-X main.version=...".
+var version = "dev"
+
 func main() {
 	addr := flag.String("addr", ":8372", "listen address")
 	cacheCap := flag.Int("cache", 0, "artifact cache capacity in entries (0 = default 256)")
@@ -45,6 +51,9 @@ func main() {
 	storePath := flag.String("store", "", "persist the predictive-autotuning feature store at this path (empty = memory-only)")
 	storeMax := flag.Int("store-max", 0, "feature-store record bound (0 = unbounded)")
 	seedDir := flag.String("seed", "", "seed the feature store from the BENCH_*.json sweeps in this directory")
+	maxQueue := flag.Int("max-queue", 0, "max jobs waiting for a worker slot before shedding with 503 (0 = unbounded)")
+	traceLog := flag.String("trace-log", "", "append every finished request trace to this JSONL file (empty = disabled)")
+	traceCap := flag.Int("trace-cap", 0, "in-memory trace ring capacity served by /v1/traces (0 = default 256)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
@@ -70,8 +79,22 @@ func main() {
 		StorePath:       *storePath,
 		StoreMaxRecords: *storeMax,
 		SeedDir:         *seedDir,
+		MaxQueue:        *maxQueue,
+		TraceCapacity:   *traceCap,
+		Version:         version,
 	})
 	defer srv.Close()
+
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("cannot open trace log", "path", *traceLog, "err", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		srv.Traces().SetSink(f)
+		logger.Info("trace log attached", "path", *traceLog)
+	}
 
 	logger.Info("listening", "addr", *addr,
 		"workers", srv.Pool().Snapshot().Workers, "backend", srv.Backend())

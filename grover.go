@@ -34,7 +34,9 @@ import (
 	"grover/internal/predict"
 	"grover/internal/profit"
 	"grover/internal/rewrite"
+	"grover/internal/telemetry"
 	"grover/internal/telemetry/aiwc"
+	"grover/internal/vm"
 	"grover/opencl"
 )
 
@@ -120,6 +122,10 @@ type PlanTiming struct {
 	Score *profit.Score
 	// Pruned marks plans the static ranking decided not to execute.
 	Pruned bool
+	// Profile is the plan's per-launch execution profile (wall time and
+	// retire/traffic counters per barrier-delimited region, accumulated
+	// over the timed runs) when PlanSearchOptions.Profile was set.
+	Profile *vm.ProfileReport
 }
 
 // String renders the decision.
@@ -183,11 +189,15 @@ func AutoTuneCtx(ctx context.Context, prog *opencl.Program, kernel string, opts 
 		}
 		return total / float64(runs), nil
 	}
+	end := telemetry.StartSpan(ctx, "tune:original")
 	origMS, err := avg(orig)
+	end()
 	if err != nil {
 		return nil, fmt.Errorf("grover: timing original: %w", err)
 	}
+	end = telemetry.StartSpan(ctx, "tune:transformed")
 	noLMMS, err := avg(noLM)
+	end()
 	if err != nil {
 		return nil, fmt.Errorf("grover: timing transformed: %w", err)
 	}
@@ -272,6 +282,13 @@ type PlanSearchOptions struct {
 	// Label names the workload in records written by measured fallback
 	// (defaults to the kernel name).
 	Label string
+
+	// Profile, when non-nil, is called before each timed plan with the
+	// plan's canonical string and must return a fresh profiler wired into
+	// the caller's launch path (e.g. Queue.SetKernelProfiler). After the
+	// plan's runs complete its report lands in PlanTiming.Profile, so a
+	// verdict can show where each variant's execution time went.
+	Profile func(plan string) *vm.Profiler
 }
 
 // AutoTunePlansOpts is AutoTunePlansCtx with search options (static
@@ -390,7 +407,16 @@ func AutoTunePlansOpts(ctx context.Context, prog *opencl.Program, kernel string,
 			}
 		}
 		t.Applied = true
+		var prof *vm.Profiler
+		if popts.Profile != nil {
+			prof = popts.Profile(t.Plan)
+		}
+		end := telemetry.StartSpan(ctx, "tune:"+t.Plan)
 		ms, err := avg(k)
+		end()
+		if prof != nil {
+			t.Profile = prof.Report()
+		}
 		if err != nil {
 			t.Applied = false
 			t.Err = fmt.Sprintf("timing: %v", err)

@@ -7,6 +7,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"grover/internal/clc"
 	"grover/internal/ir"
@@ -126,9 +127,16 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 	}
 	workers := 1
 	var tracerFor func(int) vm.Tracer
+	var prof *vm.Profiler
 	if opts != nil {
 		workers = opts.Workers
 		tracerFor = opts.TracerFor
+		prof = opts.Profiler
+	}
+	if prof != nil {
+		prof.LaunchBegin(kernel, Name)
+		start := time.Now()
+		defer func() { prof.LaunchDone(time.Since(start)) }()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -192,7 +200,7 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 			g := &groupRun{
 				m: m, bf: bf, cfg: ncfg, gmem: gmem,
 				paramI: paramI, paramF: paramF,
-				localTotal: localTotal, tracer: tr,
+				localTotal: localTotal, tracer: tr, prof: prof,
 			}
 			for d := 0; d < 3; d++ {
 				g.gsz[d] = int64(ncfg.GlobalSize[d])
@@ -231,6 +239,13 @@ type groupRun struct {
 	paramF     []float64
 	localTotal int
 	tracer     vm.Tracer
+	prof       *vm.Profiler
+
+	// Per-round profiler accumulators; harvested and reset by runGroup
+	// at every barrier round when prof is set.
+	profRetired int64
+	profLoads   int64
+	profStores  int64
 
 	gsz, lsz, ngrp [3]int64
 
@@ -309,7 +324,13 @@ func (g *groupRun) runGroup(group [3]int, linear int) error {
 	}
 	// Rounds: run every live work-item to its next barrier (or to
 	// completion); repeat until all are done.
+	round := 0
+	var roundStart time.Time
 	for {
+		if g.prof != nil {
+			roundStart = time.Now()
+			g.profRetired, g.profLoads, g.profStores = 0, 0, 0
+		}
 		var barrierAt *ir.Instr
 		liveBefore := 0
 		atBarrier := 0
@@ -321,8 +342,11 @@ func (g *groupRun) runGroup(group [3]int, linear int) error {
 			}
 			liveBefore++
 			hitBarrier, bInstr, err := g.exec(c, true)
-			if g.tracer != nil && c.pending > 0 {
-				g.tracer.Instrs(c.wi, c.pending)
+			if c.pending > 0 && (g.tracer != nil || g.prof != nil) {
+				if g.tracer != nil {
+					g.tracer.Instrs(c.wi, c.pending)
+				}
+				g.profRetired += c.pending
 				c.pending = 0
 			}
 			if err != nil {
@@ -341,6 +365,10 @@ func (g *groupRun) runGroup(group [3]int, linear int) error {
 		}
 		if liveBefore == 0 {
 			break
+		}
+		if g.prof != nil {
+			g.prof.Region(round, time.Since(roundStart), g.profRetired, g.profLoads, g.profStores, atBarrier > 0)
+			round++
 		}
 		if atBarrier > 0 && doneNow > 0 {
 			return fmt.Errorf("barrier divergence: %d work-items at a barrier while %d finished", atBarrier, doneNow)
@@ -363,6 +391,7 @@ const kF32 = uint8(clc.KFloat)
 // exec runs c until a barrier (kernel level only), a return, or an error.
 func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 	tr := g.tracer
+	prof := g.prof != nil
 	code := c.bf.Code
 	auxs := c.bf.Aux
 	ri, rf := c.ri, c.rfl
@@ -466,6 +495,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			if tr != nil {
 				tr.Access(in.In, c.wi, addr, int(in.N), false)
 			}
+			if prof {
+				g.profLoads++
+			}
 			if err := c.load(in, addr); err != nil {
 				return false, nil, err
 			}
@@ -473,6 +505,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			addr := uint64(ri[in.B] + ri[in.C]*in.Imm)
 			if tr != nil {
 				tr.Access(in.In, c.wi, addr, int(in.N), false)
+			}
+			if prof {
+				g.profLoads++
 			}
 			if err := c.load(in, addr); err != nil {
 				return false, nil, err
@@ -483,6 +518,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			if tr != nil {
 				tr.Access(in.In, c.wi, addr, int(in.N), true)
 			}
+			if prof {
+				g.profStores++
+			}
 			if err := c.store(in, addr); err != nil {
 				return false, nil, err
 			}
@@ -490,6 +528,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			addr := uint64(ri[in.B] + ri[in.C]*in.Imm)
 			if tr != nil {
 				tr.Access(in.In, c.wi, addr, int(in.N), true)
+			}
+			if prof {
+				g.profStores++
 			}
 			if err := c.store(in, addr); err != nil {
 				return false, nil, err
@@ -500,6 +541,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			if tr != nil {
 				tr.Access(in.In, c.wi, addr, int(in.N), false)
 			}
+			if prof {
+				g.profLoads++
+			}
 			if err := c.loadVec(in, addr); err != nil {
 				return false, nil, err
 			}
@@ -507,6 +551,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			addr := uint64(ri[in.B] + ri[in.C]*in.Imm)
 			if tr != nil {
 				tr.Access(in.In, c.wi, addr, int(in.N), false)
+			}
+			if prof {
+				g.profLoads++
 			}
 			if err := c.loadVec(in, addr); err != nil {
 				return false, nil, err
@@ -516,6 +563,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			if tr != nil {
 				tr.Access(in.In, c.wi, addr, int(in.N), true)
 			}
+			if prof {
+				g.profStores++
+			}
 			if err := c.storeVec(in, addr); err != nil {
 				return false, nil, err
 			}
@@ -523,6 +573,9 @@ func (g *groupRun) exec(c *wCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			addr := uint64(ri[in.B] + ri[in.C]*in.Imm)
 			if tr != nil {
 				tr.Access(in.In, c.wi, addr, int(in.N), true)
+			}
+			if prof {
+				g.profStores++
 			}
 			if err := c.storeVec(in, addr); err != nil {
 				return false, nil, err

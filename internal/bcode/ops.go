@@ -29,6 +29,31 @@ const Name = "bcode"
 // Opcode enumerates bytecode operations.
 type Opcode uint16
 
+// MemKind classifies an opcode's memory traffic for profiler accounting:
+// MemLoad / MemStore for the opcodes that emit one tracer Access per
+// executed lane, MemNone for everything else. The ranges lean on the
+// opcode layout below (scalar and fused loads, then stores, then the
+// vector forms) — keep them contiguous when adding opcodes.
+type MemKind uint8
+
+// Memory-op classes.
+const (
+	MemNone MemKind = iota
+	MemLoad
+	MemStore
+)
+
+// MemKind reports whether op is a load, a store, or neither.
+func (op Opcode) MemKind() MemKind {
+	switch {
+	case op >= OpLdI8 && op <= OpLdXF64, op >= OpLdVI && op <= OpLdXVF:
+		return MemLoad
+	case op >= OpStI8 && op <= OpStXF64, op >= OpStVI && op <= OpStXVF:
+		return MemStore
+	}
+	return MemNone
+}
+
 const (
 	OpNop Opcode = iota
 

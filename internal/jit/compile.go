@@ -30,6 +30,33 @@ type program struct {
 	blockOf []int32 // pc → block index
 	prio    []int32 // block index → scheduling priority (RPO position)
 	steps   []stepFn
+	// costs[pc] aggregates the retire/traffic counters (per lane) of every
+	// instruction the step at pc executes — the whole straight-line run
+	// including its terminator, or the fused compare+branch pair — so the
+	// profiler can account one lookup per step invocation.
+	costs []runCost
+}
+
+// runCost is the per-lane profiler cost of one step closure.
+type runCost struct {
+	retire int64
+	loads  int64
+	stores int64
+}
+
+func instCost(in *bcode.Inst) runCost {
+	c := runCost{retire: int64(in.Retire)}
+	switch in.Op.MemKind() {
+	case bcode.MemLoad:
+		c.loads = 1
+	case bcode.MemStore:
+		c.stores = 1
+	}
+	return c
+}
+
+func (a runCost) add(b runCost) runCost {
+	return runCost{retire: a.retire + b.retire, loads: a.loads + b.loads, stores: a.stores + b.stores}
 }
 
 var errBarrierInCall = errors.New("vm: barrier inside a function call is unsupported")
@@ -121,6 +148,26 @@ func (pr *program) compileSteps(uniform []bool) {
 		if code[pc+1].Op == bcode.OpCondBrI && code[pc+1].A == code[pc].A &&
 			isFusableCmp(code[pc].Op) && pr.blockOf[pc] == pr.blockOf[pc+1] {
 			fused[pc] = true
+		}
+	}
+
+	// Per-step profiler cost aggregates, back to front: a control step
+	// covers itself, a fused compare covers the pair, and a straight-line
+	// pc covers its own op plus everything the following step executes
+	// (runs capture their terminator, so the chain bottoms out there).
+	pr.costs = make([]runCost, n)
+	for pc := n - 1; pc >= 0; pc-- {
+		in := &code[pc]
+		switch {
+		case fused[pc]:
+			pr.costs[pc] = instCost(in).add(instCost(&code[pc+1]))
+		case isControl(in.Op):
+			pr.costs[pc] = instCost(in)
+		default:
+			pr.costs[pc] = instCost(in)
+			if pc+1 < n {
+				pr.costs[pc] = pr.costs[pc].add(pr.costs[pc+1])
+			}
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"grover/internal/bcode"
 	"grover/internal/clc"
@@ -190,8 +191,15 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 		return fmt.Errorf("vm: kernel %s expects %d args, got %d", kernel, len(fn.Params), len(ncfg.Args))
 	}
 	workers := 1
+	var prof *vm.Profiler
 	if opts != nil {
 		workers = opts.Workers
+		prof = opts.Profiler
+	}
+	if prof != nil {
+		prof.LaunchBegin(kernel, Name)
+		start := time.Now()
+		defer func() { prof.LaunchDone(time.Since(start)) }()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -241,8 +249,10 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 	n := ncfg.LocalSize[0] * ncfg.LocalSize[1] * ncfg.LocalSize[2]
 	stack := p.StackBytes()
 
+	// Profiled launches run the closure path: region attribution needs
+	// the threaded dispatch loop, which natively compiled kernels bypass.
 	var nat *nativeKernel
-	if m.native != nil {
+	if m.native != nil && prof == nil {
 		nat = m.native.kernel(kernel)
 	}
 
@@ -266,6 +276,7 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 		go func(worker int) {
 			defer wg.Done()
 			g := newGroupState(m, m.progs[fn], ncfg, gmem.Data, paramI, paramF, localTotal, stack, n)
+			g.prof = prof
 			cur := sched.Cursor(worker)
 			for gi := cur.Next(); gi >= 0; gi = cur.Next() {
 				gz := gi / (groups[0] * groups[1])
@@ -304,6 +315,13 @@ type groupState struct {
 	localTotal int
 	stack      int
 	n          int
+	prof       *vm.Profiler
+
+	// Per-round profiler accumulators; harvested and reset by runGroup
+	// at every barrier round when prof is set.
+	profRetired int64
+	profLoads   int64
+	profStores  int64
 
 	gsz, lsz, ngrp, grp [3]int64
 	gidCol, lidCol      [3][]int64
@@ -414,7 +432,13 @@ func (g *groupState) runGroup(group [3]int) error {
 	}
 
 	doneBefore := 0
+	round := 0
+	var roundStart time.Time
 	for {
+		if g.prof != nil {
+			roundStart = time.Now()
+			g.profRetired, g.profLoads, g.profStores = 0, 0, 0
+		}
 		if err := g.schedule(0, fr, g.allLanes); err != nil {
 			return err
 		}
@@ -432,6 +456,10 @@ func (g *groupState) runGroup(group [3]int) error {
 					return fmt.Errorf("barrier divergence: work-items reached different barriers")
 				}
 			}
+		}
+		if g.prof != nil {
+			g.prof.Region(round, time.Since(roundStart), g.profRetired, g.profLoads, g.profStores, atBarrier > 0)
+			round++
 		}
 		doneNow := doneTotal - doneBefore
 		if atBarrier > 0 && doneNow > 0 {
@@ -483,6 +511,7 @@ func (g *groupState) resetGroup(group [3]int) {
 func (g *groupState) schedule(depth int, fr *frame, lanes []int32) error {
 	pr := fr.pr
 	steps := pr.steps
+	profiled := g.prof != nil
 	const inf = int64(1) << 62
 	for {
 		best := inf
@@ -510,6 +539,24 @@ func (g *groupState) schedule(depth int, fr *frame, lanes []int32) error {
 		// Thread the closure chain: each step returns the next pc while
 		// the whole mask agrees on control; divergence, returns, and
 		// barriers end the chain and go back to the pick loop.
+		if profiled {
+			// Accounting mirrors wgvec's runSeg: Retire and memory
+			// traffic per masked lane per instruction. costs[pc] is the
+			// precomputed aggregate of every instruction the step runs.
+			for pc >= 0 {
+				c := &pr.costs[pc]
+				lanes := int64(len(seg))
+				g.profRetired += c.retire * lanes
+				g.profLoads += c.loads * lanes
+				g.profStores += c.stores * lanes
+				next, err := steps[pc](g, depth, fr, seg)
+				if err != nil {
+					return err
+				}
+				pc = next
+			}
+			continue
+		}
 		for pc >= 0 {
 			next, err := steps[pc](g, depth, fr, seg)
 			if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -275,7 +276,8 @@ func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devN
 		req.Kernel, req.Options.field(), devName, backend, launchField(req),
 		fmt.Sprintf("char=%t", req.Characterize), "plans="+strings.Join(plans, "|"),
 		fmt.Sprintf("prune=%d", req.Prune),
-		fmt.Sprintf("predict=%t;minconf=%g", req.Predict, req.MinConfidence))
+		fmt.Sprintf("predict=%t;minconf=%g", req.Predict, req.MinConfidence),
+		fmt.Sprintf("profile=%t", req.Profile))
 	v, out, err := s.cache.Do(key, func() (interface{}, error) {
 		comp, _, err := s.compile(rctx, req.Name, req.Source, req.Defines)
 		if err != nil {
@@ -312,6 +314,15 @@ func (s *Server) autotuneDevice(rctx context.Context, req *AutotuneRequest, devN
 				WorkGroup: req.Local,
 				Global:    req.Global,
 				ArgInts:   grover.IntArgs(args),
+			}
+			if req.Profile {
+				// A fresh profiler per plan, installed on this device's
+				// queue so the plan's timed runs land in it.
+				popts.Profile = func(plan string) *vm.Profiler {
+					prof := vm.NewProfiler()
+					q.SetKernelProfiler(prof)
+					return prof
+				}
 			}
 			if req.Predict {
 				popts.Predict = true
@@ -428,7 +439,7 @@ func (v *verdictArtifact) verdict(device string, outcome kcache.Outcome) TuneVer
 	for _, t := range v.search {
 		out.Plans = append(out.Plans, PlanResult{
 			Plan: t.Plan, MS: t.MS, Applied: t.Applied, Error: t.Err,
-			Pruned: t.Pruned, Score: t.Score,
+			Pruned: t.Pruned, Score: t.Score, Profile: t.Profile,
 		})
 	}
 	return out
@@ -452,9 +463,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		out  kcache.Outcome
 		err  error
 	)
-	s.pool.Run(func() {
+	if perr := s.pool.RunCtx(r.Context(), func() {
 		comp, out, err = s.compile(r.Context(), req.Name, req.Source, req.Defines)
-	})
+	}); perr != nil {
+		writeError(w, perr)
+		return
+	}
 	noteOutcome(r.Context(), out)
 	if err != nil {
 		writeError(w, err)
@@ -489,9 +503,12 @@ func (s *Server) handleTransform(w http.ResponseWriter, r *http.Request) {
 		out kcache.Outcome
 		err error
 	)
-	s.pool.Run(func() {
+	if perr := s.pool.RunCtx(r.Context(), func() {
 		art, out, err = s.transform(r.Context(), &req)
-	})
+	}); perr != nil {
+		writeError(w, perr)
+		return
+	}
 	noteOutcome(r.Context(), out)
 	if err != nil {
 		writeError(w, err)
@@ -574,6 +591,10 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("predict requires a plan search (set plan)"))
 		return
 	}
+	if req.Profile && len(plans) == 0 {
+		writeError(w, badRequest("profile requires a plan search (set plan)"))
+		return
+	}
 	// Resolve the device list up front so an unknown name is a 404 with
 	// the available devices, before any compile work is queued.
 	var devices []string
@@ -592,7 +613,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	results := make([]TuneVerdict, len(devices))
 	outcomes := make([]kcache.Outcome, len(devices))
 	errs := make([]error, len(devices))
-	s.pool.Run(func() {
+	if perr := s.pool.RunCtx(r.Context(), func() {
 		// The per-device fan-out runs inside this job's pool slot (see
 		// Pool.Run); a sweep is one unit of queued work.
 		var wg sync.WaitGroup
@@ -611,7 +632,10 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 			}(i, name)
 		}
 		wg.Wait()
-	})
+	}); perr != nil {
+		writeError(w, perr)
+		return
+	}
 	noteOutcome(r.Context(), outcomes...)
 	s.stats.recordBackend(backend, int64(len(devices)))
 	// A single-device failure is the request's failure (with its original
@@ -645,9 +669,12 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		out kcache.Outcome
 		err error
 	)
-	s.pool.Run(func() {
+	if perr := s.pool.RunCtx(r.Context(), func() {
 		art, out, err = s.lint(r.Context(), &req)
-	})
+	}); perr != nil {
+		writeError(w, perr)
+		return
+	}
 	noteOutcome(r.Context(), out)
 	if err != nil {
 		writeError(w, err)
@@ -690,6 +717,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints: s.stats.snapshot(),
 		Predict:   ps,
 		JIT:       JITStats{Native: jit.NativeEnabled(), Compiles: jb, CacheHits: jh},
+	})
+}
+
+// handleTraces serves the most recent finished request traces from the
+// ring: ?n=k caps the count (default 20), ?min_ms=x keeps only traces at
+// least that long — the "show me the slow requests" query.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 20
+	if v := r.URL.Query().Get("n"); v != "" {
+		p, err := strconv.Atoi(v)
+		if err != nil || p <= 0 {
+			writeError(w, badRequest("n must be a positive integer, got %q", v))
+			return
+		}
+		n = p
+	}
+	minMS := 0.0
+	if v := r.URL.Query().Get("min_ms"); v != "" {
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 {
+			writeError(w, badRequest("min_ms must be a non-negative number, got %q", v))
+			return
+		}
+		minMS = p
+	}
+	traces := s.traces.Recent(n, minMS)
+	writeJSON(w, http.StatusOK, &TracesResponse{
+		Count:    len(traces),
+		Buffered: s.traces.Len(),
+		Traces:   traces,
 	})
 }
 

@@ -200,13 +200,17 @@ func TestCompileSpans(t *testing.T) {
 		t.Errorf("spans sum to %.3f ms > request latency %.3f ms", sum, first.LatencyMS)
 	}
 
+	// The cached repeat compiles nothing: no pipeline spans, only the
+	// queue-wait instrumentation every pooled request records.
 	var second CompileResponse
 	if code, _ := postJSON(t, ts.URL+"/v1/compile",
 		CompileRequest{Source: source}, &second); code != http.StatusOK || second.Cache != "hit" {
 		t.Fatalf("repeat compile: %d cache %q", code, second.Cache)
 	}
-	if len(second.Spans) != 0 {
-		t.Errorf("cached response should omit spans, got %v", second.Spans)
+	for _, sp := range second.Spans {
+		if sp.Name != "queue.wait" {
+			t.Errorf("cached response should have no pipeline spans, got %v", second.Spans)
+		}
 	}
 }
 

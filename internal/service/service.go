@@ -35,9 +35,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"grover"
@@ -78,7 +81,18 @@ type Config struct {
 	// in this directory (BENCH_characterize.json joined with
 	// BENCH_rewrite.json and BENCH_profit.json); empty skips seeding.
 	SeedDir string
+	// TraceCapacity bounds the in-process ring of exportable traces served
+	// by GET /v1/traces; <= 0 uses DefaultTraceCapacity.
+	TraceCapacity int
+	// MaxQueue bounds the number of jobs waiting for a pool slot; beyond
+	// it requests are shed with a 503. <= 0 queues without bound.
+	MaxQueue int
+	// Version labels the groverd_build_info metric; empty means "dev".
+	Version string
 }
+
+// DefaultTraceCapacity is the trace ring size when Config leaves it zero.
+const DefaultTraceCapacity = 256
 
 // Server holds the service state and implements http.Handler.
 type Server struct {
@@ -91,6 +105,9 @@ type Server struct {
 	backend   string
 	store     *predict.Store
 	predictor *predict.Predictor
+	traces    *telemetry.TraceBuffer
+	version   string
+	inflight  atomic.Int64
 	mux       *http.ServeMux
 }
 
@@ -104,6 +121,14 @@ func New(cfg Config) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	traceCap := cfg.TraceCapacity
+	if traceCap <= 0 {
+		traceCap = DefaultTraceCapacity
+	}
+	version := cfg.Version
+	if version == "" {
+		version = "dev"
+	}
 	metrics := telemetry.NewRegistry()
 	s := &Server{
 		plat:    opencl.NewPlatform(),
@@ -113,8 +138,14 @@ func New(cfg Config) *Server {
 		metrics: metrics,
 		logger:  logger,
 		backend: backend,
+		traces:  telemetry.NewTraceBuffer(traceCap),
+		version: version,
 		mux:     http.NewServeMux(),
 	}
+	s.pool.SetMaxQueue(cfg.MaxQueue)
+	qw := metrics.Histogram("groverd_queue_wait_seconds",
+		"time jobs spent waiting for a worker-pool slot", nil)
+	s.pool.SetWaitObserver(func(d time.Duration) { qw.Observe(d.Seconds()) })
 	s.store = openStore(cfg, logger)
 	s.predictor = predict.NewPredictor(s.store, predict.Config{})
 	s.registerGauges()
@@ -124,6 +155,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("GET /v1/devices", s.handleDevices)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -167,6 +199,20 @@ func (s *Server) Close() error { return s.store.Close() }
 // and /metrics reads them at scrape time.
 func (s *Server) registerGauges() {
 	m := s.metrics
+	m.GaugeFunc("groverd_build_info",
+		"build metadata as labels; value is always 1",
+		func() float64 { return 1 },
+		telemetry.Label{Name: "version", Value: s.version},
+		telemetry.Label{Name: "go_version", Value: runtime.Version()},
+		telemetry.Label{Name: "backend", Value: s.backend})
+	m.GaugeFunc("groverd_queue_depth", "jobs waiting for a worker-pool slot",
+		func() float64 { return float64(s.pool.Snapshot().Queued) })
+	m.GaugeFunc("groverd_inflight_requests", "HTTP requests currently being served",
+		func() float64 { return float64(s.inflight.Load()) })
+	m.CounterFunc("groverd_shed_total", "jobs refused because the queue bound was reached",
+		func() float64 { return float64(s.pool.Snapshot().Shed) })
+	m.GaugeFunc("groverd_trace_buffer_len", "finished traces resident in the export ring",
+		func() float64 { return float64(s.traces.Len()) })
 	m.GaugeFunc("groverd_pool_workers", "worker pool slot count",
 		func() float64 { return float64(s.pool.Snapshot().Workers) })
 	m.GaugeFunc("groverd_pool_active", "jobs currently holding a pool slot",
@@ -250,6 +296,18 @@ func endpointName(path string) string {
 	return p
 }
 
+// tracedEndpoint reports whether finished requests to this endpoint land
+// in the trace ring. Scrape and introspection traffic (metrics, healthz,
+// the traces endpoint itself) is excluded: it would flood the ring with
+// sub-millisecond noise and bury the compile/tune traces the ring is for.
+func tracedEndpoint(endpoint string) bool {
+	switch endpoint {
+	case "metrics", "healthz", "traces":
+		return false
+	}
+	return true
+}
+
 // newRequestID generates a 16-hex-char request ID.
 func newRequestID() string {
 	var b [8]byte
@@ -272,14 +330,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		reqID = newRequestID()
 	}
 	w.Header().Set("X-Request-ID", reqID)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 
 	st := &reqState{}
 	ctx := context.WithValue(r.Context(), reqStateKey{}, st)
-	ctx, _ = telemetry.WithTrace(ctx)
+	ctx, tr := telemetry.WithTrace(ctx)
+	tr.SetID(reqID)
+	tr.SetName(r.Method + " " + r.URL.Path)
 	sw := &statusWriter{ResponseWriter: w}
 	s.mux.ServeHTTP(sw, r.WithContext(ctx))
 	if sw.status == 0 {
 		sw.status = http.StatusOK
+	}
+	tr.Finish()
+	if tracedEndpoint(endpoint) {
+		exp := tr.Export()
+		exp.Status = strconv.Itoa(sw.status)
+		s.traces.Add(exp)
 	}
 
 	dur := time.Since(start)
@@ -313,6 +381,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Pool exposes the worker pool (for daemon logging).
 func (s *Server) Pool() *Pool { return s.pool }
+
+// Traces exposes the trace ring, so the daemon can attach a JSONL sink
+// (-trace-log) and tests can inspect exported traces directly.
+func (s *Server) Traces() *telemetry.TraceBuffer { return s.traces }
 
 // Backend reports the server's default execution backend.
 func (s *Server) Backend() string { return s.backend }
@@ -555,6 +627,10 @@ type AutotuneRequest struct {
 	// the store) when the prediction's confidence is below the threshold.
 	// Requires a plan search. Part of the cache key.
 	Predict bool `json:"predict,omitempty"`
+	// Profile attaches a per-launch execution profile (wall time and
+	// retire/traffic counters per barrier-delimited region) to every timed
+	// plan in the verdict. Requires a plan search. Part of the cache key.
+	Profile bool `json:"profile,omitempty"`
 	// MinConfidence is the predict-mode fallback threshold in [0, 1];
 	// zero uses grover.DefaultMinConfidence. Part of the cache key.
 	MinConfidence float64 `json:"min_confidence,omitempty"`
@@ -625,6 +701,9 @@ type PlanResult struct {
 	Pruned bool `json:"pruned,omitempty"`
 	// Score is the static profitability estimate (prune mode only).
 	Score *profit.Score `json:"score,omitempty"`
+	// Profile is the plan's region-level execution profile (profile mode
+	// only).
+	Profile *vm.ProfileReport `json:"profile,omitempty"`
 }
 
 // AutotuneResponse aggregates the requested devices' verdicts.
@@ -693,6 +772,15 @@ type StatsResponse struct {
 	Predict PredictStats `json:"predict"`
 	// JIT reports the jit backend's stage-2 native compile activity.
 	JIT JITStats `json:"jit"`
+}
+
+// TracesResponse is the traces endpoint payload: up to the requested
+// number of finished request traces, newest first.
+type TracesResponse struct {
+	// Count is len(Traces); Buffered is how many traces the ring holds.
+	Count    int                     `json:"count"`
+	Buffered int                     `json:"buffered"`
+	Traces   []telemetry.TraceExport `json:"traces"`
 }
 
 // JITStats is the /v1/stats row for the jit backend's native compiler.

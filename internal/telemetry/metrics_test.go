@@ -95,6 +95,54 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdgeCases pins the degenerate populations: no
+// observations, one observation, every observation in one bucket, and
+// everything past the last finite bound.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty: every quantile is 0.
+	h := newHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	// Single sample: the median interpolates to the bucket midpoint-by-
+	// rank (here exactly the sample), and q=1 reaches the bucket's upper
+	// bound — the histogram cannot resolve further.
+	h.Observe(1.5)
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Errorf("single-sample p50 = %g, want 1.5", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("single-sample p100 = %g, want 2 (bucket upper bound)", got)
+	}
+	// All observations in one bucket: every quantile stays inside that
+	// bucket's bounds and the median lands on its midpoint.
+	h2 := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h2.Observe(3)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h2.Quantile(q); got < 2 || got > 4 {
+			t.Errorf("one-bucket Quantile(%g) = %g, want within (2, 4]", q, got)
+		}
+	}
+	if got := h2.Quantile(0.5); got != 3 {
+		t.Errorf("one-bucket p50 = %g, want 3", got)
+	}
+	// Overflow bucket: values beyond the last finite bound clamp to it.
+	h3 := newHistogram([]float64{1, 2})
+	h3.Observe(0.5)
+	h3.Observe(100)
+	h3.Observe(200)
+	if got := h3.Quantile(0.99); got != 2 {
+		t.Errorf("overflow p99 = %g, want 2 (last finite bound)", got)
+	}
+	if got := h3.Quantile(0.1); got > 1 {
+		t.Errorf("overflow-heavy p10 = %g, want <= 1 (first bucket)", got)
+	}
+}
+
 // TestExpositionParses validates the full output line-by-line against the
 // text-format grammar, the same check the service e2e scrape test applies.
 func TestExpositionParses(t *testing.T) {
@@ -174,5 +222,48 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 	if n := r.Histogram("lat_seconds", "lat", nil).Count(); n != 800 {
 		t.Fatalf("observations = %d, want 800", n)
+	}
+}
+
+// TestConcurrentGaugesAndScrape races gauge writes, counter increments,
+// GaugeFunc reads, and full expositions against each other — the shape
+// of a live /metrics scrape during traffic (run under -race).
+func TestConcurrentGaugesAndScrape(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "queue depth")
+	c := r.Counter("jobs_total", "jobs")
+	r.GaugeFunc("inflight", "in-flight requests", func() float64 { return g.Value() })
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				g.Add(1)
+				c.Inc()
+				g.Add(-1)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var buf bytes.Buffer
+				r.WritePrometheus(&buf)
+				if buf.Len() == 0 {
+					t.Error("empty exposition during concurrent scrape")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Fatalf("gauge = %g after balanced adds, want 0", v)
+	}
+	if v := c.Value(); v != 800 {
+		t.Fatalf("counter = %d, want 800", v)
 	}
 }

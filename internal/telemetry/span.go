@@ -2,44 +2,137 @@ package telemetry
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 )
 
-// Span is one completed pipeline stage: its name, start offset from the
-// trace origin, and duration. Stages are recorded flat — the pipeline is
-// sequential, so top-level stage durations sum to (within scheduling
-// noise) the traced wall-clock.
+// SpanEvent is a point-in-time annotation inside a span (a cache hit, a
+// fallback decision), stamped as an offset from the trace origin.
+type SpanEvent struct {
+	Name string
+	At   time.Duration
+}
+
+// Span is one completed stage of a trace. Spans carry an ID and a parent
+// link so exported traces form a tree (queue wait → pipeline stages →
+// launch regions); Parent is zero for root spans. Attrs and Events are
+// nil for the common bare pipeline spans.
 type Span struct {
-	Name  string
-	Start time.Duration
-	Dur   time.Duration
+	Name   string
+	ID     uint64
+	Parent uint64
+	Start  time.Duration
+	Dur    time.Duration
+	Attrs  map[string]string
+	Events []SpanEvent
 }
 
 // SpanJSON is the wire form of a Span (milliseconds, like the service's
-// latency fields).
+// latency fields). ID/parent/attrs/events are omitted when empty so the
+// in-response `spans` field keeps its PR-5 shape for bare spans.
 type SpanJSON struct {
-	Name    string  `json:"name"`
-	StartMS float64 `json:"start_ms"`
-	DurMS   float64 `json:"dur_ms"`
+	Name     string            `json:"name"`
+	StartMS  float64           `json:"start_ms"`
+	DurMS    float64           `json:"dur_ms"`
+	ID       uint64            `json:"id,omitempty"`
+	ParentID uint64            `json:"parent_id,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Events   []SpanEventJSON   `json:"events,omitempty"`
+}
+
+// SpanEventJSON is the wire form of a SpanEvent.
+type SpanEventJSON struct {
+	Name string  `json:"name"`
+	AtMS float64 `json:"at_ms"`
 }
 
 // Trace collects spans for one logical operation (a request, a compile).
 // It is safe for concurrent use: the autotune fan-out records stages from
 // several goroutines into the request's trace.
 type Trace struct {
+	nextID atomic.Uint64
+
 	mu    sync.Mutex
 	t0    time.Time
+	id    string
+	name  string
+	dur   time.Duration
 	spans []Span
 }
 
 // NewTrace starts an empty trace anchored at now.
 func NewTrace() *Trace { return &Trace{t0: time.Now()} }
 
+// SetID seeds the trace ID, normally from the request's X-Request-ID so
+// request logs and exported traces join on one key. Empty IDs are
+// replaced with a random 16-hex string.
+func (t *Trace) SetID(id string) {
+	if t == nil {
+		return
+	}
+	if id == "" {
+		id = randomTraceID()
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// ID returns the trace ID, generating a random one on first use so every
+// exported trace is addressable even off the request path.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.id == "" {
+		t.id = randomTraceID()
+	}
+	return t.id
+}
+
+// SetName labels the trace with the operation it covers (the request's
+// method+path, the clrun app name).
+func (t *Trace) SetName(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.name = name
+	t.mu.Unlock()
+}
+
+// Finish stamps the trace's total wall-clock. Export falls back to the
+// latest span end when Finish was never called.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dur = time.Since(t.t0)
+	t.mu.Unlock()
+}
+
+func randomTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "trace-rand-err"
+	}
+	return hex.EncodeToString(b[:])
+}
+
 type traceKey struct{}
+
+// spanKey carries the active span's ID so spans started under it link to
+// their parent.
+type spanKey struct{}
 
 // WithTrace returns a child context carrying a fresh trace, plus the
 // trace itself. If ctx already carries a trace, that trace is reused so
@@ -64,24 +157,116 @@ func FromContext(ctx context.Context) *Trace {
 	return t
 }
 
+func parentFrom(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(spanKey{}).(uint64)
+	return id
+}
+
 // StartSpan begins a stage and returns its completion function. With no
-// trace in ctx the returned function is a no-op.
+// trace in ctx the returned function is a no-op. The span links to the
+// active span carried by ctx (if any) as its parent; use StartSpanCtx
+// when the new span should itself become the parent of nested stages.
 func StartSpan(ctx context.Context, name string) func() {
 	t := FromContext(ctx)
 	if t == nil {
 		return func() {}
 	}
+	id := t.nextID.Add(1)
+	parent := parentFrom(ctx)
 	start := time.Now()
 	return func() {
-		end := time.Now()
-		t.mu.Lock()
-		t.spans = append(t.spans, Span{
-			Name:  name,
-			Start: start.Sub(t.t0),
-			Dur:   end.Sub(start),
-		})
-		t.mu.Unlock()
+		t.record(Span{Name: name, ID: id, Parent: parent, Start: start.Sub(t.t0), Dur: time.Since(start)})
 	}
+}
+
+// ActiveSpan is an in-flight span started with StartSpanCtx: attributes
+// and events accumulate until End records it. All methods are safe on a
+// nil receiver so untraced paths need no branching.
+type ActiveSpan struct {
+	t      *Trace
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	attrs  map[string]string
+	events []SpanEvent
+	mu     sync.Mutex
+	done   bool
+}
+
+// StartSpanCtx begins a stage and returns a derived context in which the
+// new span is the active parent, plus the span itself for attributes,
+// events, and End. With no trace in ctx both returns are pass-throughs.
+func StartSpanCtx(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &ActiveSpan{
+		t:      t,
+		name:   name,
+		id:     t.nextID.Add(1),
+		parent: parentFrom(ctx),
+		start:  time.Now(),
+	}
+	return context.WithValue(ctx, spanKey{}, s.id), s
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Event records a point-in-time annotation inside the span.
+func (s *ActiveSpan) Event(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.events = append(s.events, SpanEvent{Name: name, At: time.Since(s.t.t0)})
+	s.mu.Unlock()
+}
+
+// End completes the span and records it into the trace. Safe to call
+// more than once; only the first call records.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	span := Span{
+		Name:   s.name,
+		ID:     s.id,
+		Parent: s.parent,
+		Start:  s.start.Sub(s.t.t0),
+		Dur:    time.Since(s.start),
+		Attrs:  s.attrs,
+		Events: s.events,
+	}
+	s.mu.Unlock()
+	s.t.record(span)
+}
+
+func (t *Trace) record(s Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
 }
 
 // Spans returns a copy of the recorded spans in completion order.
@@ -112,13 +297,24 @@ func (t *Trace) JSON() []SpanJSON {
 	}
 	out := make([]SpanJSON, len(spans))
 	for i, s := range spans {
-		out[i] = SpanJSON{
-			Name:    s.Name,
-			StartMS: float64(s.Start) / float64(time.Millisecond),
-			DurMS:   float64(s.Dur) / float64(time.Millisecond),
-		}
+		out[i] = spanJSON(s)
 	}
 	return out
+}
+
+func spanJSON(s Span) SpanJSON {
+	j := SpanJSON{
+		Name:     s.Name,
+		StartMS:  float64(s.Start) / float64(time.Millisecond),
+		DurMS:    float64(s.Dur) / float64(time.Millisecond),
+		ID:       s.ID,
+		ParentID: s.Parent,
+		Attrs:    s.Attrs,
+	}
+	for _, ev := range s.Events {
+		j.Events = append(j.Events, SpanEventJSON{Name: ev.Name, AtMS: float64(ev.At) / float64(time.Millisecond)})
+	}
+	return j
 }
 
 // Table renders the spans as an aligned text table with a total row — the

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceExport is the standalone wire form of one finished trace — what
+// `GET /v1/traces` serves and what the JSONL sink writes. Spans are
+// sorted by start offset so readers see the request unfold in order.
+type TraceExport struct {
+	TraceID string     `json:"trace_id"`
+	Name    string     `json:"name,omitempty"`
+	Start   time.Time  `json:"start"`
+	DurMS   float64    `json:"dur_ms"`
+	Status  string     `json:"status,omitempty"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// Export snapshots the trace into its wire form. The total duration is
+// the Finish stamp when present, else the latest span end, so partially
+// instrumented traces still export something sensible.
+func (t *Trace) Export() TraceExport {
+	if t == nil {
+		return TraceExport{}
+	}
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	t.mu.Lock()
+	id, name, t0, dur := t.id, t.name, t.t0, t.dur
+	t.mu.Unlock()
+	if id == "" {
+		id = t.ID()
+	}
+	if dur == 0 {
+		for _, s := range spans {
+			if end := s.Start + s.Dur; end > dur {
+				dur = end
+			}
+		}
+	}
+	out := TraceExport{
+		TraceID: id,
+		Name:    name,
+		Start:   t0,
+		DurMS:   float64(dur) / float64(time.Millisecond),
+	}
+	for _, s := range spans {
+		out.Spans = append(out.Spans, spanJSON(s))
+	}
+	return out
+}
+
+// TraceBuffer is a bounded in-process ring of finished traces, newest
+// overwriting oldest, with an optional JSONL sink that receives every
+// trace as it is added. One buffer serves a whole process (groverd holds
+// one; clrun holds one for -trace-out).
+type TraceBuffer struct {
+	mu   sync.Mutex
+	buf  []TraceExport
+	next int  // ring write cursor
+	full bool // buf has wrapped at least once
+	sink io.Writer
+	errs int
+}
+
+// NewTraceBuffer creates a ring holding up to capacity traces
+// (minimum 1).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceBuffer{buf: make([]TraceExport, capacity)}
+}
+
+// SetSink installs a JSONL writer that receives every added trace, one
+// JSON object per line. The buffer serializes writes; pass nil to
+// detach.
+func (b *TraceBuffer) SetSink(w io.Writer) {
+	b.mu.Lock()
+	b.sink = w
+	b.mu.Unlock()
+}
+
+// Add records a finished trace, overwriting the oldest when full and
+// mirroring it to the sink when one is attached.
+func (b *TraceBuffer) Add(t TraceExport) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.buf[b.next] = t
+	b.next++
+	if b.next == len(b.buf) {
+		b.next = 0
+		b.full = true
+	}
+	sink := b.sink
+	if sink != nil {
+		line, err := json.Marshal(t)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = sink.Write(line)
+		}
+		if err != nil {
+			b.errs++
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Len reports how many traces the ring currently holds.
+func (b *TraceBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.full {
+		return len(b.buf)
+	}
+	return b.next
+}
+
+// SinkErrors reports how many sink writes have failed.
+func (b *TraceBuffer) SinkErrors() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.errs
+}
+
+// Recent returns up to n traces, newest first, keeping only those at
+// least minMS long (minMS <= 0 keeps everything). n <= 0 means all
+// buffered traces.
+func (b *TraceBuffer) Recent(n int, minMS float64) []TraceExport {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := b.next
+	if b.full {
+		total = len(b.buf)
+	}
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]TraceExport, 0, n)
+	for i := 1; i <= total && len(out) < n; i++ {
+		idx := (b.next - i + len(b.buf)) % len(b.buf)
+		t := b.buf[idx]
+		if minMS > 0 && t.DurMS < minMS {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

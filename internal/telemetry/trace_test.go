@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// TestTraceBufferRing pins the ring semantics: newest-first order,
+// oldest overwritten at capacity, Len tracking the wrap.
+func TestTraceBufferRing(t *testing.T) {
+	b := NewTraceBuffer(3)
+	if b.Len() != 0 {
+		t.Fatalf("fresh buffer Len = %d, want 0", b.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		b.Add(TraceExport{TraceID: strconv.Itoa(i), DurMS: float64(i)})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d after 5 adds into capacity 3, want 3", b.Len())
+	}
+	got := b.Recent(0, 0)
+	want := []string{"5", "4", "3"}
+	if len(got) != len(want) {
+		t.Fatalf("Recent returned %d traces, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].TraceID != w {
+			t.Errorf("Recent[%d] = %s, want %s (newest first)", i, got[i].TraceID, w)
+		}
+	}
+	// n limits the count; minMS filters short traces.
+	if got := b.Recent(1, 0); len(got) != 1 || got[0].TraceID != "5" {
+		t.Errorf("Recent(1) = %v, want just trace 5", got)
+	}
+	if got := b.Recent(0, 4.5); len(got) != 1 || got[0].TraceID != "5" {
+		t.Errorf("Recent(minMS=4.5) = %v, want just trace 5", got)
+	}
+}
+
+// TestTraceBufferSink checks the JSONL mirror: one parseable object per
+// line, in add order, and failed writes counted rather than surfaced.
+func TestTraceBufferSink(t *testing.T) {
+	var sink bytes.Buffer
+	b := NewTraceBuffer(2)
+	b.SetSink(&sink)
+	for i := 1; i <= 3; i++ {
+		b.Add(TraceExport{TraceID: strconv.Itoa(i)})
+	}
+	sc := bufio.NewScanner(&sink)
+	var ids []string
+	for sc.Scan() {
+		var exp TraceExport
+		if err := json.Unmarshal(sc.Bytes(), &exp); err != nil {
+			t.Fatalf("sink line is not JSON: %v", err)
+		}
+		ids = append(ids, exp.TraceID)
+	}
+	// The sink sees every trace even though the ring holds only two.
+	if len(ids) != 3 || ids[0] != "1" || ids[2] != "3" {
+		t.Fatalf("sink ids = %v, want [1 2 3]", ids)
+	}
+	if b.SinkErrors() != 0 {
+		t.Fatalf("sink errors = %d, want 0", b.SinkErrors())
+	}
+
+	b.SetSink(failWriter{})
+	b.Add(TraceExport{TraceID: "4"})
+	if b.SinkErrors() != 1 {
+		t.Errorf("sink errors = %d after failing write, want 1", b.SinkErrors())
+	}
+	b.SetSink(nil)
+	b.Add(TraceExport{TraceID: "5"})
+	if b.SinkErrors() != 1 {
+		t.Errorf("detached sink still recorded errors: %d", b.SinkErrors())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestTraceExport checks the wire form: explicit ID, spans sorted by
+// start offset, and the Finish stamp as the total duration.
+func TestTraceExport(t *testing.T) {
+	ctx, tr := WithTrace(context.Background())
+	tr.SetID("req-42")
+	tr.SetName("POST /v1/compile")
+	end := StartSpan(ctx, "first")
+	end()
+	end = StartSpan(ctx, "second")
+	end()
+	tr.Finish()
+	exp := tr.Export()
+	if exp.TraceID != "req-42" || exp.Name != "POST /v1/compile" {
+		t.Fatalf("identity lost: %+v", exp)
+	}
+	if len(exp.Spans) != 2 || exp.Spans[0].Name != "first" || exp.Spans[1].Name != "second" {
+		t.Fatalf("spans = %v, want [first second] in start order", exp.Spans)
+	}
+	if exp.Spans[0].StartMS > exp.Spans[1].StartMS {
+		t.Errorf("spans not sorted by start: %v", exp.Spans)
+	}
+	if exp.DurMS <= 0 {
+		t.Errorf("finished trace exported zero duration")
+	}
+	last := exp.Spans[1]
+	if last.StartMS+last.DurMS > exp.DurMS+1e-6 {
+		t.Errorf("span extends past the trace: span end %.4f, trace %.4f",
+			last.StartMS+last.DurMS, exp.DurMS)
+	}
+}
+
+// TestNilTraceBufferIsNoop: the nil receiver contract lets callers skip
+// buffer-presence checks.
+func TestNilTraceBufferIsNoop(t *testing.T) {
+	var b *TraceBuffer
+	b.Add(TraceExport{TraceID: "x"})
+	if b.Len() != 0 || b.SinkErrors() != 0 || b.Recent(0, 0) != nil {
+		t.Fatal("nil TraceBuffer must be inert")
+	}
+}
+
+// TestConcurrentTraceBuffer exercises Add/Recent/Len under the race
+// detector.
+func TestConcurrentTraceBuffer(t *testing.T) {
+	b := NewTraceBuffer(8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			b.Add(TraceExport{TraceID: fmt.Sprint(i)})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		b.Recent(4, 0)
+		b.Len()
+	}
+	<-done
+	if b.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", b.Len())
+	}
+}

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"time"
 
 	"grover/internal/clc"
 	"grover/internal/ir"
@@ -71,6 +72,13 @@ type groupExec struct {
 	params     []rv
 	localTotal int
 	tracer     Tracer
+	prof       *Profiler
+
+	// Per-round profiler accumulators; harvested and reset by runGroup
+	// at every barrier round when prof is set.
+	profRetired int64
+	profLoads   int64
+	profStores  int64
 
 	local []byte
 	ctxs  []wiCtx
@@ -140,7 +148,13 @@ func (ge *groupExec) runGroup(group [3]int, linear int) error {
 	}
 	// Rounds: run every live work-item to its next barrier (or to
 	// completion); repeat until all are done.
+	round := 0
+	var roundStart time.Time
 	for {
+		if ge.prof != nil {
+			roundStart = time.Now()
+			ge.profRetired, ge.profLoads, ge.profStores = 0, 0, 0
+		}
 		var barrierAt *ir.Instr
 		liveBefore := 0
 		atBarrier := 0
@@ -152,8 +166,11 @@ func (ge *groupExec) runGroup(group [3]int, linear int) error {
 			}
 			liveBefore++
 			hitBarrier, bInstr, err := ge.exec(c, true)
-			if ge.tracer != nil && c.pending > 0 {
-				ge.tracer.Instrs(c.wi, c.pending)
+			if c.pending > 0 && (ge.tracer != nil || ge.prof != nil) {
+				if ge.tracer != nil {
+					ge.tracer.Instrs(c.wi, c.pending)
+				}
+				ge.profRetired += c.pending
 				c.pending = 0
 			}
 			if err != nil {
@@ -172,6 +189,10 @@ func (ge *groupExec) runGroup(group [3]int, linear int) error {
 		}
 		if liveBefore == 0 {
 			break
+		}
+		if ge.prof != nil {
+			ge.prof.Region(round, time.Since(roundStart), ge.profRetired, ge.profLoads, ge.profStores, atBarrier > 0)
+			round++
 		}
 		if atBarrier > 0 && doneNow > 0 {
 			return fmt.Errorf("barrier divergence: %d work-items at a barrier while %d finished", atBarrier, doneNow)
@@ -231,6 +252,9 @@ func (ge *groupExec) exec(c *wiCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			if tr != nil {
 				tr.Access(in, c.wi, addr, in.Typ.Size(), false)
 			}
+			if ge.prof != nil {
+				ge.profLoads++
+			}
 			v, err := ge.loadTyped(c, addr, in.Typ, in)
 			if err != nil {
 				return false, nil, err
@@ -244,6 +268,9 @@ func (ge *groupExec) exec(c *wiCtx, kernelLevel bool) (bool, *ir.Instr, error) {
 			t := in.Args[1].Type()
 			if tr != nil {
 				tr.Access(in, c.wi, addr, t.Size(), true)
+			}
+			if ge.prof != nil {
+				ge.profStores++
 			}
 			if err := ge.storeTyped(c, addr, t, val); err != nil {
 				return false, nil, err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"grover/internal/clc"
 	"grover/internal/ir"
@@ -182,13 +183,17 @@ type Tracer interface {
 	GroupEnd()
 }
 
-// LaunchOpts control scheduling and tracing.
+// LaunchOpts control scheduling, tracing, and profiling.
 type LaunchOpts struct {
 	// Workers is the number of concurrent group executors (simulated
 	// cores when tracing). Defaults to GOMAXPROCS when zero.
 	Workers int
 	// TracerFor, when non-nil, supplies a tracer per worker.
 	TracerFor func(worker int) Tracer
+	// Profiler, when non-nil, attributes the launch's wall time and
+	// retire/traffic counters to barrier-delimited regions. All four
+	// backends implement the hook; nil keeps every hot path untouched.
+	Profiler *Profiler
 }
 
 // Launch executes the named kernel over the NDRange on the backend
@@ -226,9 +231,16 @@ func (p *Program) launchInterp(kernel string, cfg Config, gmem *GlobalMem, opts 
 	}
 	workers := 1
 	var tracerFor func(int) Tracer
+	var prof *Profiler
 	if opts != nil {
 		workers = opts.Workers
 		tracerFor = opts.TracerFor
+		prof = opts.Profiler
+	}
+	if prof != nil {
+		prof.LaunchBegin(kernel, BackendInterp)
+		start := time.Now()
+		defer func() { prof.LaunchDone(time.Since(start)) }()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -288,7 +300,7 @@ func (p *Program) launchInterp(kernel string, cfg Config, gmem *GlobalMem, opts 
 			}
 			ge := &groupExec{
 				p: p, fn: fn, cfg: ncfg, gmem: gmem, params: params,
-				localTotal: localTotal, tracer: tr,
+				localTotal: localTotal, tracer: tr, prof: prof,
 			}
 			cur := sched.Cursor(worker)
 			for g := cur.Next(); g >= 0; g = cur.Next() {

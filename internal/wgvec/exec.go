@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"grover/internal/bcode"
 	"grover/internal/clc"
@@ -176,9 +177,16 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 	}
 	workers := 1
 	var tracerFor func(int) vm.Tracer
+	var prof *vm.Profiler
 	if opts != nil {
 		workers = opts.Workers
 		tracerFor = opts.TracerFor
+		prof = opts.Profiler
+	}
+	if prof != nil {
+		prof.LaunchBegin(kernel, Name)
+		start := time.Now()
+		defer func() { prof.LaunchDone(time.Since(start)) }()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -240,6 +248,11 @@ func (m *Machine) Launch(kernel string, cfg vm.Config, gmem *vm.GlobalMem, opts 
 				tr = tracerFor(worker)
 			}
 			g := newGroupState(m, bf, ncfg, gmem.Data, paramI, paramF, localTotal, stack, n, tr)
+			g.prof = prof
+			if prof != nil && g.retired == nil {
+				// Retire accounting reuses the tracer's per-lane counters.
+				g.retired = make([]int64, n)
+			}
 			cur := sched.Cursor(worker)
 			for gi := cur.Next(); gi >= 0; gi = cur.Next() {
 				gz := gi / (groups[0] * groups[1])
@@ -272,7 +285,13 @@ type groupState struct {
 	localTotal int
 	stack      int
 	tracer     vm.Tracer
+	prof       *vm.Profiler
 	n          int
+
+	// Per-round profiler accumulators; harvested and reset by runGroup
+	// at every barrier round when prof is set.
+	profLoads  int64
+	profStores int64
 
 	gsz, lsz, ngrp, grp [3]int64
 	gidCol, lidCol      [3][]int64
@@ -411,8 +430,25 @@ func (g *groupState) runGroup(group [3]int, linear int) error {
 		g.tracer.GroupBegin(group, linear)
 	}
 	doneBefore := 0
+	round := 0
+	var roundStart time.Time
 	for {
+		if g.prof != nil {
+			roundStart = time.Now()
+			g.profLoads, g.profStores = 0, 0
+		}
 		err := g.schedule(0, fr, g.allLanes)
+		var roundRetired int64
+		if g.prof != nil {
+			// Harvest before replay flushes the per-lane counters to the
+			// tracer (which zeroes them); zero manually when untraced.
+			for l := 0; l < n; l++ {
+				roundRetired += g.retired[l]
+			}
+			if g.tracer == nil {
+				clear(g.retired)
+			}
+		}
 		if g.tracer != nil {
 			g.replay()
 		}
@@ -433,6 +469,10 @@ func (g *groupState) runGroup(group [3]int, linear int) error {
 					return fmt.Errorf("barrier divergence: work-items reached different barriers")
 				}
 			}
+		}
+		if g.prof != nil {
+			g.prof.Region(round, time.Since(roundStart), roundRetired, g.profLoads, g.profStores, atBarrier > 0)
+			round++
 		}
 		doneNow := doneTotal - doneBefore
 		if atBarrier > 0 && doneNow > 0 {
@@ -523,10 +563,10 @@ func (g *groupState) runSeg(depth int, fr *colFrame, mask []int32, pc int32) err
 	code := bf.Code
 	rp := fr.rp
 	n := g.n
-	traced := g.tracer != nil
+	acct := g.tracer != nil || g.prof != nil
 	for {
 		in := &code[pc]
-		if traced && in.Retire != 0 {
+		if acct && in.Retire != 0 {
 			r := int64(in.Retire)
 			for _, l := range mask {
 				g.retired[l] += r

@@ -874,6 +874,13 @@ func (g *groupState) addrPass(fr *colFrame, in *bcode.Inst, mask []int32, fused,
 			g.events[l] = append(g.events[l], traceEv{addr: addrs[l], instr: ei, size: sz, store: store})
 		}
 	}
+	if g.prof != nil {
+		if store {
+			g.profStores += int64(len(mask))
+		} else {
+			g.profLoads += int64(len(mask))
+		}
+	}
 	return addrs
 }
 

@@ -381,7 +381,16 @@ type Queue struct {
 	// full host speed with no timing.
 	profiling bool
 	sim       *device.Simulator
+	profiler  *vm.Profiler
 }
+
+// SetKernelProfiler attaches a per-launch execution profiler to the
+// queue: subsequent launches attribute wall time and retire/traffic
+// counters to their barrier-delimited regions (vm.Profiler accumulates
+// across launches). Pass nil to detach. Works on both functional and
+// profiling queues; on the jit backend a profiled launch takes the
+// closure-threaded path (native code cannot attribute regions).
+func (q *Queue) SetKernelProfiler(p *vm.Profiler) { q.profiler = p }
 
 // NewQueue creates a functional (non-profiling) queue: launches execute
 // in parallel on the host and events carry no simulated time.
@@ -424,13 +433,19 @@ func (q *Queue) EnqueueNDRange(k *Kernel, nd NDRange, args ...interface{}) (*Eve
 	cfg := vm.Config{GlobalSize: nd.Global, LocalSize: nd.Local, Args: vargs,
 		Backend: q.ctx.backend}
 	if !q.profiling {
-		if err := k.prog.prog.Launch(k.name, cfg, q.ctx.gmem, nil); err != nil {
+		var opts *vm.LaunchOpts
+		if q.profiler != nil {
+			opts = &vm.LaunchOpts{Profiler: q.profiler}
+		}
+		if err := k.prog.prog.Launch(k.name, cfg, q.ctx.gmem, opts); err != nil {
 			return nil, err
 		}
 		return &Event{}, nil
 	}
 	q.sim.Reset()
-	if err := k.prog.prog.Launch(k.name, cfg, q.ctx.gmem, q.sim.Opts()); err != nil {
+	opts := q.sim.Opts()
+	opts.Profiler = q.profiler
+	if err := k.prog.prog.Launch(k.name, cfg, q.ctx.gmem, opts); err != nil {
 		return nil, err
 	}
 	res := q.sim.Result()
